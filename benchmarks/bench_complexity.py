@@ -1,0 +1,80 @@
+"""Experiment E-C1 — the §6.3 complexity analysis.
+
+Regenerates the paper's central quantitative claim: the naive algorithm
+checks O(n²) class pairs while ``schema_integration`` averages O(n) on
+tree-shaped schemas where every S1 concept has an equivalent S2
+counterpart (the §6.3 setting).  The printed series shows pair checks
+per n for both algorithms and the fitted growth exponents; wall-clock
+timings come from pytest-benchmark.
+"""
+
+import math
+
+import pytest
+
+from repro.integration import naive_schema_integration, schema_integration
+from repro.workloads import mirrored_pair
+
+SIZES = (32, 64, 128, 256)
+
+
+def _checks(algorithm, size):
+    left, right, assertions = mirrored_pair(size, equivalence_fraction=1.0)
+    _, stats = algorithm(left, right, assertions)
+    return stats.pairs_checked
+
+
+def _growth_exponent(sizes, checks):
+    """Least-squares slope of log(checks) vs log(n)."""
+    xs = [math.log(n) for n in sizes]
+    ys = [math.log(max(c, 1)) for c in checks]
+    n = len(xs)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den
+
+
+def test_pair_check_series(benchmark, report):
+    """The §6.3 table: checks per n, with growth exponents."""
+
+    def sweep():
+        return (
+            [_checks(schema_integration, n) for n in SIZES],
+            [_checks(naive_schema_integration, n) for n in SIZES],
+        )
+
+    optimized, naive = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (n, o, nv, f"{nv / o:.1f}x")
+        for n, o, nv in zip(SIZES, optimized, naive)
+    ]
+    exponent_opt = _growth_exponent(SIZES, optimized)
+    exponent_naive = _growth_exponent(SIZES, naive)
+    rows.append(("exponent", f"{exponent_opt:.2f}", f"{exponent_naive:.2f}", ""))
+    report(
+        "E-C1  pair checks: optimized (§6) vs naive — expect O(n) vs O(n²)",
+        ("n", "optimized", "naive", "speedup"),
+        rows,
+    )
+    # The paper's claim, as assertions:
+    assert exponent_opt < 1.2, "optimized algorithm should be ~linear"
+    assert exponent_naive > 1.8, "naive algorithm should be ~quadratic"
+    for o, nv in zip(optimized, naive):
+        assert o < nv
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_optimized_wall_clock(benchmark, size):
+    left, right, assertions = mirrored_pair(size, equivalence_fraction=1.0)
+    result, stats = benchmark(schema_integration, left, right, assertions)
+    benchmark.extra_info["pairs_checked"] = stats.pairs_checked
+    assert stats.pairs_checked == size
+
+
+@pytest.mark.parametrize("size", SIZES[:3])
+def test_naive_wall_clock(benchmark, size):
+    left, right, assertions = mirrored_pair(size, equivalence_fraction=1.0)
+    result, stats = benchmark(naive_schema_integration, left, right, assertions)
+    benchmark.extra_info["pairs_checked"] = stats.pairs_checked
+    assert stats.pairs_checked == size * size

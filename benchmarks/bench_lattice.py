@@ -1,0 +1,68 @@
+"""Experiment E-X1 — cardinality-constraint resolution (Fig 13).
+
+Times lcs resolution over both lattices and prints the full lcs matrix
+of the simple lattice (regenerating Fig 13(a)'s behaviour), plus an
+ablation: the lattice-lcs strategy vs the trivial "always loosen to
+[m:n]" alternative — counting how often lcs preserves a *tighter*
+constraint than the trivial strategy would (the paper's "least
+loosened" claim).
+"""
+
+import itertools
+
+import pytest
+
+from repro.integration import EXTENDED_LATTICE, SIMPLE_LATTICE
+from repro.model import Cardinality as C
+
+SIMPLE = (C.ONE_TO_ONE, C.ONE_TO_N, C.M_TO_ONE, C.M_TO_N)
+
+
+def test_lcs_matrix(benchmark, report):
+    def compute():
+        return {
+            (a, b): SIMPLE_LATTICE.lcs(a, b)
+            for a, b in itertools.product(SIMPLE, repeat=2)
+        }
+
+    matrix = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        (str(a),) + tuple(str(matrix[(a, b)]) for b in SIMPLE) for a in SIMPLE
+    ]
+    report(
+        "E-X1  lcs matrix, simple lattice (Fig 13a)",
+        ("lcs", *[str(b) for b in SIMPLE]),
+        rows,
+    )
+    assert matrix[(C.ONE_TO_N, C.M_TO_ONE)] is C.M_TO_N
+
+
+def test_least_loosened_ablation(benchmark, report):
+    """How often lattice-lcs beats 'always [m:n]' on the extended lattice."""
+
+    def compute():
+        pairs = list(itertools.product(list(C), repeat=2))
+        tighter = sum(
+            1 for a, b in pairs if EXTENDED_LATTICE.lcs(a, b) is not C.M_TO_N
+        )
+        return len(pairs), tighter
+
+    total, tighter = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        "E-X1  ablation: lattice lcs vs always-[m:n]",
+        ("constraint pairs", "lcs tighter than [m:n]", "share"),
+        [(total, tighter, f"{tighter / total:.0%}")],
+    )
+    assert tighter > total / 2  # the lattice usually preserves information
+
+
+@pytest.mark.parametrize("lattice_name", ["simple", "extended"])
+def test_lcs_wall_clock(benchmark, lattice_name):
+    lattice = SIMPLE_LATTICE if lattice_name == "simple" else EXTENDED_LATTICE
+    members = lattice.members()
+
+    def resolve_all():
+        return [lattice.lcs(a, b) for a in members for b in members]
+
+    results = benchmark(resolve_all)
+    assert len(results) == len(members) ** 2

@@ -1,0 +1,54 @@
+"""Experiment E-C2 — the Ω_h recurrence's two extreme cases (§6.3).
+
+The recurrence averages two extremes: (a) the roots of S1 and S2 match —
+with every concept equivalently matched the optimized algorithm checks
+exactly n pairs; (b) S1's concepts match a subtree *deep inside* S2.
+This bench hangs a mirror of S1 at increasing depths below a filler
+chain in S2 and reports pair checks per depth, against the naive count.
+
+Measured shape (recorded in EXPERIMENTS.md): aligned roots reproduce the
+pure O(n); an offset match keeps the optimized count **below** naive but
+no longer linear, because the no-assertion default (the paper's own line
+33) seeds misaligned one-sided pairs during the descent — the §6.3
+average-case O(n) result leans on the "each concept has exactly one
+counterpart *and positions align*" assumption.
+"""
+
+import pytest
+
+from repro.integration import naive_schema_integration, schema_integration
+from repro.workloads import match_at_depth
+
+SIZE = 63
+DEPTHS = (0, 1, 2, 4, 8)
+
+
+def _checks(depth: int):
+    left, right, assertions = match_at_depth(SIZE, depth=depth)
+    _, optimized = schema_integration(left, right, assertions)
+    _, naive = naive_schema_integration(left, right, assertions)
+    return optimized.pairs_checked, naive.pairs_checked
+
+
+def test_match_depth_series(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: [(d, *_checks(d)) for d in DEPTHS], rounds=1, iterations=1
+    )
+    report(
+        f"E-C2  pair checks vs match depth (n={SIZE}, mirror at depth d)",
+        ("depth", "optimized", "naive"),
+        rows,
+    )
+    by_depth = {d: (o, n) for d, o, n in rows}
+    # Extreme (a): aligned roots — exactly n checks.
+    assert by_depth[0][0] == SIZE
+    # Offset matches stay strictly below naive at every depth.
+    for depth, (optimized, naive) in by_depth.items():
+        assert optimized < naive
+
+
+@pytest.mark.parametrize("depth", (0, 4, 8))
+def test_match_depth_wall_clock(benchmark, depth):
+    left, right, assertions = match_at_depth(SIZE, depth=depth)
+    _, stats = benchmark(schema_integration, left, right, assertions)
+    benchmark.extra_info["pairs_checked"] = stats.pairs_checked

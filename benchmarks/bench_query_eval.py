@@ -1,0 +1,108 @@
+"""Experiment E-Q — federated evaluation of virtual rules (Appendix B).
+
+Scales the genealogy federation and times the ``?- uncle(John, y)``
+query on both evaluation paths: the production bottom-up engine and the
+faithful Appendix B top-down evaluator.  Both must return the same
+answers; the printed series reports answers per family count and the
+agents' local access counts (the autonomy cost).
+"""
+
+import pytest
+
+from repro.federation import FSM, FSMAgent, FederatedQuery
+from repro.model import ClassDef, ObjectDatabase, Schema
+
+FAMILIES = (10, 50, 200)
+
+
+def build_fsm(families: int) -> FSM:
+    s1 = Schema("S1")
+    s1.add_class(
+        ClassDef("parent").attr("Pssn#").attr("children", multivalued=True)
+    )
+    s1.add_class(
+        ClassDef("brother").attr("Bssn#").attr("brothers", multivalued=True)
+    )
+    s2 = Schema("S2")
+    s2.add_class(
+        ClassDef("uncle").attr("Ussn#").attr("niece_nephew", multivalued=True)
+    )
+    db1 = ObjectDatabase(s1, agent="a1")
+    db2 = ObjectDatabase(s2, agent="a2")
+    for index in range(families):
+        db1.insert(
+            "parent",
+            {"Pssn#": f"P{index}", "children": [f"kid{index}a", f"kid{index}b"]},
+        )
+        db1.insert("brother", {"Bssn#": f"B{index}", "brothers": [f"P{index}"]})
+    db2.insert("uncle", {"Ussn#": "U0", "niece_nephew": ["someone"]})
+    fsm = FSM()
+    agent1, agent2 = FSMAgent("a1"), FSMAgent("a2")
+    agent1.host_object_database(db1)
+    agent2.host_object_database(db2)
+    fsm.register_agent(agent1)
+    fsm.register_agent(agent2)
+    fsm.declare(
+        """
+        assertion S1(parent, brother) -> S2.uncle
+          value S1.parent.Pssn# in S1.brother.brothers
+          attr S1.brother.Bssn# == S2.uncle.Ussn#
+          attr S1.parent.children >= S2.uncle.niece_nephew
+        end
+        """
+    )
+    fsm.integrate("S1", "S2")
+    return fsm
+
+
+def test_answer_series(benchmark, report):
+    def sweep():
+        rows = []
+        for families in FAMILIES:
+            fsm = build_fsm(families)
+            bottom_up = fsm.query("uncle() -> Ussn#")
+            program = fsm.appendix_b()
+            top_down = FederatedQuery.parse("uncle() -> Ussn#").run(program)
+            accesses = sum(
+                fsm.agent(name).access_count for name in ("a1", "a2")
+            )
+            rows.append(
+                (families, len(bottom_up), len(top_down), accesses)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E-Q  uncle answers per family count (both evaluators agree)",
+        ("families", "bottom-up", "top-down(AppB)", "local fetches"),
+        rows,
+    )
+    for families, bottom_up, top_down, _ in rows:
+        # two derived virtual uncles per family (one per niece/nephew)
+        # plus the one local uncle; both paths agree.
+        assert bottom_up == top_down
+        assert bottom_up == 2 * families + 1
+
+
+@pytest.mark.parametrize("families", FAMILIES)
+def test_bottom_up_wall_clock(benchmark, families):
+    fsm = build_fsm(families)
+    query = FederatedQuery.parse("uncle() -> Ussn#")
+
+    def run():
+        return query.run(fsm.engine())
+
+    rows = benchmark(run)
+    assert len(rows) == 2 * families + 1
+
+
+@pytest.mark.parametrize("families", FAMILIES[:2])
+def test_appendix_b_wall_clock(benchmark, families):
+    fsm = build_fsm(families)
+    query = FederatedQuery.parse("uncle() -> Ussn#")
+
+    def run():
+        return query.run(fsm.appendix_b())
+
+    rows = benchmark(run)
+    assert len(rows) == 2 * families + 1

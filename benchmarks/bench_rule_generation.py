@@ -1,0 +1,61 @@
+"""Experiment E-R — derivation-assertion rule generation (Principle 5).
+
+Throughput of the full pipeline — decomposition, assertion-graph
+construction, reverse substitutions, rule assembly, safety check — on
+the paper's own derivation scenarios plus a widening schematic
+discrepancy (Example 5 with n car-name attributes, which decomposes
+into n assertions and yields n rules).
+"""
+
+import pytest
+
+from repro.assertions import AssertionSet, parse
+from repro.integration import IntegratedSchema, apply_derivation
+from repro.workloads import bibliography, car_prices, genealogy
+
+CAR_COUNTS = (2, 8, 32)
+
+
+def _generate(s1, s2, text):
+    result = IntegratedSchema("IS")
+    rules = []
+    for assertion in parse(text):
+        if assertion.left_schema == s1.name:
+            rules += apply_derivation(result, assertion, s1, s2)
+        else:
+            rules += apply_derivation(result, assertion, s2, s1)
+    return rules
+
+
+def test_rule_count_series(benchmark, report):
+    def sweep():
+        rows = []
+        s1, s2, text, _ = genealogy(populated=False)
+        rows.append(("uncle (Ex. 9)", len(_generate(s1, s2, text))))
+        s1, s2, text = bibliography()
+        rows.append(("Book/Author (Ex. 11)", len(_generate(s1, s2, text))))
+        for count in CAR_COUNTS:
+            s1, s2, text = car_prices(tuple(f"car{i}" for i in range(count)))
+            rows.append((f"cars n={count} (Ex. 10)", len(_generate(s1, s2, text))))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("E-R  generated derivation rules per scenario", ("scenario", "rules"), rows)
+    by_name = dict(rows)
+    assert by_name["uncle (Ex. 9)"] == 1
+    assert by_name["Book/Author (Ex. 11)"] == 2
+    for count in CAR_COUNTS:
+        assert by_name[f"cars n={count} (Ex. 10)"] == count
+
+
+def test_uncle_rule_wall_clock(benchmark):
+    s1, s2, text, _ = genealogy(populated=False)
+    rules = benchmark(_generate, s1, s2, text)
+    assert len(rules) == 1
+
+
+@pytest.mark.parametrize("count", CAR_COUNTS)
+def test_car_rules_wall_clock(benchmark, count):
+    s1, s2, text = car_prices(tuple(f"car{i}" for i in range(count)))
+    rules = benchmark(_generate, s1, s2, text)
+    assert len(rules) == count

@@ -1,0 +1,78 @@
+"""Experiment E-X2 — multi-schema integration strategies (Fig 2).
+
+Integrates k mirrored schemas with the accumulation strategy (Fig 2(a))
+and the pairwise-tree strategy (Fig 2(b)), verifying both produce the
+same global schema shape and timing the two folds.
+"""
+
+import pytest
+
+from repro.federation import FSM, FSMAgent
+from repro.model import ClassDef, ObjectDatabase, Schema
+
+COUNTS = (3, 5, 8)
+
+
+def build_fsm(count: int, classes_per_schema: int = 6) -> FSM:
+    fsm = FSM()
+    for index in range(1, count + 1):
+        schema = Schema(f"S{index}")
+        for c in range(classes_per_schema):
+            parents = [f"c{c - 1}_{index}"] if c else []
+            schema.add_class(
+                ClassDef(f"c{c}_{index}", parents=parents).attr("key").attr(f"x{index}")
+            )
+        agent = FSMAgent(f"a{index}")
+        agent.host_object_database(ObjectDatabase(schema, agent=f"a{index}"))
+        fsm.register_agent(agent)
+    # Chain equivalences: every schema's classes match schema 1's.
+    for index in range(2, count + 1):
+        for c in range(classes_per_schema):
+            fsm.declare(
+                f"""
+                assertion S1.c{c}_1 == S{index}.c{c}_{index}
+                  attr S1.c{c}_1.key == S{index}.c{c}_{index}.key
+                end
+                """
+            )
+    return fsm
+
+
+def test_strategy_equivalence_series(benchmark, report):
+    def sweep():
+        rows = []
+        for count in COUNTS:
+            accumulated = build_fsm(count).integrate_all(strategy="accumulation")
+            pairwise = build_fsm(count).integrate_all(strategy="pairwise")
+            rows.append(
+                (
+                    count,
+                    len(accumulated.classes),
+                    len(pairwise.classes),
+                    len(accumulated.is_a_links()),
+                    len(pairwise.is_a_links()),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E-X2  global schema size: accumulation (Fig 2a) vs pairwise (Fig 2b)",
+        ("schemas", "classes(acc)", "classes(pw)", "links(acc)", "links(pw)"),
+        rows,
+    )
+    for _, classes_acc, classes_pw, links_acc, links_pw in rows:
+        assert classes_acc == classes_pw
+        assert links_acc == links_pw
+
+
+@pytest.mark.parametrize("strategy", ["accumulation", "pairwise"])
+@pytest.mark.parametrize("count", COUNTS)
+def test_strategy_wall_clock(benchmark, strategy, count):
+    def run():
+        return build_fsm(count).integrate_all(strategy=strategy)
+
+    result = benchmark(run)
+    # All k copies of class c0 merged into one.
+    names = {result.is_name(f"S{i}", f"c0_{i}") for i in range(1, count + 1)}
+    assert len(names) == 1

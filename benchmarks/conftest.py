@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints its paper-shape series through
+:func:`report` so the regenerated "tables" land in the terminal (and in
+``bench_output.txt``) even under pytest's output capture.
+"""
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def render_series(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> str:
+    widths = [max(len(str(h)), 10) for h in header]
+    lines = [f"\n── {title} " + "─" * max(0, 60 - len(title))]
+    lines.append("  " + "  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append(
+            "  " + "  ".join(str(value).rjust(w) for value, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a series table past pytest's capture."""
+
+    def _report(title, header, rows):
+        with capsys.disabled():
+            print(render_series(title, header, rows))
+
+    return _report

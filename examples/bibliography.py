@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Path correspondences: Book/Author (Examples 1, 4, 11).
+
+``S1.Book`` nests an ``author`` record; ``S2.Author`` nests a ``book``
+record — the same world, inverted.  The path-correspondence problem of
+[35] is handled here *formally* (the paper's claim): the equivalence of
+paths ``S1(Book·author) ≡ S2(Author·book)`` is declared as two
+derivation assertions (Fig 6(b)/(c)), from which the integrator
+constructs the two inference rules of Example 11.  Queries against
+either class then see both databases' contents.
+
+Run:  python examples/bibliography.py
+"""
+
+from repro import FederationSession
+from repro.model import ObjectDatabase
+from repro.workloads import bibliography
+
+
+def main() -> None:
+    s1, s2, assertion_text = bibliography()
+    print("=== the two class types (cf. §4.1) ===")
+    print(s1.cls("Book").type_signature())
+    print(s2.cls("Author").type_signature())
+
+    print("\n=== path equivalence as two derivation assertions (Fig 6) ===")
+    print(assertion_text.strip())
+
+    import datetime
+
+    db1 = ObjectDatabase(s1, agent="a1")
+    db1.insert(
+        "Book",
+        {
+            "ISBN": "3-540-1",
+            "title": "Improving Path-Consistency",
+            "author": {"name": "John", "birthday": datetime.date(1950, 5, 1)},
+        },
+    )
+    db2 = ObjectDatabase(s2, agent="a2")
+    db2.insert(
+        "Author",
+        {
+            "name": "Ada",
+            "birthday": datetime.date(1815, 12, 10),
+            "book": {"ISBN": "0-19-2", "title": "Notes on the Engine"},
+        },
+    )
+
+    session = FederationSession()
+    session.add_database(db1)
+    session.add_database(db2)
+    session.declare(assertion_text)
+    integrated = session.integrate()
+
+    print("\n=== generated rules (Example 11) ===")
+    for rule in integrated.rules:
+        print("  ", rule)
+
+    # Note: the two rules derive in both directions, so an object that
+    # round-trips (Book → virtual Author → virtual Book) appears under a
+    # fresh virtual OID as well; distinct value combinations are printed.
+    # Fusing such duplicates needs data-level identity (§3 data mappings).
+    print("\n?- Book() -> ISBN, title        (Ada's book appears via the rule)")
+    books = {(r["ISBN"], r["title"]) for r in session.query("Book() -> ISBN, title")}
+    for isbn, title in sorted(books):
+        print(f"    ISBN={isbn!r}  title={title!r}")
+
+    print("\n?- Author() -> name             (John appears via the reverse rule)")
+    authors = {r["name"] for r in session.query("Author() -> name")}
+    for name in sorted(authors):
+        print(f"    name={name!r}")
+
+
+if __name__ == "__main__":
+    main()

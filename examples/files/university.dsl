@@ -1,0 +1,10 @@
+# Appendix A, Fig 18(b): the assertion set of the sample integration
+assertion S1.person == S2.human
+  attr S1.person.ssn# == S2.human.ssn#
+  attr S1.person.name == S2.human.name
+end
+assertion S1.lecturer <= S2.employee
+assertion S1.lecturer <= S2.faculty
+assertion S1.teaching_assistant <= S2.employee
+assertion S1.teaching_assistant <= S2.faculty
+assertion S1.student ^ S2.faculty

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: integrate two university schemas (Appendix A, Fig 18).
+
+Two independently developed databases describe the same campus:
+
+* ``S1`` models people as person / student / lecturer / teaching_assistant;
+* ``S2`` models them as human / employee / faculty / professor.
+
+A DBA writes five correspondence assertions in the DSL; the optimized
+§6 algorithm merges the schemas, generating exactly the integrated
+schema of Fig 18(c): one merged ``person`` class, a single
+``is_a(lecturer, faculty)`` link (the redundant links to ``employee``
+are never created) and three rules defining the virtual
+``student ∩ faculty`` classes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SchemaIntegrator
+from repro.workloads import appendix_a
+
+
+def main() -> None:
+    s1, s2, assertion_text = appendix_a()
+
+    print("=== local schema S1 ===")
+    print(s1.describe())
+    print("\n=== local schema S2 ===")
+    print(s2.describe())
+    print("\n=== correspondence assertions ===")
+    print(assertion_text.strip())
+
+    integrator = SchemaIntegrator(s1, s2, assertion_text)
+    integrated = integrator.run()
+
+    print("\n=== integrated schema (cf. Fig 18(c)) ===")
+    print(integrated.describe())
+
+    print("\n=== how the optimized algorithm worked ===")
+    print(integrator.stats.describe())
+
+    naive = SchemaIntegrator(s1, s2, assertion_text, algorithm="naive")
+    naive.run()
+    print(
+        f"\npair checks: optimized={integrator.stats.pairs_checked} "
+        f"vs naive={naive.stats.pairs_checked} "
+        f"(the paper's §6 optimization at work)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — a reproduction of *Integrating Heterogeneous OO Schemas*
+(Yangjun Chen, ICDE 1999; JISE 16:555-591, 2000).
+
+The library integrates independently developed object-oriented database
+schemas into a single *deduction-like* global schema:
+
+* :mod:`repro.model` — the §2 object model (classes, aggregation
+  functions with cardinality constraints, O-term instances, OIDs);
+* :mod:`repro.logic` — first-order rules over O-terms, reverse
+  substitutions (Definitions 5.1-5.3), safety checks and two evaluators;
+* :mod:`repro.assertions` — the §4 correspondence-assertion language,
+  including the paper's new *derivation* assertion, with a textual DSL;
+* :mod:`repro.integration` — integration principles 1-6 and the naive /
+  optimized §6 algorithms with pair-check instrumentation;
+* :mod:`repro.federation` — the §3 FSM / FSM-agent architecture, data
+  mappings, and federated query evaluation (Appendix B);
+* :mod:`repro.workloads` — paper scenarios and benchmark generators.
+
+Quickstart::
+
+    from repro import SchemaIntegrator
+    from repro.workloads import appendix_a
+
+    s1, s2, assertions = appendix_a()
+    integrated = SchemaIntegrator(s1, s2, assertions).run()
+    print(integrated.describe())
+"""
+
+from .core import FederationSession, SchemaIntegrator
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["FederationSession", "ReproError", "SchemaIntegrator", "__version__"]

@@ -1,0 +1,72 @@
+"""Correspondence-assertion language (§4 of the paper).
+
+Paths (Definition 4.1), the Table 1-3 taxonomies, class / attribute /
+aggregation / value correspondences, assertion sets with oriented lookup
+(the §6 algorithms' hot query), derivation-assertion decomposition and
+the assertion graph of Principle 5, plus a textual DSL parser.
+"""
+
+from .aggregation_assertions import AggregationCorrespondence
+from .analysis import Finding, analyze, report as analysis_report
+from .assertion_set import AssertionSet, OrientedLookup
+from .attribute_assertions import AttributeCorrespondence, WithCondition
+from .class_assertions import (
+    ClassAssertion,
+    derivation,
+    equivalence,
+    exclusion,
+    inclusion,
+    intersection,
+)
+from .decompose import decompose, decompose_all, is_decomposed
+from .graph import AssertionGraph, EDGE_KINDS, Hyperedge
+from .kinds import (
+    AggregationKind,
+    AttributeKind,
+    ClassKind,
+    TABLE_1,
+    TABLE_2,
+    TABLE_3,
+    ValueOp,
+    flipped,
+    render_table,
+)
+from .parser import parse, parse_file
+from .paths import Path
+from .value_assertions import ValueCorrespondence
+
+__all__ = [
+    "AggregationCorrespondence",
+    "Finding",
+    "analysis_report",
+    "analyze",
+    "AggregationKind",
+    "AssertionGraph",
+    "AssertionSet",
+    "AttributeCorrespondence",
+    "AttributeKind",
+    "ClassAssertion",
+    "ClassKind",
+    "EDGE_KINDS",
+    "Hyperedge",
+    "OrientedLookup",
+    "Path",
+    "TABLE_1",
+    "TABLE_2",
+    "TABLE_3",
+    "ValueCorrespondence",
+    "ValueOp",
+    "WithCondition",
+    "decompose",
+    "decompose_all",
+    "derivation",
+    "equivalence",
+    "exclusion",
+    "flipped",
+    "inclusion",
+    "intersection",
+    "is_decomposed",
+    "parse",
+    "parse_file",
+    "render_table",
+]

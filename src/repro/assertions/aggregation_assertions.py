@@ -1,0 +1,61 @@
+"""Aggregation-function correspondences (§4.1, Table 3).
+
+Besides the four set relationships on the functions' ranges, Table 3 adds
+*reverse* (ℵ): ``f ℵ g`` states that ``g`` is the inverse function of
+``f`` — e.g. ``man.spouse ℵ woman.spouse`` in Fig 4(d).  Principle 4's
+alternative form turns reverse declarations into a pair of symmetric
+derivation rules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import AssertionSpecError
+from .kinds import AggregationKind, flipped as flip_kind
+from .paths import Path
+
+
+@dataclasses.dataclass(frozen=True)
+class AggregationCorrespondence:
+    """``left θ right`` for aggregation functions, θ from Table 3.
+
+    Both paths must terminate at an aggregation-function name of their
+    class; the terminal element *is* the function.
+    """
+
+    left: Path
+    right: Path
+    kind: AggregationKind
+
+    def __post_init__(self) -> None:
+        if self.left.is_class_path or self.right.is_class_path:
+            raise AssertionSpecError(
+                f"aggregation correspondence needs function paths, got "
+                f"{self.left} / {self.right}"
+            )
+
+    @property
+    def left_function(self) -> str:
+        terminal = self.left.terminal
+        assert terminal is not None
+        return terminal
+
+    @property
+    def right_function(self) -> str:
+        terminal = self.right.terminal
+        assert terminal is not None
+        return terminal
+
+    def flipped(self) -> "AggregationCorrespondence":
+        """The correspondence as seen from the other schema's side.
+
+        Reverse (ℵ) is symmetric — "g is a reverse function of f" makes
+        f a reverse function of g — so it flips to itself.
+        """
+        return AggregationCorrespondence(
+            self.right, self.left, flip_kind(self.kind)  # type: ignore[arg-type]
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.kind} {self.right}"

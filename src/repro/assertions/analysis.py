@@ -1,0 +1,179 @@
+"""Assertion-set analysis: consistency lints before integration runs.
+
+Assertions are hand-written by DBAs ("given by users or by DBAs", §4);
+mistakes surface late and confusingly during integration.  This module
+checks a set against its two schemas up front and reports *findings* —
+none of them fatal (mutually inclusive declarations — ⊆ both ways —
+are already rejected eagerly by :class:`AssertionSet` as conflicts),
+but each is something a designer probably wants to see:
+
+* ``equivalence-fan`` — one class declared equivalent to several
+  counterparts (legal, triggers Principle 1 absorption, but often a
+  typo);
+* ``assertion-under-exclusion`` — an assertion between descendants of an
+  exclusion/derivation pair (§6.1 observation 3's "something strange");
+* ``redundant-inclusion`` — ``A ⊆ B`` where B is a local ancestor of
+  another declared target (Fig 8: the link would be dropped anyway);
+* ``unmentioned-class`` — a class no assertion touches (it will be
+  copied verbatim; a completeness hint, not an error).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+from ..model.schema import Schema
+from .assertion_set import AssertionSet
+from .kinds import ClassKind
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One analysis finding."""
+
+    kind: str
+    message: str
+    concepts: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.message}"
+
+
+def analyze(
+    assertions: AssertionSet, left: Schema, right: Schema
+) -> List[Finding]:
+    """Run all lints; findings are ordered by severity class."""
+    findings: List[Finding] = []
+    findings += _equivalence_fans(assertions, left, right)
+    findings += _under_exclusion(assertions, left, right)
+    findings += _redundant_inclusions(assertions, left, right)
+    findings += _unmentioned(assertions, left, right)
+    return findings
+
+
+def _pairs_by_kind(
+    assertions: AssertionSet, left: Schema, right: Schema
+) -> Dict[ClassKind, List[Tuple[str, str]]]:
+    result: Dict[ClassKind, List[Tuple[str, str]]] = defaultdict(list)
+    for class1 in left.class_names:
+        for class2 in right.class_names:
+            kind = assertions.kind_of(class1, class2)
+            if kind is not None:
+                result[kind].append((class1, class2))
+    return result
+
+
+def _equivalence_fans(assertions, left, right) -> List[Finding]:
+    findings = []
+    partners_left: Dict[str, List[str]] = defaultdict(list)
+    partners_right: Dict[str, List[str]] = defaultdict(list)
+    for class1, class2 in _pairs_by_kind(assertions, left, right).get(
+        ClassKind.EQUIVALENCE, ()
+    ):
+        partners_left[class1].append(class2)
+        partners_right[class2].append(class1)
+    for class1, partners in sorted(partners_left.items()):
+        if len(partners) > 1:
+            findings.append(
+                Finding(
+                    "equivalence-fan",
+                    f"{left.name}.{class1} is declared equivalent to "
+                    f"{len(partners)} classes ({', '.join(sorted(partners))}); "
+                    f"they will all merge into one — check this is intended",
+                    (class1, *partners),
+                )
+            )
+    for class2, partners in sorted(partners_right.items()):
+        if len(partners) > 1:
+            findings.append(
+                Finding(
+                    "equivalence-fan",
+                    f"{right.name}.{class2} is declared equivalent to "
+                    f"{len(partners)} classes ({', '.join(sorted(partners))}); "
+                    f"they will all merge into one — check this is intended",
+                    (class2, *partners),
+                )
+            )
+    return findings
+
+
+def _under_exclusion(assertions, left, right) -> List[Finding]:
+    findings = []
+    pairs = _pairs_by_kind(assertions, left, right)
+    blocking = pairs.get(ClassKind.EXCLUSION, []) + pairs.get(
+        ClassKind.DERIVATION, []
+    )
+    for class1, class2 in blocking:
+        family1 = [class1] + sorted(left.descendants(class1))
+        family2 = [class2] + sorted(right.descendants(class2))
+        for d1 in family1:
+            for d2 in family2:
+                if (d1, d2) == (class1, class2):
+                    continue
+                if assertions.kind_of(d1, d2) is not None:
+                    findings.append(
+                        Finding(
+                            "assertion-under-exclusion",
+                            f"assertion between {d1!r} and {d2!r} sits below "
+                            f"the {assertions.kind_of(class1, class2)} pair "
+                            f"({class1}, {class2}) — §6.1 observation 3: "
+                            f"confirm it is intended",
+                            (d1, d2),
+                        )
+                    )
+    return findings
+
+
+def _redundant_inclusions(assertions, left, right) -> List[Finding]:
+    findings = []
+    targets_of: Dict[str, List[str]] = defaultdict(list)
+    for class1, class2 in _pairs_by_kind(assertions, left, right).get(
+        ClassKind.SUBSET, ()
+    ):
+        targets_of[class1].append(class2)
+    for class1, targets in sorted(targets_of.items()):
+        for target in targets:
+            implied = any(
+                other != target and right.is_subclass(other, target)
+                for other in targets
+            )
+            if implied:
+                findings.append(
+                    Finding(
+                        "redundant-inclusion",
+                        f"{left.name}.{class1} ⊆ {right.name}.{target} is "
+                        f"implied by a more specific declared inclusion "
+                        f"(Fig 8); the link would be dropped anyway",
+                        (class1, target),
+                    )
+                )
+    return findings
+
+
+def _unmentioned(assertions, left, right) -> List[Finding]:
+    findings = []
+    for schema in (left, right):
+        mentioned: Set[str] = set(assertions.mentioned_classes(schema.name))
+        for class_name in schema.class_names:
+            if class_name not in mentioned:
+                findings.append(
+                    Finding(
+                        "unmentioned-class",
+                        f"{schema.name}.{class_name} appears in no assertion; "
+                        f"it will be copied verbatim (default strategy 1)",
+                        (class_name,),
+                    )
+                )
+    return findings
+
+
+def report(assertions: AssertionSet, left: Schema, right: Schema) -> str:
+    """Printable analysis report."""
+    findings = analyze(assertions, left, right)
+    if not findings:
+        return "assertion analysis: no findings"
+    lines = [f"assertion analysis: {len(findings)} finding(s)"]
+    lines += [f"  {finding}" for finding in findings]
+    return "\n".join(lines)

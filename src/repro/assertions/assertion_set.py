@@ -1,0 +1,236 @@
+"""Assertion sets: the declarative input of the integration process (§4-§6).
+
+An :class:`AssertionSet` collects every correspondence assertion between
+two fixed schemas, normalizes orientation (assertions may be declared in
+either direction), indexes them by class pair — the lookup the §6
+algorithms perform at every node pair — and detects conflicting
+declarations early.
+
+:class:`OrientedLookup` is what a lookup returns: the assertion *as seen
+from* the requested orientation, so ``lookup("person", "human")`` and the
+algorithm's inner loop never have to reason about declaration order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import AssertionConflictError, AssertionSpecError
+from ..model.schema import Schema
+from .class_assertions import ClassAssertion
+from .kinds import ClassKind, flipped as flip_kind
+
+
+@dataclasses.dataclass(frozen=True)
+class OrientedLookup:
+    """A lookup result oriented left-schema → right-schema.
+
+    ``kind`` is the relationship of ``(left_class, right_class)`` *in the
+    requested orientation*; ``assertion`` is the underlying declaration
+    (possibly declared the other way around); ``reversed_declaration``
+    records whether it was flipped to answer the lookup.
+    """
+
+    kind: ClassKind
+    assertion: ClassAssertion
+    reversed_declaration: bool = False
+
+    def oriented_assertion(self) -> ClassAssertion:
+        """The assertion re-oriented to match the lookup direction."""
+        if not self.reversed_declaration:
+            return self.assertion
+        return self.assertion.flipped()
+
+
+class AssertionSet:
+    """All assertions between schema *left_name* and schema *right_name*.
+
+    The set is *directed*: lookups are answered in the left → right
+    orientation (the orientation `schema_integration` traverses), with
+    declarations accepted in either direction.
+    """
+
+    def __init__(self, left_name: str, right_name: str) -> None:
+        if left_name == right_name:
+            raise AssertionSpecError(
+                "an assertion set relates two distinct schemas"
+            )
+        self.left_name = left_name
+        self.right_name = right_name
+        self._assertions: List[ClassAssertion] = []
+        #: (left_class, right_class) -> set-relationship assertion
+        self._pair_index: Dict[Tuple[str, str], ClassAssertion] = {}
+        #: (left_class, right_class) -> derivation assertions touching the pair
+        self._derivations: Dict[Tuple[str, str], List[ClassAssertion]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def add(self, assertion: ClassAssertion) -> ClassAssertion:
+        """Add *assertion*, normalizing orientation and checking conflicts."""
+        if (
+            assertion.left_schema == self.left_name
+            and assertion.right_schema == self.right_name
+        ):
+            oriented = assertion
+        elif (
+            assertion.left_schema == self.right_name
+            and assertion.right_schema == self.left_name
+        ):
+            oriented = assertion  # stored as declared; lookups flip on demand
+        else:
+            raise AssertionSpecError(
+                f"assertion {assertion.head()} relates "
+                f"({assertion.left_schema}, {assertion.right_schema}); this "
+                f"set holds ({self.left_name}, {self.right_name}) assertions"
+            )
+
+        if assertion.kind is ClassKind.DERIVATION:
+            for pair in self._derivation_pairs(oriented):
+                self._derivations[pair].append(oriented)
+        else:
+            pair = self._oriented_pair(oriented)
+            existing = self._pair_index.get(pair)
+            if existing is not None:
+                existing_kind = self._oriented_kind(existing)
+                new_kind = self._oriented_kind(oriented)
+                if existing_kind is not new_kind:
+                    raise AssertionConflictError(
+                        f"classes {pair[0]!r}/{pair[1]!r} already related by "
+                        f"{existing_kind}, cannot also declare {new_kind}"
+                    )
+                raise AssertionConflictError(
+                    f"duplicate assertion for classes {pair[0]!r}/{pair[1]!r}"
+                )
+            self._pair_index[pair] = oriented
+        self._assertions.append(oriented)
+        return oriented
+
+    def extend(self, assertions: Iterable[ClassAssertion]) -> None:
+        for assertion in assertions:
+            self.add(assertion)
+
+    def add_if_new(self, assertion: ClassAssertion) -> bool:
+        """Add unless an agreeing assertion for the pair already exists.
+
+        Returns False for a same-kind duplicate (common when lifting
+        assertions through a merge that unified several local classes);
+        conflicting kinds still raise :class:`AssertionConflictError`.
+        """
+        if assertion.kind is not ClassKind.DERIVATION:
+            pair = self._oriented_pair(assertion)
+            existing = self._pair_index.get(pair)
+            if existing is not None:
+                if self._oriented_kind(existing) is self._oriented_kind(assertion):
+                    return False
+        self.add(assertion)
+        return True
+
+    def _oriented_pair(self, assertion: ClassAssertion) -> Tuple[str, str]:
+        if assertion.left_schema == self.left_name:
+            return (assertion.source.class_name, assertion.target.class_name)
+        return (assertion.target.class_name, assertion.source.class_name)
+
+    def _oriented_kind(self, assertion: ClassAssertion) -> ClassKind:
+        if assertion.left_schema == self.left_name:
+            return assertion.kind
+        return flip_kind(assertion.kind)  # type: ignore[return-value]
+
+    def _derivation_pairs(
+        self, assertion: ClassAssertion
+    ) -> Iterator[Tuple[str, str]]:
+        """Every (left_class, right_class) pair a derivation touches."""
+        if assertion.left_schema == self.left_name:
+            for source in assertion.source_classes:
+                yield (source, assertion.target_class)
+        else:
+            for source in assertion.source_classes:
+                yield (assertion.target_class, source)
+
+    # ------------------------------------------------------------------
+    # lookup (the hot operation of the §6 algorithms)
+    # ------------------------------------------------------------------
+    def lookup(self, left_class: str, right_class: str) -> Optional[OrientedLookup]:
+        """The relationship of ``(left_class, right_class)``, oriented.
+
+        Set-relationship assertions win over derivations when both exist
+        (the algorithm's switch tests equivalence/inclusion first);
+        returns None when no assertion mentions the pair.
+        """
+        assertion = self._pair_index.get((left_class, right_class))
+        if assertion is not None:
+            return OrientedLookup(
+                self._oriented_kind(assertion),
+                assertion,
+                reversed_declaration=assertion.left_schema != self.left_name,
+            )
+        derivations = self._derivations.get((left_class, right_class))
+        if derivations:
+            first = derivations[0]
+            return OrientedLookup(
+                ClassKind.DERIVATION,
+                first,
+                reversed_declaration=first.left_schema != self.left_name,
+            )
+        return None
+
+    def kind_of(self, left_class: str, right_class: str) -> Optional[ClassKind]:
+        """Just the oriented kind, or None."""
+        result = self.lookup(left_class, right_class)
+        return result.kind if result else None
+
+    def derivations_for(
+        self, left_class: str, right_class: str
+    ) -> Tuple[ClassAssertion, ...]:
+        """All derivation assertions touching the oriented pair."""
+        return tuple(self._derivations.get((left_class, right_class), ()))
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[ClassAssertion]:
+        return iter(self._assertions)
+
+    def __len__(self) -> int:
+        return len(self._assertions)
+
+    def by_kind(self, kind: ClassKind) -> Tuple[ClassAssertion, ...]:
+        """Assertions of one kind *as declared* (not re-oriented)."""
+        return tuple(a for a in self._assertions if a.kind is kind)
+
+    def all_derivations(self) -> Tuple[ClassAssertion, ...]:
+        return self.by_kind(ClassKind.DERIVATION)
+
+    def mentioned_classes(self, schema_name: str) -> Tuple[str, ...]:
+        """Every class of *schema_name* any assertion mentions."""
+        classes: List[str] = []
+        for assertion in self._assertions:
+            for class_name in assertion.classes_of(schema_name):
+                if class_name not in classes:
+                    classes.append(class_name)
+        return tuple(classes)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self, left: Schema, right: Schema) -> None:
+        """Resolve every assertion against the two schemas.
+
+        *left* / *right* must be the schemas named at construction.
+        """
+        if left.name != self.left_name or right.name != self.right_name:
+            raise AssertionSpecError(
+                f"assertion set is for ({self.left_name}, {self.right_name}), "
+                f"validated against ({left.name}, {right.name})"
+            )
+        by_name = {left.name: left, right.name: right}
+        for assertion in self._assertions:
+            assertion.validate(
+                by_name[assertion.left_schema], by_name[assertion.right_schema]
+            )
+
+    def describe(self) -> str:
+        """All assertions in Fig 4 layout."""
+        return "\n\n".join(a.describe() for a in self._assertions)

@@ -1,0 +1,134 @@
+"""Attribute correspondences and ``with`` conditions (§4.1, Table 2).
+
+An attribute correspondence relates a path of schema 1 to a path of
+schema 2 with one of Table 2's kinds; an inclusion may carry a ``with``
+qualifier ``att τ Cont`` restricting the right-hand side, as in::
+
+    S1.stock-in-March-April.price-in-March ⊆ S2.stock.price with time = 'March'
+
+Composed-into assertions (``city α(address) street-number``) additionally
+name the new attribute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional, Tuple
+
+from ..errors import AssertionSpecError
+from ..logic.atoms import ComparisonOp
+from .kinds import AttributeKind
+from .paths import Path
+
+_OP_ALIASES = {
+    "=": ComparisonOp.EQ,
+    "==": ComparisonOp.EQ,
+    "≠": ComparisonOp.NE,
+    "!=": ComparisonOp.NE,
+    "<": ComparisonOp.LT,
+    "<=": ComparisonOp.LE,
+    "≤": ComparisonOp.LE,
+    ">": ComparisonOp.GT,
+    ">=": ComparisonOp.GE,
+    "≥": ComparisonOp.GE,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class WithCondition:
+    """A predicate ``att τ Cont`` attached to a correspondence (§4.1).
+
+    *attribute* is a path into one of the two schemas; *op* is drawn from
+    ``{=, <, ≤, >, ≥, ≠}``; *constant* is the comparison constant.  In
+    Principle 5 these conditions become the hyperedge predicates of the
+    assertion graph (Fig 11(b)).
+    """
+
+    attribute: Path
+    op: ComparisonOp
+    constant: Any
+
+    @classmethod
+    def of(cls, attribute: "Path | str", op: str, constant: Any) -> "WithCondition":
+        if isinstance(attribute, str):
+            attribute = Path.parse(attribute)
+        try:
+            resolved = _OP_ALIASES[op]
+        except KeyError:
+            raise AssertionSpecError(
+                f"unknown comparison operator {op!r} in with-condition"
+            ) from None
+        return cls(attribute, resolved, constant)
+
+    def __str__(self) -> str:
+        return f"with {self.attribute} {self.op} {self.constant!r}"
+
+
+@dataclasses.dataclass(frozen=True)
+class AttributeCorrespondence:
+    """``left θ right`` for attributes, θ from Table 2.
+
+    Parameters
+    ----------
+    left, right:
+        Paths into the two schemas being integrated (left from the
+        assertion's first schema, right from the second — orientation is
+        fixed by the owning class assertion).
+    kind:
+        One of :class:`~repro.assertions.kinds.AttributeKind`.
+    composed_name:
+        For ``COMPOSED_INTO``: the new attribute's name (the ``x`` of
+        ``α(x)``).
+    condition:
+        Optional ``with`` qualifier.
+    """
+
+    left: Path
+    right: Path
+    kind: AttributeKind
+    composed_name: Optional[str] = None
+    condition: Optional[WithCondition] = None
+
+    def __post_init__(self) -> None:
+        if self.left.is_class_path or self.right.is_class_path:
+            # A class path on one side is legal only for nested
+            # equivalences like  S1.Book ≡ S2.Author.book  (Example in
+            # §4.1) — at least one side must descend into attributes.
+            if self.left.is_class_path and self.right.is_class_path:
+                raise AssertionSpecError(
+                    f"attribute correspondence between two class paths "
+                    f"{self.left} / {self.right}; use a class assertion"
+                )
+        if self.kind is AttributeKind.COMPOSED_INTO and not self.composed_name:
+            raise AssertionSpecError(
+                f"composed-into correspondence {self.left} α {self.right} "
+                f"needs the new attribute name (α(x))"
+            )
+        if self.composed_name and self.kind is not AttributeKind.COMPOSED_INTO:
+            raise AssertionSpecError(
+                "composed_name is only meaningful for COMPOSED_INTO"
+            )
+
+    def flipped(self) -> "AttributeCorrespondence":
+        """The correspondence as seen from the other schema's side."""
+        if self.kind is AttributeKind.MORE_SPECIFIC:
+            raise AssertionSpecError(
+                "more-specific-than is directional; flip the owning assertion "
+                "instead of the correspondence"
+            )
+        from .kinds import flipped as flip_kind
+
+        return AttributeCorrespondence(
+            self.right,
+            self.left,
+            flip_kind(self.kind),  # type: ignore[arg-type]
+            self.composed_name,
+            self.condition,
+        )
+
+    def __str__(self) -> str:
+        if self.kind is AttributeKind.COMPOSED_INTO:
+            core = f"{self.left} α({self.composed_name}) {self.right}"
+        else:
+            core = f"{self.left} {self.kind} {self.right}"
+        return f"{core} {self.condition}" if self.condition else core

@@ -1,0 +1,154 @@
+"""Decomposition of derivation assertions (Principle 5's pre-step).
+
+Before an assertion graph is built, the paper requires that a derivation
+assertion be partitioned "into several smaller ones such that neither the
+attribute name nor the aggregation function appears more than once in an
+attribute correspondence or in an aggregation function correspondence".
+Figs 9 and 10 show the intended result: the ``car`` assertion with one
+correspondence per ``car-name_i`` splits into *n* assertions, each
+carrying the shared ``time ≡ time`` correspondence plus exactly one of
+the colliding ones.
+
+The paper performs this split manually; :func:`decompose` automates the
+common shape (one attribute overloaded across several correspondences,
+the rest shared) and raises :class:`~repro.errors.DecompositionError`
+when collisions overlap in a way with no canonical split — that is the
+"very difficult situation" where the paper, too, falls back to the DBA.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..errors import DecompositionError
+from .aggregation_assertions import AggregationCorrespondence
+from .attribute_assertions import AttributeCorrespondence
+from .class_assertions import ClassAssertion
+from .kinds import ClassKind
+from .paths import Path
+
+MemberCorr = Union[AttributeCorrespondence, AggregationCorrespondence]
+
+
+def _name_keys(corr: MemberCorr) -> Tuple[Tuple[str, str], ...]:
+    """The (class-qualified) member names a correspondence uses.
+
+    Qualification by ``schema.class`` keeps same-named attributes of
+    different classes from colliding spuriously.
+    """
+    def key(path: Path) -> Tuple[str, str]:
+        return (f"{path.schema}.{path.class_name}", path.descriptor)
+
+    return (key(corr.left), key(corr.right))
+
+
+def is_decomposed(assertion: ClassAssertion) -> bool:
+    """True when no member name appears twice in a correspondence group."""
+    for group in (assertion.attribute_corrs, assertion.aggregation_corrs):
+        used = set()
+        for corr in group:
+            for name_key in _name_keys(corr):
+                if name_key in used:
+                    return False
+                used.add(name_key)
+    return True
+
+
+def decompose(assertion: ClassAssertion) -> List[ClassAssertion]:
+    """Split *assertion* so every member name occurs at most once per group.
+
+    Non-derivation assertions and already-decomposed derivations are
+    returned unchanged (singleton list).  Otherwise correspondences that
+    collide on a name are distributed one-per-output-assertion and
+    non-colliding correspondences (and all value correspondences) are
+    replicated to every output, matching Figs 9-10.
+    """
+    if assertion.kind is not ClassKind.DERIVATION or is_decomposed(assertion):
+        return [assertion]
+
+    attribute_bins = _split_group(assertion.attribute_corrs, str(assertion.head()))
+    aggregation_bins = _split_group(assertion.aggregation_corrs, str(assertion.head()))
+    bin_count = max(len(attribute_bins), len(aggregation_bins))
+    # Pad the shorter side by replicating its single bin.
+    attribute_bins = _pad(attribute_bins, bin_count)
+    aggregation_bins = _pad(aggregation_bins, bin_count)
+
+    results: List[ClassAssertion] = []
+    for attribute_corrs, aggregation_corrs in zip(attribute_bins, aggregation_bins):
+        results.append(
+            ClassAssertion(
+                kind=assertion.kind,
+                sources=assertion.sources,
+                target=assertion.target,
+                value_corrs_left=assertion.value_corrs_left,
+                value_corrs_right=assertion.value_corrs_right,
+                attribute_corrs=tuple(attribute_corrs),
+                aggregation_corrs=tuple(aggregation_corrs),
+            )
+        )
+    return results
+
+
+def decompose_all(assertions: Sequence[ClassAssertion]) -> List[ClassAssertion]:
+    """Decompose every assertion of a sequence (order-preserving)."""
+    result: List[ClassAssertion] = []
+    for assertion in assertions:
+        result.extend(decompose(assertion))
+    return result
+
+
+def _pad(bins: List[List[MemberCorr]], count: int) -> List[List[MemberCorr]]:
+    if len(bins) == count:
+        return bins
+    if len(bins) == 1:
+        return [list(bins[0]) for _ in range(count)]
+    raise DecompositionError(
+        f"attribute and aggregation groups decompose into {len(bins)} and "
+        f"{count} parts; no canonical alignment exists — split manually"
+    )
+
+
+def _split_group(
+    corrs: Sequence[MemberCorr], context: str
+) -> List[List[MemberCorr]]:
+    """Partition one correspondence group into collision-free bins."""
+    if not corrs:
+        return [[]]
+    usage: Dict[Tuple[str, str], List[int]] = defaultdict(list)
+    for index, corr in enumerate(corrs):
+        for name_key in _name_keys(corr):
+            usage[name_key].append(index)
+    colliding_names = {name for name, indexes in usage.items() if len(indexes) > 1}
+    if not colliding_names:
+        return [list(corrs)]
+
+    colliding_indexes = [
+        index
+        for index, corr in enumerate(corrs)
+        if any(name in colliding_names for name in _name_keys(corr))
+    ]
+    shared = [corr for i, corr in enumerate(corrs) if i not in colliding_indexes]
+
+    # Every colliding correspondence must collide on exactly one name and
+    # all collisions must share that one name's "hub" side; otherwise the
+    # round-robin split below would be ambiguous.
+    hubs = set()
+    for index in colliding_indexes:
+        names = [n for n in _name_keys(corrs[index]) if n in colliding_names]
+        if len(names) != 1:
+            raise DecompositionError(
+                f"{context}: correspondence {corrs[index]} collides on "
+                f"several names {names}; split the assertion manually"
+            )
+        hubs.add(names[0])
+    if len(hubs) != 1:
+        raise DecompositionError(
+            f"{context}: overlapping collisions on {sorted(hubs)}; "
+            f"split the assertion manually"
+        )
+
+    bins: List[List[MemberCorr]] = []
+    for index in colliding_indexes:
+        bins.append(list(shared) + [corrs[index]])
+    return bins

@@ -1,0 +1,170 @@
+"""Assertion graphs and hyperedges — the device of Principle 5 (Fig 11).
+
+For a (decomposed) derivation assertion ``S1(A1, ..., An) → S2.B`` the
+paper constructs a graph *G* with
+
+* a node per *path* referring to an element of some class,
+* an edge between ``path_a`` and ``path_b`` iff ``path_a rel path_b``
+  with ``rel ∈ {=, ∈, ⊆}`` is specified (value correspondences and
+  attribute correspondences alike), and
+* a *hyperedge* per predicate appearing in the assertion (the ``with``
+  conditions), containing the paths the predicate mentions.
+
+Each connected subgraph is then marked with a fresh variable — isolated
+nodes count as (singleton) connected subgraphs, cf. the remark about
+``S1.car1.car-name`` being marked ``y3`` — and hyperedges later yield
+their own reverse substitutions.  This module builds the graph; variable
+marking and reverse-substitution generation live in
+:mod:`repro.integration.principle_derivation`, which owns the fresh
+variable supply of an integration run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..logic.atoms import ComparisonOp
+from .attribute_assertions import WithCondition
+from .class_assertions import ClassAssertion
+from .kinds import AttributeKind
+from .paths import Path
+
+#: Attribute-correspondence kinds that make the two sides share values
+#: and therefore contribute graph edges (⊇ is ⊆ read the other way;
+#: ∩ shares values for the overlapping part — cf. Fig 9/10 where
+#: ``price ∩ car-name1`` threads the shared price variable).
+EDGE_KINDS = frozenset(
+    {
+        AttributeKind.EQUIVALENCE,
+        AttributeKind.SUBSET,
+        AttributeKind.SUPERSET,
+        AttributeKind.INTERSECTION,
+    }
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Hyperedge:
+    """A predicate hyperedge ``he(p)`` over assertion-graph nodes.
+
+    For a ``with`` condition ``att τ Cont`` the hyperedge contains the
+    single node *att* and remembers the comparison, e.g.
+    ``S1.car1.car-name = 'car-name1'`` (Fig 11(b), marked *p*).
+    """
+
+    nodes: Tuple[Path, ...]
+    op: ComparisonOp
+    constant: Any
+
+    def describe(self) -> str:
+        inside = ", ".join(str(node) for node in self.nodes)
+        return f"he({inside} {self.op} {self.constant!r})"
+
+
+class AssertionGraph:
+    """The assertion graph *G* of one derivation assertion."""
+
+    def __init__(self, assertion: ClassAssertion) -> None:
+        self.assertion = assertion
+        self._adjacent: Dict[Path, Set[Path]] = {}
+        self._hyperedges: List[Hyperedge] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _add_node(self, path: Path) -> None:
+        self._adjacent.setdefault(path, set())
+
+    def _add_edge(self, left: Path, right: Path) -> None:
+        self._add_node(left)
+        self._add_node(right)
+        self._adjacent[left].add(right)
+        self._adjacent[right].add(left)
+
+    def _build(self) -> None:
+        assertion = self.assertion
+        for corr in assertion.value_corrs_left + assertion.value_corrs_right:
+            if corr.joins:
+                self._add_edge(corr.left, corr.right)
+            else:
+                self._add_node(corr.left)
+                self._add_node(corr.right)
+        for corr in assertion.attribute_corrs:
+            if corr.kind in EDGE_KINDS:
+                self._add_edge(corr.left, corr.right)
+            else:
+                self._add_node(corr.left)
+                self._add_node(corr.right)
+            if corr.condition is not None:
+                self._add_hyperedge(corr.condition)
+        for corr in assertion.aggregation_corrs:
+            if corr.kind.value in {k.value for k in EDGE_KINDS}:
+                self._add_edge(corr.left, corr.right)
+            else:
+                self._add_node(corr.left)
+                self._add_node(corr.right)
+
+    def _add_hyperedge(self, condition: WithCondition) -> None:
+        self._add_node(condition.attribute)
+        self._hyperedges.append(
+            Hyperedge((condition.attribute,), condition.op, condition.constant)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[Path, ...]:
+        return tuple(sorted(self._adjacent, key=lambda p: p.canonical()))
+
+    @property
+    def hyperedges(self) -> Tuple[Hyperedge, ...]:
+        return tuple(self._hyperedges)
+
+    def edges(self) -> Tuple[Tuple[Path, Path], ...]:
+        """Undirected edges, each reported once, deterministically ordered."""
+        seen: Set[FrozenSet[Path]] = set()
+        result: List[Tuple[Path, Path]] = []
+        for node in self.nodes:
+            for neighbour in sorted(self._adjacent[node], key=lambda p: p.canonical()):
+                key = frozenset((node, neighbour))
+                if key not in seen:
+                    seen.add(key)
+                    result.append((node, neighbour))
+        return tuple(result)
+
+    def neighbours(self, path: Path) -> FrozenSet[Path]:
+        return frozenset(self._adjacent.get(path, ()))
+
+    def components(self) -> List[Tuple[Path, ...]]:
+        """Connected subgraphs (isolated nodes included), in stable order.
+
+        Each returned tuple is one connected subgraph, ordered by path;
+        components are ordered by their smallest member.  Stable ordering
+        makes generated rules deterministic, hence testable.
+        """
+        unvisited = set(self._adjacent)
+        components: List[Tuple[Path, ...]] = []
+        for start in self.nodes:
+            if start not in unvisited:
+                continue
+            component: Set[Path] = set()
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                if current in component:
+                    continue
+                component.add(current)
+                unvisited.discard(current)
+                frontier.extend(self._adjacent[current] - component)
+            components.append(tuple(sorted(component, key=lambda p: p.canonical())))
+        components.sort(key=lambda member: member[0].canonical())
+        return components
+
+    def describe(self) -> str:
+        """Readable dump: components and hyperedges, Fig 11 style."""
+        lines = ["assertion graph:"]
+        for index, component in enumerate(self.components(), start=1):
+            inside = ", ".join(str(path) for path in component)
+            lines.append(f"  component x{index}: {{{inside}}}")
+        for hyperedge in self._hyperedges:
+            lines.append(f"  {hyperedge.describe()}")
+        return "\n".join(lines)

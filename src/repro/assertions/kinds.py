@@ -1,0 +1,146 @@
+"""Assertion taxonomies — Tables 1, 2 and 3 of the paper.
+
+Three enums mirror the three tables:
+
+* :class:`ClassKind` — Table 1 (equivalence, inclusion, intersection,
+  exclusion, **derivation**);
+* :class:`AttributeKind` — Table 2 (the four set relationships plus
+  composed-into ``α(x)`` and more-specific-than ``β``);
+* :class:`AggregationKind` — Table 3 (the four set relationships plus
+  reverse ``ℵ``).
+
+Value correspondences between attributes of the *same* schema (§4.1)
+use :class:`ValueOp`.
+
+Inclusion is directional; we model both directions explicitly
+(``SUBSET``/``SUPERSET``) with :func:`flipped` giving the mirror image, so
+assertion sets can be looked up from either side.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple, Union
+
+
+class ClassKind(enum.Enum):
+    """Table 1: assertions for classes."""
+
+    EQUIVALENCE = "≡"
+    SUBSET = "⊆"
+    SUPERSET = "⊇"
+    INTERSECTION = "∩"
+    EXCLUSION = "∅"
+    DERIVATION = "→"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class AttributeKind(enum.Enum):
+    """Table 2: assertions for attributes."""
+
+    EQUIVALENCE = "≡"
+    SUBSET = "⊆"
+    SUPERSET = "⊇"
+    INTERSECTION = "∩"
+    EXCLUSION = "∅"
+    COMPOSED_INTO = "α"
+    MORE_SPECIFIC = "β"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class AggregationKind(enum.Enum):
+    """Table 3: assertions for aggregation functions."""
+
+    EQUIVALENCE = "≡"
+    SUBSET = "⊆"
+    SUPERSET = "⊇"
+    INTERSECTION = "∩"
+    EXCLUSION = "∅"
+    REVERSE = "ℵ"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class ValueOp(enum.Enum):
+    """Intra-schema value correspondences (§4.1).
+
+    ``=`` / ``≠`` for single-valued attributes; ``∈``, ``⊇``, ``∩``,
+    ``∅`` and ``=`` for multi-valued ones.
+    """
+
+    EQ = "="
+    NE = "≠"
+    IN = "∈"
+    SUPSET = "⊇"
+    INTERSECT = "∩"
+    DISJOINT = "∅"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+AnyKind = Union[ClassKind, AttributeKind, AggregationKind]
+
+_FLIPPED: Dict[AnyKind, AnyKind] = {
+    ClassKind.SUBSET: ClassKind.SUPERSET,
+    ClassKind.SUPERSET: ClassKind.SUBSET,
+    AttributeKind.SUBSET: AttributeKind.SUPERSET,
+    AttributeKind.SUPERSET: AttributeKind.SUBSET,
+    AggregationKind.SUBSET: AggregationKind.SUPERSET,
+    AggregationKind.SUPERSET: AggregationKind.SUBSET,
+}
+
+
+def flipped(kind: AnyKind) -> AnyKind:
+    """The kind as seen with left and right sides exchanged.
+
+    Symmetric kinds (equivalence, intersection, exclusion, reverse,
+    composed-into) are their own mirror; inclusions swap direction.
+    Derivation and more-specific-than are inherently directional and
+    must not be flipped — callers track their orientation instead.
+    """
+    if kind in (ClassKind.DERIVATION, AttributeKind.MORE_SPECIFIC):
+        raise ValueError(f"{kind} is directional and cannot be flipped")
+    return _FLIPPED.get(kind, kind)
+
+
+#: The paper's Tables 1-3, as data, so documentation and tests can assert
+#: the taxonomy is complete.
+TABLE_1: List[Tuple[str, str]] = [
+    ("≡", "equivalence"),
+    ("⊆, ⊇", "inclusion"),
+    ("∩", "intersection"),
+    ("∅", "exclusion"),
+    ("→", "derivation"),
+]
+
+TABLE_2: List[Tuple[str, str]] = [
+    ("≡", "equivalence"),
+    ("⊆, ⊇", "inclusion"),
+    ("∩", "intersection"),
+    ("∅", "exclusion"),
+    ("α(x)", "composed-into"),
+    ("β", "more-specific-than"),
+]
+
+TABLE_3: List[Tuple[str, str]] = [
+    ("≡", "equivalence"),
+    ("⊆, ⊇", "inclusion"),
+    ("∩", "intersection"),
+    ("∅", "exclusion"),
+    ("ℵ", "reverse"),
+]
+
+
+def render_table(rows: List[Tuple[str, str]], title: str) -> str:
+    """Render one of the taxonomy tables as aligned text."""
+    width = max(len(symbol) for symbol, _ in rows)
+    lines = [title]
+    for symbol, meaning in rows:
+        lines.append(f"  {symbol.ljust(width)}  {meaning}")
+    return "\n".join(lines)

@@ -1,0 +1,403 @@
+"""A textual DSL for correspondence assertions.
+
+The paper assumes assertions are "supplied by designers"; this parser
+gives designers a plain-text format that mirrors the layout of Figs 3-7::
+
+    # Fig 4(a)
+    assertion S1.person == S2.human
+      attr S1.person.ssn# == S2.human.ssn#
+      attr S1.person.full_name == S2.human.name
+      attr S1.person.city alpha(address) S2.human.street-number
+      attr S1.person.interests >= S2.human.hobby
+    end
+
+    # Example 3
+    assertion S1(parent, brother) -> S2.uncle
+      value S1.parent.Pssn# in S1.brother.brothers
+      attr S1.brother.Bssn# == S2.uncle.Ussn#
+      attr S1.parent.children >= S2.uncle.niece_nephew
+    end
+
+Operator spellings — ASCII first, the paper's Unicode accepted too:
+
+=========  ==========  =================================
+element    ASCII       Unicode
+=========  ==========  =================================
+class      ``==``      ``≡``
+           ``<=``      ``⊆``
+           ``>=``      ``⊇``
+           ``^``       ``∩``
+           ``!``       ``∅``
+           ``->``      ``→``
+attribute  as above plus ``alpha(x)`` (α(x)), ``beta`` (β)
+agg        as above plus ``rev`` (ℵ)
+value      ``=  !=  in  >=  ^  !``   /   ``≠ ∈ ⊇ ∩ ∅``
+=========  ==========  =================================
+
+``with`` conditions append to attribute lines:
+``attr S1.a.x <= S2.b.y with S2.b.time = 'March'``.
+
+Blocks end at ``end`` (or at the next ``assertion`` / end of input).
+``#`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from typing import Any, Iterable, List, Optional, Tuple
+
+from ..errors import AssertionParseError
+from .aggregation_assertions import AggregationCorrespondence
+from .attribute_assertions import AttributeCorrespondence, WithCondition
+from .class_assertions import ClassAssertion
+from .kinds import AggregationKind, AttributeKind, ClassKind, ValueOp
+from .paths import Path
+from .value_assertions import ValueCorrespondence
+
+_CLASS_OPS = {
+    "==": ClassKind.EQUIVALENCE,
+    "≡": ClassKind.EQUIVALENCE,
+    "<=": ClassKind.SUBSET,
+    "⊆": ClassKind.SUBSET,
+    ">=": ClassKind.SUPERSET,
+    "⊇": ClassKind.SUPERSET,
+    "^": ClassKind.INTERSECTION,
+    "∩": ClassKind.INTERSECTION,
+    "!": ClassKind.EXCLUSION,
+    "∅": ClassKind.EXCLUSION,
+    "->": ClassKind.DERIVATION,
+    "→": ClassKind.DERIVATION,
+}
+
+_ATTR_OPS = {
+    "==": AttributeKind.EQUIVALENCE,
+    "≡": AttributeKind.EQUIVALENCE,
+    "<=": AttributeKind.SUBSET,
+    "⊆": AttributeKind.SUBSET,
+    ">=": AttributeKind.SUPERSET,
+    "⊇": AttributeKind.SUPERSET,
+    "^": AttributeKind.INTERSECTION,
+    "∩": AttributeKind.INTERSECTION,
+    "!": AttributeKind.EXCLUSION,
+    "∅": AttributeKind.EXCLUSION,
+    "beta": AttributeKind.MORE_SPECIFIC,
+    "β": AttributeKind.MORE_SPECIFIC,
+}
+
+_AGG_OPS = {
+    "==": AggregationKind.EQUIVALENCE,
+    "≡": AggregationKind.EQUIVALENCE,
+    "<=": AggregationKind.SUBSET,
+    "⊆": AggregationKind.SUBSET,
+    ">=": AggregationKind.SUPERSET,
+    "⊇": AggregationKind.SUPERSET,
+    "^": AggregationKind.INTERSECTION,
+    "∩": AggregationKind.INTERSECTION,
+    "!": AggregationKind.EXCLUSION,
+    "∅": AggregationKind.EXCLUSION,
+    "rev": AggregationKind.REVERSE,
+    "ℵ": AggregationKind.REVERSE,
+}
+
+_VALUE_OPS = {
+    "=": ValueOp.EQ,
+    "!=": ValueOp.NE,
+    "≠": ValueOp.NE,
+    "in": ValueOp.IN,
+    "∈": ValueOp.IN,
+    ">=": ValueOp.SUPSET,
+    "⊇": ValueOp.SUPSET,
+    "^": ValueOp.INTERSECT,
+    "∩": ValueOp.INTERSECT,
+    "!": ValueOp.DISJOINT,
+    "∅": ValueOp.DISJOINT,
+}
+
+_ALPHA = re.compile(r"^(?:alpha|α)\((?P<name>[^)]+)\)$")
+_MULTI_HEAD = re.compile(
+    r"^(?P<schema>[^.()\s]+)\((?P<classes>[^)]*)\)$"
+)
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing comment.
+
+    ``#`` starts a comment only at line start or after whitespace — the
+    paper's attribute names (``Pssn#``, ``ssn#``) contain ``#`` and must
+    survive.
+    """
+    in_quote: Optional[str] = None
+    for index, char in enumerate(line):
+        if in_quote:
+            if char == in_quote:
+                in_quote = None
+        elif char in "'\"":
+            in_quote = char
+        elif char == "#" and (index == 0 or line[index - 1].isspace()):
+            return line[:index]
+    return line
+
+
+def _tokens(line: str, line_no: int) -> List[str]:
+    lexer = shlex.shlex(line, posix=False)
+    lexer.whitespace_split = True
+    lexer.commenters = ""
+    try:
+        return list(lexer)
+    except ValueError as exc:
+        raise AssertionParseError(str(exc), line_no, line) from None
+
+
+def _constant(token: str) -> Any:
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "'\"":
+        return token[1:-1]
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    if token.lower() in ("true", "false"):
+        return token.lower() == "true"
+    return token
+
+
+def _parse_head(tokens: List[str], line_no: int, line: str) -> Tuple[ClassKind, Tuple[Path, ...], Path]:
+    # Re-join a parenthesized source list that whitespace split apart:
+    # ``S1(parent, brother)`` tokenizes as two tokens.
+    if tokens and "(" in tokens[0] and ")" not in tokens[0]:
+        merged = tokens[0]
+        rest = tokens[1:]
+        while rest and ")" not in merged:
+            merged += rest.pop(0)
+        tokens = [merged] + rest
+    if len(tokens) != 3:
+        raise AssertionParseError(
+            "assertion head must be '<left> <op> <right>'", line_no, line
+        )
+    left_text, op_text, right_text = tokens
+    try:
+        kind = _CLASS_OPS[op_text]
+    except KeyError:
+        raise AssertionParseError(
+            f"unknown class operator {op_text!r}", line_no, line
+        ) from None
+    multi = _MULTI_HEAD.match(left_text)
+    if multi:
+        schema = multi.group("schema")
+        class_names = [c.strip() for c in multi.group("classes").split(",") if c.strip()]
+        if not class_names:
+            raise AssertionParseError("empty source class list", line_no, line)
+        if kind is not ClassKind.DERIVATION and len(class_names) > 1:
+            raise AssertionParseError(
+                f"{kind} takes a single source class", line_no, line
+            )
+        sources = tuple(Path(schema, name) for name in class_names)
+    else:
+        sources = (Path.parse(left_text),)
+    target = Path.parse(right_text)
+    return kind, sources, target
+
+
+class _Block:
+    """Mutable accumulator for one assertion block."""
+
+    def __init__(self, kind: ClassKind, sources: Tuple[Path, ...], target: Path) -> None:
+        self.kind = kind
+        self.sources = sources
+        self.target = target
+        self.value_corrs_left: List[ValueCorrespondence] = []
+        self.value_corrs_right: List[ValueCorrespondence] = []
+        self.attribute_corrs: List[AttributeCorrespondence] = []
+        self.aggregation_corrs: List[AggregationCorrespondence] = []
+
+    def build(self) -> ClassAssertion:
+        return ClassAssertion(
+            kind=self.kind,
+            sources=self.sources,
+            target=self.target,
+            value_corrs_left=tuple(self.value_corrs_left),
+            value_corrs_right=tuple(self.value_corrs_right),
+            attribute_corrs=tuple(self.attribute_corrs),
+            aggregation_corrs=tuple(self.aggregation_corrs),
+        )
+
+
+def parse(text: str) -> List[ClassAssertion]:
+    """Parse DSL *text* into assertions (see module docstring)."""
+    assertions: List[ClassAssertion] = []
+    block: Optional[_Block] = None
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        tokens = _tokens(line, line_no)
+        keyword = tokens[0].lower()
+
+        if keyword == "assertion":
+            if block is not None:
+                assertions.append(block.build())
+            kind, sources, target = _parse_head(tokens[1:], line_no, line)
+            block = _Block(kind, sources, target)
+            continue
+        if keyword == "end":
+            if block is None:
+                raise AssertionParseError("'end' outside a block", line_no, line)
+            assertions.append(block.build())
+            block = None
+            continue
+        if block is None:
+            raise AssertionParseError(
+                f"expected 'assertion ...', got {tokens[0]!r}", line_no, line
+            )
+        if keyword == "attr":
+            block.attribute_corrs.append(_parse_attr(tokens[1:], block, line_no, line))
+        elif keyword == "agg":
+            block.aggregation_corrs.append(
+                _parse_agg(tokens[1:], block, line_no, line)
+            )
+        elif keyword == "value":
+            corr = _parse_value(tokens[1:], line_no, line)
+            if corr.schema == block.sources[0].schema:
+                block.value_corrs_left.append(corr)
+            elif corr.schema == block.target.schema:
+                block.value_corrs_right.append(corr)
+            else:
+                raise AssertionParseError(
+                    f"value correspondence schema {corr.schema!r} matches "
+                    f"neither side of the assertion",
+                    line_no,
+                    line,
+                )
+        else:
+            raise AssertionParseError(
+                f"unknown directive {tokens[0]!r} (attr/agg/value/end)",
+                line_no,
+                line,
+            )
+
+    if block is not None:
+        assertions.append(block.build())
+    return assertions
+
+
+def parse_file(path: str) -> List[ClassAssertion]:
+    """Parse a DSL file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse(handle.read())
+
+
+def _orient(
+    left: Path, right: Path, block: _Block, line_no: int, line: str
+) -> Tuple[Path, Path, bool]:
+    """Orient a cross-schema pair to the block's (left, right) schemas.
+
+    Returns (left_path, right_path, swapped).
+    """
+    block_left = block.sources[0].schema
+    block_right = block.target.schema
+    if left.schema == block_left and right.schema == block_right:
+        return left, right, False
+    if left.schema == block_right and right.schema == block_left:
+        return right, left, True
+    raise AssertionParseError(
+        f"correspondence schemas ({left.schema}, {right.schema}) do not "
+        f"match the assertion's ({block_left}, {block_right})",
+        line_no,
+        line,
+    )
+
+
+def _parse_attr(
+    tokens: List[str], block: _Block, line_no: int, line: str
+) -> AttributeCorrespondence:
+    condition: Optional[WithCondition] = None
+    if "with" in [t.lower() for t in tokens]:
+        split_at = [t.lower() for t in tokens].index("with")
+        condition_tokens = tokens[split_at + 1:]
+        tokens = tokens[:split_at]
+        if len(condition_tokens) != 3:
+            raise AssertionParseError(
+                "with-condition must be '<path> <op> <const>'", line_no, line
+            )
+        condition = WithCondition.of(
+            Path.parse(condition_tokens[0]),
+            condition_tokens[1],
+            _constant(condition_tokens[2]),
+        )
+    if len(tokens) != 3:
+        raise AssertionParseError(
+            "attr line must be '<left> <op> <right>'", line_no, line
+        )
+    left_text, op_text, right_text = tokens
+    left = Path.parse(left_text)
+    right = Path.parse(right_text)
+    alpha = _ALPHA.match(op_text)
+    composed_name: Optional[str] = None
+    if alpha:
+        kind = AttributeKind.COMPOSED_INTO
+        composed_name = alpha.group("name").strip()
+    else:
+        try:
+            kind = _ATTR_OPS[op_text]
+        except KeyError:
+            raise AssertionParseError(
+                f"unknown attribute operator {op_text!r}", line_no, line
+            ) from None
+    left, right, swapped = _orient(left, right, block, line_no, line)
+    if swapped and kind is not AttributeKind.MORE_SPECIFIC:
+        from .kinds import flipped
+
+        if kind is not AttributeKind.COMPOSED_INTO:
+            kind = flipped(kind)  # type: ignore[assignment]
+    elif swapped and kind is AttributeKind.MORE_SPECIFIC:
+        raise AssertionParseError(
+            "write 'beta' correspondences with the more-specific side first "
+            "and in assertion orientation",
+            line_no,
+            line,
+        )
+    return AttributeCorrespondence(left, right, kind, composed_name, condition)
+
+
+def _parse_agg(
+    tokens: List[str], block: _Block, line_no: int, line: str
+) -> AggregationCorrespondence:
+    if len(tokens) != 3:
+        raise AssertionParseError(
+            "agg line must be '<left> <op> <right>'", line_no, line
+        )
+    left_text, op_text, right_text = tokens
+    try:
+        kind = _AGG_OPS[op_text.lower()]
+    except KeyError:
+        raise AssertionParseError(
+            f"unknown aggregation operator {op_text!r}", line_no, line
+        ) from None
+    left, right, swapped = _orient(
+        Path.parse(left_text), Path.parse(right_text), block, line_no, line
+    )
+    if swapped:
+        from .kinds import flipped
+
+        kind = flipped(kind)  # type: ignore[assignment]
+    return AggregationCorrespondence(left, right, kind)
+
+
+def _parse_value(tokens: List[str], line_no: int, line: str) -> ValueCorrespondence:
+    if len(tokens) != 3:
+        raise AssertionParseError(
+            "value line must be '<left> <op> <right>'", line_no, line
+        )
+    left_text, op_text, right_text = tokens
+    try:
+        op = _VALUE_OPS[op_text.lower()]
+    except KeyError:
+        raise AssertionParseError(
+            f"unknown value operator {op_text!r}", line_no, line
+        ) from None
+    return ValueCorrespondence(Path.parse(left_text), Path.parse(right_text), op)

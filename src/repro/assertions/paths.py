@@ -1,0 +1,168 @@
+"""Dotted paths into class structure — Definition 4.1.
+
+A path w.r.t. a class ``C`` is ``C•ai•aij•...•b`` where each step is an
+attribute of the (class-typed) previous step and the final element ``b``
+either refers to the *values* reached (plain form) or — written quoted,
+``C•ai•..•"a"`` — to the attribute/aggregation *name* itself (Example 1:
+``Author•book•"title"`` refers to the string ``"title"``).
+
+Paths appear everywhere in assertions: attribute correspondences, value
+correspondences and ``with`` conditions.  :class:`Path` also carries the
+schema qualifier (``S1•Book•author•name``) since assertions always relate
+concepts of two schemas.
+
+Rendering uses ``.`` (ASCII) while ``•`` is accepted on input.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from ..errors import PathError
+from ..model.attributes import ClassType
+from ..model.schema import Schema
+
+BULLET = "•"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Path:
+    """A schema-qualified path ``schema.cls.e1.e2...`` (Definition 4.1)."""
+
+    schema: str
+    class_name: str
+    elements: Tuple[str, ...] = ()
+    name_reference: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.schema or not self.class_name:
+            raise PathError("a path needs a schema and a class name")
+        if self.name_reference and not self.elements:
+            raise PathError(
+                f"name-reference path on {self.schema}.{self.class_name} "
+                "needs at least one element to name"
+            )
+        for element in self.elements:
+            if not element:
+                raise PathError("path elements must be non-empty")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Path":
+        """Parse ``S1.Book.author.name`` / ``S2•Author•book•"title"``."""
+        cleaned = text.strip().replace(BULLET, ".")
+        name_reference = False
+        if cleaned.endswith('"'):
+            head, _, quoted = cleaned.rstrip('"').rpartition('."')
+            if not head:
+                raise PathError(f"malformed name-reference path {text!r}")
+            cleaned = f"{head}.{quoted}"
+            name_reference = True
+        parts = [p for p in cleaned.split(".") if p]
+        if len(parts) < 2:
+            raise PathError(
+                f"a path needs at least schema and class: {text!r}"
+            )
+        return cls(parts[0], parts[1], tuple(parts[2:]), name_reference)
+
+    @classmethod
+    def attribute(cls, schema: str, class_name: str, *elements: str) -> "Path":
+        """Value-referring path builder."""
+        return cls(schema, class_name, elements)
+
+    def to_class(self) -> "Path":
+        """The bare class path ``schema.cls`` under this path."""
+        return Path(self.schema, self.class_name)
+
+    def child(self, element: str) -> "Path":
+        """This path extended by one attribute step."""
+        return Path(self.schema, self.class_name, self.elements + (element,))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def is_class_path(self) -> bool:
+        """True for a bare ``schema.cls`` path (no attribute steps)."""
+        return not self.elements
+
+    @property
+    def terminal(self) -> Optional[str]:
+        """The final attribute element, None for class paths."""
+        return self.elements[-1] if self.elements else None
+
+    @property
+    def descriptor(self) -> str:
+        """The dotted attribute descriptor below the class (``author.name``).
+
+        This is the flat descriptor used in O-term bindings for nested
+        paths; empty for class paths.
+        """
+        return ".".join(self.elements)
+
+    def canonical(self) -> str:
+        """A stable textual key identifying this path."""
+        body = ".".join((self.schema, self.class_name) + self.elements)
+        return f'{body}""' if self.name_reference else body
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self, schema: Schema) -> None:
+        """Check the path against *schema*; raises :class:`PathError`.
+
+        Walks attribute steps through class-typed attributes exactly as
+        Definition 4.1 requires: intermediate elements must be complex
+        attributes, the terminal element may be any attribute or
+        aggregation function.
+        """
+        if schema.name != self.schema:
+            raise PathError(
+                f"path {self} is qualified with schema {self.schema!r}, "
+                f"resolved against {schema.name!r}"
+            )
+        if self.class_name not in schema:
+            raise PathError(
+                f"path {self}: schema {schema.name!r} has no class "
+                f"{self.class_name!r}"
+            )
+        current = schema.effective_class(self.class_name)
+        for position, element in enumerate(self.elements):
+            if not current.has_member(element):
+                raise PathError(
+                    f"path {self}: class {current.name!r} has no member "
+                    f"{element!r}"
+                )
+            is_terminal = position == len(self.elements) - 1
+            if is_terminal:
+                return
+            attribute = current.get_attribute(element)
+            if attribute is not None and isinstance(attribute.value_type, ClassType):
+                current = schema.effective_class(attribute.value_type.class_name)
+                continue
+            aggregation = current.get_aggregation(element)
+            if aggregation is not None:
+                current = schema.effective_class(aggregation.range_class)
+                continue
+            raise PathError(
+                f"path {self}: member {element!r} of class {current.name!r} "
+                f"is not class-typed, cannot continue the path"
+            )
+
+    def resolves_in(self, schema: Schema) -> bool:
+        """Boolean form of :meth:`resolve`."""
+        try:
+            self.resolve(schema)
+        except PathError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        parts = [self.schema, self.class_name, *self.elements]
+        if self.name_reference:
+            parts[-1] = f'"{parts[-1]}"'
+        return ".".join(parts)

@@ -1,0 +1,60 @@
+"""Intra-schema value correspondences (§4.1).
+
+A value correspondence relates two attributes *of the same schema*, e.g.
+the crucial constraint of Example 3::
+
+    value correspondence of attributes in S1:
+        parent.Pssn# ∈ brother.brothers
+
+These become the *edges* of the assertion graph that thread join
+variables through generated derivation rules (Principle 5): the ``∈``
+above is what makes ``parent(x, y), brother(z, y) → uncle(x, z)`` share
+``y``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import AssertionSpecError
+from .kinds import ValueOp
+from .paths import Path
+
+
+@dataclasses.dataclass(frozen=True)
+class ValueCorrespondence:
+    """``left op right`` between attributes of one schema."""
+
+    left: Path
+    right: Path
+    op: ValueOp
+
+    def __post_init__(self) -> None:
+        if self.left.schema != self.right.schema:
+            raise AssertionSpecError(
+                f"value correspondences relate attributes of the same "
+                f"schema; got {self.left.schema!r} and {self.right.schema!r}"
+            )
+        if self.left.is_class_path or self.right.is_class_path:
+            raise AssertionSpecError(
+                f"value correspondences need attribute paths, got "
+                f"{self.left} / {self.right}"
+            )
+
+    @property
+    def schema(self) -> str:
+        return self.left.schema
+
+    @property
+    def joins(self) -> bool:
+        """True when the op expresses value sharing (graph-edge ops).
+
+        ``=`` and ``∈`` assert that a shared value exists and therefore
+        contribute an edge (shared variable) to the assertion graph;
+        the set-level ops ``⊇ ∩ ∅ ≠`` constrain extents without naming a
+        shared value.
+        """
+        return self.op in (ValueOp.EQ, ValueOp.IN)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"

@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+``integrate LEFT.schema RIGHT.schema ASSERTIONS.dsl``
+    Parse two schema files (the :mod:`repro.model.textio` format) and an
+    assertion DSL file, run the integration and print the integrated
+    schema; ``--algorithm`` picks optimized / naive / sull_kashyap,
+    ``--stats`` appends the instrumentation counters, ``--log`` the
+    build log (including §6.1 observation-3 warnings).
+
+``tables``
+    Print the paper's Tables 1-3 (the assertion taxonomies).
+
+``check LEFT.schema RIGHT.schema ASSERTIONS.dsl``
+    Validate schemas and assertions without integrating; exit status 1
+    on the first error, with a readable message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .assertions.kinds import TABLE_1, TABLE_2, TABLE_3, render_table
+from .assertions.parser import parse_file as parse_assertion_file
+from .assertions.assertion_set import AssertionSet
+from .core.integrator import ALGORITHMS, SchemaIntegrator
+from .errors import ReproError
+from .model.textio import parse_schema_file
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Integrate heterogeneous OO schemas "
+            "(reproduction of Chen, ICDE 1999)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    integrate = commands.add_parser(
+        "integrate", help="integrate two schema files using an assertion file"
+    )
+    integrate.add_argument("left", help="left schema file")
+    integrate.add_argument("right", help="right schema file")
+    integrate.add_argument("assertions", help="assertion DSL file")
+    integrate.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="optimized",
+        help="integration algorithm (default: optimized)",
+    )
+    integrate.add_argument(
+        "--stats", action="store_true", help="print instrumentation counters"
+    )
+    integrate.add_argument(
+        "--log", action="store_true", help="print the integration build log"
+    )
+    integrate.add_argument(
+        "--report", action="store_true",
+        help="print a markdown summary report instead of the schema",
+    )
+
+    commands.add_parser("tables", help="print the paper's Tables 1-3")
+
+    check = commands.add_parser(
+        "check", help="validate schemas and assertions without integrating"
+    )
+    check.add_argument("left")
+    check.add_argument("right")
+    check.add_argument("assertions")
+    return parser
+
+
+def _load(left_path: str, right_path: str, assertions_path: str):
+    left = parse_schema_file(left_path)
+    right = parse_schema_file(right_path)
+    assertions = AssertionSet(left.name, right.name)
+    assertions.extend(parse_assertion_file(assertions_path))
+    return left, right, assertions
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the exit status."""
+    out = out or sys.stdout
+    arguments = _build_parser().parse_args(argv)
+    try:
+        if arguments.command == "tables":
+            print(render_table(TABLE_1, "Table 1. Assertions for classes."), file=out)
+            print(file=out)
+            print(render_table(TABLE_2, "Table 2. Assertions for attributes."), file=out)
+            print(file=out)
+            print(
+                render_table(TABLE_3, "Table 3. Assertions for aggregation functions."),
+                file=out,
+            )
+            return 0
+        if arguments.command == "check":
+            from .assertions.analysis import report as analysis_report
+
+            left, right, assertions = _load(
+                arguments.left, arguments.right, arguments.assertions
+            )
+            assertions.validate(left, right)
+            print(
+                f"OK: {len(left)} + {len(right)} classes, "
+                f"{len(assertions)} assertions validate",
+                file=out,
+            )
+            print(analysis_report(assertions, left, right), file=out)
+            return 0
+        if arguments.command == "integrate":
+            left, right, assertions = _load(
+                arguments.left, arguments.right, arguments.assertions
+            )
+            integrator = SchemaIntegrator(
+                left, right, assertions, algorithm=arguments.algorithm
+            )
+            result = integrator.run()
+            if arguments.report:
+                from .integration.report import build_report, render_markdown
+
+                print(
+                    render_markdown(build_report(result, integrator.stats)),
+                    file=out,
+                )
+            else:
+                print(result.describe(), file=out)
+            if arguments.stats:
+                print(file=out)
+                print(integrator.stats.describe(), file=out)
+            if arguments.log:
+                print(file=out)
+                print("build log:", file=out)
+                for note in result.log:
+                    print(f"  {note}", file=out)
+            return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - argparse enforces the command set

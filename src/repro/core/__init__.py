@@ -1,0 +1,11 @@
+"""Public API of the reproduction: the paper's contribution as a library.
+
+:class:`SchemaIntegrator` runs the §4-§6 integration pipeline on two
+schemas; :class:`FederationSession` wraps the full §3 federation
+(agents, mappings, multi-schema strategies, global queries).
+"""
+
+from .integrator import ALGORITHMS, SchemaIntegrator
+from .session import FederationSession
+
+__all__ = ["ALGORITHMS", "FederationSession", "SchemaIntegrator"]

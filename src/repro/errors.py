@@ -1,0 +1,128 @@
+"""Exception hierarchy shared by every subpackage.
+
+All errors raised by this library derive from :class:`ReproError`, so a
+caller can catch one type to handle anything the integration pipeline
+signals.  Subpackages refine the hierarchy:
+
+* :class:`ModelError` — malformed schemas, classes, instances or OIDs.
+* :class:`LogicError` — ill-formed terms, rules or substitutions.
+* :class:`AssertionSpecError` — invalid correspondence assertions.
+* :class:`IntegrationError` — failures while applying the integration
+  principles or running the integration algorithms.
+* :class:`FederationError` — agent registration, data-mapping and query
+  evaluation failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """A schema, class, attribute, instance or OID is malformed."""
+
+
+class UnknownClassError(ModelError):
+    """A class name was referenced that the schema does not define."""
+
+    def __init__(self, class_name: str, schema_name: str = "") -> None:
+        where = f" in schema {schema_name!r}" if schema_name else ""
+        super().__init__(f"unknown class {class_name!r}{where}")
+        self.class_name = class_name
+        self.schema_name = schema_name
+
+
+class UnknownAttributeError(ModelError):
+    """An attribute name was referenced that its class does not define."""
+
+    def __init__(self, attribute: str, class_name: str) -> None:
+        super().__init__(
+            f"class {class_name!r} has no attribute or aggregation {attribute!r}"
+        )
+        self.attribute = attribute
+        self.class_name = class_name
+
+
+class DuplicateDefinitionError(ModelError):
+    """A class, attribute or aggregation function was defined twice."""
+
+
+class CycleError(ModelError):
+    """The is-a hierarchy of a schema contains a cycle."""
+
+
+class InstanceError(ModelError):
+    """An object instance does not conform to its class type."""
+
+
+class OIDError(ModelError):
+    """A global object identifier is malformed."""
+
+
+class LogicError(ReproError):
+    """A term, atom, rule or substitution is ill-formed."""
+
+
+class UnificationError(LogicError):
+    """Two terms could not be unified."""
+
+
+class SafetyError(LogicError):
+    """A generated rule is not safe / range-restricted / allowed."""
+
+
+class EvaluationError(LogicError):
+    """Rule evaluation failed (unknown predicate, unstratifiable negation...)."""
+
+
+class AssertionSpecError(ReproError):
+    """A correspondence assertion is invalid or inconsistent."""
+
+
+class PathError(AssertionSpecError):
+    """A dotted path does not resolve against its schema."""
+
+
+class AssertionParseError(AssertionSpecError):
+    """The textual assertion DSL could not be parsed."""
+
+    def __init__(self, message: str, line_no: int = 0, line: str = "") -> None:
+        prefix = f"line {line_no}: " if line_no else ""
+        suffix = f" (in {line!r})" if line else ""
+        super().__init__(f"{prefix}{message}{suffix}")
+        self.line_no = line_no
+        self.line = line
+
+
+class AssertionConflictError(AssertionSpecError):
+    """Two assertions about the same pair of concepts contradict each other."""
+
+
+class IntegrationError(ReproError):
+    """An integration principle or algorithm failed."""
+
+
+class DecompositionError(IntegrationError):
+    """A derivation assertion could not be decomposed (Principle 5 pre-step)."""
+
+
+class LatticeError(IntegrationError):
+    """A cardinality constraint is not a member of the constraint lattice."""
+
+
+class FederationError(ReproError):
+    """Agent registration, data mapping or federated query processing failed."""
+
+
+class RegistrationError(FederationError):
+    """A component database or agent registration is invalid."""
+
+
+class MappingError(FederationError):
+    """A data mapping is malformed or cannot translate a value."""
+
+
+class QueryError(FederationError):
+    """A global query is malformed or references unknown concepts."""

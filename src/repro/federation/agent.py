@@ -1,0 +1,102 @@
+"""FSM-agents: local system management (§3, Fig 1).
+
+An FSM-agent "corresponds to local system management and addresses all
+the issues w.r.t. schema translations and exports as well as local
+transaction and query processing."  :class:`FSMAgent` hosts component
+databases — native object stores or relational databases wrapped through
+:mod:`repro.federation.transform` — and exposes exactly the narrow
+interface the FSM layer may use:
+
+* export of the (transformed) local schema;
+* extent / value-set / attribute scans of one class.
+
+Every access is counted, so the autonomy property (the FSM never
+evaluates rules inside a component system, Appendix B) is testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from ..errors import RegistrationError
+from ..model.database import ObjectDatabase
+from ..model.instances import ObjectInstance
+from ..model.schema import Schema
+from .relational import RelationalDatabase
+from .transform import materialize_view
+
+
+class FSMAgent:
+    """A local-management agent hosting one or more component databases."""
+
+    def __init__(self, name: str, system: str = "pyoodb") -> None:
+        if not name:
+            raise RegistrationError("agent name must be non-empty")
+        self.name = name
+        self.system = system
+        self._databases: Dict[str, ObjectDatabase] = {}
+        self.access_count = 0
+        self.accessed_classes: Set[Tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def host_object_database(self, database: ObjectDatabase) -> ObjectDatabase:
+        """Install a native object database; keyed by its schema name."""
+        schema_name = database.schema.name
+        if schema_name in self._databases:
+            raise RegistrationError(
+                f"agent {self.name!r} already hosts schema {schema_name!r}"
+            )
+        self._databases[schema_name] = database
+        return database
+
+    def host_relational_database(
+        self, database: RelationalDatabase, schema_name: str = ""
+    ) -> ObjectDatabase:
+        """Install a relational database through the OO transformation."""
+        _, view = materialize_view(database, schema_name or database.name)
+        return self.host_object_database(view)
+
+    # ------------------------------------------------------------------
+    # exports (the FSM-facing interface)
+    # ------------------------------------------------------------------
+    def schema_names(self) -> Tuple[str, ...]:
+        return tuple(self._databases)
+
+    def export_schema(self, schema_name: str) -> Schema:
+        return self._database(schema_name).schema
+
+    def database(self, schema_name: str) -> ObjectDatabase:
+        """Direct access for in-process tooling (examples, tests)."""
+        return self._database(schema_name)
+
+    def fetch_extent(self, schema_name: str, class_name: str) -> List[ObjectInstance]:
+        """The extension of one class — a local query."""
+        self._record(schema_name, class_name)
+        return self._database(schema_name).extent(class_name)
+
+    def fetch_direct_extent(
+        self, schema_name: str, class_name: str
+    ) -> List[ObjectInstance]:
+        self._record(schema_name, class_name)
+        return self._database(schema_name).direct_extent(class_name)
+
+    def fetch_value_set(
+        self, schema_name: str, class_name: str, attribute: str
+    ) -> Set[Any]:
+        self._record(schema_name, class_name)
+        return self._database(schema_name).value_set(class_name, attribute)
+
+    # ------------------------------------------------------------------
+    def _database(self, schema_name: str) -> ObjectDatabase:
+        try:
+            return self._databases[schema_name]
+        except KeyError:
+            raise RegistrationError(
+                f"agent {self.name!r} hosts no schema {schema_name!r}"
+            ) from None
+
+    def _record(self, schema_name: str, class_name: str) -> None:
+        self.access_count += 1
+        self.accessed_classes.add((schema_name, class_name))

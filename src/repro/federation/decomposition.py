@@ -1,0 +1,158 @@
+"""Query decomposition: planning a global query over component schemas.
+
+The paper's conclusion names "automatic decomposition and translation of
+queries submitted to an integrated schema" as the natural next step for
+the generated rules.  This module implements that step as far as the
+integrated schema's provenance allows:
+
+* :func:`decompose_query` — given a federated query against an
+  integrated class, produce one :class:`LocalSubQuery` per component
+  schema that contributes base facts, translating the integrated
+  attribute names (and, through the mapping registry, constant values)
+  back to local vocabulary;
+* :func:`explain` — a printable plan: which local classes are scanned,
+  which derivation rules may fire, which virtual classes are involved.
+
+Rule-derived answers cannot be pushed down (they *join across*
+databases); the plan reports them as federation-level work, which is
+exactly Appendix B's division of labour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import QueryError
+from ..integration.result import IntegratedSchema
+from ..logic.oterms import inst_predicate, parse_predicate
+from .mappings import MappingRegistry
+from .query import FederatedQuery
+
+
+@dataclasses.dataclass(frozen=True)
+class LocalSubQuery:
+    """A selection/projection that one component database can answer."""
+
+    schema: str
+    class_name: str
+    where: Tuple[Tuple[str, Any], ...]
+    select: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        conditions = ", ".join(f"{a}={v!r}" for a, v in self.where)
+        outputs = ", ".join(self.select) or "*"
+        return f"{self.schema}: scan {self.class_name}({conditions}) -> {outputs}"
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryPlan:
+    """The decomposition of one federated query."""
+
+    query: FederatedQuery
+    sub_queries: Tuple[LocalSubQuery, ...]
+    rules: Tuple[str, ...]  # derivation rules that may contribute
+    virtual: bool  # queried class is rule-defined only
+
+    def describe(self) -> str:
+        lines = [f"plan for: {self.query}"]
+        if self.virtual:
+            lines.append("  (virtual class — answers come from rules only)")
+        for sub_query in self.sub_queries:
+            lines.append(f"  {sub_query}")
+        for rule in self.rules:
+            lines.append(f"  federation-level rule: {rule}")
+        return "\n".join(lines)
+
+
+def _local_member(
+    integrated: IntegratedSchema,
+    class_name: str,
+    attribute: str,
+    schema: str,
+) -> Optional[str]:
+    """The local name of an integrated attribute in *schema*, or None."""
+    integrated_class = integrated.cls(class_name)
+    top_level, dot, rest = attribute.partition(".")
+    member = integrated_class.attributes.get(
+        top_level
+    ) or integrated_class.aggregations.get(top_level)
+    if member is None:
+        return None
+    for origin_schema, _, origin_attr in member.origins:
+        if origin_schema == schema:
+            return origin_attr + (dot + rest if dot else "")
+    return None
+
+
+def _rules_deriving(integrated: IntegratedSchema, class_name: str) -> List[str]:
+    """Evaluable rules whose head can contribute to *class_name*."""
+    target_inst = inst_predicate(class_name)
+    texts: List[str] = []
+    for integrated_rule in integrated.rules:
+        if not integrated_rule.evaluable:
+            continue
+        for compiled in integrated_rule.rule.compile():
+            parsed = parse_predicate(compiled.head.predicate)
+            if compiled.head.predicate == target_inst or (
+                parsed is not None and parsed[0] == class_name
+            ):
+                texts.append(str(integrated_rule.rule))
+                break
+    return texts
+
+
+def decompose_query(
+    query: FederatedQuery,
+    integrated: IntegratedSchema,
+    mappings: Optional[MappingRegistry] = None,
+) -> QueryPlan:
+    """Plan *query* against *integrated*; raises for unknown classes.
+
+    Each origin ``(schema, local_class)`` of the queried class yields one
+    sub-query whose attribute names (in both filters and outputs) are
+    translated to local vocabulary; filters on attributes that schema
+    does not provide make the sub-query drop the condition and leave the
+    test to the federation layer (conservative over-fetch, never a wrong
+    answer).
+    """
+    if query.class_name not in integrated.classes:
+        raise QueryError(
+            f"integrated schema has no class {query.class_name!r}"
+        )
+    integrated_class = integrated.cls(query.class_name)
+    sub_queries: List[LocalSubQuery] = []
+    for schema, local_class in integrated_class.origins:
+        local_where: List[Tuple[str, Any]] = []
+        for attribute, value in query.where:
+            local_attr = _local_member(integrated, query.class_name, attribute, schema)
+            if local_attr is not None:
+                local_where.append((local_attr, value))
+        local_select: List[str] = []
+        for attribute in query.select:
+            local_attr = _local_member(integrated, query.class_name, attribute, schema)
+            if local_attr is not None:
+                local_select.append(local_attr)
+        sub_queries.append(
+            LocalSubQuery(
+                schema, local_class, tuple(local_where), tuple(local_select)
+            )
+        )
+    rules = _rules_deriving(integrated, query.class_name)
+    return QueryPlan(
+        query=query,
+        sub_queries=tuple(sub_queries),
+        rules=tuple(rules),
+        virtual=integrated_class.virtual,
+    )
+
+
+def explain(
+    query: "FederatedQuery | str",
+    integrated: IntegratedSchema,
+    mappings: Optional[MappingRegistry] = None,
+) -> str:
+    """One-call printable plan."""
+    if isinstance(query, str):
+        query = FederatedQuery.parse(query)
+    return decompose_query(query, integrated, mappings).describe()

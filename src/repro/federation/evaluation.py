@@ -1,0 +1,384 @@
+"""Federated fact lifting and rule evaluation (§3, §5, Appendix B).
+
+The FSM answers global queries by combining
+
+1. **lifted base facts** — component extents renamed to integrated
+   concepts (``inst$IS(A)`` / ``att$IS(A)$attr``), with attribute values
+   translated through the ``F^A_{DB_i,B}`` data mappings, plus the
+   ``same_object`` facts the identity specs produce;
+2. **inheritance rules** — ``inst$parent(x) ⇐ inst$child(x)`` per
+   integrated is-a link (the extension semantics of typing O-terms);
+3. **the integrated schema's derivation rules** (Principles 3-5).
+
+Two evaluation paths exist, as in the paper: the production bottom-up
+engine (:class:`FederationEngine`, semi-naive, handles recursion) and
+the faithful Appendix B top-down evaluator (:func:`appendix_b_program`),
+whose :class:`AgentSource` fetches one concept extension per call — the
+paper's autonomy argument made observable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..integration.result import IntegratedSchema
+from ..logic.atoms import Atom, Literal
+from ..logic.engine import FactStore, FactTuple, QueryEngine, iter_value_elements
+from ..logic.labelled import LabelledProgram, SchemaSource
+from ..logic.oterms import att_predicate, inst_predicate, parse_predicate
+from ..logic.rules import DatalogRule, Rule, compile_rules
+from ..model.database import ObjectDatabase
+from .agent import FSMAgent
+from .mappings import MappingRegistry, SameObjectSpec, same_object_facts
+
+
+def inheritance_rules(integrated: IntegratedSchema) -> List[Rule]:
+    """``inst$parent(x) ⇐ inst$child(x)`` for every integrated is-a link."""
+    from ..logic.oterms import OTerm
+
+    rules: List[Rule] = []
+    for child, parent in integrated.is_a_links():
+        rules.append(
+            Rule.of(
+                OTerm.of("?x", parent),
+                [OTerm.of("?x", child)],
+                name=f"is_a({child},{parent})",
+            )
+        )
+    return rules
+
+
+def _ancestor_chain(integrated: IntegratedSchema, name: str) -> List[str]:
+    """*name* and all its integrated ancestors (BFS order)."""
+    chain = [name]
+    frontier = list(integrated.parents(name))
+    while frontier:
+        current = frontier.pop(0)
+        if current not in chain:
+            chain.append(current)
+            frontier.extend(integrated.parents(current))
+    return chain
+
+
+def lift_facts(
+    integrated: IntegratedSchema,
+    databases: Mapping[str, ObjectDatabase],
+    mappings: Optional[MappingRegistry] = None,
+    same_specs: Sequence[SameObjectSpec] = (),
+) -> FactStore:
+    """Compile all component extents into integrated-name facts.
+
+    For every non-virtual integrated class ``N`` with origin ``(s, c)``:
+    each instance of ``c``'s *direct* extent in schema *s* yields
+    ``inst$N(oid)``, and per integrated attribute of ``N`` (or of an
+    integrated ancestor of ``N``) with an origin in *s*, one
+    ``att$...(oid, translated_value)`` fact per value element.
+    Aggregation values (OIDs) lift untranslated under the aggregation's
+    integrated name.
+    """
+    mappings = mappings or MappingRegistry()
+    store = FactStore()
+
+    for integrated_class in integrated:
+        if integrated_class.virtual:
+            continue
+        for schema_name, class_name in integrated_class.origins:
+            database = databases.get(schema_name)
+            if database is None:
+                continue
+            local_class = database.schema.effective_class(class_name)
+            local_ancestry = {class_name} | database.schema.ancestors(class_name)
+            targets = _ancestor_chain(integrated, integrated_class.name)
+            for instance in database.direct_extent(class_name):
+                for target_name in targets:
+                    store.add(inst_predicate(target_name), (instance.oid,))
+                    target = integrated.cls(target_name)
+                    for attribute in target.attributes.values():
+                        for o_schema, o_class, o_attr in attribute.origins:
+                            if o_schema != schema_name or o_class not in local_ancestry:
+                                continue
+                            if not local_class.has_member(o_attr):
+                                continue
+                            value = instance.get(o_attr)
+                            if value is None:
+                                continue
+                            mapping = mappings.resolve(
+                                attribute.name, schema_name, o_attr
+                            )
+                            for descriptor, element in iter_value_elements(
+                                attribute.name, value
+                            ):
+                                translated = mapping.translate(element)
+                                if translated is not None:
+                                    store.add(
+                                        att_predicate(target_name, descriptor),
+                                        (instance.oid, translated),
+                                    )
+                    for aggregation in target.aggregations.values():
+                        for o_schema, o_class, o_attr in aggregation.origins:
+                            if o_schema != schema_name or o_class not in local_ancestry:
+                                continue
+                            value = instance.get(o_attr)
+                            if value is None:
+                                continue
+                            elements = (
+                                value if isinstance(value, frozenset) else (value,)
+                            )
+                            for element in elements:
+                                store.add(
+                                    att_predicate(target_name, aggregation.name),
+                                    (instance.oid, element),
+                                )
+    if same_specs:
+        same_object_facts(same_specs, databases, store)
+    return store
+
+
+class FederationContext:
+    """A live :class:`~repro.integration.result.ValueContext`.
+
+    Answers ``value_set`` from component extents and ``paired_values``
+    from the same-object specs — making the value-set specifications of
+    Principles 1 and 3 (unions, differences, AIF applications,
+    concatenations) executable against real data.
+    """
+
+    def __init__(
+        self,
+        databases: Mapping[str, ObjectDatabase],
+        same_specs: Sequence[SameObjectSpec] = (),
+    ) -> None:
+        self._databases = databases
+        self._same_specs = list(same_specs)
+
+    def value_set(self, schema: str, class_name: str, attribute: str) -> Set[Any]:
+        database = self._databases.get(schema)
+        if database is None:
+            return set()
+        return database.value_set(class_name, attribute)
+
+    def paired_values(self, left, right) -> List[Tuple[Any, Any]]:
+        left_schema, left_class, left_attr = left
+        right_schema, right_class, right_attr = right
+        left_db = self._databases.get(left_schema)
+        right_db = self._databases.get(right_schema)
+        if left_db is None or right_db is None:
+            return []
+        pair_index: Dict[Any, List[Any]] = {}
+        for spec in self._same_specs:
+            if (
+                spec.left_schema == left_schema
+                and spec.left_class == left_class
+                and spec.right_schema == right_schema
+                and spec.right_class == right_class
+            ):
+                key_spec = spec
+                break
+        else:
+            return []
+        right_by_key: Dict[Any, List[Any]] = {}
+        for instance in right_db.extent(right_class):
+            key = key_spec.mapping.translate(instance.get(key_spec.right_key))
+            if key is not None:
+                right_by_key.setdefault(key, []).append(instance)
+        pairs: List[Tuple[Any, Any]] = []
+        for instance in left_db.extent(left_class):
+            key = instance.get(key_spec.left_key)
+            if key is None:
+                continue
+            for partner in right_by_key.get(key, ()):
+                pairs.append((instance.get(left_attr), partner.get(right_attr)))
+        return pairs
+
+
+class FederationEngine:
+    """Bottom-up federated query engine over an integrated schema."""
+
+    def __init__(
+        self,
+        integrated: IntegratedSchema,
+        databases: Mapping[str, ObjectDatabase],
+        mappings: Optional[MappingRegistry] = None,
+        same_specs: Sequence[SameObjectSpec] = (),
+    ) -> None:
+        self.integrated = integrated
+        base = lift_facts(integrated, databases, mappings, same_specs)
+        rules = integrated.evaluable_rules() + inheritance_rules(integrated)
+        self._engine = QueryEngine(rules, base)
+
+    def ask(self, *goals: Atom) -> List[Dict[str, Any]]:
+        return self._engine.ask(*goals)
+
+    def instances_of(self, class_name: str) -> List[Any]:
+        """OIDs (or skolem tokens) populating an integrated class."""
+        answers = self.ask(Atom.of(inst_predicate(class_name), "?o"))
+        return [answer["o"] for answer in answers]
+
+    def attribute_values(self, class_name: str, attribute: str) -> Set[Any]:
+        answers = self.ask(Atom.of(att_predicate(class_name, attribute), "?o", "?v"))
+        return {answer["v"] for answer in answers}
+
+    @property
+    def query_engine(self) -> QueryEngine:
+        return self._engine
+
+
+def evaluate_value_set(
+    integrated: IntegratedSchema,
+    class_name: str,
+    attribute: str,
+    databases: Mapping[str, ObjectDatabase],
+    same_specs: Sequence[SameObjectSpec] = (),
+) -> Set[Any]:
+    """Compute ``value_set(IS_attr)`` of one integrated attribute.
+
+    Executes the attribute's :class:`ValueSetSpec` (Principle 1/3
+    semantics) against live component data — Example 6's union, the
+    intersection splits, Example 8's AIF.
+    """
+    integrated_class = integrated.cls(class_name)
+    try:
+        spec = integrated_class.attributes[attribute].spec
+    except KeyError:
+        from ..errors import IntegrationError
+
+        raise IntegrationError(
+            f"integrated class {class_name!r} has no attribute {attribute!r}"
+        ) from None
+    context = FederationContext(databases, same_specs)
+    return spec.evaluate(context, integrated.aifs)
+
+
+class AgentSource(SchemaSource):
+    """Appendix B source: one schema served live by its FSM-agent.
+
+    ``fetch`` answers only mangled concept predicates (``inst$N`` /
+    ``att$N$a``) whose integrated class has an origin in this schema,
+    pulling exactly one class extension per call — never a rule, never
+    a join: locals stay autonomous.
+    """
+
+    def __init__(
+        self,
+        schema_name: str,
+        agent: FSMAgent,
+        integrated: IntegratedSchema,
+        mappings: Optional[MappingRegistry] = None,
+    ) -> None:
+        super().__init__(schema_name)
+        self._agent = agent
+        self._integrated = integrated
+        self._mappings = mappings or MappingRegistry()
+
+    def _nested_descriptors(self, local_class: str, attr: str, base: str) -> List[str]:
+        """Flattened descriptors under one local attribute (Def 4.1 paths)."""
+        from ..model.attributes import ClassType
+
+        schema = self._agent.export_schema(self.name)
+        descriptors = [base]
+
+        def walk(class_name: str, prefix: str, depth: int) -> None:
+            if depth > 4:  # nested records are shallow in practice
+                return
+            effective = schema.effective_class(class_name)
+            for nested in effective.attributes:
+                dotted = f"{prefix}.{nested.name}"
+                descriptors.append(dotted)
+                if isinstance(nested.value_type, ClassType):
+                    walk(nested.value_type.class_name, dotted, depth + 1)
+
+        effective = schema.effective_class(local_class)
+        attribute = effective.get_attribute(attr)
+        if attribute is not None and isinstance(attribute.value_type, ClassType):
+            walk(attribute.value_type.class_name, base, 0)
+        return descriptors
+
+    def concepts(self) -> Tuple[str, ...]:
+        names: List[str] = []
+        for integrated_class in self._integrated:
+            if any(s == self.name for s, _ in integrated_class.origins):
+                names.append(inst_predicate(integrated_class.name))
+                for attribute in integrated_class.attributes.values():
+                    for o_schema, o_class, o_attr in attribute.origins:
+                        if o_schema != self.name:
+                            continue
+                        for descriptor in self._nested_descriptors(
+                            o_class, o_attr, attribute.name
+                        ):
+                            names.append(
+                                att_predicate(integrated_class.name, descriptor)
+                            )
+                        break
+                for aggregation in integrated_class.aggregations.values():
+                    if any(s == self.name for s, _, _ in aggregation.origins):
+                        names.append(
+                            att_predicate(integrated_class.name, aggregation.name)
+                        )
+        return tuple(names)
+
+    def fetch(self, predicate: str) -> Set[FactTuple]:
+        self.fetch_count += 1
+        parsed = parse_predicate(predicate)
+        if parsed is None:
+            return set()
+        class_name, descriptor = parsed
+        if class_name not in self._integrated.classes:
+            return set()
+        integrated_class = self._integrated.cls(class_name)
+        result: Set[FactTuple] = set()
+        for schema_name, local_class in integrated_class.origins:
+            if schema_name != self.name:
+                continue
+            if descriptor is None:
+                for instance in self._agent.fetch_extent(schema_name, local_class):
+                    result.add((instance.oid,))
+                continue
+            # Nested (dotted) descriptors address inside a complex
+            # attribute: the top-level member owns the origin mapping.
+            top_level, _, _ = descriptor.partition(".")
+            member = integrated_class.attributes.get(
+                top_level
+            ) or integrated_class.aggregations.get(top_level)
+            if member is None:
+                continue
+            for o_schema, o_class, o_attr in member.origins:
+                if o_schema != schema_name:
+                    continue
+                mapping = self._mappings.resolve(descriptor, schema_name, o_attr)
+                for instance in self._agent.fetch_extent(schema_name, local_class):
+                    value = instance.get(o_attr)
+                    if value is None:
+                        continue
+                    for flattened, element in iter_value_elements(top_level, value):
+                        if flattened != descriptor:
+                            continue
+                        translated = mapping.translate(element)
+                        if translated is not None:
+                            result.add((instance.oid, translated))
+        return result
+
+
+def appendix_b_program(
+    integrated: IntegratedSchema,
+    agents: Mapping[str, FSMAgent],
+    mappings: Optional[MappingRegistry] = None,
+    same_specs: Sequence[SameObjectSpec] = (),
+    databases: Optional[Mapping[str, ObjectDatabase]] = None,
+) -> LabelledProgram:
+    """Build the Appendix B labelled program for an integrated schema.
+
+    *agents* maps schema name → hosting agent.  ``same_object`` facts
+    (needed by Principle 3 rules) are served by an extra synthetic
+    source when *same_specs* and *databases* are provided.
+    """
+    sources: List[SchemaSource] = [
+        AgentSource(schema_name, agent, integrated, mappings)
+        for schema_name, agent in agents.items()
+    ]
+    if same_specs and databases:
+        store = same_object_facts(same_specs, databases)
+        sources.append(SchemaSource("__identity__", store))
+    rules: List[DatalogRule] = compile_rules(
+        integrated.evaluable_rules() + inheritance_rules(integrated)
+    )
+    return LabelledProgram(rules, sources)

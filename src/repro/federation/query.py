@@ -1,0 +1,166 @@
+"""Global queries against the integrated schema.
+
+A federated query names an integrated class, filters on attribute
+values and selects attribute outputs — the ``?- uncle(John, y)`` shape
+of Appendix B in object-schema clothing::
+
+    query = FederatedQuery("uncle", where={"niece_nephew": "John"},
+                           select=["Ussn#"])
+    rows = query.run(engine)
+
+Queries compile to conjunctions of ``inst$C`` / ``att$C$a`` atoms and
+run on either evaluation path (bottom-up :class:`FederationEngine` or an
+Appendix B :class:`~repro.logic.labelled.LabelledProgram`).  A small
+textual form is provided for the examples::
+
+    FederatedQuery.parse("uncle(niece_nephew='John') -> Ussn#")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import QueryError
+from ..logic.atoms import Atom
+from ..logic.labelled import LabelledProgram
+from ..logic.oterms import att_predicate, inst_predicate
+from ..logic.terms import Constant, Variable
+from .evaluation import FederationEngine
+
+_QUERY_RE = re.compile(
+    r"^\s*(?P<cls>[\w$#-]+)\s*\(\s*(?P<where>[^)]*)\)\s*(?:->\s*(?P<select>.+))?$"
+)
+_COND_RE = re.compile(r"^\s*(?P<attr>[\w.$#-]+)\s*=\s*(?P<value>.+?)\s*$")
+
+
+@dataclasses.dataclass(frozen=True)
+class FederatedQuery:
+    """A conjunctive query over one integrated class."""
+
+    class_name: str
+    where: Tuple[Tuple[str, Any], ...] = ()
+    select: Tuple[str, ...] = ()
+
+    @classmethod
+    def of(
+        cls,
+        class_name: str,
+        where: Optional[Mapping[str, Any]] = None,
+        select: Sequence[str] = (),
+    ) -> "FederatedQuery":
+        return cls(class_name, tuple((where or {}).items()), tuple(select))
+
+    @classmethod
+    def parse(cls, text: str) -> "FederatedQuery":
+        """Parse ``cls(attr='v', ...) -> out1, out2`` (conditions optional)."""
+        match = _QUERY_RE.match(text.strip().removeprefix("?-").strip())
+        if not match:
+            raise QueryError(f"malformed query {text!r}")
+        where: Dict[str, Any] = {}
+        conditions = match.group("where").strip()
+        if conditions:
+            for part in conditions.split(","):
+                condition = _COND_RE.match(part)
+                if not condition:
+                    raise QueryError(f"malformed condition {part!r} in {text!r}")
+                where[condition.group("attr")] = _parse_value(condition.group("value"))
+        select_text = match.group("select") or ""
+        select = tuple(s.strip() for s in select_text.split(",") if s.strip())
+        return cls(match.group("cls"), tuple(where.items()), select)
+
+    # ------------------------------------------------------------------
+    def atoms(self) -> List[Atom]:
+        """Compile to a conjunction; object variable is ``?o``."""
+        object_var = Variable("o")
+        goals: List[Atom] = [Atom(inst_predicate(self.class_name), (object_var,))]
+        for attribute, value in self.where:
+            goals.append(
+                Atom(
+                    att_predicate(self.class_name, attribute),
+                    (object_var, Constant(value)),
+                )
+            )
+        for index, attribute in enumerate(self.select):
+            goals.append(
+                Atom(
+                    att_predicate(self.class_name, attribute),
+                    (object_var, Variable(f"out{index}")),
+                )
+            )
+        return goals
+
+    def run(
+        self, engine: Union[FederationEngine, LabelledProgram]
+    ) -> List[Dict[str, Any]]:
+        """Execute; rows map selected attribute names (plus ``oid``)."""
+        goals = self.atoms()
+        if isinstance(engine, FederationEngine):
+            raw = engine.ask(*goals)
+        else:
+            raw = _run_labelled(engine, goals)
+        rows: List[Dict[str, Any]] = []
+        for answer in raw:
+            row: Dict[str, Any] = {"oid": answer.get("o")}
+            for index, attribute in enumerate(self.select):
+                row[attribute] = answer.get(f"out{index}")
+            rows.append(row)
+        return rows
+
+    def __str__(self) -> str:
+        conditions = ", ".join(f"{a}={v!r}" for a, v in self.where)
+        outputs = ", ".join(self.select)
+        text = f"{self.class_name}({conditions})"
+        return f"{text} -> {outputs}" if outputs else text
+
+
+def _run_labelled(program: LabelledProgram, goals: List[Atom]) -> List[Dict[str, Any]]:
+    """Join goal answers from a labelled program (small conjunctions)."""
+    if not goals:
+        return []
+    results: List[Dict[str, Any]] = [dict()]
+    for goal in goals:
+        answers = program.evaluation(goal)
+        joined: List[Dict[str, Any]] = []
+        for partial in results:
+            for answer in answers:
+                merged = dict(partial)
+                ok = True
+                for key, value in answer.items():
+                    if key in merged and merged[key] != value:
+                        ok = False
+                        break
+                    merged[key] = value
+                if ok:
+                    joined.append(merged)
+        results = joined
+    deduped: List[Dict[str, Any]] = []
+    seen = set()
+    for row in results:
+        key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+        try:
+            hashable = hash(key)
+        except TypeError:
+            hashable = repr(key)
+        if hashable not in seen:
+            seen.add(hashable)
+            deduped.append(row)
+    return deduped
+
+
+def _parse_value(token: str) -> Any:
+    token = token.strip()
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "'\"":
+        return token[1:-1]
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    if token.lower() in ("true", "false"):
+        return token.lower() == "true"
+    return token

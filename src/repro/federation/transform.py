@@ -1,0 +1,105 @@
+"""Relational → object-oriented schema transformation (§3, ref [6]).
+
+"Each local schema is first transformed into an object-oriented one to
+remove model conflicts."  The paper's own rule-based strategy (ref [6])
+maps, in essence:
+
+* each relation to a class — "if a relation is translated into a class,
+  then each of its tuples will be assigned an OID";
+* each non-FK column to an attribute of the same primitive type;
+* each foreign key to an aggregation function toward the referenced
+  relation's class, with cardinality ``[m:1]`` (many tuples reference
+  one target) — refined to ``[1:1]`` when the FK column is the
+  relation's primary key.
+
+"The data residing in a local database should not be translated, but
+rather be referenced": :func:`materialize_view` therefore produces an
+object *view* whose instances wrap the relational tuples under their §3
+OIDs; the tuples stay where they are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..model.aggregations import AggregationFunction, Cardinality
+from ..model.attributes import Attribute
+from ..model.classes import ClassDef
+from ..model.database import ObjectDatabase
+from ..model.instances import ObjectInstance
+from ..model.oids import OID
+from ..model.schema import Schema
+from .relational import RelationalDatabase
+
+
+def transform_schema(database: RelationalDatabase, schema_name: str = "") -> Schema:
+    """Derive the OO schema of *database* (classes, attributes, aggs)."""
+    schema = Schema(schema_name or database.name)
+    for relation in database.relations():
+        fk_columns = {fk.column for fk in relation.foreign_keys}
+        class_def = ClassDef(relation.name)
+        for column in relation.columns:
+            if column.name in fk_columns:
+                continue
+            class_def.add_attribute(Attribute(column.name, column.data_type))
+        for foreign_key in relation.foreign_keys:
+            cardinality = (
+                Cardinality.ONE_TO_ONE
+                if foreign_key.column == relation.primary_key
+                else Cardinality.M_TO_ONE
+            )
+            class_def.add_aggregation(
+                AggregationFunction(
+                    name=foreign_key.column,
+                    range_class=foreign_key.target_relation,
+                    cardinality=cardinality,
+                )
+            )
+        schema.add_class(class_def)
+    schema.validate()
+    return schema
+
+
+def materialize_view(
+    database: RelationalDatabase, schema_name: str = ""
+) -> Tuple[Schema, ObjectDatabase]:
+    """The OO view over *database*: schema plus wrapped instances.
+
+    FK values are resolved to target-tuple OIDs so aggregation functions
+    dereference exactly as in a native object store; dangling references
+    stay unresolved (None) rather than failing, preserving autonomy —
+    a federation must not reject a component's existing data.
+    """
+    schema = transform_schema(database, schema_name)
+    view = ObjectDatabase(
+        schema, agent=database.agent, system=database.system, validate=False
+    )
+
+    # First pass: index every tuple's OID by (relation, pk value).
+    pk_index: Dict[Tuple[str, object], OID] = {}
+    for relation in database.relations():
+        for oid, row in relation.rows():
+            pk_index[(relation.name, row[relation.primary_key])] = oid
+
+    for relation in database.relations():
+        fk_by_column = {fk.column: fk for fk in relation.foreign_keys}
+        for oid, row in relation.rows():
+            attributes = {
+                column: value
+                for column, value in row.items()
+                if column not in fk_by_column
+            }
+            aggregations: Dict[str, OID] = {}
+            for column, foreign_key in fk_by_column.items():
+                target_oid = pk_index.get(
+                    (foreign_key.target_relation, row[column])
+                )
+                if target_oid is not None:
+                    aggregations[column] = target_oid
+            view.adopt(ObjectInstance(oid, relation.name, attributes, aggregations))
+    return schema, view
+
+
+def wrapped_instances(view: ObjectDatabase) -> List[ObjectInstance]:
+    """All instances of a materialized view (test/debug helper)."""
+    return list(view)

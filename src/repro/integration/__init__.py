@@ -1,0 +1,97 @@
+"""Integration principles and algorithms (§5-§6 of the paper).
+
+Principles 1-6 as composable functions, the cardinality-constraint
+lattices (Fig 13), AIFs and concatenation, the naive and optimized
+integration algorithms with pair-check instrumentation, and the §6.2
+link-integration pass.
+"""
+
+from .aif import AIF, AIFRegistry, ReMapping, average_aif, prefer_left_aif
+from .base import copy_local_class, local_range_token, parse_range_token
+from .concatenation import concatenation
+from .dispatch import integrate_pair
+from .lattice import (
+    ConstraintLattice,
+    EXTENDED_LATTICE,
+    SIMPLE_LATTICE,
+    lcs,
+)
+from .link_integration import (
+    finalize_aggregation_ranges,
+    finalize_links,
+    insert_local_links,
+    merge_parallel_aggregations,
+    remove_redundant_is_a,
+)
+from .naive import naive_schema_integration, sull_kashyap_style
+from .naming import NamePolicy
+from .optimized import schema_integration
+from .principle_derivation import apply_derivation, build_rule
+from .principle_disjoint import apply_disjoint, apply_disjoint_family
+from .principle_equivalence import apply_equivalence
+from .principle_inclusion import (
+    apply_inclusion,
+    apply_inclusions_generalized,
+    most_specific_superclasses,
+)
+from .principle_intersection import SAME_OBJECT, apply_intersection
+from .report import IntegrationReport, build_report, render_markdown
+from .result import (
+    IntegratedAggregation,
+    IntegratedAttribute,
+    IntegratedClass,
+    IntegratedRule,
+    IntegratedSchema,
+    ValueContext,
+    ValueSetOp,
+    ValueSetSpec,
+)
+from .stats import IntegrationStats
+
+__all__ = [
+    "AIF",
+    "AIFRegistry",
+    "ConstraintLattice",
+    "EXTENDED_LATTICE",
+    "IntegratedAggregation",
+    "IntegratedAttribute",
+    "IntegratedClass",
+    "IntegratedRule",
+    "IntegratedSchema",
+    "IntegrationReport",
+    "build_report",
+    "render_markdown",
+    "IntegrationStats",
+    "NamePolicy",
+    "ReMapping",
+    "SAME_OBJECT",
+    "SIMPLE_LATTICE",
+    "ValueContext",
+    "ValueSetOp",
+    "ValueSetSpec",
+    "apply_derivation",
+    "apply_disjoint",
+    "apply_disjoint_family",
+    "apply_equivalence",
+    "apply_inclusion",
+    "apply_inclusions_generalized",
+    "apply_intersection",
+    "average_aif",
+    "build_rule",
+    "concatenation",
+    "copy_local_class",
+    "finalize_aggregation_ranges",
+    "finalize_links",
+    "insert_local_links",
+    "integrate_pair",
+    "lcs",
+    "local_range_token",
+    "merge_parallel_aggregations",
+    "most_specific_superclasses",
+    "naive_schema_integration",
+    "parse_range_token",
+    "prefer_left_aif",
+    "remove_redundant_is_a",
+    "schema_integration",
+    "sull_kashyap_style",
+]

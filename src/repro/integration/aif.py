@@ -1,0 +1,107 @@
+"""Attribute integration functions (AIFs) and ``re`` mappings — Principle 3.
+
+For attribute pairs related by intersection, Principle 3 resolves value
+conflicts with an *attribute integration function*::
+
+    AIF_i_s_s(x, y) = (x + y) / 2     if oi1 = oi2 via data mapping,
+                      Null            otherwise
+
+and uses ``re(S_i, IS_attr)`` to find an integrated attribute's local
+version in schema ``S_i``.  The paper notes both "have to be provided by
+users or DBAs since their semantics entirely depend on individual
+instants"; :class:`AIFRegistry` is that provision point, with a numeric
+average as the out-of-the-box default (the paper's own example).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import IntegrationError
+
+AIFCallable = Callable[[Any, Any], Any]
+
+
+def average_aif(x: Any, y: Any) -> Any:
+    """The paper's example AIF: ``(x + y) / 2``; Null on missing input."""
+    if x is None or y is None:
+        return None
+    try:
+        return (x + y) / 2
+    except TypeError:
+        raise IntegrationError(
+            f"average AIF needs numeric inputs, got {x!r} and {y!r}; register "
+            f"a custom AIF for this attribute pair"
+        ) from None
+
+
+def prefer_left_aif(x: Any, y: Any) -> Any:
+    """A common alternative: keep the first schema's value when present."""
+    return x if x is not None else y
+
+
+@dataclasses.dataclass(frozen=True)
+class AIF:
+    """A named attribute integration function."""
+
+    name: str
+    function: AIFCallable
+
+    def __call__(self, x: Any, y: Any) -> Any:
+        return self.function(x, y)
+
+
+class AIFRegistry:
+    """User-supplied AIFs keyed by integrated attribute name.
+
+    :meth:`resolve` falls back to the default (average) AIF, so the
+    Example 8 behaviour — ``income_study_support`` averaging ``income``
+    and ``study_support`` — works without registration.
+    """
+
+    def __init__(self, default: AIFCallable = average_aif) -> None:
+        self._default = AIF("average", default)
+        self._by_attribute: Dict[str, AIF] = {}
+
+    def register(self, attribute_name: str, name: str, function: AIFCallable) -> AIF:
+        aif = AIF(name, function)
+        self._by_attribute[attribute_name] = aif
+        return aif
+
+    def resolve(self, attribute_name: str) -> AIF:
+        return self._by_attribute.get(attribute_name, self._default)
+
+    def registered(self) -> Tuple[str, ...]:
+        return tuple(self._by_attribute)
+
+
+class ReMapping:
+    """The ``re(S_i, IS_attr)`` function of Principle 3.
+
+    Maps an integrated attribute name back to its local
+    ``(schema, class, attribute)`` version per schema.  Populated by the
+    integration principles as they merge attributes; queried when
+    value-set rules are evaluated against live databases.
+    """
+
+    def __init__(self) -> None:
+        self._mapping: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def record(
+        self,
+        integrated_attribute: str,
+        schema_name: str,
+        class_name: str,
+        attribute_name: str,
+    ) -> None:
+        self._mapping[(schema_name, integrated_attribute)] = (class_name, attribute_name)
+
+    def resolve(
+        self, schema_name: str, integrated_attribute: str
+    ) -> Optional[Tuple[str, str]]:
+        """``re(S_i, IS_attr)`` → (class, attribute) in *schema_name*, or None."""
+        return self._mapping.get((schema_name, integrated_attribute))
+
+    def __len__(self) -> int:
+        return len(self._mapping)

@@ -1,0 +1,105 @@
+"""Shared machinery for the integration principles (§5).
+
+* :func:`copy_local_class` — the paper's first default strategy: a class
+  with no equivalence assertion is copied into the integrated schema,
+  with relationships rebuilt "in terms of the corresponding local ones".
+* :func:`local_range_token` / :func:`resolve_range` — aggregation ranges
+  are recorded as pending local references (``@schema.class``) while the
+  integration runs and resolved to integrated names by the §6.2 link
+  pass, because BFS may reach an aggregation before its range class.
+* :func:`member_kind_lookup` — index of a class assertion's member
+  correspondences, keyed by the left member name, which is how Principle
+  1's "for each attribute pair (a, b)" loop finds its θ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..assertions.aggregation_assertions import AggregationCorrespondence
+from ..assertions.attribute_assertions import AttributeCorrespondence
+from ..assertions.class_assertions import ClassAssertion
+from ..model.schema import Schema
+from .result import (
+    IntegratedAggregation,
+    IntegratedAttribute,
+    IntegratedClass,
+    IntegratedSchema,
+    ValueSetOp,
+    ValueSetSpec,
+)
+
+PENDING_PREFIX = "@"
+
+
+def local_range_token(schema_name: str, class_name: str) -> str:
+    """A pending reference to a local range class, resolved by §6.2."""
+    return f"{PENDING_PREFIX}{schema_name}.{class_name}"
+
+
+def parse_range_token(token: str) -> Optional[Tuple[str, str]]:
+    """Invert :func:`local_range_token`; None for already-resolved names."""
+    if not token.startswith(PENDING_PREFIX):
+        return None
+    schema_name, _, class_name = token[len(PENDING_PREFIX):].partition(".")
+    return (schema_name, class_name)
+
+
+def copy_local_class(
+    result: IntegratedSchema, schema: Schema, class_name: str
+) -> IntegratedClass:
+    """Copy *class_name* of *schema* into the integrated schema (default 1).
+
+    Idempotent: an already-placed class (copied or merged) is returned
+    as-is.  Attribute value sets are LOCAL specs, aggregation ranges are
+    pending local references, and local is-a links are *not* added here —
+    the driving algorithm inserts links, so the §6.2 pass can de-dup them.
+    """
+    existing = result.is_name(schema.name, class_name)
+    if existing is not None:
+        return result.cls(existing)
+    class_def = schema.cls(class_name)
+    name = result.policy.local(schema.name, class_name, taken=class_name in result)
+    integrated = IntegratedClass(name=name, origins=((schema.name, class_name),))
+    for attribute in class_def.attributes:
+        origin = (schema.name, class_name, attribute.name)
+        integrated.add_attribute(
+            IntegratedAttribute(
+                name=attribute.name,
+                spec=ValueSetSpec(ValueSetOp.LOCAL, origin),
+                origins=(origin,),
+            )
+        )
+        result.re_mapping.record(attribute.name, schema.name, class_name, attribute.name)
+    for aggregation in class_def.aggregations:
+        origin = (schema.name, class_name, aggregation.name)
+        integrated.add_aggregation(
+            IntegratedAggregation(
+                name=aggregation.name,
+                range_class=local_range_token(schema.name, aggregation.range_class),
+                cardinality=aggregation.cardinality,
+                origins=(origin,),
+            )
+        )
+    result.add_class(integrated)
+    result.note(f"copied local class {schema.name}.{class_name} as {name}")
+    return integrated
+
+
+def member_kind_lookup(
+    assertion: ClassAssertion,
+) -> Tuple[Dict[str, AttributeCorrespondence], Dict[str, AggregationCorrespondence]]:
+    """Index member correspondences by the left member's descriptor.
+
+    Only top-level (single-step) correspondences participate in class
+    merging; nested paths belong to derivation-style declarations.
+    """
+    attributes: Dict[str, AttributeCorrespondence] = {}
+    aggregations: Dict[str, AggregationCorrespondence] = {}
+    for corr in assertion.attribute_corrs:
+        if len(corr.left.elements) == 1 and len(corr.right.elements) == 1:
+            attributes[corr.left.descriptor] = corr
+    for corr in assertion.aggregation_corrs:
+        if len(corr.left.elements) == 1 and len(corr.right.elements) == 1:
+            aggregations[corr.left.descriptor] = corr
+    return attributes, aggregations

@@ -1,0 +1,29 @@
+"""The ``cancatenation`` function of Principle 1 (sic — the paper's spelling).
+
+Composed-into correspondences (``city α(address) street-number``) create
+a new attribute whose values concatenate the two local values *of the
+same real-world object*::
+
+    cancatenation(x, y) = x · y   if oi1 ∈ A, oi2 ∈ B with oi1 = oi2
+                                   (in terms of data mapping),
+                          Null    otherwise
+
+Object identity across databases is decided by data mappings; callers
+pass the resolved value pair (or None when the mapping found no partner).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+def concatenation(x: Any, y: Any, separator: str = " ") -> Optional[str]:
+    """``x · y`` when both present, Null otherwise.
+
+    The paper's ``·`` is string concatenation; a separator keeps
+    ``city`` + ``street-number`` readable ("Darmstadt 64293" rather than
+    "Darmstadt64293").  Pass ``separator=""`` for the literal behaviour.
+    """
+    if x is None or y is None:
+        return None
+    return f"{x}{separator}{y}"

@@ -1,0 +1,89 @@
+"""Per-pair integration dispatch shared by the §6 algorithms.
+
+Both ``naive_schema_integration`` and ``schema_integration`` perform the
+same action once a pair ``(N1, N2)`` is checked: look the assertion up
+and apply the matching principle.  :func:`integrate_pair` is that switch
+(lines 8-33 of the optimized algorithm, line 7 of the naive one), shared
+so the two algorithms differ *only* in their traversal/pruning control —
+which is precisely what the §6.3 comparison measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..assertions.assertion_set import AssertionSet
+from ..assertions.kinds import ClassKind
+from ..model.schema import Schema
+from .principle_derivation import apply_derivation
+from .principle_disjoint import apply_disjoint
+from .principle_equivalence import apply_equivalence
+from .principle_inclusion import apply_inclusion
+from .principle_intersection import apply_intersection
+from .result import IntegratedSchema
+from .stats import IntegrationStats
+
+
+def integrate_pair(
+    result: IntegratedSchema,
+    assertions: AssertionSet,
+    left: Schema,
+    right: Schema,
+    n1: str,
+    n2: str,
+    stats: IntegrationStats,
+    applied_derivations: Set[int],
+) -> Optional[ClassKind]:
+    """Integrate the checked pair ``(n1, n2)``; returns the kind found.
+
+    *applied_derivations* tracks derivation-assertion identities so a
+    multi-source assertion fires once even though it matches several
+    pairs.  Rule/merge counters are updated on *stats*.
+    """
+    lookup = assertions.lookup(n1, n2)
+    if lookup is None:
+        return None
+    kind = lookup.kind
+    # Derivation assertions are directional and are dispatched on their
+    # own declared orientation below; all other kinds re-orient.
+    oriented = (
+        lookup.assertion
+        if kind is ClassKind.DERIVATION
+        else lookup.oriented_assertion()
+    )
+
+    if kind is ClassKind.EQUIVALENCE:
+        # apply_equivalence is idempotent and absorbs transitive
+        # equivalences into an existing merge — always dispatch.
+        newly_merged = result.is_name(left.name, n1) is None or (
+            result.is_name(right.name, n2) is None
+        )
+        apply_equivalence(result, oriented, left, right, assertions)
+        if newly_merged:
+            stats.classes_merged += 1
+    elif kind is ClassKind.SUBSET:
+        if apply_inclusion(result, oriented, left, right):
+            stats.is_a_links_inserted += 1
+    elif kind is ClassKind.SUPERSET:
+        if apply_inclusion(result, oriented.flipped(), right, left):
+            stats.is_a_links_inserted += 1
+    elif kind is ClassKind.INTERSECTION:
+        before = len(result.rules)
+        apply_intersection(result, oriented, left, right, assertions)
+        stats.rules_generated += len(result.rules) - before
+    elif kind is ClassKind.EXCLUSION:
+        before = len(result.rules)
+        apply_disjoint(result, oriented, left, right, assertions)
+        stats.rules_generated += len(result.rules) - before
+    elif kind is ClassKind.DERIVATION:
+        for assertion in assertions.derivations_for(n1, n2):
+            if id(assertion) in applied_derivations:
+                continue
+            applied_derivations.add(id(assertion))
+            before = len(result.rules)
+            if assertion.left_schema == left.name:
+                apply_derivation(result, assertion, left, right)
+            else:
+                apply_derivation(result, assertion, right, left)
+            stats.rules_generated += len(result.rules) - before
+    return kind

@@ -1,0 +1,158 @@
+"""Cardinality-constraint lattices and lcs resolution — Fig 13, Principle 6.
+
+When two aggregation links with "similar meaning" are integrated, their
+cardinality constraints may conflict; the paper resolves the conflict by
+taking the **least common super-node** (lcs) of the two constraints in a
+lattice that orders constraints from most restrictive (bottom) to least
+restrictive (top)::
+
+    Fig 13(a), simple:               Fig 13(b), extended (md = mandatory):
+
+            [m:n]                            [m:n]
+           /     \\                         /  |  \\
+        [1:n]   [m:1]                  [1:n] [m:1] [md_n:n]
+           \\     /                       |  \\ /  \\   |
+            [1:1]                        .. (md refinements) ..
+
+"lcs([1:n], [m:1]) = [m:n]" and "lcs([1:1], [m:1]) = [m:1]" are the
+paper's own examples (spelled ``[1:m]``/``[n:1]`` there); "a node is
+considered to be the least common super-node of itself".  The extended
+lattice "reflects a relaxation strategy": mandatory variants sit directly
+below their non-mandatory counterparts, so conflicts loosen bottom-up,
+"which is least loosened".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..errors import LatticeError
+from ..model.aggregations import Cardinality
+
+C = Cardinality
+
+#: Covering (child -> parents) relation of the simple lattice, Fig 13(a).
+SIMPLE_COVERS: Dict[Cardinality, Tuple[Cardinality, ...]] = {
+    C.ONE_TO_ONE: (C.ONE_TO_N, C.M_TO_ONE),
+    C.ONE_TO_N: (C.M_TO_N,),
+    C.M_TO_ONE: (C.M_TO_N,),
+    C.M_TO_N: (),
+}
+
+#: Covering relation of the extended lattice, Fig 13(b): each mandatory
+#: constraint is one relaxation step below its non-mandatory counterpart
+#: and below the mandatory constraints that loosen its multiplicities.
+EXTENDED_COVERS: Dict[Cardinality, Tuple[Cardinality, ...]] = {
+    C.MD_ONE_TO_ONE: (C.MD_ONE_TO_N, C.MD_N_TO_ONE, C.ONE_TO_ONE),
+    C.MD_ONE_TO_N: (C.MD_N_TO_N, C.ONE_TO_N),
+    C.MD_N_TO_ONE: (C.MD_N_TO_N, C.M_TO_ONE),
+    C.MD_N_TO_N: (C.M_TO_N,),
+    C.ONE_TO_ONE: (C.ONE_TO_N, C.M_TO_ONE),
+    C.ONE_TO_N: (C.M_TO_N,),
+    C.M_TO_ONE: (C.M_TO_N,),
+    C.M_TO_N: (),
+}
+
+
+class ConstraintLattice:
+    """A lattice of cardinality constraints supporting lcs queries."""
+
+    def __init__(self, covers: Dict[Cardinality, Tuple[Cardinality, ...]]) -> None:
+        self._covers = covers
+        self._ancestors: Dict[Cardinality, FrozenSet[Cardinality]] = {}
+        for node in covers:
+            self._ancestors[node] = self._compute_ancestors(node)
+
+    def _compute_ancestors(self, node: Cardinality) -> FrozenSet[Cardinality]:
+        seen: Set[Cardinality] = {node}  # reflexive: lcs of a node with itself
+        frontier: List[Cardinality] = [node]
+        while frontier:
+            current = frontier.pop()
+            for parent in self._covers[current]:
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        return frozenset(seen)
+
+    # ------------------------------------------------------------------
+    def members(self) -> Tuple[Cardinality, ...]:
+        return tuple(self._covers)
+
+    def __contains__(self, constraint: Cardinality) -> bool:
+        return constraint in self._covers
+
+    def is_super(self, upper: Cardinality, lower: Cardinality) -> bool:
+        """True when *upper* is *lower* or a (transitive) loosening of it."""
+        self._require(lower)
+        self._require(upper)
+        return upper in self._ancestors[lower]
+
+    def common_supers(
+        self, left: Cardinality, right: Cardinality
+    ) -> FrozenSet[Cardinality]:
+        self._require(left)
+        self._require(right)
+        return self._ancestors[left] & self._ancestors[right]
+
+    def lcs(self, left: Cardinality, right: Cardinality) -> Cardinality:
+        """The least common super-node of *left* and *right*.
+
+        The minimum of the common ancestors: the unique common ancestor
+        that every other common ancestor loosens.
+        """
+        common = self.common_supers(left, right)
+        minima = [
+            candidate
+            for candidate in common
+            if all(self.is_super(other, candidate) for other in common)
+        ]
+        if len(minima) != 1:  # pragma: no cover - both figures are lattices
+            raise LatticeError(
+                f"no unique lcs for {left} and {right}: minima {minima}"
+            )
+        return minima[0]
+
+    def lcs_all(self, constraints: Iterable[Cardinality]) -> Cardinality:
+        """Fold :meth:`lcs` over several constraints."""
+        items = list(constraints)
+        if not items:
+            raise LatticeError("lcs_all needs at least one constraint")
+        result = items[0]
+        self._require(result)
+        for constraint in items[1:]:
+            result = self.lcs(result, constraint)
+        return result
+
+    def relaxation_chain(self, constraint: Cardinality) -> List[Cardinality]:
+        """A shortest bottom-up loosening path to the top ``[m:n]``.
+
+        Documents the "loosening the local constraints along the lattice
+        from bottom-up" strategy; used by the ablation benchmark.
+        """
+        self._require(constraint)
+        chain = [constraint]
+        current = constraint
+        while self._covers[current]:
+            current = min(
+                self._covers[current], key=lambda node: len(self._ancestors[node])
+            )
+            chain.append(current)
+        return chain
+
+    def _require(self, constraint: Cardinality) -> None:
+        if constraint not in self._covers:
+            raise LatticeError(
+                f"constraint {constraint} is not a member of this lattice"
+            )
+
+
+#: The simple lattice of Fig 13(a).
+SIMPLE_LATTICE = ConstraintLattice(SIMPLE_COVERS)
+
+#: The extended, mandatory-aware lattice of Fig 13(b).
+EXTENDED_LATTICE = ConstraintLattice(EXTENDED_COVERS)
+
+
+def lcs(left: Cardinality, right: Cardinality) -> Cardinality:
+    """Module-level lcs using the extended lattice (handles all constraints)."""
+    return EXTENDED_LATTICE.lcs(left, right)

@@ -1,0 +1,157 @@
+"""Link integration — Principle 6 and §6.2.
+
+The integration algorithms take "each local link ... implicitly as a
+link in the integrated schema", which can leave the redundant shapes of
+Fig 12: a duplicated is-a edge between two merged pairs (12(a)) and a
+direct edge short-cutting an is-a path (12(b), the edge marked ``*``).
+This module cleans them up and finishes aggregation links:
+
+* :func:`insert_local_links` — pour both schemas' local is-a links into
+  the integrated schema (between the ``IS(...)`` images);
+* :func:`remove_redundant_is_a` — drop every is-a edge for which an
+  alternative longer path exists (transitive reduction of the DAG; both
+  Fig 12 shapes are instances);
+* :func:`finalize_aggregation_ranges` — resolve the pending
+  ``@schema.class`` range tokens recorded during class integration to
+  integrated class names, copying still-unplaced range classes in (the
+  paper's first default strategy applied transitively);
+* :func:`merge_parallel_aggregations` — Principle 6's cardinality
+  resolution for aggregation links declared related: when one integrated
+  class ends up with the two local versions of a merged link (same name,
+  same range), they collapse to one with the lattice lcs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..model.schema import Schema
+from .base import copy_local_class, parse_range_token
+from .lattice import lcs
+from .result import IntegratedSchema
+from .stats import IntegrationStats
+
+
+def insert_local_links(
+    result: IntegratedSchema,
+    schemas: Dict[str, Schema],
+    stats: IntegrationStats,
+) -> List[Tuple[str, str]]:
+    """Insert every local is-a link between the integrated images.
+
+    Links whose endpoints merged into the same integrated class vanish;
+    identical links from the two schemas (Fig 12(a)) deduplicate through
+    :meth:`IntegratedSchema.add_is_a`.
+    """
+    inserted: List[Tuple[str, str]] = []
+    for schema in schemas.values():
+        for child, parent in schema.is_a_links():
+            child_is = result.is_name(schema.name, child)
+            parent_is = result.is_name(schema.name, parent)
+            if child_is is None or parent_is is None or child_is == parent_is:
+                continue
+            if result.add_is_a(child_is, parent_is):
+                stats.is_a_links_inserted += 1
+                inserted.append((child_is, parent_is))
+    return inserted
+
+
+def remove_redundant_is_a(
+    result: IntegratedSchema, stats: IntegrationStats
+) -> List[Tuple[str, str]]:
+    """Transitive reduction: drop edges short-cutting an is-a path.
+
+    An edge ``is_a(A, B)`` is redundant when some path ``A → ... → B`` of
+    length ≥ 2 exists without it — exactly the ``*`` edge of Fig 12(b);
+    Fig 12(a)'s duplicate collapses at insertion already.  Deterministic
+    order (sorted edges) keeps outputs stable.
+    """
+    removed: List[Tuple[str, str]] = []
+    for child, parent in sorted(result.is_a_links()):
+        result.remove_is_a(child, parent)
+        if result.has_is_a_path(child, parent):
+            removed.append((child, parent))
+            stats.is_a_links_removed += 1
+            result.note(f"§6.2: removed redundant is_a({child}, {parent})")
+        else:
+            result.add_is_a(child, parent)
+    return removed
+
+
+def finalize_aggregation_ranges(
+    result: IntegratedSchema, schemas: Dict[str, Schema]
+) -> None:
+    """Resolve pending aggregation range tokens to integrated names.
+
+    A range class never touched by an assertion is copied in on demand
+    (transitive closure of the first default strategy), so aggregation
+    functions always point at real integrated classes.
+    """
+    # Iterate until stable: copying a range class can introduce new
+    # pending tokens (its own aggregations).
+    while True:
+        pending: List[Tuple[str, str]] = []
+        for integrated in result:
+            for aggregation in integrated.aggregations.values():
+                token = parse_range_token(aggregation.range_class)
+                if token is not None:
+                    pending.append(token)
+        if not pending:
+            return
+        for schema_name, class_name in pending:
+            if result.is_name(schema_name, class_name) is None:
+                copy_local_class(result, schemas[schema_name], class_name)
+        for integrated in result:
+            for aggregation in integrated.aggregations.values():
+                token = parse_range_token(aggregation.range_class)
+                if token is not None:
+                    resolved = result.is_name(*token)
+                    if resolved is not None:
+                        aggregation.range_class = resolved
+
+
+def merge_parallel_aggregations(result: IntegratedSchema) -> int:
+    """Collapse same-name/same-range aggregation duplicates via lcs.
+
+    Happens when both local versions of a declared-equivalent link land
+    on one merged class through different code paths; Principle 6 says
+    the survivor carries ``lcs(cc1, cc2)``.  Returns the number of links
+    merged.
+    """
+    merged_count = 0
+    for integrated in result:
+        by_signature: Dict[Tuple[str, str], List[str]] = {}
+        for name, aggregation in integrated.aggregations.items():
+            by_signature.setdefault(
+                (aggregation.name.split("$")[0], aggregation.range_class), []
+            ).append(name)
+        seen: Set[Tuple[str, str]] = set()
+        for (base, range_class), names in by_signature.items():
+            if len(names) < 2 or (base, range_class) in seen:
+                continue
+            seen.add((base, range_class))
+            survivor = integrated.aggregations[names[0]]
+            for other_name in names[1:]:
+                other = integrated.aggregations.pop(other_name)
+                survivor.cardinality = lcs(survivor.cardinality, other.cardinality)
+                survivor.origins = survivor.origins + other.origins
+                merged_count += 1
+                result.note(
+                    f"Principle 6: merged parallel aggregation {other_name} "
+                    f"into {survivor.name} with cc {survivor.cardinality}"
+                )
+    return merged_count
+
+
+def finalize_links(
+    result: IntegratedSchema,
+    schemas: Dict[str, Schema],
+    stats: IntegrationStats,
+    reduce_is_a: bool = True,
+) -> None:
+    """The full §6.2 pass: locals in, redundancy out, ranges resolved."""
+    insert_local_links(result, schemas, stats)
+    if reduce_is_a:
+        remove_redundant_is_a(result, stats)
+    finalize_aggregation_ranges(result, schemas)
+    merge_parallel_aggregations(result)

@@ -1,0 +1,136 @@
+"""Algorithm ``naive_schema_integration`` (§6.1).
+
+The baseline: breadth-first search over *pairs* of nodes, checking every
+pair against the assertion set with no pruning::
+
+    Q := (s1, s2)
+    while Q not empty:
+        (N1, N2) := pop(Q)
+        put all pairs (N1i, N2j), (N1, N2j), (N1i, N2) into Q
+        do the integration according to the assertion between N1 and N2
+
+With O(n) nodes per schema this checks O(n²) pairs — the quantity the
+§6.3 analysis (and benchmark E-C1) compares against the optimized
+algorithm.  A visited-set keeps each pair checked once (the paper's
+queue would otherwise re-enqueue pairs exponentially; the count of
+*distinct* checks is unchanged).
+
+:func:`sull_kashyap_style` is the [33]-flavoured variant the paper
+contrasts in §6: traversal of S1 with a full scan of S2 per node, and
+one is-a link inserted per inclusion assertion with no Fig 8 reduction —
+the baseline for the link-redundancy benchmark (E-L).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Set, Tuple
+
+from ..assertions.assertion_set import AssertionSet
+from ..model.schema import Schema, VIRTUAL_ROOT
+from .base import copy_local_class
+from .dispatch import integrate_pair
+from .link_integration import finalize_links
+from .naming import NamePolicy
+from .result import IntegratedSchema
+from .stats import IntegrationStats
+
+
+def naive_schema_integration(
+    left: Schema,
+    right: Schema,
+    assertions: AssertionSet,
+    policy: Optional[NamePolicy] = None,
+    name: str = "",
+    integrate_links: bool = True,
+) -> Tuple[IntegratedSchema, IntegrationStats]:
+    """Run the naive algorithm; returns (integrated schema, stats)."""
+    result = IntegratedSchema(name or f"IS({left.name},{right.name})", policy)
+    stats = IntegrationStats()
+    applied_derivations: Set[int] = set()
+
+    queue: deque = deque([(VIRTUAL_ROOT, VIRTUAL_ROOT)])
+    visited: Set[Tuple[str, str]] = {(VIRTUAL_ROOT, VIRTUAL_ROOT)}
+
+    while queue:
+        n1, n2 = queue.popleft()
+        children1 = left.children(n1) if n1 == VIRTUAL_ROOT else left.children(n1)
+        children2 = right.children(n2)
+
+        for c1 in children1:
+            for c2 in children2:
+                _enqueue(queue, visited, stats, (c1, c2))
+        if n1 != VIRTUAL_ROOT:
+            for c2 in children2:
+                _enqueue(queue, visited, stats, (n1, c2))
+        if n2 != VIRTUAL_ROOT:
+            for c1 in children1:
+                _enqueue(queue, visited, stats, (c1, n2))
+
+        if n1 == VIRTUAL_ROOT or n2 == VIRTUAL_ROOT:
+            continue
+        stats.pairs_checked += 1
+        integrate_pair(
+            result, assertions, left, right, n1, n2, stats, applied_derivations
+        )
+
+    _finish(result, left, right, stats, integrate_links)
+    return result, stats
+
+
+def sull_kashyap_style(
+    left: Schema,
+    right: Schema,
+    assertions: AssertionSet,
+    policy: Optional[NamePolicy] = None,
+    name: str = "",
+) -> Tuple[IntegratedSchema, IntegrationStats]:
+    """The [33]-style baseline: separate traversals, no link reduction.
+
+    "There, traversal of the two input graphs is completely separated ...
+    for each node in S1, the entire S2 is searched."  Every inclusion
+    assertion contributes its own is-a link (no Fig 8(b) minimization and
+    no §6.2 transitive reduction), so the link-redundancy benchmark can
+    count what the paper's approach avoids.
+    """
+    result = IntegratedSchema(name or f"IS({left.name},{right.name})", policy)
+    stats = IntegrationStats()
+    applied_derivations: Set[int] = set()
+
+    for n1 in left.bfs_order():
+        for n2 in right.bfs_order():
+            stats.pairs_checked += 1
+            integrate_pair(
+                result, assertions, left, right, n1, n2, stats, applied_derivations
+            )
+
+    _finish(result, left, right, stats, integrate_links=False)
+    return result, stats
+
+
+def _enqueue(queue, visited, stats, pair) -> None:
+    if pair in visited:
+        stats.pairs_skipped_visited += 1
+        return
+    visited.add(pair)
+    stats.pairs_enqueued += 1
+    queue.append(pair)
+
+
+def _finish(
+    result: IntegratedSchema,
+    left: Schema,
+    right: Schema,
+    stats: IntegrationStats,
+    integrate_links: bool,
+) -> None:
+    """Defaults and link pass shared with the optimized algorithm."""
+    for schema in (left, right):
+        for class_name in schema.class_names:
+            copy_local_class(result, schema, class_name)
+    finalize_links(
+        result,
+        {left.name: left, right.name: right},
+        stats,
+        reduce_is_a=integrate_links,
+    )

@@ -1,0 +1,83 @@
+"""Naming of integrated concepts — the ``IS(...)`` notation of §5.
+
+The paper writes ``IS(S1•A)`` for the integrated version of class ``A``
+and ``IS_AB`` for the merged version of two equivalent/intersecting
+classes, then notes that a concrete name is *chosen* ("Let 'person' be
+chosen to stand for IS_person,human", Example 6).  :class:`NamePolicy`
+encapsulates that choice:
+
+* merged concepts default to the **left** (first schema's) name, the
+  choice Example 6 makes, overridable per pair;
+* unmatched concepts keep their local name; when the two schemas both
+  contribute an unmatched class of the same name, the right one is
+  disambiguated with its schema prefix (``S2_stock``);
+* intersection parts follow Principle 3's ``A_``, ``B_``, ``A_B``
+  spellings for attributes and ``IS_A-`` / ``IS_B-`` / ``IS_AB`` for the
+  virtual classes, rendered ASCII-safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+Concept = Tuple[str, str]  # (schema name, class name)
+
+
+class NamePolicy:
+    """Chooses display names for integrated concepts.
+
+    Parameters
+    ----------
+    overrides:
+        Mapping of ``(left_name, right_name)`` to the desired merged
+        name, for classes and for attributes alike.
+    """
+
+    def __init__(self, overrides: Optional[Dict[Tuple[str, str], str]] = None) -> None:
+        self._overrides = dict(overrides or {})
+
+    # ------------------------------------------------------------------
+    def merged(self, left_name: str, right_name: str) -> str:
+        """Name for the merged version of two equivalent concepts."""
+        override = self._overrides.get((left_name, right_name))
+        if override:
+            return override
+        return left_name
+
+    def local(self, schema_name: str, class_name: str, taken: bool) -> str:
+        """Name for a copied (unmatched) local concept.
+
+        *taken* flags a collision with an already-placed concept, in
+        which case the schema prefix disambiguates.
+        """
+        return f"{schema_name}_{class_name}" if taken else class_name
+
+    # ------------------------------------------------------------------
+    # Principle 3 spellings
+    # ------------------------------------------------------------------
+    def intersection_class(self, left_name: str, right_name: str) -> str:
+        """``IS_AB`` — the common part of an intersection pair."""
+        override = self._overrides.get((left_name, right_name))
+        if override:
+            return override
+        return f"{left_name}_{right_name}"
+
+    def left_only_class(self, left_name: str, right_name: str) -> str:
+        """``IS_A-`` — the part of A outside B."""
+        return f"{left_name}_only"
+
+    def right_only_class(self, left_name: str, right_name: str) -> str:
+        """``IS_B-`` — the part of B outside A."""
+        return f"{right_name}_only"
+
+    def intersection_attribute(self, left_name: str, right_name: str) -> str:
+        """``a_b`` — the common part of an attribute intersection."""
+        return f"{left_name}_{right_name}"
+
+    def left_only_attribute(self, left_name: str, right_name: str) -> str:
+        """``a_`` — values of a outside b."""
+        return f"{left_name}_only"
+
+    def right_only_attribute(self, left_name: str, right_name: str) -> str:
+        """``b_`` — values of b outside a."""
+        return f"{right_name}_only"

@@ -1,0 +1,373 @@
+"""Algorithms ``schema_integration`` and ``path_labelling`` (§6.1).
+
+The optimized integration algorithm: breadth-first traversal over node
+pairs, with three pruning devices layered on top of the naive control —
+
+1. **assertion-driven pruning** — the switch over ``N1 θ N2`` enqueues
+   only the pair families the semantics cannot derive (observations 1-4:
+   equivalence derives both one-sided families, inclusion derives one,
+   exclusion/derivation derive both, intersection derives neither);
+2. **brother-pair removal** — after ``N1 ≡ N2``, pairs pairing either
+   node with the other's brothers are removed from the queue (line 10);
+3. **label pairs** — every node carries ``(labels, inherited-labels)``;
+   a pair whose label sets intersect crosswise is skipped without an
+   assertion lookup (line 7 / lines 34-35).
+
+``path_labelling`` is the embedded depth-first search fired when a ``⊆``
+pair is met: it walks the superclass's subtree, labels inclusion paths,
+merges on a deep equivalence (lines 10-12), marks assertion-less nodes
+``*`` and, on a terminating node (incompatible assertion or leaf),
+backtracks along the ``*`` trail, undoes the tentative labels and emits
+the single is-a link to the deepest non-``*`` node — realizing Principle
+2's Fig 8(b) minimal-link form dynamically.
+
+Interpretation note (DESIGN.md §5): a *leaf* reached with ``N1 ⊆ leaf``
+also emits ``is_a(IS(N1), IS(leaf))`` — the paper's pseudo-code only
+emits links from the backtracking cases, which would lose the link when
+the deepest ⊆ node has no children at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict, deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..assertions.assertion_set import AssertionSet
+from ..assertions.kinds import ClassKind
+from ..model.schema import Schema, VIRTUAL_ROOT
+from .base import copy_local_class
+from .dispatch import integrate_pair
+from .link_integration import finalize_links
+from .naming import NamePolicy
+from .principle_equivalence import apply_equivalence
+from .result import IntegratedSchema
+from .stats import IntegrationStats
+
+Pair = Tuple[str, str]
+
+#: θ values that terminate a ``path_labelling`` path (the paper lists
+#: {→, ∅, ⊇} in the pseudo-code and adds ∩ in the prose; we follow the
+#: prose — an intersection node cannot extend an inclusion path either).
+_TERMINATING = frozenset(
+    {
+        ClassKind.DERIVATION,
+        ClassKind.EXCLUSION,
+        ClassKind.SUPERSET,
+        ClassKind.INTERSECTION,
+    }
+)
+
+
+class _Side:
+    """Per-schema traversal state: the (labels, inherited) pairs."""
+
+    def __init__(self) -> None:
+        self.labels: Dict[str, Set[int]] = defaultdict(set)
+        self.inherited: Dict[str, Set[int]] = defaultdict(set)
+
+
+def schema_integration(
+    left: Schema,
+    right: Schema,
+    assertions: AssertionSet,
+    policy: Optional[NamePolicy] = None,
+    name: str = "",
+) -> Tuple[IntegratedSchema, IntegrationStats]:
+    """Run the optimized algorithm; returns (integrated schema, stats)."""
+    result = IntegratedSchema(name or f"IS({left.name},{right.name})", policy)
+    stats = IntegrationStats()
+    applied_derivations: Set[int] = set()
+    side1, side2 = _Side(), _Side()
+    label_counter = itertools.count(1)
+
+    queue: deque = deque([(VIRTUAL_ROOT, VIRTUAL_ROOT)])
+    enqueued: Set[Pair] = {(VIRTUAL_ROOT, VIRTUAL_ROOT)}
+    cancelled: Set[Pair] = set()
+
+    def enqueue(pair: Pair) -> None:
+        if pair not in enqueued:
+            enqueued.add(pair)
+            stats.pairs_enqueued += 1
+            queue.append(pair)
+
+    while queue:
+        n1, n2 = queue.popleft()
+        if (n1, n2) in cancelled:
+            stats.pairs_skipped_equivalence += 1
+            continue
+        children1 = left.children(n1)
+        children2 = right.children(n2)
+
+        # line 6: all (N1i, N2j) pairs
+        for c1 in children1:
+            for c2 in children2:
+                enqueue((c1, c2))
+
+        if n1 == VIRTUAL_ROOT or n2 == VIRTUAL_ROOT:
+            # The virtual start node carries no assertion: behave as the
+            # default case and keep both one-sided families reachable.
+            if n1 != VIRTUAL_ROOT:
+                for c2 in children2:
+                    enqueue((n1, c2))
+            if n2 != VIRTUAL_ROOT:
+                for c1 in children1:
+                    enqueue((c1, n2))
+            continue
+
+        # line 7: label test
+        if side1.inherited[n1] & side2.labels[n2]:
+            stats.pairs_skipped_labels += 1
+            for c2 in children2:
+                enqueue((n1, c2))  # line 34
+            continue
+        if side1.labels[n1] & side2.inherited[n2]:
+            stats.pairs_skipped_labels += 1
+            for c1 in children1:
+                enqueue((c1, n2))  # line 35
+            continue
+
+        stats.pairs_checked += 1
+        kind = assertions.kind_of(n1, n2)
+
+        if kind is ClassKind.EQUIVALENCE:
+            integrate_pair(
+                result, assertions, left, right, n1, n2, stats, applied_derivations
+            )
+            # line 10: remove brother pairs — their relationship follows
+            # from the local hierarchy around the merged node.  Pairs
+            # with an explicitly declared assertion are kept: the paper
+            # notes such declarations may exist and should be honoured
+            # rather than silently dropped (cf. observation 3's caveat).
+            for m2 in _brothers(right, n2):
+                if assertions.lookup(n1, m2) is None:
+                    cancelled.add((n1, m2))
+            for m1 in _brothers(left, n1):
+                if assertions.lookup(m1, n2) is None:
+                    cancelled.add((m1, n2))
+        elif kind is ClassKind.SUBSET:
+            label = _path_labelling(
+                n1, n2, left, right, assertions, result, side2,
+                next(label_counter), stats, applied_derivations, flip=False,
+            )
+            side1.inherited[n1] = set(side1.inherited[n1]) | side1.labels[n1] | {label}
+            # lines 14-15, transitively: "all the child nodes ... will
+            # also possess l1·l2" — inheritance reaches every descendant.
+            for descendant in left.descendants(n1):
+                side1.inherited[descendant] |= side1.inherited[n1]
+            for c2 in children2:
+                enqueue((n1, c2))  # line 16
+        elif kind is ClassKind.SUPERSET:
+            label = _path_labelling(
+                n2, n1, left, right, assertions, result, side1,
+                next(label_counter), stats, applied_derivations, flip=True,
+            )
+            side2.inherited[n2] = set(side2.inherited[n2]) | side2.labels[n2] | {label}
+            for descendant in right.descendants(n2):
+                side2.inherited[descendant] |= side2.inherited[n2]
+            for c1 in children1:
+                enqueue((c1, n2))  # line 23
+        elif kind in (ClassKind.EXCLUSION, ClassKind.DERIVATION):
+            integrate_pair(
+                result, assertions, left, right, n1, n2, stats, applied_derivations
+            )
+            # Observation 3: neither one-sided family is enqueued — below
+            # an ∅/→ pair "no clear semantic relationships ... can be
+            # defined".  The paper's safety valve: if the designer *did*
+            # declare an assertion under such a pair, "inform the user
+            # that something is strange" and honour the declaration.
+            for strange_n1, strange_n2 in _declared_below(
+                left, right, n1, n2, assertions
+            ):
+                result.note(
+                    f"WARNING: assertion between {strange_n1!r} and "
+                    f"{strange_n2!r} under the {kind} pair ({n1}, {n2}) — "
+                    f"check it is intended (§6.1 observation 3); honoured."
+                )
+                enqueue((strange_n1, strange_n2))
+        elif kind is ClassKind.INTERSECTION:
+            integrate_pair(
+                result, assertions, left, right, n1, n2, stats, applied_derivations
+            )
+            for c2 in children2:
+                enqueue((n1, c2))  # line 31
+            for c1 in children1:
+                enqueue((c1, n2))
+        else:  # no assertion — line 33
+            for c2 in children2:
+                enqueue((n1, c2))
+            for c1 in children1:
+                enqueue((c1, n2))
+
+    _finish(result, left, right, stats)
+    return result, stats
+
+
+def _declared_below(
+    left: Schema,
+    right: Schema,
+    n1: str,
+    n2: str,
+    assertions: AssertionSet,
+) -> List[Pair]:
+    """Pairs under (n1, n2) for which an assertion *is* declared.
+
+    Checked only when (n1, n2) is an exclusion/derivation pair — the
+    situation §6.1 flags as requiring user confirmation.  Cheap in
+    practice: descendant sets under such pairs are small.
+    """
+    family1 = [n1] + sorted(left.descendants(n1))
+    family2 = [n2] + sorted(right.descendants(n2))
+    declared: List[Pair] = []
+    for d1 in family1:
+        for d2 in family2:
+            if (d1, d2) != (n1, n2) and assertions.lookup(d1, d2) is not None:
+                declared.append((d1, d2))
+    return declared
+
+
+def _brothers(schema: Schema, node: str) -> List[str]:
+    """Brother nodes: other children of *node*'s parents (virtual root
+    included, so top-level classes are brothers too)."""
+    parents = schema.parents(node) or (VIRTUAL_ROOT,)
+    brothers: List[str] = []
+    for parent in parents:
+        for child in schema.children(parent):
+            if child != node and child not in brothers:
+                brothers.append(child)
+    return brothers
+
+
+def _path_labelling(
+    n1: str,
+    n2: str,
+    left: Schema,
+    right: Schema,
+    assertions: AssertionSet,
+    result: IntegratedSchema,
+    target_side: _Side,
+    label: int,
+    stats: IntegrationStats,
+    applied_derivations: Set[int],
+    flip: bool,
+) -> int:
+    """Algorithm ``path_labelling``: DFS from *n2* through the schema that
+    contains it, labelling inclusion paths of *n1*.
+
+    ``flip=False`` means n1 ∈ left / n2 ∈ right (a ``⊆`` pair); ``flip=
+    True`` the reverse (a ``⊇`` pair).  *target_side* is the label state
+    of n2's schema.  Returns the label used.
+    """
+    stats.dfs_calls += 1
+    target_schema = right if not flip else left
+
+    def kind_between(v: str) -> Optional[ClassKind]:
+        return assertions.kind_of(n1, v) if not flip else assertions.kind_of(v, n1)
+
+    def merge(v: str) -> None:
+        lookup = assertions.lookup(n1, v) if not flip else assertions.lookup(v, n1)
+        assert lookup is not None
+        was_new = result.is_name(left.name, n1 if not flip else v) is None
+        apply_equivalence(
+            result, lookup.oriented_assertion(), left, right, assertions
+        )
+        if was_new:
+            stats.classes_merged += 1
+
+    def insert_link(sup: str) -> None:
+        sub_schema = left if not flip else right
+        sub_is = copy_local_class(result, sub_schema, n1).name
+        sup_is = copy_local_class(result, target_schema, sup).name
+        if sub_is != sup_is and not result.has_is_a_path(sub_is, sup_is):
+            if result.add_is_a(sub_is, sup_is):
+                stats.is_a_links_inserted += 1
+                result.note(
+                    f"path_labelling: is_a({sub_is}, {sup_is}) "
+                    f"[deepest ⊆ target of {n1}]"
+                )
+
+    starred: Set[str] = set()
+    visited: Dict[str, bool] = {}
+
+    def undo(star_trail: List[str]) -> None:
+        for node in star_trail:
+            target_side.labels[node].discard(label)
+
+    def visit(v: str, last_sub: Optional[str], star_trail: List[str]) -> bool:
+        """DFS step; returns True when the subtree rooted at *v* contains
+        an inclusion point (a deeper ⊆ or a merged ≡) for n1 — the signal
+        a shallower ⊆ node uses to decide whether it is the deepest
+        target (Principle 2's Fig 8(b) minimality, also on DAGs where
+        branches share descendants)."""
+        if v in visited:
+            return visited[v]
+        visited[v] = False
+        stats.dfs_visits += 1
+        kind = kind_between(v)
+        children = target_schema.children(v)
+
+        if kind is ClassKind.EQUIVALENCE:
+            target_side.labels[v].add(label)
+            merge(v)
+            visited[v] = True
+            return True  # the rest of the path is not searched (line 12)
+        if kind is ClassKind.SUBSET and not flip or kind is ClassKind.SUPERSET and flip:
+            # n1 ⊆ v — extend the inclusion path.
+            target_side.labels[v].add(label)
+            deeper = False
+            for child in children:
+                deeper = visit(child, v, []) or deeper
+            if not deeper:
+                insert_link(v)  # v is the deepest ⊆ target on this branch
+            visited[v] = True
+            return True
+        if kind in _TERMINATING or (
+            kind in (ClassKind.SUBSET, ClassKind.SUPERSET)
+        ):
+            # Incompatible assertion (lines 13-18): undo the * trail;
+            # the deepest ⊆ node above links itself when no branch of its
+            # subtree reports an inclusion point.
+            undo(star_trail)
+            if kind in (ClassKind.EXCLUSION, ClassKind.DERIVATION):
+                integrate_pair(
+                    result, assertions, left, right,
+                    n1 if not flip else v, v if not flip else n1,
+                    stats, applied_derivations,
+                )
+            return False
+        # default: no assertion — mark with * (lines 19-25)
+        starred.add(v)
+        target_side.labels[v].add(label)
+        if children:
+            deeper = False
+            for child in children:
+                deeper = visit(child, last_sub, star_trail + [v]) or deeper
+            if not deeper:
+                undo([v])
+            visited[v] = deeper
+            return deeper
+        undo(star_trail + [v])
+        return False
+
+    # n2 itself satisfies n1 ⊆ n2 (that is why we were called).
+    target_side.labels[n2].add(label)
+    stats.dfs_visits += 1
+    visited[n2] = True
+    deeper_below_n2 = False
+    for child in target_schema.children(n2):
+        deeper_below_n2 = visit(child, n2, []) or deeper_below_n2
+    if not deeper_below_n2:
+        insert_link(n2)
+    return label
+
+
+def _finish(
+    result: IntegratedSchema,
+    left: Schema,
+    right: Schema,
+    stats: IntegrationStats,
+) -> None:
+    for schema in (left, right):
+        for class_name in schema.class_names:
+            copy_local_class(result, schema, class_name)
+    finalize_links(result, {left.name: left, right.name: right}, stats)

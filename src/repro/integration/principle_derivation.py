@@ -1,0 +1,243 @@
+"""Principle 5: integration of derivation assertions (§5, Examples 9-11).
+
+Given ``S1(A1, ..., An) → S2.B``, the principle constructs a derivation
+rule ``B' ⇐ A1', ..., An', p1, ..., pl`` whose O-terms share variables
+exactly where the assertion's correspondences link paths::
+
+    if S1(A1, ..., An) → S2.B then
+        construct an assertion graph G;
+        mark each connected subgraph Gj with xj;
+        construct a hyperedge per predicate pi;
+        for each Gj: generate reverse substitution θj;
+        for each he(pi): generate reverse substitution δi;
+        generate  Bθ1...θj ⇐ {A1, ..., An}θ1...θj, {p1, ...}δ1...δi
+
+Worked through Example 9 this yields the paper's uncle rule; through the
+decomposed Fig 10 assertions, the car-price rules of Example 10; and for
+class-to-path equivalences (``S1.Book ≡ S2.Author.book``), the simpler
+aggregation-style rules of Example 11.
+
+Implementation notes (also recorded in DESIGN.md §5):
+
+* decomposition (the paper's manual pre-step) is automated via
+  :func:`repro.assertions.decompose.decompose`;
+* reverse substitutions for hyperedge predicates are keyed by the node's
+  *full path* rather than its bare attribute name — the paper's keying by
+  name is ambiguous when two classes share an attribute name; the
+  mechanism is otherwise identical;
+* a head object variable that does not occur in the body (the virtual
+  ``o1`` of the uncle rule) is skolemized at compile time so the rule is
+  evaluable (see :meth:`repro.logic.rules.Rule.compile`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..assertions.class_assertions import ClassAssertion
+from ..assertions.decompose import decompose
+from ..assertions.graph import AssertionGraph, Hyperedge
+from ..assertions.kinds import ClassKind
+from ..assertions.paths import Path
+from ..errors import IntegrationError
+from ..logic.atoms import Comparison
+from ..logic.oterms import OTerm
+from ..logic.reverse_substitution import ReverseSubstitution
+from ..logic.rules import BodyItem, Rule
+from ..logic.safety import violations
+from ..logic.terms import Constant, Variable, VariableFactory
+from ..model.schema import Schema
+from .base import copy_local_class
+from .result import IntegratedSchema
+
+Key = Union[Constant, Variable]
+
+
+class _Templates:
+    """O-term templates for the classes of one derivation assertion.
+
+    Each class gets an object variable (``o1`` for the target, ``o2``...
+    for sources) and one binding per assertion-graph node rooted at it;
+    the per-node value variables are placeholders that the component
+    reverse substitutions replace wholesale.
+    """
+
+    def __init__(
+        self,
+        assertion: ClassAssertion,
+        graph: AssertionGraph,
+        result: IntegratedSchema,
+    ) -> None:
+        self.node_key: Dict[Path, Key] = {}
+        object_counter = 1
+        self._templates: Dict[Tuple[str, str], OTerm] = {}
+
+        concepts = [(assertion.right_schema, assertion.target_class)]
+        concepts += [(p.schema, p.class_name) for p in assertion.sources]
+        placeholders = VariableFactory(prefix="v")
+        for schema_name, class_name in concepts:
+            integrated_name = result.require_is(schema_name, class_name)
+            object_var = Variable(f"o{object_counter}")
+            object_counter += 1
+            bindings: List[Tuple[str, Variable]] = []
+            for node in graph.nodes:
+                if node.schema != schema_name or node.class_name != class_name:
+                    continue
+                if node.is_class_path:
+                    self.node_key[node] = object_var
+                    continue
+                if node.name_reference:
+                    # The node denotes the member *name* itself; its
+                    # binding key is that name constant (paper, step (i)).
+                    self.node_key[node] = Constant(node.canonical())
+                    continue
+                value_var = placeholders.fresh_named(
+                    node.descriptor.replace(".", "_")
+                )
+                bindings.append((node.descriptor, value_var))
+                self.node_key[node] = value_var
+            self._templates[(schema_name, class_name)] = OTerm(
+                object_var, integrated_name, tuple(bindings)
+            )
+
+    def template(self, schema_name: str, class_name: str) -> OTerm:
+        return self._templates[(schema_name, class_name)]
+
+
+def component_substitution(
+    component: Tuple[Path, ...],
+    templates: _Templates,
+    variable: Variable,
+) -> ReverseSubstitution:
+    """Method (i): the reverse substitution θ for one connected subgraph.
+
+    Every node's binding key (its placeholder value variable, its object
+    variable for class-path nodes, or its name constant) maps to the
+    component's marker variable.
+    """
+    bindings: Dict[Key, Variable] = {}
+    for node in component:
+        key = templates.node_key[node]
+        bindings[key] = variable
+    return ReverseSubstitution(bindings)
+
+
+def hyperedge_substitution(
+    hyperedge: Hyperedge,
+    component_of: Dict[Path, Variable],
+) -> ReverseSubstitution:
+    """Method (ii): the reverse substitution δ for one hyperedge.
+
+    Maps each member node's *path constant* — the token the predicate
+    mentions — to the variable marking that node's component, so the
+    predicate shares the variable the O-terms use.
+    """
+    bindings: Dict[Key, Variable] = {}
+    for node in hyperedge.nodes:
+        bindings[Constant(node.canonical())] = component_of[node]
+    return ReverseSubstitution(bindings)
+
+
+def build_rule(
+    assertion: ClassAssertion,
+    result: IntegratedSchema,
+    variables: Optional[VariableFactory] = None,
+) -> Rule:
+    """Generate the derivation rule of one *decomposed* assertion."""
+    graph = AssertionGraph(assertion)
+    templates = _Templates(assertion, graph, result)
+    variables = variables or VariableFactory(prefix="x")
+
+    component_of: Dict[Path, Variable] = {}
+    thetas: List[ReverseSubstitution] = []
+    for component in graph.components():
+        marker = variables.fresh()
+        thetas.append(component_substitution(component, templates, marker))
+        for node in component:
+            component_of[node] = marker
+
+    head = templates.template(assertion.right_schema, assertion.target_class)
+    body_oterms = [
+        templates.template(path.schema, path.class_name) for path in assertion.sources
+    ]
+    for theta in thetas:
+        head = head.apply_reverse(theta)
+        body_oterms = [oterm.apply_reverse(theta) for oterm in body_oterms]
+
+    predicates: List[Comparison] = []
+    for hyperedge in graph.hyperedges:
+        delta = hyperedge_substitution(hyperedge, component_of)
+        raw = Comparison(
+            hyperedge.op,
+            Constant(hyperedge.nodes[0].canonical()),
+            Constant(hyperedge.constant),
+        )
+        predicates.append(raw.apply_reverse(delta))
+
+    body: List[BodyItem] = [BodyItem(oterm) for oterm in body_oterms]
+    body += [BodyItem(predicate) for predicate in predicates]
+    return Rule.of(head, body, name=f"derivation:{assertion.head()}")
+
+
+def apply_derivation(
+    result: IntegratedSchema,
+    assertion: ClassAssertion,
+    left: Schema,
+    right: Schema,
+    variables: Optional[VariableFactory] = None,
+) -> List[Rule]:
+    """Apply Principle 5 to one derivation assertion.
+
+    Decomposes first, places all involved classes, generates one rule per
+    decomposed assertion, safety-checks each (unsafe or schematic rules
+    are kept with ``evaluable=False`` and a logged explanation), and
+    returns the generated rules.
+    """
+    if assertion.kind is not ClassKind.DERIVATION:
+        raise IntegrationError(
+            f"Principle 5 applies to derivation assertions, got {assertion.kind}"
+        )
+    for path in assertion.sources:
+        copy_local_class(result, left, path.class_name)
+    copy_local_class(result, right, assertion.target_class)
+
+    rules: List[Rule] = []
+    for part in decompose(assertion):
+        rule = build_rule(part, result, variables)
+        evaluable = True
+        problems: List[str] = []
+        for compiled in _try_compile(rule):
+            problems.extend(violations(compiled))
+        if _is_schematic(rule):
+            evaluable = False
+            result.note(
+                f"Principle 5: rule for {part.head()} is schematic "
+                f"(name variables remain); kept as documentation"
+            )
+        elif problems:
+            evaluable = False
+            result.note(
+                f"Principle 5: rule for {part.head()} is unsafe: "
+                + "; ".join(problems)
+            )
+        result.add_rule(rule, principle="P5", evaluable=evaluable)
+        rules.append(rule)
+        result.note(f"Principle 5: {rule}")
+    return rules
+
+
+def _is_schematic(rule: Rule) -> bool:
+    for element in rule.heads:
+        if isinstance(element, OTerm) and element.is_schematic():
+            return True
+    for item in rule.body:
+        if isinstance(item.element, OTerm) and item.element.is_schematic():
+            return True
+    return False
+
+
+def _try_compile(rule: Rule):
+    try:
+        return rule.compile()
+    except Exception:  # schematic rules cannot compile; handled separately
+        return []

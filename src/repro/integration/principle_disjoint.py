@@ -1,0 +1,222 @@
+"""Principle 4: integration of disjoint (exclusion) assertions (§5).
+
+An assertion ``S1.A ∅ S2.B`` "is meaningful only in the case where there
+are two object classes A' and B' such that ``S1.A' ≡ S2.B'`` and
+``<A: A'>`` and ``<B: B'>`` hold" — disjointness is declared between
+subclasses of a merged common superclass (Fig 4(d): man ∅ woman under
+person ≡ human).  Three rule shapes arise:
+
+1. the simple complement rule::
+
+       <x: IS(S2.B)> ⇐ <x: IS(S1.A')>, ¬<x: IS(S1.A)>
+
+2. the generalized (disjunctive) rule for families
+   ``S1.Ai ∅ S2.Bj`` — disjunctive heads are not evaluable by a datalog
+   engine, so the rule is recorded with ``evaluable=False`` unless the
+   head is a single class;
+
+3. the reverse-aggregation variant: ``f ℵ g`` between the disjoint
+   classes produces the symmetric pair of rules that define the merged
+   function ``IS_fg`` in both directions (man.spouse / woman.spouse).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..assertions.assertion_set import AssertionSet
+from ..assertions.class_assertions import ClassAssertion
+from ..assertions.kinds import AggregationKind, ClassKind
+from ..errors import IntegrationError
+from ..logic.oterms import OTerm
+from ..logic.rules import BodyItem, Rule
+from ..model.schema import Schema
+from .base import copy_local_class
+from .result import IntegratedSchema
+
+
+def find_equivalent_parents(
+    assertions: AssertionSet,
+    left: Schema,
+    right: Schema,
+    a_name: str,
+    b_name: str,
+) -> Optional[Tuple[str, str]]:
+    """The context pair (A', B') required by Principle 4, or None.
+
+    Searches the local ancestor sets of A and B for a pair related by an
+    equivalence assertion; nearer ancestors win.
+    """
+    a_line = _by_depth(left, a_name)
+    b_ancestors = set(right.ancestors(b_name))
+    for a_parent in a_line:
+        for b_parent in sorted(b_ancestors):
+            if assertions.kind_of(a_parent, b_parent) is ClassKind.EQUIVALENCE:
+                return (a_parent, b_parent)
+    return None
+
+
+def _by_depth(schema: Schema, class_name: str) -> List[str]:
+    """Strict ancestors of *class_name*, nearest first."""
+    seen: List[str] = []
+    frontier = list(schema.parents(class_name))
+    while frontier:
+        next_frontier: List[str] = []
+        for parent in frontier:
+            if parent not in seen:
+                seen.append(parent)
+                next_frontier.extend(schema.parents(parent))
+        frontier = next_frontier
+    return seen
+
+
+def apply_disjoint(
+    result: IntegratedSchema,
+    assertion: ClassAssertion,
+    left: Schema,
+    right: Schema,
+    assertions: Optional[AssertionSet] = None,
+) -> List[Rule]:
+    """Apply Principle 4 to one oriented ``A ∅ B`` assertion.
+
+    Generates the simple complement rule when the (A', B') context exists
+    and the merged parent is already placed, plus reverse-aggregation
+    rules for any ℵ correspondences.  Without a context the assertion
+    only forces both classes to be copied (and a note is logged) — the
+    paper calls such an assertion meaningless.
+    """
+    if assertion.kind is not ClassKind.EXCLUSION:
+        raise IntegrationError(
+            f"Principle 4 applies to exclusion assertions, got {assertion.kind}"
+        )
+    a_name = assertion.source.class_name
+    b_name = assertion.target.class_name
+    is_a = copy_local_class(result, left, a_name)
+    is_b = copy_local_class(result, right, b_name)
+    generated: List[Rule] = []
+
+    context = (
+        find_equivalent_parents(assertions, left, right, a_name, b_name)
+        if assertions is not None
+        else None
+    )
+    if context is not None:
+        a_parent, b_parent = context
+        merged_parent = result.is_name(left.name, a_parent)
+        if merged_parent is not None:
+            rule = Rule.of(
+                OTerm.of("?x", is_b.name),
+                [
+                    BodyItem(OTerm.of("?x", merged_parent)),
+                    BodyItem(OTerm.of("?x", is_a.name), positive=False),
+                ],
+                name=f"{is_b.name}-complement",
+            )
+            result.add_rule(rule, principle="P4")
+            generated.append(rule)
+            result.note(
+                f"Principle 4: {is_b.name} ⇐ {merged_parent} \\ {is_a.name} "
+                f"[context {a_parent} ≡ {b_parent}]"
+            )
+    else:
+        result.note(
+            f"Principle 4: no equivalent-parent context for "
+            f"{left.name}.{a_name} ∅ {right.name}.{b_name}; classes copied only"
+        )
+
+    # ------------------------------------------------------------------
+    # reverse-aggregation variant
+    # ------------------------------------------------------------------
+    for corr in assertion.aggregation_corrs:
+        if corr.kind is not AggregationKind.REVERSE:
+            continue
+        merged_fg = result.policy.merged(corr.left_function, corr.right_function)
+        # The heads derive only the merged function's *values* — the
+        # paper's own IS_fg definition maps existing objects, and letting
+        # the reverse rule re-derive class membership would put negation
+        # (from the complement rule) inside a recursive cycle.
+        from ..logic.atoms import Atom
+        from ..logic.oterms import att_predicate
+
+        forward = Rule.of(
+            Atom.of(att_predicate(is_b.name, merged_fg), "?x", "?y"),
+            [OTerm.of("?y", is_a.name, {merged_fg: "?x"})],
+            name=f"{merged_fg}-reverse-fwd",
+        )
+        backward = Rule.of(
+            Atom.of(att_predicate(is_a.name, merged_fg), "?y", "?x"),
+            [OTerm.of("?x", is_b.name, {merged_fg: "?y"})],
+            name=f"{merged_fg}-reverse-bwd",
+        )
+        result.add_rule(forward, principle="P4")
+        result.add_rule(backward, principle="P4")
+        generated.extend((forward, backward))
+        result.note(
+            f"Principle 4: reverse aggregation {corr.left_function} ℵ "
+            f"{corr.right_function} merged as {merged_fg} (symmetric rules)"
+        )
+    return generated
+
+
+def apply_disjoint_family(
+    result: IntegratedSchema,
+    family: Sequence[ClassAssertion],
+    left: Schema,
+    right: Schema,
+    assertions: AssertionSet,
+) -> Optional[Rule]:
+    """The generalized rule for ``S1.Ai ∅ S2.Bj`` families (§5).
+
+    All assertions must share one equivalent-parent context (A, B) with
+    ``IS(S1.A) ≡ IS(S2.B)`` already merged.  Produces::
+
+        <x: IS(B1)> ∨ ... ∨ <x: IS(Bm)> ⇐
+            <x: IS(A)>, ¬<x: IS(A1)>, ..., ¬<x: IS(An)>
+
+    which is recorded ``evaluable=False`` when m > 1 (disjunction) and
+    evaluable otherwise.  Returns the rule, or None when no shared
+    context exists.
+    """
+    if not family:
+        return None
+    contexts = set()
+    a_classes: List[str] = []
+    b_classes: List[str] = []
+    for assertion in family:
+        context = find_equivalent_parents(
+            assertions, left, right,
+            assertion.source.class_name, assertion.target.class_name,
+        )
+        if context is None:
+            return None
+        contexts.add(context)
+        if assertion.source.class_name not in a_classes:
+            a_classes.append(assertion.source.class_name)
+        if assertion.target.class_name not in b_classes:
+            b_classes.append(assertion.target.class_name)
+    if len(contexts) != 1:
+        return None
+    a_parent, _ = next(iter(contexts))
+    merged_parent = result.is_name(left.name, a_parent)
+    if merged_parent is None:
+        return None
+
+    heads = tuple(
+        OTerm.of("?x", copy_local_class(result, right, b).name) for b in b_classes
+    )
+    body: List[BodyItem] = [BodyItem(OTerm.of("?x", merged_parent))]
+    for a_class in a_classes:
+        body.append(
+            BodyItem(
+                OTerm.of("?x", copy_local_class(result, left, a_class).name),
+                positive=False,
+            )
+        )
+    rule = Rule.of(heads, body, name="disjoint-family")
+    result.add_rule(rule, principle="P4", evaluable=len(heads) == 1)
+    result.note(
+        f"Principle 4 (generalized): {len(heads)}-way head over "
+        f"{merged_parent} minus {len(a_classes)} classes"
+        + ("" if len(heads) == 1 else " — disjunctive, not evaluable")
+    )
+    return rule

@@ -1,0 +1,363 @@
+"""Principle 1: integration of equivalence assertions (§5).
+
+Two equivalent classes merge into one integrated class ``IS_AB``; their
+members integrate according to the attribute / aggregation
+correspondences of the assertion:
+
+=============  ======================================================
+θ for (a, b)   effect on ``IS_AB``
+=============  ======================================================
+≡, ⊇, ⊆        one attribute ``IS_ab``; ``value_set := vs(a) ∪ vs(b)``
+∩              three attributes ``a_`` (``vs(a)/vs(b)``), ``b_``
+               (``vs(b)/vs(a)``), ``a_b`` (``vs(a) ∩ vs(b)``)
+∅              both attributes, kept apart
+α(z)           one new attribute ``z``; values via ``cancatenation``
+β              only the more specific attribute (the left one)
+=============  ======================================================
+
+=============  ======================================================
+θ for (f, g)   effect on ``IS_AB``
+=============  ======================================================
+ℵ              both functions, with their local cc's
+≡, ⊇, ⊆, ∩     merged ``IS_fg`` when the range classes are related by
+               ≡ or ∩; cardinality from Principle 6 (lattice lcs)
+∅              both functions, with their local cc's
+=============  ======================================================
+
+Unmentioned members follow the second default strategy: "regard them as
+being semantically disjointed ... simply accumulated into the
+corresponding integrated class."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from ..assertions.assertion_set import AssertionSet
+from ..assertions.class_assertions import ClassAssertion
+from ..assertions.kinds import AggregationKind, AttributeKind, ClassKind
+from ..errors import IntegrationError
+from ..model.schema import Schema
+from .base import copy_local_class, local_range_token, member_kind_lookup
+from .lattice import lcs
+from .result import (
+    IntegratedAggregation,
+    IntegratedAttribute,
+    IntegratedClass,
+    IntegratedSchema,
+    ValueSetOp,
+    ValueSetSpec,
+)
+
+#: Attribute kinds merged into a single attribute with a union value set.
+_UNION_KINDS = frozenset(
+    {AttributeKind.EQUIVALENCE, AttributeKind.SUBSET, AttributeKind.SUPERSET}
+)
+
+#: Aggregation kinds eligible for merging (the paper lists ≡, ⊇, ∩; we
+#: include ⊆ for symmetry and document the extension in DESIGN.md).
+_MERGE_AGG_KINDS = frozenset(
+    {
+        AggregationKind.EQUIVALENCE,
+        AggregationKind.SUPERSET,
+        AggregationKind.SUBSET,
+        AggregationKind.INTERSECTION,
+    }
+)
+
+#: Range-class relationships that allow aggregation merging.
+_RANGE_OK = frozenset({ClassKind.EQUIVALENCE, ClassKind.INTERSECTION})
+
+
+def apply_equivalence(
+    result: IntegratedSchema,
+    assertion: ClassAssertion,
+    left: Schema,
+    right: Schema,
+    assertions: Optional[AssertionSet] = None,
+) -> IntegratedClass:
+    """Merge the two classes of an (oriented) equivalence *assertion*.
+
+    *assertion* must be oriented ``left.name → right.name``.  The
+    assertion set, when given, supplies range-class relationships for
+    aggregation merging.  Idempotent per class pair.
+    """
+    if assertion.kind is not ClassKind.EQUIVALENCE:
+        raise IntegrationError(
+            f"Principle 1 applies to equivalence assertions, got {assertion.kind}"
+        )
+    a_name = assertion.source.class_name
+    b_name = assertion.target.class_name
+    already_left = result.is_name(left.name, a_name)
+    already_right = result.is_name(right.name, b_name)
+    if already_left is not None and already_right is not None:
+        return result.cls(already_left)
+    if already_left is not None:
+        # Transitivity: A is merged already (A ≡ B' earlier); absorb B.
+        return _absorb(
+            result, result.cls(already_left), assertion,
+            right.effective_class(b_name), right.name, b_name, from_left=False,
+        )
+    if already_right is not None:
+        return _absorb(
+            result, result.cls(already_right), assertion,
+            left.effective_class(a_name), left.name, a_name, from_left=True,
+        )
+
+    class_a = left.effective_class(a_name)
+    class_b = right.effective_class(b_name)
+    merged_name = result.policy.merged(a_name, b_name)
+    if merged_name in result:
+        merged_name = f"{left.name}_{merged_name}"
+    merged = IntegratedClass(
+        name=merged_name,
+        origins=((left.name, a_name), (right.name, b_name)),
+    )
+    result.add_class(merged)
+    result.note(f"merged {left.name}.{a_name} ≡ {right.name}.{b_name} as {merged_name}")
+
+    attr_corrs, agg_corrs = member_kind_lookup(assertion)
+    used_right_attrs: Set[str] = set()
+    used_right_aggs: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # attribute pairs with a declared correspondence
+    # ------------------------------------------------------------------
+    for attribute in class_a.attributes:
+        corr = attr_corrs.get(attribute.name)
+        if corr is None:
+            continue
+        b_attr = corr.right.descriptor
+        used_right_attrs.add(b_attr)
+        origin_a = (left.name, a_name, attribute.name)
+        origin_b = (right.name, b_name, b_attr)
+        if corr.kind in _UNION_KINDS:
+            name = result.policy.merged(attribute.name, b_attr)
+            _add_attr(
+                result, merged, name,
+                ValueSetSpec(ValueSetOp.UNION, origin_a, origin_b),
+                (origin_a, origin_b),
+            )
+            result.re_mapping.record(name, left.name, a_name, attribute.name)
+            result.re_mapping.record(name, right.name, b_name, b_attr)
+        elif corr.kind is AttributeKind.INTERSECTION:
+            only_a = result.policy.left_only_attribute(attribute.name, b_attr)
+            only_b = result.policy.right_only_attribute(attribute.name, b_attr)
+            both = result.policy.intersection_attribute(attribute.name, b_attr)
+            _add_attr(result, merged, only_a,
+                      ValueSetSpec(ValueSetOp.DIFFERENCE, origin_a, origin_b),
+                      (origin_a,))
+            _add_attr(result, merged, only_b,
+                      ValueSetSpec(ValueSetOp.DIFFERENCE, origin_b, origin_a),
+                      (origin_b,))
+            _add_attr(result, merged, both,
+                      ValueSetSpec(ValueSetOp.INTERSECTION, origin_a, origin_b),
+                      (origin_a, origin_b))
+            result.re_mapping.record(both, left.name, a_name, attribute.name)
+            result.re_mapping.record(both, right.name, b_name, b_attr)
+        elif corr.kind is AttributeKind.EXCLUSION:
+            _accumulate_attribute(result, merged, origin_a)
+            _accumulate_attribute(result, merged, origin_b)
+        elif corr.kind is AttributeKind.COMPOSED_INTO:
+            assert corr.composed_name is not None
+            _add_attr(
+                result, merged, corr.composed_name,
+                ValueSetSpec(ValueSetOp.CONCATENATION, origin_a, origin_b),
+                (origin_a, origin_b),
+                note="composed-into α",
+            )
+        elif corr.kind is AttributeKind.MORE_SPECIFIC:
+            # Keep only the more specific attribute (left, by orientation
+            # convention: declare ``a β b`` with a the more specific).
+            _add_attr(result, merged, attribute.name,
+                      ValueSetSpec(ValueSetOp.LOCAL, origin_a),
+                      (origin_a,), note="more-specific-than β")
+            result.re_mapping.record(attribute.name, left.name, a_name, attribute.name)
+        else:  # pragma: no cover - enum is closed
+            raise IntegrationError(f"unhandled attribute kind {corr.kind}")
+
+    # ------------------------------------------------------------------
+    # aggregation pairs with a declared correspondence
+    # ------------------------------------------------------------------
+    for aggregation in class_a.aggregations:
+        corr = agg_corrs.get(aggregation.name)
+        if corr is None:
+            continue
+        g_name = corr.right.descriptor
+        used_right_aggs.add(g_name)
+        agg_b = class_b.aggregation(g_name)
+        origin_f = (left.name, a_name, aggregation.name)
+        origin_g = (right.name, b_name, g_name)
+        if corr.kind is AggregationKind.REVERSE or corr.kind is AggregationKind.EXCLUSION:
+            _accumulate_aggregation(result, merged, left.name, a_name, aggregation)
+            _accumulate_aggregation(result, merged, right.name, b_name, agg_b)
+        elif corr.kind in _MERGE_AGG_KINDS:
+            range_kind = (
+                assertions.kind_of(aggregation.range_class, agg_b.range_class)
+                if assertions is not None
+                else None
+            )
+            same_range = (
+                aggregation.range_class == agg_b.range_class
+                and left.name != right.name
+            )
+            if range_kind in _RANGE_OK or (range_kind is None and same_range):
+                name = result.policy.merged(aggregation.name, g_name)
+                merged.add_aggregation(
+                    IntegratedAggregation(
+                        name=name,
+                        range_class=local_range_token(left.name, aggregation.range_class),
+                        cardinality=lcs(aggregation.cardinality, agg_b.cardinality),
+                        origins=(origin_f, origin_g),
+                    )
+                )
+                result.note(
+                    f"merged aggregation {aggregation.name}/{g_name} with cc "
+                    f"lcs({aggregation.cardinality}, {agg_b.cardinality})"
+                )
+            else:
+                result.note(
+                    f"aggregations {aggregation.name}/{g_name} declared "
+                    f"{corr.kind} but range classes unrelated; accumulated"
+                )
+                _accumulate_aggregation(result, merged, left.name, a_name, aggregation)
+                _accumulate_aggregation(result, merged, right.name, b_name, agg_b)
+        else:  # pragma: no cover - enum is closed
+            raise IntegrationError(f"unhandled aggregation kind {corr.kind}")
+
+    # ------------------------------------------------------------------
+    # default strategy 2: accumulate unmentioned members
+    # ------------------------------------------------------------------
+    for attribute in class_a.attributes:
+        if attribute.name not in attr_corrs:
+            _accumulate_attribute(result, merged, (left.name, a_name, attribute.name))
+    for attribute in class_b.attributes:
+        if attribute.name not in used_right_attrs and not _is_right_target(
+            attr_corrs, attribute.name
+        ):
+            _accumulate_attribute(result, merged, (right.name, b_name, attribute.name))
+    for aggregation in class_a.aggregations:
+        if aggregation.name not in agg_corrs:
+            _accumulate_aggregation(result, merged, left.name, a_name, aggregation)
+    for aggregation in class_b.aggregations:
+        if aggregation.name not in used_right_aggs and not _is_right_target(
+            agg_corrs, aggregation.name
+        ):
+            _accumulate_aggregation(result, merged, right.name, b_name, aggregation)
+
+    return merged
+
+
+def _absorb(
+    result: IntegratedSchema,
+    merged: IntegratedClass,
+    assertion: ClassAssertion,
+    newcomer,
+    newcomer_schema: str,
+    newcomer_class: str,
+    from_left: bool,
+) -> IntegratedClass:
+    """Fold one more equivalent local class into an existing merge.
+
+    Happens when equivalence chains across rounds or operands make a
+    class equivalent to an already-merged pair (A ≡ B, A ≡ C).  Member
+    correspondences extend the matching integrated attributes' origins;
+    unmatched members accumulate under the default strategy.
+    """
+    result.map_origin(newcomer_schema, newcomer_class, merged.name)
+    result.note(
+        f"absorbed {newcomer_schema}.{newcomer_class} into {merged.name} "
+        f"(transitive equivalence)"
+    )
+    corr_of: dict = {}
+    for corr in assertion.attribute_corrs:
+        key = corr.right.descriptor if not from_left else corr.left.descriptor
+        anchor = corr.left.descriptor if not from_left else corr.right.descriptor
+        corr_of[key] = anchor
+    anchor_schema = assertion.left_schema if not from_left else assertion.right_schema
+    for attribute in newcomer.attributes:
+        origin = (newcomer_schema, newcomer_class, attribute.name)
+        anchor_name = corr_of.get(attribute.name)
+        target = None
+        if anchor_name is not None:
+            for existing in merged.attributes.values():
+                if any(
+                    s == anchor_schema and a == anchor_name
+                    for s, _, a in existing.origins
+                ):
+                    target = existing
+                    break
+        if target is not None:
+            if origin not in target.origins:
+                target.origins = target.origins + (origin,)
+            result.re_mapping.record(
+                target.name, newcomer_schema, newcomer_class, attribute.name
+            )
+        elif not merged.attributes.get(attribute.name) and not merged.aggregations.get(
+            attribute.name
+        ):
+            _accumulate_attribute(result, merged, origin)
+    for aggregation in newcomer.aggregations:
+        existing = merged.aggregations.get(aggregation.name)
+        if existing is not None:
+            origin = (newcomer_schema, newcomer_class, aggregation.name)
+            if origin not in existing.origins:
+                existing.origins = existing.origins + (origin,)
+                existing.cardinality = lcs(existing.cardinality, aggregation.cardinality)
+        else:
+            _accumulate_aggregation(
+                result, merged, newcomer_schema, newcomer_class, aggregation
+            )
+    return merged
+
+
+def _is_right_target(corrs, member_name: str) -> bool:
+    return any(corr.right.descriptor == member_name for corr in corrs.values())
+
+
+def _add_attr(
+    result: IntegratedSchema,
+    merged: IntegratedClass,
+    name: str,
+    spec: ValueSetSpec,
+    origins: Tuple[Tuple[str, str, str], ...],
+    note: str = "",
+) -> None:
+    if name in merged.attributes or name in merged.aggregations:
+        name = f"{origins[0][0]}_{name}"
+    merged.add_attribute(IntegratedAttribute(name, spec, origins, note))
+
+
+def _accumulate_attribute(
+    result: IntegratedSchema,
+    merged: IntegratedClass,
+    origin: Tuple[str, str, str],
+) -> None:
+    schema_name, class_name, attr_name = origin
+    name = attr_name
+    if name in merged.attributes or name in merged.aggregations:
+        name = f"{schema_name}_{attr_name}"
+    merged.add_attribute(
+        IntegratedAttribute(name, ValueSetSpec(ValueSetOp.LOCAL, origin), (origin,))
+    )
+    result.re_mapping.record(name, schema_name, class_name, attr_name)
+
+
+def _accumulate_aggregation(
+    result: IntegratedSchema,
+    merged: IntegratedClass,
+    schema_name: str,
+    class_name: str,
+    aggregation,
+) -> None:
+    name = aggregation.name
+    if name in merged.attributes or name in merged.aggregations:
+        name = f"{schema_name}_{aggregation.name}"
+    merged.add_aggregation(
+        IntegratedAggregation(
+            name=name,
+            range_class=local_range_token(schema_name, aggregation.range_class),
+            cardinality=aggregation.cardinality,
+            origins=((schema_name, class_name, aggregation.name),),
+        )
+    )

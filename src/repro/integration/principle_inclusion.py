@@ -1,0 +1,132 @@
+"""Principle 2: integration of inclusion assertions (§5, Fig 8).
+
+The basic form inserts one is-a link::
+
+    if S1.A ⊆ S2.B then insert is_a(IS(A), IS(B)) into S
+
+The generalized form avoids redundant links when ``A`` is included in a
+whole chain ``B1 ⊇ B2 ⊇ ... ⊇ Bn`` (``<Bn : Bn-1>`` locally): only
+``is_a(IS(A), IS(Bn))`` — the link to the *most specific* superclass —
+is generated (Fig 8(b)).  Example 7: with ``professor ⊆ human``,
+``professor ⊆ employee`` and ``employee ⊆ human`` local to S2, only
+``is_a(IS(professor), IS(employee))`` appears.
+
+This module implements both forms statically (given the full assertion
+set); the dynamic realization inside graph traversal — where assertion
+gaps force the `*`-marking/backtracking machinery — is
+:mod:`repro.integration.optimized`'s ``path_labelling``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..assertions.assertion_set import AssertionSet
+from ..assertions.class_assertions import ClassAssertion
+from ..assertions.kinds import ClassKind
+from ..errors import IntegrationError
+from ..model.schema import Schema
+from .base import copy_local_class
+from .result import IntegratedSchema
+
+
+def apply_inclusion(
+    result: IntegratedSchema,
+    assertion: ClassAssertion,
+    left: Schema,
+    right: Schema,
+) -> bool:
+    """Insert the basic is-a link for one oriented ``A ⊆ B`` assertion.
+
+    Both classes are placed (copied) first if necessary.  Returns True
+    when a new link was inserted; False when it already existed or is
+    implied by existing integrated links (transitivity check, which is
+    what makes repeated application converge to the Fig 8(b) shape).
+    """
+    if assertion.kind is not ClassKind.SUBSET:
+        raise IntegrationError(
+            f"Principle 2 applies to oriented ⊆ assertions, got {assertion.kind}"
+        )
+    sub = copy_local_class(result, left, assertion.source.class_name).name
+    sup = copy_local_class(result, right, assertion.target.class_name).name
+    if result.has_is_a_path(sub, sup):
+        return False
+    return result.add_is_a(sub, sup)
+
+
+def most_specific_superclasses(
+    schema: Schema, candidates: Sequence[str]
+) -> List[str]:
+    """The ⊆-targets not implied by other targets via local is-a links.
+
+    Given all ``B_i`` with ``A ⊆ B_i``, a target is *redundant* when some
+    other target is its (local) descendant — the chain case of Fig 8.
+    Returns the minimal targets, declaration order preserved.
+    """
+    kept: List[str] = []
+    for candidate in candidates:
+        implied = any(
+            other != candidate and schema.is_subclass(other, candidate)
+            for other in candidates
+        )
+        if not implied:
+            kept.append(candidate)
+    return kept
+
+
+def apply_inclusions_generalized(
+    result: IntegratedSchema,
+    assertions: AssertionSet,
+    left: Schema,
+    right: Schema,
+) -> List[Tuple[str, str]]:
+    """Apply Principle 2's generalized form over the whole assertion set.
+
+    Groups ⊆ assertions by subclass side, discards targets implied by
+    more specific ones, and inserts one link per remaining target.
+    Handles both orientations (``S1.A ⊆ S2.B`` and ``S2.B ⊆ S1.A``).
+    Returns the links inserted.
+    """
+    inserted: List[Tuple[str, str]] = []
+    inserted.extend(_apply_direction(result, assertions, left, right, flip=False))
+    inserted.extend(_apply_direction(result, assertions, left, right, flip=True))
+    return inserted
+
+
+def _apply_direction(
+    result: IntegratedSchema,
+    assertions: AssertionSet,
+    left: Schema,
+    right: Schema,
+    flip: bool,
+) -> List[Tuple[str, str]]:
+    sub_schema, sup_schema = (right, left) if flip else (left, right)
+    targets_by_source: dict = {}
+    for assertion in assertions:
+        if assertion.kind is ClassKind.SUBSET and assertion.left_schema == sub_schema.name:
+            oriented = assertion
+        elif (
+            assertion.kind is ClassKind.SUPERSET
+            and assertion.left_schema == sup_schema.name
+        ):
+            oriented = assertion.flipped()
+        else:
+            continue
+        targets_by_source.setdefault(oriented.source.class_name, []).append(
+            oriented.target.class_name
+        )
+
+    inserted: List[Tuple[str, str]] = []
+    for source_class, targets in targets_by_source.items():
+        sub_name = copy_local_class(result, sub_schema, source_class).name
+        for target_class in most_specific_superclasses(sup_schema, targets):
+            sup_name = copy_local_class(result, sup_schema, target_class).name
+            if not result.has_is_a_path(sub_name, sup_name):
+                if result.add_is_a(sub_name, sup_name):
+                    inserted.append((sub_name, sup_name))
+                    result.note(
+                        f"Principle 2: is_a({sub_name}, {sup_name}) "
+                        f"[from {sub_schema.name}.{source_class} ⊆ "
+                        f"{sup_schema.name}.{target_class}]"
+                    )
+    return inserted

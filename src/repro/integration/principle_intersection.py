@@ -1,0 +1,283 @@
+"""Principle 3: integration of intersection assertions (§5, Example 8).
+
+``S1.A ∩ S2.B`` produces *virtual classes* defined by rules — objects
+that can be referenced "only by computing the body classes of rules
+defining them":
+
+* ``IS(S1.A)`` and ``IS(S2.B)`` are inserted (full local copies);
+* ``IS_AB`` (the common part), ``A_only`` (``IS_A-``) and ``B_only``
+  (``IS_B-``) are inserted as virtual classes, defined by::
+
+      <x: IS_AB>   ⇐ <x: IS(S1.A)>, <y: IS(S2.B)>, y = x
+      <x: A_only>  ⇐ <x: IS(S1.A)>, ¬<x: IS_AB>
+      <x: B_only>  ⇐ <x: IS(S2.B)>, ¬<x: IS_AB>
+
+  The paper's ``y = x`` holds "in terms of data mapping" — cross-database
+  object identity is not literal OID equality, so the generated rule uses
+  the explicit ``same_object(x, y)`` predicate, whose facts the
+  federation layer derives from its data mappings (see
+  :mod:`repro.federation.mappings`).  DESIGN.md records this substitution.
+
+* member correspondences yield integrated attributes on ``IS_AB`` whose
+  value sets are defined over ``re(S_i, IS_attr)`` — unions for
+  ≡/⊇/⊆, an :class:`~repro.integration.aif.AIF` application for ∩
+  (Example 8's ``income_study_support``), concatenation for α, the more
+  specific side for β;
+* aggregation pairs merge like Principle 1, except ℵ between
+  intersecting classes is an error (the paper's own ``case f ℵ g:
+  report an error``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..assertions.assertion_set import AssertionSet
+from ..assertions.class_assertions import ClassAssertion
+from ..assertions.kinds import AggregationKind, AttributeKind, ClassKind
+from ..errors import IntegrationError
+from ..logic.atoms import Atom
+from ..logic.oterms import OTerm
+from ..logic.rules import BodyItem, Rule
+from ..model.schema import Schema
+from .base import copy_local_class, local_range_token, member_kind_lookup
+from .lattice import lcs
+from .result import (
+    IntegratedAggregation,
+    IntegratedAttribute,
+    IntegratedClass,
+    IntegratedSchema,
+    ValueSetOp,
+    ValueSetSpec,
+)
+
+#: Predicate relating objects of two databases that data mappings
+#: identify as the same real-world entity (the paper's ``y = x``).
+SAME_OBJECT = "same_object"
+
+_UNION_KINDS = frozenset(
+    {AttributeKind.EQUIVALENCE, AttributeKind.SUBSET, AttributeKind.SUPERSET}
+)
+
+_MERGE_AGG_KINDS = frozenset(
+    {
+        AggregationKind.EQUIVALENCE,
+        AggregationKind.SUPERSET,
+        AggregationKind.SUBSET,
+        AggregationKind.INTERSECTION,
+    }
+)
+
+_RANGE_OK = frozenset({ClassKind.EQUIVALENCE, ClassKind.INTERSECTION})
+
+
+def apply_intersection(
+    result: IntegratedSchema,
+    assertion: ClassAssertion,
+    left: Schema,
+    right: Schema,
+    assertions: Optional[AssertionSet] = None,
+) -> IntegratedClass:
+    """Apply Principle 3 to an oriented ``A ∩ B`` assertion.
+
+    Returns the virtual intersection class ``IS_AB``.  Idempotent per
+    class pair.
+    """
+    if assertion.kind is not ClassKind.INTERSECTION:
+        raise IntegrationError(
+            f"Principle 3 applies to intersection assertions, got {assertion.kind}"
+        )
+    a_name = assertion.source.class_name
+    b_name = assertion.target.class_name
+    intersection_name = result.policy.intersection_class(a_name, b_name)
+    if intersection_name in result:
+        return result.cls(intersection_name)
+
+    is_a = copy_local_class(result, left, a_name)
+    is_b = copy_local_class(result, right, b_name)
+    common = IntegratedClass(name=intersection_name, virtual=True)
+    result.add_class(common)
+    a_only = IntegratedClass(
+        name=result.policy.left_only_class(a_name, b_name), virtual=True
+    )
+    b_only = IntegratedClass(
+        name=result.policy.right_only_class(a_name, b_name), virtual=True
+    )
+    result.add_class(a_only)
+    result.add_class(b_only)
+    result.note(
+        f"Principle 3: virtual classes {common.name}, {a_only.name}, "
+        f"{b_only.name} for {left.name}.{a_name} ∩ {right.name}.{b_name}"
+    )
+
+    # ------------------------------------------------------------------
+    # the three defining rules
+    # ------------------------------------------------------------------
+    x = OTerm.of("?x", common.name)
+    result.add_rule(
+        Rule.of(
+            x,
+            [
+                OTerm.of("?x", is_a.name),
+                OTerm.of("?y", is_b.name),
+                Atom.of(SAME_OBJECT, "?x", "?y"),
+            ],
+            name=f"{common.name}-membership",
+        ),
+        principle="P3",
+    )
+    result.add_rule(
+        Rule.of(
+            OTerm.of("?x", a_only.name),
+            [
+                BodyItem(OTerm.of("?x", is_a.name)),
+                BodyItem(OTerm.of("?x", common.name), positive=False),
+            ],
+            name=f"{a_only.name}-membership",
+        ),
+        principle="P3",
+    )
+    result.add_rule(
+        Rule.of(
+            OTerm.of("?x", b_only.name),
+            [
+                BodyItem(OTerm.of("?x", is_b.name)),
+                BodyItem(OTerm.of("?x", common.name), positive=False),
+            ],
+            name=f"{b_only.name}-membership",
+        ),
+        principle="P3",
+    )
+
+    # ------------------------------------------------------------------
+    # member correspondences on IS_AB
+    # ------------------------------------------------------------------
+    attr_corrs, agg_corrs = member_kind_lookup(assertion)
+    class_a = left.effective_class(a_name)
+    class_b = right.effective_class(b_name)
+
+    for attribute in class_a.attributes:
+        corr = attr_corrs.get(attribute.name)
+        if corr is None:
+            continue
+        b_attr = corr.right.descriptor
+        origin_a = (left.name, a_name, attribute.name)
+        origin_b = (right.name, b_name, b_attr)
+        if corr.kind in _UNION_KINDS:
+            name = result.policy.merged(attribute.name, b_attr)
+            common.add_attribute(
+                IntegratedAttribute(
+                    name,
+                    ValueSetSpec(ValueSetOp.UNION, origin_a, origin_b),
+                    (origin_a, origin_b),
+                )
+            )
+            result.re_mapping.record(name, left.name, a_name, attribute.name)
+            result.re_mapping.record(name, right.name, b_name, b_attr)
+        elif corr.kind is AttributeKind.INTERSECTION:
+            name = result.policy.intersection_attribute(attribute.name, b_attr)
+            common.add_attribute(
+                IntegratedAttribute(
+                    name,
+                    ValueSetSpec(
+                        ValueSetOp.AIF, origin_a, origin_b, aif_attribute=name
+                    ),
+                    (origin_a, origin_b),
+                    note="AIF-integrated (Principle 3)",
+                )
+            )
+            result.re_mapping.record(name, left.name, a_name, attribute.name)
+            result.re_mapping.record(name, right.name, b_name, b_attr)
+        elif corr.kind is AttributeKind.EXCLUSION:
+            common.add_attribute(
+                IntegratedAttribute(
+                    attribute.name, ValueSetSpec(ValueSetOp.LOCAL, origin_a), (origin_a,)
+                )
+            )
+            other = b_attr if b_attr != attribute.name else f"{right.name}_{b_attr}"
+            common.add_attribute(
+                IntegratedAttribute(
+                    other, ValueSetSpec(ValueSetOp.LOCAL, origin_b), (origin_b,)
+                )
+            )
+        elif corr.kind is AttributeKind.COMPOSED_INTO:
+            assert corr.composed_name is not None
+            common.add_attribute(
+                IntegratedAttribute(
+                    corr.composed_name,
+                    ValueSetSpec(ValueSetOp.CONCATENATION, origin_a, origin_b),
+                    (origin_a, origin_b),
+                    note="composed-into α",
+                )
+            )
+        elif corr.kind is AttributeKind.MORE_SPECIFIC:
+            common.add_attribute(
+                IntegratedAttribute(
+                    attribute.name,
+                    ValueSetSpec(ValueSetOp.LOCAL, origin_a),
+                    (origin_a,),
+                    note="more-specific-than β",
+                )
+            )
+            result.re_mapping.record(attribute.name, left.name, a_name, attribute.name)
+        else:  # pragma: no cover - enum is closed
+            raise IntegrationError(f"unhandled attribute kind {corr.kind}")
+
+    for aggregation in class_a.aggregations:
+        corr = agg_corrs.get(aggregation.name)
+        if corr is None:
+            continue
+        g_name = corr.right.descriptor
+        agg_b = class_b.aggregation(g_name)
+        if corr.kind is AggregationKind.REVERSE:
+            # The paper: ``case f ℵ g: report an error`` — a reverse pair
+            # between merely intersecting classes is contradictory.
+            raise IntegrationError(
+                f"reverse aggregation correspondence {aggregation.name} ℵ "
+                f"{g_name} is an error under an intersection assertion "
+                f"(Principle 3)"
+            )
+        if corr.kind in _MERGE_AGG_KINDS:
+            range_kind = (
+                assertions.kind_of(aggregation.range_class, agg_b.range_class)
+                if assertions is not None
+                else None
+            )
+            if range_kind in _RANGE_OK or aggregation.range_class == agg_b.range_class:
+                common.add_aggregation(
+                    IntegratedAggregation(
+                        name=result.policy.merged(aggregation.name, g_name),
+                        range_class=local_range_token(
+                            left.name, aggregation.range_class
+                        ),
+                        cardinality=lcs(aggregation.cardinality, agg_b.cardinality),
+                        origins=(
+                            (left.name, a_name, aggregation.name),
+                            (right.name, b_name, g_name),
+                        ),
+                    )
+                )
+            else:
+                _accumulate_agg(common, left.name, a_name, aggregation)
+                _accumulate_agg(common, right.name, b_name, agg_b)
+        elif corr.kind is AggregationKind.EXCLUSION:
+            _accumulate_agg(common, left.name, a_name, aggregation)
+            _accumulate_agg(common, right.name, b_name, agg_b)
+        else:  # pragma: no cover - enum is closed
+            raise IntegrationError(f"unhandled aggregation kind {corr.kind}")
+
+    return common
+
+
+def _accumulate_agg(common, schema_name, class_name, aggregation) -> None:
+    name = aggregation.name
+    if name in common.attributes or name in common.aggregations:
+        name = f"{schema_name}_{aggregation.name}"
+    common.add_aggregation(
+        IntegratedAggregation(
+            name=name,
+            range_class=local_range_token(schema_name, aggregation.range_class),
+            cardinality=aggregation.cardinality,
+            origins=((schema_name, class_name, aggregation.name),),
+        )
+    )

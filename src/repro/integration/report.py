@@ -1,0 +1,98 @@
+"""Integration reports: a structured summary of what an integration did.
+
+``describe()`` prints the integrated schema itself; a *report* answers
+the reviewer's questions — how many classes merged vs copied vs virtual,
+which principles fired how often, which warnings need a human — as data
+(:class:`IntegrationReport`) and as markdown (:func:`render_markdown`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from .result import IntegratedSchema
+from .stats import IntegrationStats
+
+
+@dataclasses.dataclass(frozen=True)
+class IntegrationReport:
+    """Aggregate view of one integration result."""
+
+    schema_name: str
+    total_classes: int
+    merged_classes: int  # classes with ≥ 2 origins
+    copied_classes: int  # single-origin locals
+    virtual_classes: int  # rule-defined (Principles 3/5)
+    is_a_links: int
+    aggregation_links: int
+    rules_by_principle: Tuple[Tuple[str, int], ...]
+    non_evaluable_rules: int
+    warnings: Tuple[str, ...]
+    stats: Optional[IntegrationStats] = None
+
+    @property
+    def total_rules(self) -> int:
+        return sum(count for _, count in self.rules_by_principle)
+
+
+def build_report(
+    result: IntegratedSchema, stats: Optional[IntegrationStats] = None
+) -> IntegrationReport:
+    """Summarize *result* (and the run's *stats*, when available)."""
+    merged = copied = virtual = aggregation_links = 0
+    for integrated_class in result:
+        if integrated_class.virtual:
+            virtual += 1
+        elif len(integrated_class.origins) >= 2:
+            merged += 1
+        else:
+            copied += 1
+        aggregation_links += len(integrated_class.aggregations)
+    principles = Counter(rule.principle for rule in result.rules)
+    return IntegrationReport(
+        schema_name=result.name,
+        total_classes=len(result),
+        merged_classes=merged,
+        copied_classes=copied,
+        virtual_classes=virtual,
+        is_a_links=len(result.is_a_links()),
+        aggregation_links=aggregation_links,
+        rules_by_principle=tuple(sorted(principles.items())),
+        non_evaluable_rules=sum(1 for rule in result.rules if not rule.evaluable),
+        warnings=tuple(note for note in result.log if note.startswith("WARNING")),
+        stats=stats,
+    )
+
+
+def render_markdown(report: IntegrationReport) -> str:
+    """The report as a readable markdown document."""
+    lines = [
+        f"# Integration report — {report.schema_name}",
+        "",
+        "| metric | value |",
+        "|---|---|",
+        f"| classes (total) | {report.total_classes} |",
+        f"| merged (≥ 2 origins) | {report.merged_classes} |",
+        f"| copied locals | {report.copied_classes} |",
+        f"| virtual (rule-defined) | {report.virtual_classes} |",
+        f"| is-a links | {report.is_a_links} |",
+        f"| aggregation links | {report.aggregation_links} |",
+        f"| rules (total) | {report.total_rules} |",
+    ]
+    for principle, count in report.rules_by_principle:
+        lines.append(f"| rules from {principle} | {count} |")
+    if report.non_evaluable_rules:
+        lines.append(f"| non-evaluable rules | {report.non_evaluable_rules} |")
+    if report.stats is not None:
+        lines += [
+            f"| pair checks | {report.stats.pairs_checked} |",
+            f"| pairs pruned (≡ / labels) | "
+            f"{report.stats.pairs_skipped_equivalence} / "
+            f"{report.stats.pairs_skipped_labels} |",
+        ]
+    if report.warnings:
+        lines += ["", "## Warnings (need review)", ""]
+        lines += [f"- {warning}" for warning in report.warnings]
+    return "\n".join(lines)

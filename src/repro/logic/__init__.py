@@ -1,0 +1,71 @@
+"""First-order logic substrate: terms, O-terms, rules and evaluation.
+
+Implements §2's deduction-enriched object model (O-terms, derivation
+rules), §5's reverse substitutions (Definitions 5.1-5.3), ref [8]'s
+safety conditions, a stratified semi-naive bottom-up engine, and the
+schema-labelled top-down evaluator of Appendix B.
+"""
+
+from .atoms import Atom, Comparison, ComparisonOp, Literal, lits, negated
+from .engine import FactStore, QueryEngine, evaluate, facts_from_database, stratify
+from .labelled import LabelledProgram, SchemaSource, source_from_facts
+from .oterms import (
+    OTerm,
+    TypingOTerm,
+    att_predicate,
+    inst_predicate,
+    oterm_from_instance,
+    parse_predicate,
+)
+from .reverse_substitution import ReverseSubstitution, compose_all
+from .rules import BodyItem, DatalogRule, Rule, compile_rules
+from .safety import check_all, check_rule, check_surface_rule, is_safe, violations
+from .substitution import EMPTY, Substitution
+from .terms import Constant, Term, Variable, VariableFactory, is_ground, make_term
+from .unify import match_atom, unify_atoms, unify_oterms, unify_terms
+
+__all__ = [
+    "Atom",
+    "BodyItem",
+    "Comparison",
+    "ComparisonOp",
+    "Constant",
+    "DatalogRule",
+    "EMPTY",
+    "FactStore",
+    "LabelledProgram",
+    "Literal",
+    "OTerm",
+    "QueryEngine",
+    "ReverseSubstitution",
+    "Rule",
+    "SchemaSource",
+    "Substitution",
+    "Term",
+    "TypingOTerm",
+    "Variable",
+    "VariableFactory",
+    "att_predicate",
+    "check_all",
+    "check_rule",
+    "check_surface_rule",
+    "compile_rules",
+    "compose_all",
+    "evaluate",
+    "facts_from_database",
+    "inst_predicate",
+    "is_ground",
+    "is_safe",
+    "lits",
+    "make_term",
+    "match_atom",
+    "negated",
+    "oterm_from_instance",
+    "parse_predicate",
+    "source_from_facts",
+    "stratify",
+    "unify_atoms",
+    "unify_oterms",
+    "unify_terms",
+    "violations",
+]

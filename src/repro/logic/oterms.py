@@ -1,0 +1,250 @@
+"""O-terms: complex O-terms and typing O-terms (§2).
+
+A *complex O-term* is the pattern form of an object::
+
+    <o: C | a1: t1, ..., al: tl, agg1: t1', ...>
+
+where ``o`` is a term for the object identifier, ``C`` names a class (a
+variable is allowed — §2 permits variables for class names) and each
+binding pairs an attribute/aggregation *descriptor* with a term for its
+value.  A *typing O-term* ``<C : C'>`` asserts ``is_a(C, C')``.
+
+O-terms participate in derivation rules.  For evaluation they are
+*compiled* to ordinary datalog atoms over two internal predicate
+families:
+
+* ``inst$C(o)`` — membership of ``o`` in the extension of class ``C``;
+* ``att$C$a(o, v)`` — object ``o`` has value ``v`` for descriptor ``a``
+  (one fact per element for multivalued attributes, which makes the
+  paper's ``∈`` value correspondences ordinary joins).
+
+``$`` cannot occur in class/attribute names coming from the model layer,
+so the mangling is collision-free.  Compilation requires ground class and
+descriptor names: rule *generation* (Principle 5) resolves schematic
+discrepancies — where names are data — before any rule is evaluated,
+producing one rule per concrete name, exactly like the decomposed
+assertions of Figs 9-10.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..errors import LogicError
+from .atoms import Atom, Literal
+from .reverse_substitution import ReverseSubstitution
+from .substitution import Substitution
+from .terms import Constant, Term, Variable, make_term
+
+#: Separator used when mangling O-terms into flat predicate names.
+MANGLE = "$"
+
+Descriptor = Union[str, Variable]
+
+
+def inst_predicate(class_name: str) -> str:
+    """The membership predicate name for *class_name*."""
+    return f"inst{MANGLE}{class_name}"
+
+
+def att_predicate(class_name: str, descriptor: str) -> str:
+    """The attribute-value predicate name for ``class.descriptor``."""
+    return f"att{MANGLE}{class_name}{MANGLE}{descriptor}"
+
+
+def parse_predicate(predicate: str) -> Optional[Tuple[str, Optional[str]]]:
+    """Invert the mangling: ``(class, descriptor_or_None)`` or ``None``.
+
+    ``None`` means *predicate* is not an O-term-derived predicate.
+    """
+    parts = predicate.split(MANGLE)
+    if parts[0] == "inst" and len(parts) == 2:
+        return parts[1], None
+    if parts[0] == "att" and len(parts) == 3:
+        return parts[1], parts[2]
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class OTerm:
+    """A complex O-term ``<o: C | d1: t1, ..., dk: tk>``.
+
+    ``bindings`` is stored as a tuple of (descriptor, term) pairs to stay
+    hashable and order-preserving; descriptors are attribute *or*
+    aggregation names (the paper treats both uniformly inside O-terms,
+    cf. the ``work_in: o2`` example), or variables in the higher-order
+    schematic-discrepancy cases.
+    """
+
+    object_term: Term
+    class_name: Union[str, Variable]
+    bindings: Tuple[Tuple[Descriptor, Term], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.object_term, (Variable, Constant)):
+            raise LogicError(f"O-term object must be a term, got {self.object_term!r}")
+        seen = set()
+        for descriptor, term in self.bindings:
+            if not isinstance(descriptor, (str, Variable)):
+                raise LogicError(f"O-term descriptor must be str or Variable: {descriptor!r}")
+            if not isinstance(term, (Variable, Constant)):
+                raise LogicError(f"O-term binding value must be a term: {term!r}")
+            if descriptor in seen:
+                raise LogicError(f"O-term binds descriptor {descriptor!r} twice")
+            seen.add(descriptor)
+
+    @classmethod
+    def of(
+        cls,
+        object_term: object,
+        class_name: Union[str, Variable],
+        bindings: Optional[Mapping[Descriptor, object]] = None,
+    ) -> "OTerm":
+        """Build with automatic term lifting on object and binding values."""
+        lifted = tuple(
+            (descriptor, make_term(value)) for descriptor, value in (bindings or {}).items()
+        )
+        return cls(make_term(object_term), class_name, lifted)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def binding(self, descriptor: Descriptor) -> Optional[Term]:
+        for existing, term in self.bindings:
+            if existing == descriptor:
+                return term
+        return None
+
+    def descriptors(self) -> Tuple[Descriptor, ...]:
+        return tuple(descriptor for descriptor, _ in self.bindings)
+
+    def variables(self) -> FrozenSet[Variable]:
+        collected = set()
+        if isinstance(self.object_term, Variable):
+            collected.add(self.object_term)
+        if isinstance(self.class_name, Variable):
+            collected.add(self.class_name)
+        for descriptor, term in self.bindings:
+            if isinstance(descriptor, Variable):
+                collected.add(descriptor)
+            if isinstance(term, Variable):
+                collected.add(term)
+        return frozenset(collected)
+
+    def is_membership_only(self) -> bool:
+        """True for bare ``<o : C>`` patterns (no attribute bindings)."""
+        return not self.bindings
+
+    def is_schematic(self) -> bool:
+        """True when the class name or a descriptor is a variable."""
+        if isinstance(self.class_name, Variable):
+            return True
+        return any(isinstance(descriptor, Variable) for descriptor, _ in self.bindings)
+
+    # ------------------------------------------------------------------
+    # transformation
+    # ------------------------------------------------------------------
+    def substitute(self, substitution: Substitution) -> "OTerm":
+        new_bindings = tuple(
+            (descriptor, substitution.apply(term)) for descriptor, term in self.bindings
+        )
+        return OTerm(
+            substitution.apply(self.object_term), self.class_name, new_bindings
+        )
+
+    def apply_reverse(self, reverse: ReverseSubstitution) -> "OTerm":
+        """Definition 5.2 applied to this O-term.
+
+        Replaces the object term and every binding-value occurrence of a
+        bound constant/variable; descriptors and the class name are left
+        alone (hyperedge substitutions apply to predicates, not O-terms —
+        see Example 10).
+        """
+        new_bindings = tuple(
+            (descriptor, reverse.replace(term)) for descriptor, term in self.bindings
+        )
+        return OTerm(reverse.replace(self.object_term), self.class_name, new_bindings)
+
+    def with_binding(self, descriptor: Descriptor, term: Term) -> "OTerm":
+        """A copy with one more (or replaced) binding."""
+        kept = tuple(
+            (existing, value) for existing, value in self.bindings if existing != descriptor
+        )
+        return OTerm(self.object_term, self.class_name, kept + ((descriptor, term),))
+
+    # ------------------------------------------------------------------
+    # compilation to flat atoms
+    # ------------------------------------------------------------------
+    def compile(self) -> List[Atom]:
+        """Compile to ``inst$C`` / ``att$C$d`` atoms (conjunction).
+
+        Raises :class:`LogicError` for schematic O-terms — those must be
+        resolved by the derivation principle before evaluation.
+        """
+        if self.is_schematic():
+            raise LogicError(
+                f"cannot compile schematic O-term {self}; resolve name "
+                f"variables during rule generation first"
+            )
+        class_name = str(self.class_name)
+        atoms = [Atom(inst_predicate(class_name), (self.object_term,))]
+        for descriptor, term in self.bindings:
+            atoms.append(
+                Atom(att_predicate(class_name, str(descriptor)), (self.object_term, term))
+            )
+        return atoms
+
+    def compile_negated(self) -> List[Literal]:
+        """Compile a negated occurrence (``¬<x : C>`` only).
+
+        The paper only negates membership O-terms (Principles 3-4); a
+        negated O-term with bindings would be ambiguous, so it is refused.
+        """
+        if not self.is_membership_only():
+            raise LogicError(
+                f"only membership O-terms may be negated, got ¬{self}"
+            )
+        [membership] = self.compile()
+        return [Literal(membership, positive=False)]
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        if not self.bindings:
+            return f"<{self.object_term}: {self.class_name}>"
+        body = ", ".join(f"{d}: {t}" for d, t in self.bindings)
+        return f"<{self.object_term}: {self.class_name} | {body}>"
+
+
+@dataclasses.dataclass(frozen=True)
+class TypingOTerm:
+    """A typing O-term ``<C : C'>``, i.e. ``is_a(C, C')``."""
+
+    subclass: Union[str, Variable]
+    superclass: Union[str, Variable]
+
+    PREDICATE = "is_a"
+
+    def compile(self) -> Atom:
+        def lift(part: Union[str, Variable]) -> Term:
+            return part if isinstance(part, Variable) else Constant(part)
+
+        return Atom(self.PREDICATE, (lift(self.subclass), lift(self.superclass)))
+
+    def __str__(self) -> str:
+        return f"<{self.subclass}: {self.superclass}>"
+
+
+def oterm_from_instance(instance: "object") -> OTerm:
+    """Ground O-term for an :class:`~repro.model.instances.ObjectInstance`.
+
+    Multivalued values stay frozensets inside a single constant — use
+    :func:`repro.logic.engine.facts_from_database` when per-element facts
+    are needed.
+    """
+    bindings: Dict[Descriptor, object] = {}
+    for name, value in instance.attributes.items():  # type: ignore[attr-defined]
+        bindings[name] = value
+    for name, value in instance.aggregations.items():  # type: ignore[attr-defined]
+        bindings[name] = value
+    return OTerm.of(instance.oid, instance.class_name, bindings)  # type: ignore[attr-defined]

@@ -1,0 +1,151 @@
+"""Reverse substitutions — Definitions 5.1, 5.2 and 5.3 of the paper.
+
+A reverse substitution ``θ = {c1/x1, ..., cn/xn}`` replaces constants *or
+variables* ``ci`` by variables ``xi``; it is "just the reverse of rule
+evaluation in logic programming" and is the core device of the
+derivation-integration principle (Principle 5): connected subgraphs of an
+assertion graph each yield one reverse substitution, which is then applied
+to the O-terms of the classes involved to thread shared variables through
+the generated rule (Examples 9-10).
+
+Faithfulness notes:
+
+* **Definition 5.1** — keys may be constants or variables and must be
+  pairwise distinct; both are enforced.
+* **Definition 5.2** — application replaces *each occurrence* of ``ci``
+  simultaneously; application to structured objects (O-terms, atoms) is
+  delegated to their own ``apply_reverse`` methods, which call
+  :meth:`ReverseSubstitution.replace` per term.
+* **Definition 5.3** — composition ``θδ`` builds
+  ``{c1/x1δ, ..., cn/xnδ, d1/y1, ..., dm/ym}`` then deletes bindings
+  ``ci/xiδ`` with ``ci = xiδ`` and bindings ``dj/yj`` with
+  ``dj ∈ {c1, ..., cn}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple, Union
+
+from ..errors import LogicError
+from .terms import Constant, Term, Variable
+
+Key = Union[Constant, Variable]
+
+
+class ReverseSubstitution:
+    """An immutable reverse substitution ``{c1/x1, ..., cn/xn}``."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Mapping[Key, Variable]) -> None:
+        checked: Dict[Key, Variable] = {}
+        for key, variable in bindings.items():
+            if not isinstance(key, (Constant, Variable)):
+                raise LogicError(
+                    f"reverse substitution keys must be constants or variables, "
+                    f"got {key!r}"
+                )
+            if not isinstance(variable, Variable):
+                raise LogicError(
+                    f"reverse substitution values must be variables, got {variable!r}"
+                )
+            if key in checked:
+                # Definition 5.1 requires c1, ..., cn distinct.
+                raise LogicError(f"duplicate binding for {key} in reverse substitution")
+            checked[key] = variable
+        self._bindings = checked
+
+    @classmethod
+    def of(cls, *pairs: Tuple[object, str]) -> "ReverseSubstitution":
+        """Build from ``(constant_or_variable, variable_name)`` pairs.
+
+        Plain Python values become constants; :class:`Variable` and
+        :class:`Constant` instances pass through.  Handy in tests:
+        ``ReverseSubstitution.of(("z", "x1"), (Variable("w"), "x1"))``
+        builds the paper's θ1 = {z/x1, w/x1}.
+        """
+        bindings: Dict[Key, Variable] = {}
+        for raw_key, variable_name in pairs:
+            key: Key
+            if isinstance(raw_key, (Constant, Variable)):
+                key = raw_key
+            else:
+                key = Constant(raw_key)
+            if key in bindings:
+                raise LogicError(f"duplicate binding for {key} in reverse substitution")
+            bindings[key] = Variable(variable_name)
+        return cls(bindings)
+
+    # ------------------------------------------------------------------
+    # Definition 5.2: application
+    # ------------------------------------------------------------------
+    def replace(self, term: Term) -> Term:
+        """The single-term replacement: ``ci`` becomes ``xi``, else identity."""
+        return self._bindings.get(term, term)
+
+    def apply_terms(self, terms: Iterable[Term]) -> Tuple[Term, ...]:
+        """Simultaneous replacement over a sequence of terms."""
+        return tuple(self.replace(term) for term in terms)
+
+    def apply_variable(self, variable: Variable) -> Variable:
+        """``xδ`` for a variable *x* (used by Definition 5.3)."""
+        replaced = self._bindings.get(variable, variable)
+        if not isinstance(replaced, Variable):  # pragma: no cover - defensive
+            raise LogicError("reverse substitution mapped a variable to a constant")
+        return replaced
+
+    # ------------------------------------------------------------------
+    # Definition 5.3: composition
+    # ------------------------------------------------------------------
+    def compose(self, other: "ReverseSubstitution") -> "ReverseSubstitution":
+        """The composition ``θδ`` of ``self`` (θ) and ``other`` (δ)."""
+        combined: Dict[Key, Variable] = {}
+        for key, variable in self._bindings.items():
+            new_variable = other.apply_variable(variable)
+            if key == new_variable:
+                # delete any binding ci/xiδ for which ci = xiδ
+                continue
+            combined[key] = new_variable
+        for key, variable in other._bindings.items():
+            if key in self._bindings:
+                # delete any binding dj/yj for which dj ∈ {c1, ..., cn}
+                continue
+            if key in combined:
+                raise LogicError(
+                    f"composition produced duplicate binding for {key}"
+                )
+            combined[key] = variable
+        return ReverseSubstitution(combined)
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[Key, Variable]]:
+        return iter(self._bindings.items())
+
+    def keys(self) -> Tuple[Key, ...]:
+        return tuple(self._bindings)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReverseSubstitution):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._bindings.items()))
+
+    def __repr__(self) -> str:
+        inside = ", ".join(f"{key}/{var}" for key, var in self._bindings.items())
+        return "{" + inside + "}"
+
+
+def compose_all(substitutions: Iterable[ReverseSubstitution]) -> ReverseSubstitution:
+    """Left-fold composition ``θ1θ2...θk`` (identity for an empty input)."""
+    result = ReverseSubstitution({})
+    for substitution in substitutions:
+        result = result.compose(substitution)
+    return result

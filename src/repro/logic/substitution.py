@@ -1,0 +1,110 @@
+"""Forward substitutions: variable -> term maps (standard, ref [29]).
+
+Used by unification and by the evaluation engine.  The *reverse*
+substitutions of Definition 5.1 — which replace constants/variables *by*
+variables during rule construction — are the separate
+:mod:`repro.logic.reverse_substitution` module; keeping the two apart
+mirrors the paper's own distinction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from ..errors import LogicError
+from .terms import Constant, Term, Variable
+
+
+class Substitution:
+    """An immutable map from variables to terms.
+
+    Supports application to terms (:meth:`apply`), composition
+    (:meth:`compose`) and consistent extension (:meth:`bind`), which
+    returns ``None`` on conflict instead of raising — the convenient
+    shape for unification loops.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Optional[Mapping[Variable, Term]] = None) -> None:
+        checked: Dict[Variable, Term] = {}
+        for variable, term in (bindings or {}).items():
+            if not isinstance(variable, Variable):
+                raise LogicError(f"substitution keys must be variables: {variable!r}")
+            if not isinstance(term, (Variable, Constant)):
+                raise LogicError(f"substitution values must be terms: {term!r}")
+            if variable != term:
+                checked[variable] = term
+        self._bindings = checked
+
+    # ------------------------------------------------------------------
+    def apply(self, term: Term) -> Term:
+        """Resolve *term* through the bindings (follows variable chains)."""
+        seen = set()
+        while isinstance(term, Variable) and term in self._bindings:
+            if term in seen:
+                raise LogicError(f"cyclic substitution through {term}")
+            seen.add(term)
+            term = self._bindings[term]
+        return term
+
+    def apply_all(self, terms: Iterable[Term]) -> Tuple[Term, ...]:
+        return tuple(self.apply(term) for term in terms)
+
+    def bind(self, variable: Variable, term: Term) -> Optional["Substitution"]:
+        """This substitution extended with ``variable -> term``.
+
+        Returns ``None`` when the variable is already bound to a
+        conflicting value.
+        """
+        current = self.apply(variable)
+        term = self.apply(term)
+        if current == term:
+            return self
+        if isinstance(current, Constant):
+            if isinstance(term, Constant):
+                return None
+            # current is a constant, term a variable: bind the variable.
+            variable, term = term, current
+        else:
+            variable = current  # an unbound variable
+        new_bindings = dict(self._bindings)
+        new_bindings[variable] = term
+        return Substitution(new_bindings)
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """``self`` then ``other``: apply(x) == other.apply(self.apply(x))."""
+        combined: Dict[Variable, Term] = {
+            variable: other.apply(term) for variable, term in self._bindings.items()
+        }
+        for variable, term in other.items():
+            combined.setdefault(variable, term)
+        return Substitution(combined)
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[Variable, Term]]:
+        return iter(self._bindings.items())
+
+    def domain(self) -> Tuple[Variable, ...]:
+        return tuple(self._bindings)
+
+    def __contains__(self, variable: Variable) -> bool:
+        return variable in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._bindings.items()))
+
+    def __repr__(self) -> str:
+        inside = ", ".join(f"{v}/{t}" for v, t in self._bindings.items())
+        return "{" + inside + "}"
+
+
+EMPTY = Substitution()

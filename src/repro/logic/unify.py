@@ -1,0 +1,106 @@
+"""Unification of terms, atoms and O-terms.
+
+Terms here are flat (variables and constants only), so unification is
+simple binding-consistency checking through a
+:class:`~repro.logic.substitution.Substitution`.  O-term unification
+additionally matches class names and attribute descriptors, supporting
+the §2 extension where class/attribute names may themselves be variables
+— that is what lets a single rule range over the schematic-discrepancy
+examples before decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .atoms import Atom
+from .oterms import OTerm
+from .substitution import EMPTY, Substitution
+from .terms import Constant, Term, Variable
+
+
+def unify_terms(
+    left: Term, right: Term, substitution: Substitution = EMPTY
+) -> Optional[Substitution]:
+    """Unify two terms under *substitution*; None on failure."""
+    left = substitution.apply(left)
+    right = substitution.apply(right)
+    if left == right:
+        return substitution
+    if isinstance(left, Variable):
+        return substitution.bind(left, right)
+    if isinstance(right, Variable):
+        return substitution.bind(right, left)
+    return None  # two distinct constants
+
+
+def unify_atoms(
+    left: Atom, right: Atom, substitution: Substitution = EMPTY
+) -> Optional[Substitution]:
+    """Unify two atoms: same predicate, same arity, unifiable args."""
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    current: Optional[Substitution] = substitution
+    for left_arg, right_arg in zip(left.args, right.args):
+        current = unify_terms(left_arg, right_arg, current)
+        if current is None:
+            return None
+    return current
+
+
+def match_atom(pattern: Atom, fact: Atom) -> Optional[Substitution]:
+    """One-way match of *pattern* against a ground *fact*."""
+    if not fact.is_ground():
+        raise ValueError(f"match_atom requires a ground fact, got {fact}")
+    return unify_atoms(pattern, fact)
+
+
+def _unify_names(
+    left, right, substitution: Substitution
+) -> Optional[Substitution]:
+    """Unify class names / descriptors that may be str or Variable."""
+    left_term: Term = left if isinstance(left, Variable) else Constant(left)
+    right_term: Term = right if isinstance(right, Variable) else Constant(right)
+    return unify_terms(left_term, right_term, substitution)
+
+
+def unify_oterms(
+    pattern: OTerm, ground: OTerm, substitution: Substitution = EMPTY
+) -> Optional[Substitution]:
+    """Match an O-term *pattern* against a ground O-term.
+
+    The pattern may bind only a subset of the ground term's descriptors
+    (O-terms are open records: ``<o: Empl | e_name: x>`` matches any
+    employee).  Descriptor variables match any descriptor of the ground
+    term, trying alternatives is the caller's job — here the *first*
+    consistent descriptor wins, which suffices because ground O-terms
+    bind each descriptor once.
+    """
+    current = _unify_names(pattern.class_name, ground.class_name, substitution)
+    if current is None:
+        return None
+    current = unify_terms(pattern.object_term, ground.object_term, current)
+    if current is None:
+        return None
+    for descriptor, term in pattern.bindings:
+        if isinstance(descriptor, Variable):
+            matched = None
+            for ground_descriptor, ground_term in ground.bindings:
+                attempt = _unify_names(descriptor, ground_descriptor, current)
+                if attempt is None:
+                    continue
+                attempt = unify_terms(term, ground_term, attempt)
+                if attempt is not None:
+                    matched = attempt
+                    break
+            if matched is None:
+                return None
+            current = matched
+        else:
+            ground_term = ground.binding(descriptor)
+            if ground_term is None:
+                return None
+            current = unify_terms(term, ground_term, current)
+            if current is None:
+                return None
+    return current

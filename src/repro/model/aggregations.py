@@ -1,0 +1,116 @@
+"""Aggregation functions and cardinality constraints (§2, Fig 13).
+
+An aggregation function ``Agg: type(C) -> type(C')`` relates a *domain*
+class to a *range* class — e.g. ``Published_in: Proceedings with [m:1]``
+on class ``Article``.  Each carries a cardinality constraint from the
+paper's simple lattice ``{[1:1], [1:n], [m:1], [m:n]}`` (Fig 13a),
+optionally extended with *mandatory* participation variants such as
+``[md_n:1]`` (Fig 13b).  The lattice itself — including the
+least-common-supernode (lcs) operation used by Principle 6 — lives in
+:mod:`repro.integration.lattice`; this module only declares the constraint
+vocabulary and the aggregation declaration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..errors import ModelError
+
+
+class Cardinality(enum.Enum):
+    """Cardinality constraints of aggregation links.
+
+    The first four members form the paper's simple lattice (Fig 13a);
+    the ``MD_*`` members are the mandatory-participation refinements used
+    in the extended lattice (Fig 13b).
+    """
+
+    ONE_TO_ONE = "[1:1]"
+    ONE_TO_N = "[1:n]"
+    M_TO_ONE = "[m:1]"
+    M_TO_N = "[m:n]"
+    MD_ONE_TO_ONE = "[md_1:1]"
+    MD_ONE_TO_N = "[md_1:n]"
+    MD_N_TO_ONE = "[md_n:1]"
+    MD_N_TO_N = "[md_n:n]"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_mandatory(self) -> bool:
+        """True for total-participation (``md``) constraints."""
+        return self.value.startswith("[md")
+
+    @classmethod
+    def parse(cls, text: str) -> "Cardinality":
+        """Parse a constraint like ``[m:1]`` or ``md_n:1`` (brackets optional).
+
+        The paper spells the "many" side both ``m`` and ``n`` (compare
+        "``lcs([1:m], [n:1])``" with the lattice nodes ``[1:n]``/``[m:1]``),
+        so both spellings are accepted on either side.
+        """
+        raw = text.strip().replace(" ", "").lower()
+        if not raw.startswith("["):
+            raw = f"[{raw}]"
+        mandatory = raw.startswith("[md_")
+        body = raw[4:-1] if mandatory else raw[1:-1]
+        left, _, right = body.partition(":")
+        if not right:
+            raise ModelError(f"unknown cardinality constraint {text!r}")
+        left = "m" if left in ("m", "n") else left
+        right = "n" if right in ("m", "n") else right
+        left = "n" if mandatory and left == "m" else left
+        canonical = f"[md_{left}:{right}]" if mandatory else f"[{left}:{right}]"
+        for member in cls:
+            if member.value == canonical:
+                return member
+        raise ModelError(f"unknown cardinality constraint {text!r}")
+
+
+#: Mandatory constraint -> its non-mandatory counterpart, one loosening
+#: step along the extended lattice of Fig 13(b).
+_RELAXED = {
+    Cardinality.MD_ONE_TO_ONE: Cardinality.ONE_TO_ONE,
+    Cardinality.MD_ONE_TO_N: Cardinality.ONE_TO_N,
+    Cardinality.MD_N_TO_ONE: Cardinality.M_TO_ONE,
+    Cardinality.MD_N_TO_N: Cardinality.M_TO_N,
+}
+
+
+def relaxed(cc: Cardinality) -> Cardinality:
+    """Return the non-mandatory counterpart of *cc* (identity if already so)."""
+    return _RELAXED.get(cc, cc)
+
+
+@dataclasses.dataclass(frozen=True)
+class AggregationFunction:
+    """A declared aggregation function of a class.
+
+    Parameters
+    ----------
+    name:
+        Function name, unique within the owning class (e.g. ``work_in``).
+    range_class:
+        Name of the range class ``C'`` in ``Agg: type(C) -> type(C')``.
+    cardinality:
+        The constraint ``cc`` of ``Agg with cc``; defaults to the loosest
+        constraint ``[m:n]`` when a schema omits it.
+    """
+
+    name: str
+    range_class: str
+    cardinality: Cardinality = Cardinality.M_TO_N
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("aggregation function name must be non-empty")
+        if not self.range_class:
+            raise ModelError(
+                f"aggregation function {self.name!r} needs a range class"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.range_class} with {self.cardinality}"

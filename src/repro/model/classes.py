@@ -1,0 +1,221 @@
+"""Class definitions of the object model (§2).
+
+A class is the unit the integration principles operate on::
+
+    type(C) = <a1: type1, ..., ak: typek, Agg1 with cc1, ..., Aggk with cck>
+
+A :class:`ClassDef` holds named attributes, named aggregation functions
+and the names of its direct superclasses (is-a parents).  Attribute and
+aggregation namespaces are disjoint within one class, mirroring the
+paper's single ``type(C)`` tuple, and declaration order is preserved so
+integrated classes print in a stable, reviewable order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..errors import DuplicateDefinitionError, ModelError, UnknownAttributeError
+from .aggregations import AggregationFunction, Cardinality
+from .attributes import Attribute, ClassType
+from .datatypes import DataType
+
+Member = Union[Attribute, AggregationFunction]
+
+
+class ClassDef:
+    """A class of an object-oriented schema.
+
+    Parameters
+    ----------
+    name:
+        Class name, unique within its schema.
+    attributes:
+        Iterable of :class:`~repro.model.attributes.Attribute`.
+    aggregations:
+        Iterable of :class:`~repro.model.aggregations.AggregationFunction`.
+    parents:
+        Names of direct superclasses (``is_a(C, parent)`` typing O-terms).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Iterable[Attribute] = (),
+        aggregations: Iterable[AggregationFunction] = (),
+        parents: Iterable[str] = (),
+    ) -> None:
+        if not name:
+            raise ModelError("class name must be non-empty")
+        self.name = name
+        self._attributes: Dict[str, Attribute] = {}
+        self._aggregations: Dict[str, AggregationFunction] = {}
+        self.parents: List[str] = []
+        for attribute in attributes:
+            self.add_attribute(attribute)
+        for aggregation in aggregations:
+            self.add_aggregation(aggregation)
+        for parent in parents:
+            self.add_parent(parent)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_attribute(self, attribute: Attribute) -> "ClassDef":
+        """Add *attribute*; raises on any name already used in this class."""
+        self._check_fresh(attribute.name)
+        self._attributes[attribute.name] = attribute
+        return self
+
+    def add_aggregation(self, aggregation: AggregationFunction) -> "ClassDef":
+        """Add *aggregation*; raises on any name already used in this class."""
+        self._check_fresh(aggregation.name)
+        self._aggregations[aggregation.name] = aggregation
+        return self
+
+    def add_parent(self, parent: str) -> "ClassDef":
+        """Declare *parent* as a direct superclass (idempotent)."""
+        if not parent:
+            raise ModelError(f"class {self.name!r}: parent name must be non-empty")
+        if parent == self.name:
+            raise ModelError(f"class {self.name!r} cannot be its own parent")
+        if parent not in self.parents:
+            self.parents.append(parent)
+        return self
+
+    def _check_fresh(self, member_name: str) -> None:
+        if member_name in self._attributes or member_name in self._aggregations:
+            raise DuplicateDefinitionError(
+                f"class {self.name!r} already defines {member_name!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # declarative shorthands used heavily by examples and tests
+    # ------------------------------------------------------------------
+    def attr(
+        self,
+        name: str,
+        value_type: Union[DataType, ClassType, str] = DataType.STRING,
+        multivalued: bool = False,
+    ) -> "ClassDef":
+        """Fluent shorthand: add an attribute and return ``self``.
+
+        *value_type* may be a :class:`DataType`, a :class:`ClassType`, a
+        primitive type name such as ``"string"``, or — when it names no
+        primitive — a class name, which is wrapped in a :class:`ClassType`.
+        """
+        if isinstance(value_type, str):
+            try:
+                value_type = DataType.parse(value_type)
+            except ValueError:
+                value_type = ClassType(value_type)
+        self.add_attribute(Attribute(name, value_type, multivalued=multivalued))
+        return self
+
+    def agg(
+        self,
+        name: str,
+        range_class: str,
+        cardinality: Union[Cardinality, str] = Cardinality.M_TO_N,
+    ) -> "ClassDef":
+        """Fluent shorthand: add an aggregation function and return ``self``."""
+        if isinstance(cardinality, str):
+            cardinality = Cardinality.parse(cardinality)
+        self.add_aggregation(AggregationFunction(name, range_class, cardinality))
+        return self
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """Declared attributes, in declaration order."""
+        return tuple(self._attributes.values())
+
+    @property
+    def aggregations(self) -> Tuple[AggregationFunction, ...]:
+        """Declared aggregation functions, in declaration order."""
+        return tuple(self._aggregations.values())
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(self._attributes)
+
+    @property
+    def aggregation_names(self) -> Tuple[str, ...]:
+        return tuple(self._aggregations)
+
+    def attribute(self, name: str) -> Attribute:
+        """The attribute called *name*; raises UnknownAttributeError."""
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise UnknownAttributeError(name, self.name) from None
+
+    def aggregation(self, name: str) -> AggregationFunction:
+        """The aggregation function called *name*; raises UnknownAttributeError."""
+        try:
+            return self._aggregations[name]
+        except KeyError:
+            raise UnknownAttributeError(name, self.name) from None
+
+    def member(self, name: str) -> Member:
+        """The attribute *or* aggregation function called *name*."""
+        if name in self._attributes:
+            return self._attributes[name]
+        if name in self._aggregations:
+            return self._aggregations[name]
+        raise UnknownAttributeError(name, self.name)
+
+    def has_member(self, name: str) -> bool:
+        """True when *name* is a declared attribute or aggregation."""
+        return name in self._attributes or name in self._aggregations
+
+    def get_attribute(self, name: str) -> Optional[Attribute]:
+        """The attribute called *name*, or None."""
+        return self._attributes.get(name)
+
+    def get_aggregation(self, name: str) -> Optional[AggregationFunction]:
+        """The aggregation function called *name*, or None."""
+        return self._aggregations.get(name)
+
+    def __iter__(self) -> Iterator[Member]:
+        """Iterate attributes then aggregation functions, declaration order."""
+        yield from self._attributes.values()
+        yield from self._aggregations.values()
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def type_signature(self) -> str:
+        """Render ``type(C) = <...>`` as the paper prints it."""
+        parts = [str(member) for member in self]
+        return f"type({self.name}) = <{', '.join(parts)}>"
+
+    def __repr__(self) -> str:
+        return (
+            f"ClassDef({self.name!r}, {len(self._attributes)} attrs, "
+            f"{len(self._aggregations)} aggs, parents={self.parents!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClassDef):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self._attributes == other._attributes
+            and self._aggregations == other._aggregations
+            and sorted(self.parents) == sorted(other.parents)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attribute_names, self.aggregation_names))
+
+    def copy(self, new_name: Optional[str] = None) -> "ClassDef":
+        """A deep-enough copy (members are immutable) under *new_name*."""
+        return ClassDef(
+            new_name or self.name,
+            attributes=self.attributes,
+            aggregations=self.aggregations,
+            parents=tuple(self.parents),
+        )

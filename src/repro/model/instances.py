@@ -1,0 +1,212 @@
+"""Object instances — ground complex O-terms (§2).
+
+The paper writes an instance of class ``C`` as::
+
+    <o: C | a1:v1, ..., al:vl, agg1, ..., aggk>
+
+with *o* an object identifier, attribute values ``vi`` and aggregation
+instances ``aggj`` mapping *o* to object identifiers of range classes.
+:class:`ObjectInstance` is exactly that ground term: attribute values are
+Python values (checked against the class type), aggregation values are
+:class:`~repro.model.oids.OID` targets (or sets thereof when the
+cardinality allows several).
+
+The non-ground logical counterpart — O-terms with variables, used in
+rules — lives in :mod:`repro.logic.oterms`; an :class:`ObjectInstance`
+converts to a ground O-term via :meth:`ObjectInstance.to_fact` there.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
+
+from ..errors import InstanceError, UnknownAttributeError
+from .attributes import ClassType
+from .classes import ClassDef
+from .datatypes import DataType, conforms
+from .oids import OID
+
+AggValue = Union[OID, FrozenSet[OID], None]
+
+
+class ObjectInstance:
+    """A ground complex O-term ``<oid: class | attrs..., aggs...>``.
+
+    Parameters
+    ----------
+    oid:
+        The federation-wide identifier of the object.
+    class_name:
+        The class the object belongs to.
+    attributes:
+        Mapping of attribute name to value.  Multivalued attributes take
+        any iterable, stored as a frozenset.
+    aggregations:
+        Mapping of aggregation-function name to target OID (or iterable
+        of OIDs for ``[*:n]`` cardinalities).
+    """
+
+    __slots__ = ("oid", "class_name", "_attributes", "_aggregations")
+
+    def __init__(
+        self,
+        oid: OID,
+        class_name: str,
+        attributes: Optional[Mapping[str, Any]] = None,
+        aggregations: Optional[Mapping[str, Union[OID, Iterable[OID]]]] = None,
+    ) -> None:
+        self.oid = oid
+        self.class_name = class_name
+        self._attributes: Dict[str, Any] = {}
+        for name, value in (attributes or {}).items():
+            self.set_attribute(name, value)
+        self._aggregations: Dict[str, AggValue] = {}
+        for name, target in (aggregations or {}).items():
+            self.set_aggregation(name, target)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def get(self, name: str, default: Any = None) -> Any:
+        """Attribute or aggregation value, ``default`` when absent."""
+        if name in self._attributes:
+            return self._attributes[name]
+        if name in self._aggregations:
+            return self._aggregations[name]
+        return default
+
+    def __getitem__(self, name: str) -> Any:
+        value = self.get(name, _MISSING)
+        if value is _MISSING:
+            raise UnknownAttributeError(name, self.class_name)
+        return value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._attributes or name in self._aggregations
+
+    @property
+    def attributes(self) -> Mapping[str, Any]:
+        return dict(self._attributes)
+
+    @property
+    def aggregations(self) -> Mapping[str, AggValue]:
+        return dict(self._aggregations)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def set_attribute(self, name: str, value: Any) -> None:
+        if isinstance(value, (set, frozenset, list, tuple)) and not isinstance(
+            value, (str, bytes)
+        ):
+            value = frozenset(value)
+        self._attributes[name] = value
+
+    def set_aggregation(self, name: str, target: Union[OID, Iterable[OID], None]) -> None:
+        if target is None or isinstance(target, OID):
+            self._aggregations[name] = target
+        else:
+            targets = frozenset(target)
+            for element in targets:
+                if not isinstance(element, OID):
+                    raise InstanceError(
+                        f"aggregation {name!r} target must be OID(s), got {element!r}"
+                    )
+            self._aggregations[name] = targets
+
+    # ------------------------------------------------------------------
+    # validation against the class definition
+    # ------------------------------------------------------------------
+    def validate_against(self, class_def: ClassDef) -> None:
+        """Check this instance conforms to *class_def*.
+
+        Unknown members, primitive type mismatches and scalar values for
+        multivalued attributes all raise :class:`InstanceError`.  Missing
+        attributes are fine — the paper's federation never materializes
+        complete global objects, it references partial local data.
+        """
+        if class_def.name != self.class_name:
+            raise InstanceError(
+                f"instance {self.oid} is of class {self.class_name!r}, "
+                f"validated against {class_def.name!r}"
+            )
+        for name, value in self._attributes.items():
+            attribute = class_def.get_attribute(name)
+            if attribute is None:
+                raise InstanceError(
+                    f"instance {self.oid}: class {class_def.name!r} has no "
+                    f"attribute {name!r}"
+                )
+            if attribute.multivalued:
+                if value is not None and not isinstance(value, frozenset):
+                    raise InstanceError(
+                        f"instance {self.oid}: attribute {name!r} is "
+                        f"multivalued but holds scalar {value!r}"
+                    )
+                elements = value or frozenset()
+            else:
+                if isinstance(value, frozenset):
+                    raise InstanceError(
+                        f"instance {self.oid}: attribute {name!r} is "
+                        f"single-valued but holds a set"
+                    )
+                # dicts (nested complex-attribute records) are unhashable;
+                # a plain tuple of elements suffices for the checks below.
+                elements = () if value is None else (value,)
+            if isinstance(attribute.value_type, DataType):
+                for element in elements:
+                    if not conforms(element, attribute.value_type):
+                        raise InstanceError(
+                            f"instance {self.oid}: value {element!r} does not "
+                            f"conform to {name}: {attribute.value_type}"
+                        )
+            elif isinstance(attribute.value_type, ClassType):
+                for element in elements:
+                    if not isinstance(element, (OID, ObjectInstance, dict)):
+                        raise InstanceError(
+                            f"instance {self.oid}: complex attribute {name!r} "
+                            f"must hold an OID, nested instance or mapping, "
+                            f"got {element!r}"
+                        )
+        for name in self._aggregations:
+            if class_def.get_aggregation(name) is None:
+                raise InstanceError(
+                    f"instance {self.oid}: class {class_def.name!r} has no "
+                    f"aggregation function {name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # presentation / equality
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        parts = [f"{k}: {v!r}" for k, v in self._attributes.items()]
+        parts += [f"{k} -> {v}" for k, v in self._aggregations.items()]
+        body = ", ".join(parts)
+        return f"<{self.oid}: {self.class_name} | {body}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ObjectInstance):
+            return NotImplemented
+        return (
+            self.oid == other.oid
+            and self.class_name == other.class_name
+            and self._attributes == other._attributes
+            and self._aggregations == other._aggregations
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.oid, self.class_name))
+
+    def as_tuple(self, columns: Tuple[str, ...]) -> Tuple[Any, ...]:
+        """Project the instance onto *columns* (None for missing ones)."""
+        return tuple(self.get(column) for column in columns)
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

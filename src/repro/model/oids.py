@@ -1,0 +1,126 @@
+"""Global object identifiers (§3).
+
+Every datum of a component database must be uniquely identifiable in the
+federation without being moved.  The paper's scheme assigns each tuple of
+a (transformed) relation an OID of the form::
+
+    <FSM-agent name>.<database system name>.<database name>.<relation name>.<integer>
+
+e.g. ``FSMagent1.informix.PatientDB.patient-records.5`` for the fifth
+tuple of relation ``patient-records``, and prefixes attribute values with
+the analogous five-part attribute path.  :class:`OID` models the tuple
+identifier; :func:`attribute_ref` produces the attribute prefix.
+
+Component names may not contain the separator ``.`` — the paper uses
+plain concatenation, which would be ambiguous otherwise; we validate
+instead of guessing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, Iterator, Tuple
+
+from ..errors import OIDError
+
+SEPARATOR = "."
+
+_FIELDS = ("agent", "system", "database", "relation")
+
+
+def _check_component(field: str, value: str) -> None:
+    if not value:
+        raise OIDError(f"OID component {field!r} must be non-empty")
+    if SEPARATOR in value:
+        raise OIDError(
+            f"OID component {field!r} may not contain {SEPARATOR!r}: {value!r}"
+        )
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class OID:
+    """A federation-wide object identifier.
+
+    Attributes mirror the five dotted parts of the paper's scheme:
+    *agent*, *system*, *database*, *relation* and the tuple *number*.
+    """
+
+    agent: str
+    system: str
+    database: str
+    relation: str
+    number: int
+
+    def __post_init__(self) -> None:
+        for field in _FIELDS:
+            _check_component(field, getattr(self, field))
+        if self.number < 0:
+            raise OIDError(f"OID number must be non-negative, got {self.number}")
+
+    def __str__(self) -> str:
+        return SEPARATOR.join(
+            (self.agent, self.system, self.database, self.relation, str(self.number))
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "OID":
+        """Parse the dotted string form back into an :class:`OID`."""
+        parts = text.split(SEPARATOR)
+        if len(parts) != 5:
+            raise OIDError(
+                f"an OID has exactly 5 dotted components, got {len(parts)}: {text!r}"
+            )
+        agent, system, database, relation, number_text = parts
+        try:
+            number = int(number_text)
+        except ValueError:
+            raise OIDError(f"OID number must be an integer, got {number_text!r}") from None
+        return cls(agent, system, database, relation, number)
+
+    def attribute_ref(self, attribute: str) -> str:
+        """The implicit prefix string for *attribute* values (§3).
+
+        ``<agent>.<system>.<database>.<relation>.<attribute>`` — note the
+        paper replaces the tuple number with the attribute name here.
+        """
+        _check_component("attribute", attribute)
+        return SEPARATOR.join(
+            (self.agent, self.system, self.database, self.relation, attribute)
+        )
+
+    def same_source(self, other: "OID") -> bool:
+        """True when both OIDs come from the same relation of the same DB."""
+        return (
+            self.agent == other.agent
+            and self.system == other.system
+            and self.database == other.database
+            and self.relation == other.relation
+        )
+
+
+class OIDGenerator:
+    """Numbers tuples "in the normal way" per relation (§3).
+
+    One generator is owned by each local store; it hands out
+    monotonically increasing numbers per relation so OIDs stay stable
+    across the lifetime of a federation session.
+    """
+
+    def __init__(self, agent: str, system: str, database: str) -> None:
+        for field, value in zip(("agent", "system", "database"), (agent, system, database)):
+            _check_component(field, value)
+        self.agent = agent
+        self.system = system
+        self.database = database
+        self._counters: Dict[str, Iterator[int]] = {}
+
+    def next_oid(self, relation: str) -> OID:
+        """The next OID for a tuple of *relation* (numbers start at 1)."""
+        _check_component("relation", relation)
+        counter = self._counters.setdefault(relation, itertools.count(1))
+        return OID(self.agent, self.system, self.database, relation, next(counter))
+
+    def issued(self) -> Tuple[str, ...]:
+        """Relations for which at least one OID was issued."""
+        return tuple(self._counters)

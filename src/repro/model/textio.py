@@ -1,0 +1,185 @@
+"""Schema serialization: a textual schema format and JSON (de)serialization.
+
+The paper assumes local schemas arrive as OO descriptions; this module
+gives the library a concrete interchange form so schemas can live in
+files next to assertion DSL files::
+
+    schema S1
+    class person
+      attr ssn#: string
+      attr full_name: string
+      attr interests: {string}
+    class student extends person
+      attr gpa: real
+    class article
+      attr title: string
+      agg Published_in -> proceedings [m:1]
+    class proceedings
+      attr year: integer
+
+Rules: one declaration per line, ``#`` comments (start-of-line or after
+whitespace), ``{type}`` marks multivalued attributes, a non-primitive
+type name denotes a complex (class-typed) attribute, ``extends`` lists
+parents comma-separated.  :func:`schema_to_text` inverts the parse;
+:func:`schema_to_dict` / :func:`schema_from_dict` give a JSON-stable
+form.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List
+
+from ..errors import ModelError
+from .aggregations import Cardinality
+from .attributes import ClassType
+from .classes import ClassDef
+from .datatypes import DataType
+from .schema import Schema
+
+_SCHEMA_RE = re.compile(r"^schema\s+(?P<name>\S+)$")
+_CLASS_RE = re.compile(
+    r"^class\s+(?P<name>\S+)(?:\s+extends\s+(?P<parents>.+))?$"
+)
+_ATTR_RE = re.compile(
+    r"^attr\s+(?P<name>[^:\s]+)\s*:\s*(?P<type>\{[^}]+\}|\S+)$"
+)
+_AGG_RE = re.compile(
+    r"^agg\s+(?P<name>\S+)\s*->\s*(?P<range>\S+)(?:\s+(?P<cc>\[[^\]]+\]))?$"
+)
+
+
+def _strip_comment(line: str) -> str:
+    for index, char in enumerate(line):
+        if char == "#" and (index == 0 or line[index - 1].isspace()):
+            return line[:index]
+    return line
+
+
+def parse_schema(text: str) -> Schema:
+    """Parse the textual schema format (see module docstring)."""
+    schema: Schema | None = None
+    current: ClassDef | None = None
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if match := _SCHEMA_RE.match(line):
+            if schema is not None:
+                raise ModelError(
+                    f"line {line_no}: a schema file declares one schema"
+                )
+            schema = Schema(match.group("name"))
+            continue
+        if schema is None:
+            raise ModelError(f"line {line_no}: expected 'schema <name>' first")
+        if match := _CLASS_RE.match(line):
+            parents = [
+                p.strip()
+                for p in (match.group("parents") or "").split(",")
+                if p.strip()
+            ]
+            current = ClassDef(match.group("name"), parents=parents)
+            schema.add_class(current)
+            continue
+        if current is None:
+            raise ModelError(f"line {line_no}: member outside a class: {line!r}")
+        if match := _ATTR_RE.match(line):
+            type_text = match.group("type")
+            multivalued = type_text.startswith("{")
+            inner = type_text.strip("{}").strip()
+            current.attr(match.group("name"), inner, multivalued=multivalued)
+            continue
+        if match := _AGG_RE.match(line):
+            cardinality = (
+                Cardinality.parse(match.group("cc"))
+                if match.group("cc")
+                else Cardinality.M_TO_N
+            )
+            current.agg(match.group("name"), match.group("range"), cardinality)
+            continue
+        raise ModelError(f"line {line_no}: cannot parse {line!r}")
+    if schema is None:
+        raise ModelError("empty schema text")
+    schema.validate()
+    return schema
+
+
+def parse_schema_file(path: str) -> Schema:
+    with open(path, encoding="utf-8") as handle:
+        return parse_schema(handle.read())
+
+
+def schema_to_text(schema: Schema) -> str:
+    """Render *schema* in the textual format (parse round-trips)."""
+    lines = [f"schema {schema.name}"]
+    for class_def in schema:
+        head = f"class {class_def.name}"
+        if class_def.parents:
+            head += " extends " + ", ".join(class_def.parents)
+        lines.append(head)
+        for attribute in class_def.attributes:
+            lines.append(f"  attr {attribute.name}: {attribute.type_name()}")
+        for aggregation in class_def.aggregations:
+            lines.append(
+                f"  agg {aggregation.name} -> {aggregation.range_class} "
+                f"{aggregation.cardinality}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# JSON form
+# ----------------------------------------------------------------------
+def schema_to_dict(schema: Schema) -> Dict[str, Any]:
+    """A JSON-serializable description of *schema*."""
+    classes: List[Dict[str, Any]] = []
+    for class_def in schema:
+        classes.append(
+            {
+                "name": class_def.name,
+                "parents": list(class_def.parents),
+                "attributes": [
+                    {
+                        "name": attribute.name,
+                        "type": str(attribute.value_type),
+                        "multivalued": attribute.multivalued,
+                    }
+                    for attribute in class_def.attributes
+                ],
+                "aggregations": [
+                    {
+                        "name": aggregation.name,
+                        "range": aggregation.range_class,
+                        "cardinality": str(aggregation.cardinality),
+                    }
+                    for aggregation in class_def.aggregations
+                ],
+            }
+        )
+    return {"name": schema.name, "classes": classes}
+
+
+def schema_from_dict(data: Dict[str, Any]) -> Schema:
+    """Rebuild a schema from :func:`schema_to_dict` output."""
+    schema = Schema(data["name"])
+    for class_data in data.get("classes", ()):
+        class_def = ClassDef(class_data["name"], parents=class_data.get("parents", ()))
+        for attr_data in class_data.get("attributes", ()):
+            type_name = attr_data["type"]
+            try:
+                value_type: "DataType | ClassType" = DataType.parse(type_name)
+            except ValueError:
+                value_type = ClassType(type_name)
+            class_def.attr(
+                attr_data["name"], value_type, multivalued=attr_data.get("multivalued", False)
+            )
+        for agg_data in class_data.get("aggregations", ()):
+            class_def.agg(
+                agg_data["name"],
+                agg_data["range"],
+                Cardinality.parse(agg_data.get("cardinality", "[m:n]")),
+            )
+        schema.add_class(class_def)
+    schema.validate()
+    return schema

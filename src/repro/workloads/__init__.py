@@ -1,0 +1,31 @@
+"""Workloads: synthetic generators (§6.3 settings) and paper scenarios."""
+
+from .generators import (
+    inclusion_chain,
+    match_at_depth,
+    mirrored_pair,
+    populate,
+    random_tree_schema,
+)
+from .scenarios import (
+    appendix_a,
+    bibliography,
+    car_prices,
+    fig4_suite,
+    genealogy,
+    stock_market,
+)
+
+__all__ = [
+    "appendix_a",
+    "bibliography",
+    "car_prices",
+    "fig4_suite",
+    "genealogy",
+    "inclusion_chain",
+    "match_at_depth",
+    "mirrored_pair",
+    "populate",
+    "random_tree_schema",
+    "stock_market",
+]

@@ -1,0 +1,193 @@
+"""Synthetic schema/assertion workloads for the §6.3 benchmarks.
+
+The complexity analysis assumes "both S1 and S2 have tree structures and
+each concept from S1 has exactly one equivalent counterpart from S2",
+with degree *d* and height *h*.  These generators build exactly that
+setting (plus controlled deviations):
+
+* :func:`random_tree_schema` — a tree-shaped schema of *n* classes with
+  average degree *d*, attributes included so assertions validate;
+* :func:`mirrored_pair` — S2 as a structural mirror of S1 with renamed
+  concepts and an assertion set matching a configurable fraction of
+  classes by ≡ / ⊆ / ∩ / ∅ (the §6.1 observation mix);
+* :func:`inclusion_chain` — the Fig 8 ladder: one S1 class included in a
+  length-*k* S2 chain, for the link-redundancy benchmark;
+* :func:`match_at_depth` — S1's root equivalent to an S2 node at chosen
+  depth, the two "extreme cases" of the Ω_h recurrence.
+
+All generators take an explicit ``seed`` and are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..assertions.assertion_set import AssertionSet
+from ..assertions.class_assertions import (
+    equivalence,
+    exclusion,
+    inclusion,
+    intersection,
+)
+from ..assertions.paths import Path
+from ..assertions.attribute_assertions import AttributeCorrespondence
+from ..assertions.kinds import AttributeKind
+from ..model.classes import ClassDef
+from ..model.schema import Schema
+
+
+def random_tree_schema(
+    name: str,
+    size: int,
+    degree: int = 3,
+    seed: int = 7,
+    class_prefix: str = "C",
+    attributes_per_class: int = 2,
+) -> Schema:
+    """A tree-shaped schema of *size* classes with branching ≈ *degree*."""
+    rng = random.Random(seed)
+    schema = Schema(name)
+    for index in range(size):
+        class_def = ClassDef(f"{class_prefix}{index}")
+        for a in range(attributes_per_class):
+            class_def.attr(f"a{a}")
+        if index > 0:
+            # Parent chosen among recent nodes to keep branching near *degree*.
+            low = max(0, (index - 1) // degree * 1)
+            parent_index = rng.randint(max(0, index - degree * 2), index - 1)
+            class_def.add_parent(f"{class_prefix}{parent_index}")
+        schema.add_class(class_def)
+    schema.validate()
+    return schema
+
+
+def mirrored_pair(
+    size: int,
+    degree: int = 3,
+    seed: int = 7,
+    equivalence_fraction: float = 1.0,
+    inclusion_fraction: float = 0.0,
+    intersection_fraction: float = 0.0,
+    exclusion_fraction: float = 0.0,
+) -> Tuple[Schema, Schema, AssertionSet]:
+    """S1 plus a mirrored S2 and the assertion set between them.
+
+    Every S1 class ``Ci`` has the counterpart ``Di``; fractions select
+    (deterministically, by hash of the index) which pairs receive which
+    assertion kind.  Fractions are taken in order ≡, ⊆, ∩, ∅ and may sum
+    to less than 1 (the remainder gets no assertion).
+    """
+    left = random_tree_schema("S1", size, degree, seed, class_prefix="C")
+    right = random_tree_schema("S2", size, degree, seed, class_prefix="D")
+    assertions = AssertionSet("S1", "S2")
+    boundaries = [
+        equivalence_fraction,
+        equivalence_fraction + inclusion_fraction,
+        equivalence_fraction + inclusion_fraction + intersection_fraction,
+        equivalence_fraction
+        + inclusion_fraction
+        + intersection_fraction
+        + exclusion_fraction,
+    ]
+    rng = random.Random(seed + 1)
+    for index in range(size):
+        c = Path("S1", f"C{index}")
+        d = Path("S2", f"D{index}")
+        roll = rng.random()
+        corr = (
+            AttributeCorrespondence(
+                c.child("a0"), d.child("a0"), AttributeKind.EQUIVALENCE
+            ),
+        )
+        if roll < boundaries[0]:
+            assertions.add(equivalence(c, d, attribute_corrs=corr))
+        elif roll < boundaries[1]:
+            assertions.add(inclusion(c, d))
+        elif roll < boundaries[2] and index > 0:
+            assertions.add(intersection(c, d))
+        elif roll < boundaries[3] and index > 0:
+            assertions.add(exclusion(c, d))
+    return left, right, assertions
+
+
+def inclusion_chain(
+    chain_length: int, declare_all: bool = True
+) -> Tuple[Schema, Schema, AssertionSet]:
+    """The Fig 8 setting: ``S1.A ⊆ S2.B1 ⊆ ... ⊆ S2.Bk`` locally chained.
+
+    With *declare_all* every ``A ⊆ Bi`` is asserted (the paper's worst
+    case for a [33]-style integrator: k redundant links); with False only
+    the most general inclusion ``A ⊆ B1`` is declared.
+    """
+    left = Schema("S1")
+    left.add_class(ClassDef("A").attr("a0"))
+    right = Schema("S2")
+    previous: Optional[str] = None
+    for index in range(1, chain_length + 1):
+        class_def = ClassDef(f"B{index}").attr("a0")
+        if previous is not None:
+            class_def.add_parent(previous)
+        right.add_class(class_def)
+        previous = f"B{index}"
+    # B1 is the top of the chain; Bk the most specific.
+    assertions = AssertionSet("S1", "S2")
+    targets = range(1, chain_length + 1) if declare_all else (1,)
+    for index in targets:
+        assertions.add(inclusion(Path("S1", "A"), Path("S2", f"B{index}")))
+    left.validate()
+    right.validate()
+    return left, right, assertions
+
+
+def match_at_depth(
+    size: int, depth: int, degree: int = 2, seed: int = 3
+) -> Tuple[Schema, Schema, AssertionSet]:
+    """The §6.3 extreme cases: S1 mirrors a *subtree* of S2 at *depth*.
+
+    S2 consists of a chain of *depth* filler classes with a mirror of S1
+    hanging below; every S1 class has its equivalent counterpart in that
+    subtree.  ``depth=0`` is the "roots match" extreme; larger depths
+    approach the "root matches deep inside S2" extreme of the Ω_h
+    recurrence — the matching work stays O(size), only the descent adds.
+    """
+    left = random_tree_schema("S1", size, degree, seed, class_prefix="C")
+    mirror = random_tree_schema("S2", size, degree, seed, class_prefix="D")
+    right = Schema("S2")
+    previous: Optional[str] = None
+    for index in range(depth):
+        filler = ClassDef(f"F{index}").attr("a0")
+        if previous is not None:
+            filler.add_parent(previous)
+        right.add_class(filler)
+        previous = f"F{index}"
+    for class_def in mirror:
+        copy = class_def.copy()
+        if not copy.parents and previous is not None:
+            copy.add_parent(previous)
+        right.add_class(copy)
+    right.validate()
+    assertions = AssertionSet("S1", "S2")
+    for index in range(size):
+        assertions.add(
+            equivalence(Path("S1", f"C{index}"), Path("S2", f"D{index}"))
+        )
+    return left, right, assertions
+
+
+def populate(schema: Schema, per_class: int, seed: int = 11) -> "object":
+    """An :class:`ObjectDatabase` with *per_class* instances per class."""
+    from ..model.database import ObjectDatabase
+
+    rng = random.Random(seed)
+    database = ObjectDatabase(schema, agent="bench")
+    for class_def in schema:
+        effective = schema.effective_class(class_def.name)
+        for _ in range(per_class):
+            values: Dict[str, str] = {
+                attribute.name: f"v{rng.randint(0, per_class * 4)}"
+                for attribute in effective.attributes
+                if not attribute.multivalued and not attribute.is_complex
+            }
+            database.insert(class_def.name, values)
+    return database

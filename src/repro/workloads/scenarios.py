@@ -1,0 +1,269 @@
+"""The paper's worked examples as reusable fixtures.
+
+Each function reconstructs one scenario from the text — schemas,
+assertion DSL and (where queries are exercised) populated databases —
+so tests, examples and benchmarks share a single source of truth:
+
+* :func:`appendix_a` — Fig 18 / Example 12 (person/human university).
+* :func:`genealogy` — Example 3 / 9 / Appendix B (parent, brother → uncle).
+* :func:`bibliography` — Examples 4 / 11 (Book/Author path equivalence).
+* :func:`stock_market` — the §4.1 stock / stock-in-March-April classes.
+* :func:`car_prices` — Example 5 / 10 (schematic discrepancy, Figs 7-10).
+* :func:`fig4_suite` — the four assertions of Fig 4 with their classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..model.classes import ClassDef
+from ..model.database import ObjectDatabase
+from ..model.schema import Schema
+
+
+def appendix_a() -> Tuple[Schema, Schema, str]:
+    """Fig 18(a)+(b): the schemas and assertion set of the sample trace."""
+    s1 = Schema("S1")
+    s1.add_class(ClassDef("person").attr("ssn#").attr("name"))
+    s1.add_class(ClassDef("student", parents=["person"]).attr("gpa"))
+    s1.add_class(ClassDef("lecturer", parents=["person"]).attr("salary"))
+    s1.add_class(ClassDef("teaching_assistant", parents=["lecturer"]))
+    s2 = Schema("S2")
+    s2.add_class(ClassDef("human").attr("ssn#").attr("name"))
+    s2.add_class(ClassDef("employee", parents=["human"]).attr("income"))
+    s2.add_class(ClassDef("faculty", parents=["employee"]).attr("rank"))
+    s2.add_class(ClassDef("professor", parents=["faculty"]))
+    assertions = """
+    assertion S1.person == S2.human
+      attr S1.person.ssn# == S2.human.ssn#
+      attr S1.person.name == S2.human.name
+    end
+    assertion S1.lecturer <= S2.employee
+    assertion S1.lecturer <= S2.faculty
+    assertion S1.teaching_assistant <= S2.employee
+    assertion S1.teaching_assistant <= S2.faculty
+    assertion S1.student ^ S2.faculty
+    """
+    return s1, s2, assertions
+
+
+def genealogy(populated: bool = True) -> Tuple[Schema, Schema, str, Dict[str, ObjectDatabase]]:
+    """Example 3 / Fig 5: parent & brother (S1), uncle (S2)."""
+    s1 = Schema("S1")
+    s1.add_class(
+        ClassDef("parent").attr("Pssn#").attr("name").attr("children", multivalued=True)
+    )
+    s1.add_class(
+        ClassDef("brother").attr("Bssn#").attr("name").attr("brothers", multivalued=True)
+    )
+    s2 = Schema("S2")
+    s2.add_class(
+        ClassDef("uncle").attr("Ussn#").attr("name").attr("niece_nephew", multivalued=True)
+    )
+    assertions = """
+    assertion S1(parent, brother) -> S2.uncle
+      value S1.parent.Pssn# in S1.brother.brothers
+      attr S1.brother.Bssn# == S2.uncle.Ussn#
+      attr S1.parent.children >= S2.uncle.niece_nephew
+    end
+    """
+    databases: Dict[str, ObjectDatabase] = {}
+    if populated:
+        db1 = ObjectDatabase(s1, agent="agent1")
+        # Mary (P1) is John's parent; Bill (B1) lists Mary among his siblings.
+        db1.insert("parent", {"Pssn#": "P1", "name": "Mary", "children": ["John"]})
+        db1.insert("parent", {"Pssn#": "P2", "name": "Sue", "children": ["Ann", "Tom"]})
+        db1.insert("brother", {"Bssn#": "B1", "name": "Bill", "brothers": ["P1"]})
+        db1.insert("brother", {"Bssn#": "B2", "name": "Carl", "brothers": ["P2", "P9"]})
+        db2 = ObjectDatabase(s2, agent="agent2")
+        db2.insert("uncle", {"Ussn#": "U9", "name": "Ted", "niece_nephew": ["Alice"]})
+        databases = {"S1": db1, "S2": db2}
+    return s1, s2, assertions, databases
+
+
+def bibliography() -> Tuple[Schema, Schema, str]:
+    """Examples 4 / 11: Book (S1) and Author (S2) with nested structure."""
+    s1 = Schema("S1")
+    s1.add_class(ClassDef("person_rec").attr("name").attr("birthday", "date"))
+    s1.add_class(
+        ClassDef("Book").attr("ISBN").attr("title").attr("author", "person_rec")
+    )
+    s2 = Schema("S2")
+    s2.add_class(ClassDef("book_rec").attr("ISBN").attr("title"))
+    s2.add_class(
+        ClassDef("Author").attr("name").attr("birthday", "date").attr("book", "book_rec")
+    )
+    # Fig 6(b)/(c) declare the ISBN/title pair in one direction and the
+    # name/birthday pair in the other; each direction here carries both
+    # groups so the generated rules materialize complete virtual objects.
+    assertions = """
+    assertion S1.Book -> S2.Author
+      attr S1.Book.ISBN == S2.Author.book.ISBN
+      attr S1.Book.title == S2.Author.book.title
+      attr S1.Book.author.name == S2.Author.name
+      attr S1.Book.author.birthday == S2.Author.birthday
+    end
+    assertion S2.Author -> S1.Book
+      attr S2.Author.name == S1.Book.author.name
+      attr S2.Author.birthday == S1.Book.author.birthday
+      attr S2.Author.book.ISBN == S1.Book.ISBN
+      attr S2.Author.book.title == S1.Book.title
+    end
+    """
+    return s1, s2, assertions
+
+
+def stock_market() -> Tuple[Schema, Schema, str]:
+    """§4.1's with-condition example: stock vs stock-in-March-April."""
+    s2 = Schema("S2")
+    s2.add_class(
+        ClassDef("stock").attr("time").attr("stock-name").attr("price", "integer")
+    )
+    s1 = Schema("S1")
+    s1.add_class(
+        ClassDef("stock-in-March-April")
+        .attr("stock-name")
+        .attr("price-in-March", "integer")
+        .attr("price-in-April", "integer")
+    )
+    assertions = """
+    assertion S1.stock-in-March-April -> S2.stock
+      attr S1.stock-in-March-April.stock-name == S2.stock.stock-name
+      attr S1.stock-in-March-April.price-in-March <= S2.stock.price with S2.stock.time = 'March'
+      attr S1.stock-in-March-April.price-in-April <= S2.stock.price with S2.stock.time = 'April'
+    end
+    """
+    return s1, s2, assertions
+
+
+def car_prices(car_names: Tuple[str, ...] = ("vw", "bmw")) -> Tuple[Schema, Schema, str]:
+    """Example 5 / Figs 7-10: the schema-conflict car-price databases.
+
+    ``S1.car1`` stores (time, car-name, price) per instance; ``S2.car2``
+    has one *attribute per car* storing its price — attribute names are
+    data, the paper's extreme schematic discrepancy.
+    """
+    s1 = Schema("S1")
+    s1.add_class(
+        ClassDef("car1").attr("time").attr("car-name").attr("price", "integer")
+    )
+    s2 = Schema("S2")
+    car2 = ClassDef("car2").attr("time")
+    for car in car_names:
+        car2.attr(car, "integer")
+    s2.add_class(car2)
+    lines = ["assertion S2.car2 -> S1.car1", "  attr S2.car2.time == S1.car1.time"]
+    for car in car_names:
+        lines.append(
+            f"  attr S2.car2.{car} <= S1.car1.price with S1.car1.car-name = '{car}'"
+        )
+    lines.append("end")
+    return s1, s2, "\n".join(lines)
+
+
+def fig4_suite() -> Tuple[Schema, Schema, str]:
+    """The four Fig 4 assertions with supporting classes.
+
+    Includes person ≡ human (composed-into, ⊇), book ⊆ publication
+    (aggregation ≡), faculty ∩ student (AIF case) and man ∅ woman
+    (reverse aggregation) under the shared person/human parents.
+    """
+    s1 = Schema("S1")
+    s1.add_class(
+        ClassDef("person")
+        .attr("ssn#")
+        .attr("full_name")
+        .attr("city")
+        .attr("interests", multivalued=True)
+    )
+    s1.add_class(ClassDef("publisher").attr("name"))
+    s1.add_class(
+        ClassDef("book")
+        .attr("ISBN")
+        .attr("title")
+        .attr("auther")
+        .agg("published_by", "publisher", "[m:1]")
+    )
+    s1.add_class(
+        ClassDef("faculty", parents=["person"])
+        .attr("fssn#")
+        .attr("name")
+        .attr("income", "integer")
+        .agg("work_in", "department", "[m:1]")
+    )
+    s1.add_class(ClassDef("department").attr("dname"))
+    s1.add_class(
+        ClassDef("man", parents=["person"])
+        .attr("mssn#")
+        .attr("name")
+        .attr("occupation")
+        .agg("spouse", "person", "[1:1]")
+    )
+    s2 = Schema("S2")
+    s2.add_class(
+        ClassDef("human")
+        .attr("hssn#")
+        .attr("name")
+        .attr("street-number")
+        .attr("hobby", multivalued=True)
+    )
+    s2.add_class(ClassDef("press").attr("name"))
+    s2.add_class(
+        ClassDef("publication")
+        .attr("ISBN")
+        .attr("title")
+        .attr("contributors", multivalued=True)
+        .agg("published_by", "press", "[m:1]")
+    )
+    s2.add_class(
+        ClassDef("student", parents=["human"])
+        .attr("ssn#")
+        .attr("name")
+        .attr("study_support", "integer")
+        .agg("work_in", "institute", "[m:n]")
+    )
+    s2.add_class(ClassDef("institute").attr("iname"))
+    s2.add_class(
+        ClassDef("woman", parents=["human"])
+        .attr("wssn#")
+        .attr("name")
+        .attr("occupation")
+        .agg("spouse", "human", "[1:1]")
+    )
+    assertions = """
+    # Fig 4(a)
+    assertion S1.person == S2.human
+      attr S1.person.ssn# == S2.human.hssn#
+      attr S1.person.full_name == S2.human.name
+      attr S1.person.city alpha(address) S2.human.street-number
+      attr S1.person.interests >= S2.human.hobby
+    end
+    # Fig 4(b)
+    assertion S1.book <= S2.publication
+      attr S1.book.ISBN == S2.publication.ISBN
+      attr S1.book.title == S2.publication.title
+      attr S1.book.auther <= S2.publication.contributors
+      agg S1.book.published_by == S2.publication.published_by
+    end
+    # Fig 4(c)
+    assertion S1.faculty ^ S2.student
+      attr S1.faculty.fssn# == S2.student.ssn#
+      attr S1.faculty.name == S2.student.name
+      attr S1.faculty.income ^ S2.student.study_support
+      agg S1.faculty.work_in == S2.student.work_in
+    end
+    # Fig 4(d)
+    assertion S1.man ! S2.woman
+      attr S1.man.mssn# == S2.woman.wssn#
+      attr S1.man.name == S2.woman.name
+      attr S1.man.occupation == S2.woman.occupation
+      agg S1.man.spouse rev S2.woman.spouse
+    end
+    # supporting context: related range classes (Principle 6 needs the
+    # aggregation ranges' relationship declared before links merge)
+    assertion S1.publisher == S2.press
+      attr S1.publisher.name == S2.press.name
+    end
+    assertion S1.department == S2.institute
+    """
+    return s1, s2, assertions

@@ -1,0 +1,112 @@
+"""Assertion-set analysis lints."""
+
+import pytest
+
+from repro.assertions import AssertionSet, parse
+from repro.assertions.analysis import analyze, report
+from repro.model import ClassDef, Schema
+
+
+def schemas():
+    s1 = Schema("S1")
+    for name in ("a", "b"):
+        s1.add_class(ClassDef(name).attr("k"))
+    s1.add_class(ClassDef("a_sub", parents=["a"]))
+    s2 = Schema("S2")
+    for name in ("x", "y"):
+        s2.add_class(ClassDef(name).attr("k"))
+    s2.add_class(ClassDef("x_sub", parents=["x"]))
+    return s1, s2
+
+
+def build(text):
+    s1, s2 = schemas()
+    assertions = AssertionSet("S1", "S2")
+    assertions.extend(parse(text))
+    return assertions, s1, s2
+
+
+def kinds_of(findings):
+    return [finding.kind for finding in findings]
+
+
+class TestLints:
+    def test_clean_set_reports_only_unmentioned(self):
+        assertions, s1, s2 = build(
+            """
+            assertion S1.a == S2.x
+            assertion S1.b == S2.y
+            assertion S1.a_sub == S2.x_sub
+            """
+        )
+        assert analyze(assertions, s1, s2) == []
+
+    def test_mutual_inclusion_rejected_eagerly(self):
+        # ⊆ both ways is a conflict AssertionSet refuses at add time —
+        # no lint needed for it.
+        from repro.errors import AssertionConflictError
+
+        with pytest.raises(AssertionConflictError):
+            build(
+                """
+                assertion S1.a <= S2.x
+                assertion S2.x <= S1.a
+                """
+            )
+
+    def test_equivalence_fan_detected(self):
+        assertions, s1, s2 = build(
+            """
+            assertion S1.a == S2.x
+            assertion S1.a == S2.y
+            """
+        )
+        findings = analyze(assertions, s1, s2)
+        fans = [f for f in findings if f.kind == "equivalence-fan"]
+        assert fans and "a" in fans[0].concepts
+
+    def test_assertion_under_exclusion_detected(self):
+        assertions, s1, s2 = build(
+            """
+            assertion S1.a ! S2.x
+            assertion S1.a_sub ^ S2.x_sub
+            """
+        )
+        findings = analyze(assertions, s1, s2)
+        assert "assertion-under-exclusion" in kinds_of(findings)
+
+    def test_redundant_inclusion_detected(self):
+        assertions, s1, s2 = build(
+            """
+            assertion S1.b <= S2.x
+            assertion S1.b <= S2.x_sub
+            """
+        )
+        findings = analyze(assertions, s1, s2)
+        redundant = [f for f in findings if f.kind == "redundant-inclusion"]
+        assert redundant
+        assert redundant[0].concepts == ("b", "x")
+
+    def test_unmentioned_classes_listed(self):
+        assertions, s1, s2 = build("assertion S1.a == S2.x")
+        findings = analyze(assertions, s1, s2)
+        unmentioned = {
+            f.concepts[0] for f in findings if f.kind == "unmentioned-class"
+        }
+        assert unmentioned == {"b", "a_sub", "y", "x_sub"}
+
+    def test_report_renders(self):
+        assertions, s1, s2 = build("assertion S1.a == S2.x")
+        text = report(assertions, s1, s2)
+        assert "finding" in text
+        assert "[unmentioned-class]" in text
+
+    def test_report_clean(self):
+        assertions, s1, s2 = build(
+            """
+            assertion S1.a == S2.x
+            assertion S1.b == S2.y
+            assertion S1.a_sub == S2.x_sub
+            """
+        )
+        assert "no findings" in report(assertions, s1, s2)

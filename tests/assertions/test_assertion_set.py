@@ -1,0 +1,92 @@
+"""AssertionSet: oriented lookup, conflicts, derivation indexing."""
+
+import pytest
+
+from repro.errors import AssertionConflictError, AssertionSpecError
+from repro.assertions import (
+    AssertionSet,
+    ClassKind,
+    derivation,
+    equivalence,
+    exclusion,
+    inclusion,
+    intersection,
+)
+
+
+@pytest.fixture
+def assertion_set() -> AssertionSet:
+    s = AssertionSet("S1", "S2")
+    s.add(equivalence("S1.person", "S2.human"))
+    s.add(inclusion("S1.lecturer", "S2.employee"))
+    s.add(derivation(["S1.parent", "S1.brother"], "S2.uncle"))
+    return s
+
+
+class TestLookup:
+    def test_equivalence_found(self, assertion_set):
+        assert assertion_set.kind_of("person", "human") is ClassKind.EQUIVALENCE
+
+    def test_lookup_is_oriented(self, assertion_set):
+        assertion_set.add(inclusion("S2.visitor", "S1.person"))
+        # Declared S2 ⊆ S1 → looked up (S1 class, S2 class) it reads ⊇.
+        assert assertion_set.kind_of("person", "visitor") is ClassKind.SUPERSET
+
+    def test_missing_pair_is_none(self, assertion_set):
+        assert assertion_set.lookup("person", "employee") is None
+
+    def test_oriented_assertion_reverses_declaration(self, assertion_set):
+        assertion_set.add(inclusion("S2.visitor", "S1.person"))
+        lookup = assertion_set.lookup("person", "visitor")
+        oriented = lookup.oriented_assertion()
+        assert oriented.left_schema == "S1"
+        assert oriented.kind is ClassKind.SUPERSET
+
+    def test_derivation_indexed_per_source_pair(self, assertion_set):
+        assert assertion_set.kind_of("parent", "uncle") is ClassKind.DERIVATION
+        assert assertion_set.kind_of("brother", "uncle") is ClassKind.DERIVATION
+        assert len(assertion_set.derivations_for("parent", "uncle")) == 1
+
+    def test_set_relationship_wins_over_derivation(self):
+        s = AssertionSet("S1", "S2")
+        s.add(derivation(["S1.a"], "S2.b"))
+        s.add(intersection("S1.a", "S2.b"))
+        assert s.kind_of("a", "b") is ClassKind.INTERSECTION
+
+
+class TestConflicts:
+    def test_conflicting_kinds_rejected(self, assertion_set):
+        with pytest.raises(AssertionConflictError, match="already related"):
+            assertion_set.add(exclusion("S1.person", "S2.human"))
+
+    def test_duplicate_assertion_rejected(self, assertion_set):
+        with pytest.raises(AssertionConflictError, match="duplicate"):
+            assertion_set.add(equivalence("S1.person", "S2.human"))
+
+    def test_multiple_derivations_per_pair_allowed(self):
+        s = AssertionSet("S1", "S2")
+        s.add(derivation(["S1.a"], "S2.b"))
+        s.add(derivation(["S1.a"], "S2.b"))  # decomposed parts share heads
+        assert len(s.derivations_for("a", "b")) == 2
+
+    def test_foreign_schema_rejected(self, assertion_set):
+        with pytest.raises(AssertionSpecError, match="this\nset holds|this set holds"):
+            assertion_set.add(equivalence("S3.x", "S4.y"))
+
+
+class TestEnumeration:
+    def test_by_kind(self, assertion_set):
+        assert len(assertion_set.by_kind(ClassKind.EQUIVALENCE)) == 1
+        assert len(assertion_set.all_derivations()) == 1
+
+    def test_mentioned_classes(self, assertion_set):
+        assert set(assertion_set.mentioned_classes("S1")) == {
+            "person", "lecturer", "parent", "brother",
+        }
+        assert set(assertion_set.mentioned_classes("S2")) == {
+            "human", "employee", "uncle",
+        }
+
+    def test_len_and_iter(self, assertion_set):
+        assert len(assertion_set) == 3
+        assert len(list(assertion_set)) == 3

@@ -1,0 +1,173 @@
+"""Class assertions (Fig 3 structure), orientation, validation."""
+
+import pytest
+
+from repro.errors import AssertionSpecError, PathError
+from repro.assertions import (
+    AttributeCorrespondence,
+    AttributeKind,
+    ClassKind,
+    Path,
+    ValueCorrespondence,
+    ValueOp,
+    derivation,
+    equivalence,
+    exclusion,
+    inclusion,
+    intersection,
+)
+from repro.model import ClassDef, Schema
+
+
+@pytest.fixture
+def schemas():
+    s1 = Schema("S1")
+    s1.add_class(ClassDef("person").attr("ssn#").attr("full_name"))
+    s2 = Schema("S2")
+    s2.add_class(ClassDef("human").attr("ssn#").attr("name"))
+    return s1, s2
+
+
+def person_human(schemas):
+    corr = AttributeCorrespondence(
+        Path.parse("S1.person.full_name"),
+        Path.parse("S2.human.name"),
+        AttributeKind.EQUIVALENCE,
+    )
+    return equivalence("S1.person", "S2.human", attribute_corrs=[corr])
+
+
+class TestConstruction:
+    def test_head_renders_like_fig4(self, schemas):
+        assertion = person_human(schemas)
+        assert assertion.head() == "S1.person ≡ S2.human"
+
+    def test_multi_source_head_renders_like_example3(self):
+        assertion = derivation(["S1.parent", "S1.brother"], "S2.uncle")
+        assert assertion.head() == "S1(parent, brother) → S2.uncle"
+
+    def test_set_kinds_need_single_source(self):
+        with pytest.raises(AssertionSpecError):
+            from repro.assertions.class_assertions import ClassAssertion
+
+            ClassAssertion(
+                ClassKind.EQUIVALENCE,
+                (Path.parse("S1.a"), Path.parse("S1.b")),
+                Path.parse("S2.c"),
+            )
+
+    def test_sources_must_share_one_schema(self):
+        with pytest.raises(AssertionSpecError, match="one schema"):
+            derivation(["S1.parent", "S3.brother"], "S2.uncle")
+
+    def test_both_sides_must_differ(self):
+        with pytest.raises(AssertionSpecError, match="two different schemas"):
+            equivalence("S1.a", "S1.b")
+
+    def test_sides_must_be_class_paths(self):
+        with pytest.raises(AssertionSpecError, match="class paths"):
+            equivalence("S1.a.x", "S2.b")
+
+    def test_misoriented_attribute_corr_rejected(self):
+        corr = AttributeCorrespondence(
+            Path.parse("S2.human.name"),
+            Path.parse("S1.person.full_name"),
+            AttributeKind.EQUIVALENCE,
+        )
+        with pytest.raises(AssertionSpecError, match="not oriented"):
+            equivalence("S1.person", "S2.human", attribute_corrs=[corr])
+
+    def test_value_corr_schema_must_match_side(self):
+        corr = ValueCorrespondence(
+            Path.parse("S3.parent.Pssn#"), Path.parse("S3.brother.brothers"), ValueOp.IN
+        )
+        with pytest.raises(AssertionSpecError):
+            derivation(["S1.parent", "S1.brother"], "S2.uncle", value_corrs_left=[corr])
+
+
+class TestFlip:
+    def test_flipping_exchanges_sides_and_kind(self, schemas):
+        assertion = inclusion("S1.person", "S2.human")
+        flipped = assertion.flipped()
+        assert flipped.kind is ClassKind.SUPERSET
+        assert flipped.source.class_name == "human"
+        assert flipped.target.class_name == "person"
+
+    def test_flipping_flips_member_correspondences(self, schemas):
+        assertion = person_human(schemas)
+        flipped = assertion.flipped()
+        corr = flipped.attribute_corrs[0]
+        assert corr.left.schema == "S2" and corr.right.schema == "S1"
+
+    def test_derivation_cannot_flip(self):
+        with pytest.raises(AssertionSpecError):
+            derivation(["S1.parent"], "S2.uncle").flipped()
+
+
+class TestValidate:
+    def test_valid_assertion_passes(self, schemas):
+        person_human(schemas).validate(*schemas)
+
+    def test_dangling_attribute_detected(self, schemas):
+        corr = AttributeCorrespondence(
+            Path.parse("S1.person.ghost"),
+            Path.parse("S2.human.name"),
+            AttributeKind.EQUIVALENCE,
+        )
+        assertion = equivalence("S1.person", "S2.human", attribute_corrs=[corr])
+        with pytest.raises(PathError):
+            assertion.validate(*schemas)
+
+    def test_schema_order_enforced(self, schemas):
+        s1, s2 = schemas
+        with pytest.raises(AssertionSpecError, match="validates against"):
+            person_human(schemas).validate(s2, s1)
+
+    def test_aggregation_corr_must_name_functions(self):
+        from repro.assertions import AggregationCorrespondence, AggregationKind
+
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("a").attr("x"))
+        s2 = Schema("S2")
+        s2.add_class(ClassDef("b").attr("y"))
+        corr = AggregationCorrespondence(
+            Path.parse("S1.a.x"), Path.parse("S2.b.y"), AggregationKind.EQUIVALENCE
+        )
+        assertion = equivalence("S1.a", "S2.b", aggregation_corrs=[corr])
+        with pytest.raises(PathError, match="not an aggregation"):
+            assertion.validate(s1, s2)
+
+
+class TestDescribe:
+    def test_describe_uses_fig3_sections(self):
+        assertion = derivation(
+            ["S1.parent", "S1.brother"],
+            "S2.uncle",
+            value_corrs_left=[
+                ValueCorrespondence(
+                    Path.parse("S1.parent.Pssn#"),
+                    Path.parse("S1.brother.brothers"),
+                    ValueOp.IN,
+                )
+            ],
+            attribute_corrs=[
+                AttributeCorrespondence(
+                    Path.parse("S1.brother.Bssn#"),
+                    Path.parse("S2.uncle.Ussn#"),
+                    AttributeKind.EQUIVALENCE,
+                )
+            ],
+        )
+        text = assertion.describe()
+        assert "value correspondence of attributes in S1:" in text
+        assert "attribute correspondence:" in text
+        assert "S1.parent.Pssn# ∈ S1.brother.brothers" in text
+
+
+class TestShorthands:
+    def test_all_shorthands_produce_expected_kinds(self):
+        assert equivalence("S1.a", "S2.b").kind is ClassKind.EQUIVALENCE
+        assert inclusion("S1.a", "S2.b").kind is ClassKind.SUBSET
+        assert intersection("S1.a", "S2.b").kind is ClassKind.INTERSECTION
+        assert exclusion("S1.a", "S2.b").kind is ClassKind.EXCLUSION
+        assert derivation(["S1.a"], "S2.b").kind is ClassKind.DERIVATION

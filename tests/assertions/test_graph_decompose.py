@@ -1,0 +1,140 @@
+"""Assertion graphs (Fig 11) and derivation decomposition (Figs 9-10)."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.assertions import (
+    AssertionGraph,
+    AttributeCorrespondence,
+    AttributeKind,
+    Path,
+    decompose,
+    is_decomposed,
+    parse,
+)
+
+
+def uncle_assertion():
+    [a] = parse(
+        """
+        assertion S1(parent, brother) -> S2.uncle
+          value S1.parent.Pssn# in S1.brother.brothers
+          attr S1.brother.Bssn# == S2.uncle.Ussn#
+          attr S1.parent.children >= S2.uncle.niece_nephew
+        end
+        """
+    )
+    return a
+
+
+def car_assertion(n=3):
+    lines = ["assertion S2.car2 -> S1.car1", "  attr S2.car2.time == S1.car1.time"]
+    for i in range(1, n + 1):
+        lines.append(
+            f"  attr S2.car2.car-name{i} <= S1.car1.price "
+            f"with S1.car1.car-name = 'car-name{i}'"
+        )
+    lines.append("end")
+    [a] = parse("\n".join(lines))
+    return a
+
+
+class TestGraphFig11a:
+    def test_three_components_as_in_fig_11a(self):
+        graph = AssertionGraph(uncle_assertion())
+        components = graph.components()
+        assert len(components) == 3
+        as_sets = [set(map(str, component)) for component in components]
+        assert {"S1.parent.Pssn#", "S1.brother.brothers"} in as_sets
+        assert {"S1.brother.Bssn#", "S2.uncle.Ussn#"} in as_sets
+        assert {"S1.parent.children", "S2.uncle.niece_nephew"} in as_sets
+
+    def test_no_hyperedges_without_conditions(self):
+        assert AssertionGraph(uncle_assertion()).hyperedges == ()
+
+    def test_edges_enumerated_once(self):
+        graph = AssertionGraph(uncle_assertion())
+        assert len(graph.edges()) == 3
+
+
+class TestGraphFig11b:
+    def test_car_graph_matches_fig_11b(self):
+        parts = decompose(car_assertion(1))
+        graph = AssertionGraph(parts[0])
+        components = [set(map(str, c)) for c in graph.components()]
+        # time≡time edge, price/car-name1 edge, isolated car-name node.
+        assert {"S1.car1.time", "S2.car2.time"} in components
+        assert {"S1.car1.price", "S2.car2.car-name1"} in components
+        assert {"S1.car1.car-name"} in components
+
+    def test_hyperedge_for_with_condition(self):
+        parts = decompose(car_assertion(1))
+        graph = AssertionGraph(parts[0])
+        assert len(graph.hyperedges) == 1
+        hyperedge = graph.hyperedges[0]
+        assert str(hyperedge.nodes[0]) == "S1.car1.car-name"
+        assert hyperedge.constant == "car-name1"
+
+    def test_describe_mentions_components_and_hyperedges(self):
+        graph = AssertionGraph(decompose(car_assertion(1))[0])
+        text = graph.describe()
+        assert "component" in text and "he(" in text
+
+
+class TestDecompose:
+    def test_already_decomposed_passthrough(self):
+        assertion = uncle_assertion()
+        assert is_decomposed(assertion)
+        assert decompose(assertion) == [assertion]
+
+    def test_car_assertion_splits_per_colliding_name(self):
+        parts = decompose(car_assertion(3))
+        assert len(parts) == 3
+        for part in parts:
+            assert is_decomposed(part)
+            # shared time≡time correspondence replicated
+            assert any("time" in str(c) for c in part.attribute_corrs)
+            # exactly one price correspondence per part
+            price_corrs = [c for c in part.attribute_corrs if "price" in str(c)]
+            assert len(price_corrs) == 1
+
+    def test_with_conditions_travel_with_their_correspondence(self):
+        parts = decompose(car_assertion(2))
+        constants = sorted(
+            c.condition.constant
+            for part in parts
+            for c in part.attribute_corrs
+            if c.condition is not None
+        )
+        assert constants == ["car-name1", "car-name2"]
+
+    def test_overlapping_collisions_rejected(self):
+        # x collides AND y collides with intertwined correspondences.
+        from repro.assertions import derivation
+
+        corrs = (
+            AttributeCorrespondence(
+                Path.parse("S1.a.x"), Path.parse("S2.b.p"), AttributeKind.SUBSET
+            ),
+            AttributeCorrespondence(
+                Path.parse("S1.a.x"), Path.parse("S2.b.q"), AttributeKind.SUBSET
+            ),
+            AttributeCorrespondence(
+                Path.parse("S1.a.y"), Path.parse("S2.b.p"), AttributeKind.SUBSET
+            ),
+        )
+        assertion = derivation(["S1.a"], "S2.b", attribute_corrs=corrs)
+        with pytest.raises(DecompositionError):
+            decompose(assertion)
+
+    def test_non_derivation_untouched(self):
+        from repro.assertions import equivalence
+
+        assertion = equivalence("S1.a", "S2.b")
+        assert decompose(assertion) == [assertion]
+
+    def test_decompose_all_preserves_order(self):
+        from repro.assertions import decompose_all
+
+        parts = decompose_all([uncle_assertion(), car_assertion(2)])
+        assert len(parts) == 3

@@ -1,0 +1,83 @@
+"""Tables 1-3: taxonomy completeness and orientation flipping."""
+
+import pytest
+
+from repro.assertions import (
+    AggregationKind,
+    AttributeKind,
+    ClassKind,
+    TABLE_1,
+    TABLE_2,
+    TABLE_3,
+    ValueOp,
+    flipped,
+    render_table,
+)
+
+
+class TestTable1:
+    def test_class_kinds_cover_table_1(self):
+        symbols = {kind.value for kind in ClassKind}
+        assert symbols == {"≡", "⊆", "⊇", "∩", "∅", "→"}
+
+    def test_table_1_rows(self):
+        meanings = {meaning for _, meaning in TABLE_1}
+        assert meanings == {
+            "equivalence", "inclusion", "intersection", "exclusion", "derivation",
+        }
+
+
+class TestTable2:
+    def test_attribute_kinds_cover_table_2(self):
+        symbols = {kind.value for kind in AttributeKind}
+        assert symbols == {"≡", "⊆", "⊇", "∩", "∅", "α", "β"}
+
+    def test_table_2_has_composed_into_and_more_specific(self):
+        meanings = {meaning for _, meaning in TABLE_2}
+        assert "composed-into" in meanings
+        assert "more-specific-than" in meanings
+
+
+class TestTable3:
+    def test_aggregation_kinds_cover_table_3(self):
+        symbols = {kind.value for kind in AggregationKind}
+        assert symbols == {"≡", "⊆", "⊇", "∩", "∅", "ℵ"}
+
+    def test_table_3_has_reverse(self):
+        assert ("ℵ", "reverse") in TABLE_3
+
+
+class TestValueOps:
+    def test_single_and_multi_valued_ops(self):
+        symbols = {op.value for op in ValueOp}
+        assert symbols == {"=", "≠", "∈", "⊇", "∩", "∅"}
+
+
+class TestFlipped:
+    def test_inclusions_swap(self):
+        assert flipped(ClassKind.SUBSET) is ClassKind.SUPERSET
+        assert flipped(AttributeKind.SUPERSET) is AttributeKind.SUBSET
+        assert flipped(AggregationKind.SUBSET) is AggregationKind.SUPERSET
+
+    def test_symmetric_kinds_fixed(self):
+        for kind in (
+            ClassKind.EQUIVALENCE,
+            ClassKind.INTERSECTION,
+            ClassKind.EXCLUSION,
+            AggregationKind.REVERSE,
+            AttributeKind.COMPOSED_INTO,
+        ):
+            assert flipped(kind) is kind
+
+    def test_directional_kinds_refuse(self):
+        with pytest.raises(ValueError):
+            flipped(ClassKind.DERIVATION)
+        with pytest.raises(ValueError):
+            flipped(AttributeKind.MORE_SPECIFIC)
+
+
+class TestRender:
+    def test_render_table_aligns(self):
+        text = render_table(TABLE_1, "Table 1. Assertions for classes.")
+        assert text.splitlines()[0] == "Table 1. Assertions for classes."
+        assert any("derivation" in line for line in text.splitlines())

@@ -1,0 +1,138 @@
+"""Attribute / aggregation / value correspondence guards and behaviour."""
+
+import pytest
+
+from repro.errors import AssertionSpecError
+from repro.assertions import (
+    AggregationCorrespondence,
+    AggregationKind,
+    AttributeCorrespondence,
+    AttributeKind,
+    Path,
+    ValueCorrespondence,
+    ValueOp,
+    WithCondition,
+)
+
+
+def p(text: str) -> Path:
+    return Path.parse(text)
+
+
+class TestAttributeCorrespondence:
+    def test_composed_into_requires_new_name(self):
+        with pytest.raises(AssertionSpecError, match="α"):
+            AttributeCorrespondence(
+                p("S1.a.city"), p("S2.b.street"), AttributeKind.COMPOSED_INTO
+            )
+
+    def test_composed_name_only_for_alpha(self):
+        with pytest.raises(AssertionSpecError, match="COMPOSED_INTO"):
+            AttributeCorrespondence(
+                p("S1.a.x"), p("S2.b.y"), AttributeKind.EQUIVALENCE,
+                composed_name="z",
+            )
+
+    def test_two_class_paths_rejected(self):
+        with pytest.raises(AssertionSpecError, match="class assertion"):
+            AttributeCorrespondence(p("S1.a"), p("S2.b"), AttributeKind.EQUIVALENCE)
+
+    def test_one_class_path_allowed_for_nesting(self):
+        # S1.Book ≡ S2.Author.book (§4.1's last example)
+        corr = AttributeCorrespondence(
+            p("S1.Book"), p("S2.Author.book"), AttributeKind.EQUIVALENCE
+        )
+        assert corr.left.is_class_path
+
+    def test_flip_preserves_condition(self):
+        condition = WithCondition.of("S2.stock.time", "=", "March")
+        corr = AttributeCorrespondence(
+            p("S1.m.p"), p("S2.stock.price"), AttributeKind.SUBSET,
+            condition=condition,
+        )
+        flipped = corr.flipped()
+        assert flipped.kind is AttributeKind.SUPERSET
+        assert flipped.condition is condition
+
+    def test_more_specific_cannot_flip(self):
+        corr = AttributeCorrespondence(
+            p("S1.r.cuisine"), p("S2.r2.category"), AttributeKind.MORE_SPECIFIC
+        )
+        with pytest.raises(AssertionSpecError):
+            corr.flipped()
+
+    def test_str_alpha_form(self):
+        corr = AttributeCorrespondence(
+            p("S1.a.city"), p("S2.b.street"), AttributeKind.COMPOSED_INTO,
+            composed_name="address",
+        )
+        assert "α(address)" in str(corr)
+
+
+class TestWithCondition:
+    def test_all_tau_operators(self):
+        for op in ("=", "<", "<=", ">", ">=", "!="):
+            WithCondition.of("S1.c.x", op, 1)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(AssertionSpecError):
+            WithCondition.of("S1.c.x", "~", 1)
+
+    def test_str(self):
+        condition = WithCondition.of("S2.stock.time", "=", "March")
+        assert str(condition) == "with S2.stock.time = 'March'"
+
+
+class TestAggregationCorrespondence:
+    def test_needs_function_paths(self):
+        with pytest.raises(AssertionSpecError):
+            AggregationCorrespondence(p("S1.a"), p("S2.b.g"), AggregationKind.REVERSE)
+
+    def test_function_names(self):
+        corr = AggregationCorrespondence(
+            p("S1.man.spouse"), p("S2.woman.spouse"), AggregationKind.REVERSE
+        )
+        assert corr.left_function == "spouse"
+        assert corr.right_function == "spouse"
+
+    def test_reverse_flips_to_itself(self):
+        corr = AggregationCorrespondence(
+            p("S1.man.spouse"), p("S2.woman.spouse"), AggregationKind.REVERSE
+        )
+        assert corr.flipped().kind is AggregationKind.REVERSE
+
+
+class TestValueCorrespondence:
+    def test_same_schema_required(self):
+        with pytest.raises(AssertionSpecError, match="same"):
+            ValueCorrespondence(p("S1.a.x"), p("S2.b.y"), ValueOp.IN)
+
+    def test_attribute_paths_required(self):
+        with pytest.raises(AssertionSpecError):
+            ValueCorrespondence(p("S1.a"), p("S1.b.y"), ValueOp.EQ)
+
+    @pytest.mark.parametrize(
+        "op,joins",
+        [
+            (ValueOp.EQ, True),
+            (ValueOp.IN, True),
+            (ValueOp.NE, False),
+            (ValueOp.SUPSET, False),
+            (ValueOp.INTERSECT, False),
+            (ValueOp.DISJOINT, False),
+        ],
+    )
+    def test_join_classification(self, op, joins):
+        corr = ValueCorrespondence(p("S1.a.x"), p("S1.b.y"), op)
+        assert corr.joins is joins
+
+    def test_non_join_ops_add_isolated_nodes_to_graph(self):
+        from repro.assertions import AssertionGraph, derivation
+
+        corr = ValueCorrespondence(p("S1.a.x"), p("S1.b.y"), ValueOp.DISJOINT)
+        assertion = derivation(
+            ["S1.a", "S1.b"], "S2.c", value_corrs_left=[corr]
+        )
+        graph = AssertionGraph(assertion)
+        assert len(graph.components()) == 2
+        assert graph.edges() == ()

@@ -1,0 +1,174 @@
+"""The assertion DSL parser."""
+
+import pytest
+
+from repro.errors import AssertionParseError
+from repro.assertions import (
+    AggregationKind,
+    AttributeKind,
+    ClassKind,
+    ValueOp,
+    parse,
+)
+
+
+class TestHeads:
+    def test_all_class_operators(self):
+        text = """
+        assertion S1.a == S2.b
+        assertion S1.c <= S2.d
+        assertion S1.e >= S2.f
+        assertion S1.g ^ S2.h
+        assertion S1.i ! S2.j
+        assertion S1.k -> S2.l
+        """
+        kinds = [a.kind for a in parse(text)]
+        assert kinds == [
+            ClassKind.EQUIVALENCE,
+            ClassKind.SUBSET,
+            ClassKind.SUPERSET,
+            ClassKind.INTERSECTION,
+            ClassKind.EXCLUSION,
+            ClassKind.DERIVATION,
+        ]
+
+    def test_unicode_operators_accepted(self):
+        [a] = parse("assertion S1.a ≡ S2.b")
+        assert a.kind is ClassKind.EQUIVALENCE
+
+    def test_multi_source_derivation_with_spaces(self):
+        [a] = parse("assertion S1(parent, brother) -> S2.uncle")
+        assert a.source_classes == ("parent", "brother")
+
+    def test_multi_source_only_for_derivation(self):
+        with pytest.raises(AssertionParseError, match="single source"):
+            parse("assertion S1(a, b) == S2.c")
+
+    def test_unknown_operator_reported_with_line(self):
+        with pytest.raises(AssertionParseError, match="line 1"):
+            parse("assertion S1.a ~~ S2.b")
+
+
+class TestBodies:
+    def test_attribute_kinds(self):
+        text = """
+        assertion S1.a == S2.b
+          attr S1.a.w == S2.b.w
+          attr S1.a.x ^ S2.b.x
+          attr S1.a.y alpha(addr) S2.b.y
+          attr S1.a.z beta S2.b.z
+        end
+        """
+        [a] = parse(text)
+        kinds = [c.kind for c in a.attribute_corrs]
+        assert kinds == [
+            AttributeKind.EQUIVALENCE,
+            AttributeKind.INTERSECTION,
+            AttributeKind.COMPOSED_INTO,
+            AttributeKind.MORE_SPECIFIC,
+        ]
+        assert a.attribute_corrs[2].composed_name == "addr"
+
+    def test_with_condition_parsed(self):
+        text = """
+        assertion S1.m -> S2.stock
+          attr S1.m.p <= S2.stock.price with S2.stock.time = 'March'
+        end
+        """
+        [a] = parse(text)
+        condition = a.attribute_corrs[0].condition
+        assert condition is not None
+        assert condition.constant == "March"
+        assert str(condition.attribute) == "S2.stock.time"
+
+    def test_agg_reverse(self):
+        text = """
+        assertion S1.man ! S2.woman
+          agg S1.man.spouse rev S2.woman.spouse
+        end
+        """
+        [a] = parse(text)
+        assert a.aggregation_corrs[0].kind is AggregationKind.REVERSE
+
+    def test_value_correspondence_sides_assigned(self):
+        text = """
+        assertion S1(parent, brother) -> S2.uncle
+          value S1.parent.Pssn# in S1.brother.brothers
+        end
+        """
+        [a] = parse(text)
+        assert len(a.value_corrs_left) == 1
+        assert a.value_corrs_left[0].op is ValueOp.IN
+
+    def test_reversed_correspondence_reorients(self):
+        text = """
+        assertion S1.a <= S2.b
+          attr S2.b.x >= S1.a.x
+        end
+        """
+        [a] = parse(text)
+        corr = a.attribute_corrs[0]
+        assert corr.left.schema == "S1"
+        assert corr.kind is AttributeKind.SUBSET
+
+
+class TestLexical:
+    def test_hash_in_attribute_names_survives(self):
+        text = """
+        assertion S1.person == S2.human
+          attr S1.person.ssn# == S2.human.ssn#   # trailing comment
+        end
+        """
+        [a] = parse(text)
+        assert a.attribute_corrs[0].left.terminal == "ssn#"
+
+    def test_comment_lines_ignored(self):
+        text = "# header\nassertion S1.a == S2.b\n# inner\nend"
+        assert len(parse(text)) == 1
+
+    def test_block_without_end_closed_at_next_assertion(self):
+        text = "assertion S1.a == S2.b\nassertion S1.c == S2.d"
+        assert len(parse(text)) == 2
+
+    def test_end_without_block_rejected(self):
+        with pytest.raises(AssertionParseError, match="outside"):
+            parse("end")
+
+    def test_directive_outside_block_rejected(self):
+        with pytest.raises(AssertionParseError, match="expected"):
+            parse("attr S1.a.x == S2.b.x")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssertionParseError, match="unknown directive"):
+            parse("assertion S1.a == S2.b\nfoo bar baz\nend")
+
+    def test_parse_file(self, tmp_path):
+        from repro.assertions import parse_file
+
+        path = tmp_path / "a.dsl"
+        path.write_text("assertion S1.a == S2.b\n")
+        assert len(parse_file(str(path))) == 1
+
+
+class TestScenarioTexts:
+    def test_all_builtin_scenarios_parse_and_validate(
+        self,
+        appendix_a_scenario,
+        bibliography_scenario,
+        stock_scenario,
+        car_scenario,
+        fig4_scenario,
+    ):
+        from repro.assertions import AssertionSet
+
+        for scenario in (
+            appendix_a_scenario,
+            bibliography_scenario,
+            stock_scenario,
+            car_scenario,
+            fig4_scenario,
+        ):
+            s1, s2, text = scenario[:3]
+            assertions = AssertionSet(s1.name, s2.name)
+            assertions.extend(parse(text))
+            assertions.validate(s1, s2)

@@ -1,0 +1,104 @@
+"""Paths (Definition 4.1): parsing, name references, resolution."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.assertions import Path
+from repro.model import ClassDef, Schema
+
+
+@pytest.fixture
+def book_schema() -> Schema:
+    """The §4 Book class with the nested author record."""
+    schema = Schema("S1")
+    schema.add_class(ClassDef("person_rec").attr("name").attr("birthday", "date"))
+    schema.add_class(
+        ClassDef("Book").attr("ISBN").attr("title").attr("author", "person_rec")
+    )
+    schema.add_class(ClassDef("Proceedings").attr("year"))
+    schema.add_class(
+        ClassDef("Article").attr("title").agg("Published_in", "Proceedings", "[m:1]")
+    )
+    return schema
+
+
+class TestParse:
+    def test_plain_path(self):
+        path = Path.parse("S1.Book.author.birthday")
+        assert path.schema == "S1"
+        assert path.class_name == "Book"
+        assert path.elements == ("author", "birthday")
+        assert not path.name_reference
+
+    def test_bullet_separator_accepted(self):
+        assert Path.parse("S1•Book•title") == Path.parse("S1.Book.title")
+
+    def test_name_reference_quoted_terminal(self):
+        # Example 1: Author•book•"title" refers to the string "title".
+        path = Path.parse('S2.Author.book."title"')
+        assert path.name_reference
+        assert path.terminal == "title"
+
+    def test_class_path(self):
+        path = Path.parse("S1.Book")
+        assert path.is_class_path
+        assert path.terminal is None
+
+    def test_too_short_rejected(self):
+        with pytest.raises(PathError):
+            Path.parse("Book")
+
+    def test_name_reference_requires_elements(self):
+        with pytest.raises(PathError):
+            Path("S1", "Book", (), name_reference=True)
+
+
+class TestAccessors:
+    def test_descriptor_is_dotted_elements(self):
+        assert Path.parse("S1.Book.author.name").descriptor == "author.name"
+
+    def test_child_extends(self):
+        assert Path.parse("S1.Book").child("title") == Path.parse("S1.Book.title")
+
+    def test_to_class_truncates(self):
+        assert Path.parse("S1.Book.title").to_class() == Path.parse("S1.Book")
+
+    def test_canonical_distinguishes_name_references(self):
+        value = Path.parse("S1.Book.title")
+        name = Path.parse('S1.Book."title"')
+        assert value.canonical() != name.canonical()
+
+    def test_str_roundtrip(self):
+        for text in ("S1.Book.author.name", 'S2.Author.book."title"'):
+            assert str(Path.parse(text)) == text
+
+
+class TestResolve:
+    def test_attribute_path_resolves(self, book_schema):
+        Path.parse("S1.Book.title").resolve(book_schema)
+
+    def test_nested_path_walks_complex_attribute(self, book_schema):
+        Path.parse("S1.Book.author.birthday").resolve(book_schema)
+
+    def test_aggregation_path_walks_range_class(self, book_schema):
+        Path.parse("S1.Article.Published_in.year").resolve(book_schema)
+
+    def test_unknown_class_rejected(self, book_schema):
+        with pytest.raises(PathError, match="no class"):
+            Path.parse("S1.Ghost.title").resolve(book_schema)
+
+    def test_unknown_member_rejected(self, book_schema):
+        with pytest.raises(PathError, match="no member"):
+            Path.parse("S1.Book.ghost").resolve(book_schema)
+
+    def test_primitive_attribute_cannot_continue(self, book_schema):
+        with pytest.raises(PathError, match="not class-typed"):
+            Path.parse("S1.Book.title.length").resolve(book_schema)
+
+    def test_wrong_schema_rejected(self, book_schema):
+        with pytest.raises(PathError, match="qualified"):
+            Path.parse("S9.Book.title").resolve(book_schema)
+
+    def test_resolves_in_boolean_form(self, book_schema):
+        assert Path.parse("S1.Book.ISBN").resolves_in(book_schema)
+        assert not Path.parse("S1.Book.zzz").resolves_in(book_schema)

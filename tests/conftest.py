@@ -1,0 +1,42 @@
+"""Shared fixtures: the paper's scenarios, built once per test."""
+
+import pytest
+
+from repro.workloads import (
+    appendix_a,
+    bibliography,
+    car_prices,
+    fig4_suite,
+    genealogy,
+    stock_market,
+)
+
+
+@pytest.fixture
+def appendix_a_scenario():
+    return appendix_a()
+
+
+@pytest.fixture
+def genealogy_scenario():
+    return genealogy()
+
+
+@pytest.fixture
+def bibliography_scenario():
+    return bibliography()
+
+
+@pytest.fixture
+def stock_scenario():
+    return stock_market()
+
+
+@pytest.fixture
+def car_scenario():
+    return car_prices()
+
+
+@pytest.fixture
+def fig4_scenario():
+    return fig4_suite()

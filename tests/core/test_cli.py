@@ -1,0 +1,97 @@
+"""The ``python -m repro`` command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+S1_TEXT = """
+schema S1
+class person
+  attr ssn#: string
+class lecturer extends person
+  attr salary: integer
+"""
+
+S2_TEXT = """
+schema S2
+class human
+  attr ssn#: string
+class employee extends human
+  attr income: integer
+"""
+
+ASSERTIONS_TEXT = """
+assertion S1.person == S2.human
+  attr S1.person.ssn# == S2.human.ssn#
+end
+assertion S1.lecturer <= S2.employee
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    left = tmp_path / "s1.schema"
+    right = tmp_path / "s2.schema"
+    assertions = tmp_path / "a.dsl"
+    left.write_text(S1_TEXT)
+    right.write_text(S2_TEXT)
+    assertions.write_text(ASSERTIONS_TEXT)
+    return str(left), str(right), str(assertions)
+
+
+def run(argv):
+    out = io.StringIO()
+    status = main(argv, out=out)
+    return status, out.getvalue()
+
+
+class TestIntegrate:
+    def test_prints_integrated_schema(self, files):
+        status, output = run(["integrate", *files])
+        assert status == 0
+        assert "integrated schema" in output
+        assert "is_a(lecturer, employee)" in output
+
+    def test_stats_flag(self, files):
+        status, output = run(["integrate", *files, "--stats"])
+        assert status == 0
+        assert "pairs_checked" in output
+
+    def test_log_flag(self, files):
+        status, output = run(["integrate", *files, "--log"])
+        assert status == 0
+        assert "build log:" in output
+
+    def test_algorithm_choice(self, files):
+        status, output = run(["integrate", *files, "--algorithm", "naive"])
+        assert status == 0
+        assert "is_a(lecturer, employee)" in output
+
+
+class TestCheck:
+    def test_valid_inputs_ok(self, files):
+        status, output = run(["check", *files])
+        assert status == 0
+        assert output.startswith("OK:")
+
+    def test_dangling_path_reported(self, files, tmp_path):
+        bad = tmp_path / "bad.dsl"
+        bad.write_text("assertion S1.ghost == S2.human")
+        status, _ = run(["check", files[0], files[1], str(bad)])
+        assert status == 1
+
+    def test_missing_file_reported(self, files):
+        status, _ = run(["check", files[0], files[1], "/nonexistent.dsl"])
+        assert status == 1
+
+
+class TestTables:
+    def test_all_three_tables_printed(self):
+        status, output = run(["tables"])
+        assert status == 0
+        assert "Table 1." in output
+        assert "Table 2." in output
+        assert "Table 3." in output
+        assert "derivation" in output and "reverse" in output

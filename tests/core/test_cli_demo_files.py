@@ -1,0 +1,53 @@
+"""The shipped CLI demo files must stay consistent with the library."""
+
+import io
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+FILES = pathlib.Path(__file__).resolve().parent.parent.parent / "examples" / "files"
+
+
+@pytest.fixture
+def demo_paths():
+    left = FILES / "university_s1.schema"
+    right = FILES / "university_s2.schema"
+    dsl = FILES / "university.dsl"
+    for path in (left, right, dsl):
+        assert path.exists(), f"missing demo file {path}"
+    return str(left), str(right), str(dsl)
+
+
+def test_demo_files_validate(demo_paths):
+    out = io.StringIO()
+    assert main(["check", *demo_paths], out=out) == 0
+    assert "6 assertions validate" in out.getvalue()
+
+
+def test_demo_files_integrate_to_fig18c(demo_paths):
+    out = io.StringIO()
+    assert main(["integrate", *demo_paths], out=out) == 0
+    output = out.getvalue()
+    assert "is_a(lecturer, faculty)" in output
+    assert "student_faculty" in output
+
+
+def test_demo_files_match_builtin_scenario(demo_paths):
+    """The files and repro.workloads.appendix_a describe the same world."""
+    from repro.assertions import AssertionSet, parse_file
+    from repro.core import SchemaIntegrator
+    from repro.model import parse_schema_file
+    from repro.workloads import appendix_a
+
+    left = parse_schema_file(demo_paths[0])
+    right = parse_schema_file(demo_paths[1])
+    assertions = AssertionSet("S1", "S2")
+    assertions.extend(parse_file(demo_paths[2]))
+    from_files = SchemaIntegrator(left, right, assertions).run()
+
+    s1, s2, text = appendix_a()
+    builtin = SchemaIntegrator(s1, s2, text).run()
+    assert set(from_files.classes) == set(builtin.classes)
+    assert from_files.is_a_links() == builtin.is_a_links()

@@ -1,0 +1,88 @@
+"""The SchemaIntegrator façade."""
+
+import pytest
+
+from repro import SchemaIntegrator
+from repro.assertions import AssertionSet, parse
+from repro.errors import IntegrationError, PathError
+from repro.workloads import appendix_a, mirrored_pair
+
+
+class TestInputs:
+    def test_accepts_dsl_text(self):
+        s1, s2, text = appendix_a()
+        result = SchemaIntegrator(s1, s2, text).run()
+        assert "person" in result.classes
+
+    def test_accepts_assertion_objects(self):
+        from repro.assertions import equivalence
+
+        s1, s2, _ = appendix_a()
+        result = SchemaIntegrator(
+            s1, s2, [equivalence("S1.person", "S2.human")]
+        ).run()
+        assert result.is_name("S2", "human") == "person"
+
+    def test_accepts_assertion_set(self):
+        s1, s2, text = appendix_a()
+        assertion_set = AssertionSet("S1", "S2")
+        assertion_set.extend(parse(text))
+        result = SchemaIntegrator(s1, s2, assertion_set).run()
+        assert "person" in result.classes
+
+    def test_misoriented_assertion_set_rejected(self):
+        s1, s2, _ = appendix_a()
+        wrong = AssertionSet("S2", "S1")
+        with pytest.raises(IntegrationError, match="oriented"):
+            SchemaIntegrator(s1, s2, wrong)
+
+    def test_validation_catches_dangling_paths(self):
+        s1, s2, _ = appendix_a()
+        with pytest.raises(PathError):
+            SchemaIntegrator(s1, s2, "assertion S1.ghost == S2.human")
+
+    def test_validation_can_be_disabled(self):
+        s1, s2, _ = appendix_a()
+        SchemaIntegrator(
+            s1, s2, "assertion S1.ghost == S2.human", validate=False
+        )
+
+    def test_unknown_algorithm_rejected(self):
+        s1, s2, text = appendix_a()
+        with pytest.raises(IntegrationError, match="algorithm"):
+            SchemaIntegrator(s1, s2, text, algorithm="quantum")
+
+
+class TestCaching:
+    def test_run_is_cached(self):
+        s1, s2, text = appendix_a()
+        integrator = SchemaIntegrator(s1, s2, text)
+        assert integrator.run() is integrator.run()
+
+    def test_reset_reruns(self):
+        s1, s2, text = appendix_a()
+        integrator = SchemaIntegrator(s1, s2, text)
+        first = integrator.run()
+        integrator.reset()
+        assert integrator.run() is not first
+
+    def test_stats_available_after_run(self):
+        left, right, assertions = mirrored_pair(10, equivalence_fraction=1.0)
+        integrator = SchemaIntegrator(left, right, assertions)
+        assert integrator.stats.pairs_checked == 10
+
+    def test_describe_contains_schema_and_stats(self):
+        s1, s2, text = appendix_a()
+        text_out = SchemaIntegrator(s1, s2, text).describe()
+        assert "integrated schema" in text_out
+        assert "pairs_checked" in text_out
+
+
+class TestNamePolicy:
+    def test_override_controls_merged_name(self):
+        from repro.integration import NamePolicy
+
+        s1, s2, text = appendix_a()
+        policy = NamePolicy({("person", "human"): "individual"})
+        result = SchemaIntegrator(s1, s2, text, policy=policy).run()
+        assert result.is_name("S1", "person") == "individual"

@@ -1,0 +1,66 @@
+"""Query decomposition over the integrated schema (conclusion's future work)."""
+
+import pytest
+
+from repro.core import SchemaIntegrator
+from repro.errors import QueryError
+from repro.federation import FederatedQuery, decompose_query, explain
+from repro.workloads import appendix_a, genealogy
+
+
+@pytest.fixture(scope="module")
+def integrated():
+    s1, s2, text = appendix_a()
+    return SchemaIntegrator(s1, s2, text).run()
+
+
+class TestMergedClassPlans:
+    def test_merged_class_scans_both_schemas(self, integrated):
+        query = FederatedQuery.parse("person(ssn#='1') -> name")
+        plan = decompose_query(query, integrated)
+        schemas = {sub.schema for sub in plan.sub_queries}
+        assert schemas == {"S1", "S2"}
+
+    def test_attribute_names_translated_back(self, integrated):
+        query = FederatedQuery.parse("person() -> name")
+        plan = decompose_query(query, integrated)
+        by_schema = {sub.schema: sub for sub in plan.sub_queries}
+        # Both locals call it 'name' in Appendix A; the local class names
+        # differ though:
+        assert by_schema["S1"].class_name == "person"
+        assert by_schema["S2"].class_name == "human"
+
+    def test_missing_local_attribute_dropped_from_subquery(self, integrated):
+        # 'gpa' exists only on S1.student.
+        query = FederatedQuery.parse("student(gpa=4.0)")
+        plan = decompose_query(query, integrated)
+        [sub] = plan.sub_queries
+        assert sub.schema == "S1"
+        assert dict(sub.where) == {"gpa": 4.0}
+
+    def test_unknown_class_rejected(self, integrated):
+        with pytest.raises(QueryError):
+            decompose_query(FederatedQuery.parse("ghost()"), integrated)
+
+
+class TestVirtualAndRulePlans:
+    def test_virtual_class_flagged(self, integrated):
+        plan = decompose_query(
+            FederatedQuery.parse("student_faculty()"), integrated
+        )
+        assert plan.virtual
+        assert plan.sub_queries == ()
+        assert plan.rules  # defined by the P3 membership rule
+
+    def test_derivation_rules_reported(self):
+        s1, s2, text, _ = genealogy(populated=False)
+        integrated = SchemaIntegrator(s1, s2, text).run()
+        plan = decompose_query(FederatedQuery.parse("uncle()"), integrated)
+        assert len(plan.rules) == 1
+        assert "parent" in plan.rules[0]
+
+    def test_explain_renders(self, integrated):
+        text = explain("person(ssn#='1') -> name", integrated)
+        assert "plan for:" in text
+        assert "S1: scan person" in text
+        assert "S2: scan human" in text

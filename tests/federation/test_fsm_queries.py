@@ -1,0 +1,147 @@
+"""The FSM layer: registration, integration, federated queries (E-Q)."""
+
+import pytest
+
+from repro.errors import QueryError, RegistrationError
+from repro.federation import FSM, FSMAgent, FederatedQuery, SameObjectSpec
+from repro.model import ClassDef, ObjectDatabase, Schema
+from repro.workloads import genealogy
+
+
+@pytest.fixture
+def genealogy_fsm() -> FSM:
+    s1, s2, text, databases = genealogy()
+    fsm = FSM()
+    agent1, agent2 = FSMAgent("agent1"), FSMAgent("agent2")
+    agent1.host_object_database(databases["S1"])
+    agent2.host_object_database(databases["S2"])
+    fsm.register_agent(agent1)
+    fsm.register_agent(agent2)
+    fsm.declare(text)
+    fsm.integrate("S1", "S2")
+    return fsm
+
+
+class TestRegistration:
+    def test_duplicate_agent_rejected(self, genealogy_fsm):
+        with pytest.raises(RegistrationError):
+            genealogy_fsm.register_agent(FSMAgent("agent1"))
+
+    def test_duplicate_schema_rejected(self):
+        fsm = FSM()
+        s = Schema("S1")
+        s.add_class(ClassDef("a"))
+        agent1, agent2 = FSMAgent("x"), FSMAgent("y")
+        agent1.host_object_database(ObjectDatabase(s))
+        other = Schema("S1")
+        other.add_class(ClassDef("a"))
+        agent2.host_object_database(ObjectDatabase(other))
+        fsm.register_agent(agent1)
+        with pytest.raises(RegistrationError, match="already hosted"):
+            fsm.register_agent(agent2)
+
+    def test_schema_export(self, genealogy_fsm):
+        assert "parent" in genealogy_fsm.schema("S1").class_names
+
+
+class TestAppendixBQuery:
+    """The headline query: ?- uncle(John, y) answered across schemas."""
+
+    def test_derived_uncle_found(self, genealogy_fsm):
+        rows = genealogy_fsm.query("uncle(niece_nephew='John') -> Ussn#")
+        assert [row["Ussn#"] for row in rows] == ["B1"]
+
+    def test_local_and_derived_uncles_union(self, genealogy_fsm):
+        rows = genealogy_fsm.query("uncle() -> Ussn#")
+        assert {row["Ussn#"] for row in rows} == {"U9", "B1", "B2"}
+
+    def test_without_derivation_assertion_s1_ignored(self):
+        """The paper's motivation: drop the assertion and S1 no longer
+        contributes to uncle queries."""
+        s1, s2, _, databases = genealogy()
+        fsm = FSM()
+        agent1, agent2 = FSMAgent("agent1"), FSMAgent("agent2")
+        agent1.host_object_database(databases["S1"])
+        agent2.host_object_database(databases["S2"])
+        fsm.register_agent(agent1)
+        fsm.register_agent(agent2)
+        fsm.integrate("S1", "S2")  # no assertions at all
+        rows = fsm.query("uncle() -> Ussn#")
+        assert {row["Ussn#"] for row in rows} == {"U9"}
+
+    def test_appendix_b_top_down_agrees_with_bottom_up(self, genealogy_fsm):
+        query = FederatedQuery.parse("uncle(niece_nephew='John') -> Ussn#")
+        bottom_up = query.run(genealogy_fsm.engine())
+        top_down = query.run(genealogy_fsm.appendix_b())
+        assert [r["Ussn#"] for r in bottom_up] == [r["Ussn#"] for r in top_down]
+
+    def test_appendix_b_respects_autonomy(self, genealogy_fsm):
+        """Agents only ever serve single-concept fetches."""
+        program = genealogy_fsm.appendix_b()
+        query = FederatedQuery.parse("uncle() -> Ussn#")
+        query.run(program)
+        agent = genealogy_fsm.agent("agent1")
+        assert agent.access_count > 0
+        assert agent.accessed_classes <= {("S1", "parent"), ("S1", "brother")}
+
+
+class TestQueryParsing:
+    def test_textual_roundtrip(self):
+        query = FederatedQuery.parse("uncle(niece_nephew='John') -> Ussn#, name")
+        assert query.class_name == "uncle"
+        assert dict(query.where) == {"niece_nephew": "John"}
+        assert query.select == ("Ussn#", "name")
+
+    def test_question_prefix_accepted(self):
+        query = FederatedQuery.parse("?- uncle(Ussn#='B1')")
+        assert dict(query.where) == {"Ussn#": "B1"}
+
+    def test_numeric_constants(self):
+        query = FederatedQuery.parse("stock(price=42)")
+        assert dict(query.where) == {"price": 42}
+
+    def test_malformed_rejected(self):
+        with pytest.raises(QueryError):
+            FederatedQuery.parse("not a query")
+
+    def test_unknown_algorithm_rejected(self, genealogy_fsm):
+        with pytest.raises(QueryError, match="unknown algorithm"):
+            genealogy_fsm.integrate("S1", "S2", algorithm="quantum")
+
+
+class TestIntersectionQueries:
+    """Principle 3 rules drive real queries through same-object facts."""
+
+    def test_virtual_intersection_class_populated(self):
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("faculty").attr("fssn#").attr("income", "integer"))
+        s2 = Schema("S2")
+        s2.add_class(ClassDef("student").attr("ssn#").attr("study_support", "integer"))
+        db1 = ObjectDatabase(s1, agent="a1")
+        db2 = ObjectDatabase(s2, agent="a2")
+        db1.insert("faculty", {"fssn#": "1", "income": 100})
+        db1.insert("faculty", {"fssn#": "2", "income": 200})
+        db2.insert("student", {"ssn#": "1", "study_support": 50})
+        fsm = FSM()
+        a1, a2 = FSMAgent("a1"), FSMAgent("a2")
+        a1.host_object_database(db1)
+        a2.host_object_database(db2)
+        fsm.register_agent(a1)
+        fsm.register_agent(a2)
+        fsm.declare(
+            """
+            assertion S1.faculty ^ S2.student
+              attr S1.faculty.fssn# == S2.student.ssn#
+              attr S1.faculty.income ^ S2.student.study_support
+            end
+            """
+        )
+        fsm.add_same_object(
+            SameObjectSpec("S1", "faculty", "fssn#", "S2", "student", "ssn#")
+        )
+        fsm.integrate("S1", "S2")
+        engine = fsm.engine()
+        working_students = engine.instances_of("faculty_student")
+        assert len(working_students) == 1
+        only_faculty = engine.instances_of("faculty_only")
+        assert len(only_faculty) == 1

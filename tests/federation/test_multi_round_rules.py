@@ -1,0 +1,98 @@
+"""Rules generated in one integration round must survive later rounds.
+
+Three-schema accumulation: round 1 integrates parent/brother (S1) with
+uncle (S2) and generates the Example 9 derivation rule; round 2 folds in
+S3 (another uncle vocabulary, equivalent to S2's).  The carried rule —
+re-homed onto round-2 class names — must still answer federated queries,
+and S3's local uncles must join the same merged class.
+"""
+
+import pytest
+
+from repro.federation import FSM, FSMAgent
+from repro.model import ClassDef, ObjectDatabase, Schema
+
+
+@pytest.fixture
+def three_schema_fsm() -> FSM:
+    s1 = Schema("S1")
+    s1.add_class(
+        ClassDef("parent").attr("Pssn#").attr("children", multivalued=True)
+    )
+    s1.add_class(
+        ClassDef("brother").attr("Bssn#").attr("brothers", multivalued=True)
+    )
+    s2 = Schema("S2")
+    s2.add_class(
+        ClassDef("uncle").attr("Ussn#").attr("niece_nephew", multivalued=True)
+    )
+    s3 = Schema("S3")
+    s3.add_class(
+        ClassDef("oncle").attr("ssn").attr("neveu", multivalued=True)
+    )
+
+    db1 = ObjectDatabase(s1, agent="a1")
+    db1.insert("parent", {"Pssn#": "P1", "children": ["John"]})
+    db1.insert("brother", {"Bssn#": "B1", "brothers": ["P1"]})
+    db2 = ObjectDatabase(s2, agent="a2")
+    db2.insert("uncle", {"Ussn#": "U1", "niece_nephew": ["Alice"]})
+    db3 = ObjectDatabase(s3, agent="a3")
+    db3.insert("oncle", {"ssn": "O1", "neveu": ["Marcel"]})
+
+    fsm = FSM()
+    for name, db in (("a1", db1), ("a2", db2), ("a3", db3)):
+        agent = FSMAgent(name)
+        agent.host_object_database(db)
+        fsm.register_agent(agent)
+    fsm.declare(
+        """
+        assertion S1(parent, brother) -> S2.uncle
+          value S1.parent.Pssn# in S1.brother.brothers
+          attr S1.brother.Bssn# == S2.uncle.Ussn#
+          attr S1.parent.children >= S2.uncle.niece_nephew
+        end
+        assertion S2.uncle == S3.oncle
+          attr S2.uncle.Ussn# == S3.oncle.ssn
+          attr S2.uncle.niece_nephew == S3.oncle.neveu
+        end
+        """
+    )
+    return fsm
+
+
+class TestCarriedRules:
+    def test_rule_survives_accumulation(self, three_schema_fsm):
+        result = three_schema_fsm.integrate_all(
+            order=["S1", "S2", "S3"], strategy="accumulation"
+        )
+        derivation_rules = result.rules_by_principle("P5")
+        assert derivation_rules, "Example 9 rule lost in round 2"
+
+    def test_carried_rule_references_current_class_names(self, three_schema_fsm):
+        result = three_schema_fsm.integrate_all(
+            order=["S1", "S2", "S3"], strategy="accumulation"
+        )
+        merged_uncle = result.is_name("S2", "uncle")
+        [rule] = [r.rule for r in result.rules_by_principle("P5")]
+        head = rule.heads[0]
+        assert head.class_name == merged_uncle
+
+    def test_query_spans_all_three_sources(self, three_schema_fsm):
+        result = three_schema_fsm.integrate_all(
+            order=["S1", "S2", "S3"], strategy="accumulation"
+        )
+        merged_uncle = result.is_name("S2", "uncle")
+        assert result.is_name("S3", "oncle") == merged_uncle
+        engine = three_schema_fsm.engine()
+        ussns = engine.attribute_values(merged_uncle, "Ussn#")
+        # U1 (local S2), O1 (S3 through the merge), B1 (derived from S1).
+        assert ussns == {"U1", "O1", "B1"}
+
+    def test_uncle_first_order_also_works(self, three_schema_fsm):
+        """Integration order must not change the answer set."""
+        result = three_schema_fsm.integrate_all(
+            order=["S2", "S3", "S1"], strategy="accumulation"
+        )
+        merged_uncle = result.is_name("S2", "uncle")
+        engine = three_schema_fsm.engine()
+        assert engine.attribute_values(merged_uncle, "Ussn#") == {"U1", "O1", "B1"}

@@ -1,0 +1,113 @@
+"""Relational stores and the §3 relational → OO transformation."""
+
+import pytest
+
+from repro.errors import ModelError, RegistrationError
+from repro.federation import Column, ForeignKey, RelationalDatabase, transform_schema
+from repro.federation.transform import materialize_view
+from repro.model import Cardinality, DataType
+
+
+@pytest.fixture
+def patient_db() -> RelationalDatabase:
+    db = RelationalDatabase("PatientDB", agent="FSMagent1", system="informix")
+    db.create_relation(
+        "wards", [Column("ward_id"), Column("floor", DataType.INTEGER)]
+    )
+    db.create_relation(
+        "patient-records",
+        [Column("pid"), Column("name"), Column("ward_id")],
+        primary_key="pid",
+        foreign_keys=[ForeignKey("ward_id", "wards", "ward_id")],
+    )
+    db.insert("wards", {"ward_id": "W1", "floor": 3})
+    for i in range(5):
+        db.insert("patient-records", {"pid": f"p{i}", "name": f"N{i}", "ward_id": "W1"})
+    return db
+
+
+class TestRelational:
+    def test_oids_match_paper_example(self, patient_db):
+        oids = [str(oid) for oid, _ in patient_db.scan("patient-records")]
+        assert "FSMagent1.informix.PatientDB.patient-records.5" in oids
+
+    def test_scan_with_predicate_and_projection(self, patient_db):
+        rows = patient_db.scan(
+            "patient-records", lambda r: r["name"] == "N2", columns=["pid"]
+        )
+        assert rows[0][1] == {"pid": "p2"}
+
+    def test_lookup_by_value(self, patient_db):
+        assert len(patient_db.lookup("patient-records", "ward_id", "W1")) == 5
+
+    def test_type_checked_insert(self, patient_db):
+        with pytest.raises(ModelError, match="conform"):
+            patient_db.insert("wards", {"ward_id": "W2", "floor": "three"})
+
+    def test_unknown_column_rejected(self, patient_db):
+        with pytest.raises(ModelError, match="unknown columns"):
+            patient_db.insert("wards", {"ward_id": "W2", "zzz": 1})
+
+    def test_unknown_relation_rejected(self, patient_db):
+        with pytest.raises(RegistrationError):
+            patient_db.scan("ghost")
+
+    def test_duplicate_relation_rejected(self, patient_db):
+        from repro.errors import DuplicateDefinitionError
+
+        with pytest.raises(DuplicateDefinitionError):
+            patient_db.create_relation("wards", ["x"])
+
+
+class TestTransform:
+    def test_relations_become_classes(self, patient_db):
+        schema = transform_schema(patient_db)
+        assert set(schema.class_names) == {"wards", "patient-records"}
+
+    def test_plain_columns_become_attributes(self, patient_db):
+        schema = transform_schema(patient_db)
+        ward = schema.cls("wards")
+        assert ward.attribute("floor").value_type is DataType.INTEGER
+
+    def test_foreign_keys_become_aggregations(self, patient_db):
+        schema = transform_schema(patient_db)
+        record = schema.cls("patient-records")
+        agg = record.aggregation("ward_id")
+        assert agg.range_class == "wards"
+        assert agg.cardinality is Cardinality.M_TO_ONE
+
+    def test_pk_foreign_key_is_one_to_one(self):
+        db = RelationalDatabase("D")
+        db.create_relation("a", ["id"])
+        db.create_relation(
+            "b", ["id"], primary_key="id",
+            foreign_keys=[ForeignKey("id", "a", "id")],
+        )
+        schema = transform_schema(db)
+        assert schema.cls("b").aggregation("id").cardinality is Cardinality.ONE_TO_ONE
+
+
+class TestMaterializeView:
+    def test_tuples_become_instances_under_their_oids(self, patient_db):
+        _, view = materialize_view(patient_db)
+        assert len(view.extent("patient-records")) == 5
+        [first] = [o for o in view.extent("patient-records") if o.oid.number == 1]
+        assert first["name"] == "N0"
+
+    def test_fk_values_resolve_to_target_oids(self, patient_db):
+        _, view = materialize_view(patient_db)
+        [patient] = [o for o in view.extent("patient-records") if o.oid.number == 1]
+        [ward] = view.follow(patient, "ward_id")
+        assert ward["floor"] == 3
+
+    def test_dangling_fk_stays_unresolved(self):
+        db = RelationalDatabase("D")
+        db.create_relation("a", ["id"])
+        db.create_relation(
+            "b", ["id", "ref"],
+            foreign_keys=[ForeignKey("ref", "a", "id")],
+        )
+        db.insert("b", {"id": "x", "ref": "missing"})
+        _, view = materialize_view(db)
+        [orphan] = view.extent("b")
+        assert view.follow(orphan, "ref") == []

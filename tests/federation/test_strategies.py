@@ -1,0 +1,117 @@
+"""Experiment E-X2: Fig 2's multi-schema integration strategies."""
+
+import pytest
+
+from repro.federation import FSM, FSMAgent
+from repro.model import ClassDef, ObjectDatabase, Schema
+
+
+def make_fsm() -> FSM:
+    """Four small person-like schemas with pairwise equivalences."""
+    fsm = FSM()
+    for index in range(1, 5):
+        schema = Schema(f"S{index}")
+        schema.add_class(
+            ClassDef(f"person{index}").attr("ssn#").attr(f"extra{index}")
+        )
+        schema.add_class(
+            ClassDef(f"student{index}", parents=[f"person{index}"]).attr("gpa")
+        )
+        database = ObjectDatabase(schema, agent=f"a{index}")
+        database.insert(f"person{index}", {"ssn#": f"p{index}", f"extra{index}": "x"})
+        agent = FSMAgent(f"a{index}")
+        agent.host_object_database(database)
+        fsm.register_agent(agent)
+    # person1 ≡ person2 ≡ person3 ≡ person4 via pairwise declarations.
+    for left, right in [(1, 2), (2, 3), (3, 4), (1, 3), (1, 4), (2, 4)]:
+        fsm.declare(
+            f"""
+            assertion S{left}.person{left} == S{right}.person{right}
+              attr S{left}.person{left}.ssn# == S{right}.person{right}.ssn#
+            end
+            """
+        )
+    return fsm
+
+
+class TestAccumulation:
+    def test_all_four_persons_merge_into_one(self):
+        fsm = make_fsm()
+        result = fsm.integrate_all(strategy="accumulation")
+        names = {result.is_name(f"S{i}", f"person{i}") for i in range(1, 5)}
+        assert len(names) == 1
+
+    def test_every_local_class_placed(self):
+        fsm = make_fsm()
+        result = fsm.integrate_all(strategy="accumulation")
+        for index in range(1, 5):
+            assert result.is_name(f"S{index}", f"student{index}") is not None
+
+    def test_merged_attribute_origins_flattened_to_locals(self):
+        fsm = make_fsm()
+        result = fsm.integrate_all(strategy="accumulation")
+        merged_name = result.is_name("S1", "person1")
+        merged = result.cls(merged_name)
+        ssn = merged.attributes["ssn#"]
+        schemas = {origin[0] for origin in ssn.origins}
+        assert schemas == {"S1", "S2", "S3", "S4"}
+
+    def test_queries_span_all_four_databases(self):
+        fsm = make_fsm()
+        result = fsm.integrate_all(strategy="accumulation")
+        merged_name = result.is_name("S1", "person1")
+        engine = fsm.engine()
+        values = engine.attribute_values(merged_name, "ssn#")
+        assert values == {"p1", "p2", "p3", "p4"}
+
+
+class TestPairwise:
+    def test_pairwise_strategy_produces_equivalent_global_schema(self):
+        accumulated = make_fsm().integrate_all(strategy="accumulation")
+        pairwise = make_fsm().integrate_all(strategy="pairwise")
+        acc_names = {
+            accumulated.is_name(f"S{i}", f"person{i}") for i in range(1, 5)
+        }
+        pw_names = {pairwise.is_name(f"S{i}", f"person{i}") for i in range(1, 5)}
+        assert len(acc_names) == 1 and len(pw_names) == 1
+        assert len(accumulated.classes) == len(pairwise.classes)
+
+    def test_pairwise_queries_agree_with_accumulation(self):
+        fsm_a = make_fsm()
+        result_a = fsm_a.integrate_all(strategy="accumulation")
+        fsm_b = make_fsm()
+        result_b = fsm_b.integrate_all(strategy="pairwise")
+        name_a = result_a.is_name("S1", "person1")
+        name_b = result_b.is_name("S1", "person1")
+        assert (
+            fsm_a.engine().attribute_values(name_a, "ssn#")
+            == fsm_b.engine().attribute_values(name_b, "ssn#")
+        )
+
+    def test_odd_count_carries_leftover(self):
+        fsm = make_fsm()
+        result = fsm.integrate_all(
+            order=["S1", "S2", "S3"], strategy="pairwise"
+        )
+        names = {result.is_name(f"S{i}", f"person{i}") for i in (1, 2, 3)}
+        assert len(names) == 1
+
+
+class TestGuards:
+    def test_unknown_strategy_rejected(self):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError, match="strategy"):
+            make_fsm().integrate_all(strategy="magical")
+
+    def test_single_schema_rejected(self):
+        from repro.errors import RegistrationError
+
+        with pytest.raises(RegistrationError):
+            make_fsm().integrate_all(order=["S1"])
+
+    def test_unregistered_schema_rejected(self):
+        from repro.errors import RegistrationError
+
+        with pytest.raises(RegistrationError):
+            make_fsm().integrate_all(order=["S1", "S9"])

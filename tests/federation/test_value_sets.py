@@ -1,0 +1,130 @@
+"""Extensional semantics: value-set specs evaluated against live data.
+
+Closes the loop on Principle 1 (Example 6: ``value_set(IS_ab) :=
+value_set(a) ∪ value_set(b)``, the intersection splits, concatenation)
+and Principle 3 (Example 8's AIF-computed ``income_study_support``).
+"""
+
+import pytest
+
+from repro.core import SchemaIntegrator
+from repro.federation import SameObjectSpec, evaluate_value_set
+from repro.model import ClassDef, ObjectDatabase, Schema
+
+
+@pytest.fixture
+def merged_setup():
+    s1 = Schema("S1")
+    s1.add_class(
+        ClassDef("a").attr("x").attr("p").attr("city")
+    )
+    s2 = Schema("S2")
+    s2.add_class(
+        ClassDef("b").attr("y").attr("q").attr("street")
+    )
+    integrated = SchemaIntegrator(
+        s1, s2,
+        """
+        assertion S1.a == S2.b
+          attr S1.a.x == S2.b.y
+          attr S1.a.p ^ S2.b.q
+          attr S1.a.city alpha(address) S2.b.street
+        end
+        """,
+    ).run()
+    db1 = ObjectDatabase(s1, agent="a1")
+    db1.insert("a", {"x": "1", "p": "red", "city": "Bonn"})
+    db1.insert("a", {"x": "2", "p": "blue"})
+    db2 = ObjectDatabase(s2, agent="a2")
+    db2.insert("b", {"y": "2", "q": "blue", "street": "Hauptstr"})
+    db2.insert("b", {"y": "3", "q": "green"})
+    return integrated, {"S1": db1, "S2": db2}
+
+
+class TestPrinciple1Specs:
+    def test_union_value_set(self, merged_setup):
+        integrated, databases = merged_setup
+        values = evaluate_value_set(integrated, "a", "x", databases)
+        assert values == {"1", "2", "3"}
+
+    def test_intersection_splits(self, merged_setup):
+        integrated, databases = merged_setup
+        assert evaluate_value_set(integrated, "a", "p_only", databases) == {"red"}
+        assert evaluate_value_set(integrated, "a", "q_only", databases) == {"green"}
+        assert evaluate_value_set(integrated, "a", "p_q", databases) == {"blue"}
+
+    def test_concatenation_needs_same_object_pairs(self, merged_setup):
+        integrated, databases = merged_setup
+        # Without identity specs no pairs exist:
+        assert evaluate_value_set(integrated, "a", "address", databases) == set()
+        specs = [SameObjectSpec("S1", "a", "x", "S2", "b", "y")]
+        # The only key-matched pair (x=2 / y=2) has no city on the a
+        # side, so cancatenation yields Null for it:
+        assert evaluate_value_set(integrated, "a", "address", databases, specs) == set()
+        # A pair with both halves present concatenates (Principle 1 α):
+        databases["S1"].insert("a", {"x": "9", "city": "Ulm"})
+        databases["S2"].insert("b", {"y": "9", "street": "Ringstr"})
+        values = evaluate_value_set(integrated, "a", "address", databases, specs)
+        assert values == {"Ulm Ringstr"}
+
+
+class TestPrinciple3AIF:
+    def test_example8_average(self):
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("faculty").attr("fssn#").attr("income", "integer"))
+        s2 = Schema("S2")
+        s2.add_class(ClassDef("student").attr("ssn#").attr("study_support", "integer"))
+        integrated = SchemaIntegrator(
+            s1, s2,
+            """
+            assertion S1.faculty ^ S2.student
+              attr S1.faculty.fssn# == S2.student.ssn#
+              attr S1.faculty.income ^ S2.student.study_support
+            end
+            """,
+        ).run()
+        db1 = ObjectDatabase(s1, agent="a1")
+        db1.insert("faculty", {"fssn#": "7", "income": 100})
+        db2 = ObjectDatabase(s2, agent="a2")
+        db2.insert("student", {"ssn#": "7", "study_support": 50})
+        specs = [SameObjectSpec("S1", "faculty", "fssn#", "S2", "student", "ssn#")]
+        values = evaluate_value_set(
+            integrated, "faculty_student", "income_study_support",
+            {"S1": db1, "S2": db2}, specs,
+        )
+        assert values == {75.0}
+
+    def test_custom_aif_changes_result(self):
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("faculty").attr("fssn#").attr("income", "integer"))
+        s2 = Schema("S2")
+        s2.add_class(ClassDef("student").attr("ssn#").attr("study_support", "integer"))
+        integrated = SchemaIntegrator(
+            s1, s2,
+            """
+            assertion S1.faculty ^ S2.student
+              attr S1.faculty.fssn# == S2.student.ssn#
+              attr S1.faculty.income ^ S2.student.study_support
+            end
+            """,
+        ).run()
+        integrated.aifs.register("income_study_support", "sum", lambda x, y: x + y)
+        db1 = ObjectDatabase(s1, agent="a1")
+        db1.insert("faculty", {"fssn#": "7", "income": 100})
+        db2 = ObjectDatabase(s2, agent="a2")
+        db2.insert("student", {"ssn#": "7", "study_support": 50})
+        specs = [SameObjectSpec("S1", "faculty", "fssn#", "S2", "student", "ssn#")]
+        values = evaluate_value_set(
+            integrated, "faculty_student", "income_study_support",
+            {"S1": db1, "S2": db2}, specs,
+        )
+        assert values == {150}
+
+
+class TestErrors:
+    def test_unknown_attribute_rejected(self, merged_setup):
+        from repro.errors import IntegrationError
+
+        integrated, databases = merged_setup
+        with pytest.raises(IntegrationError):
+            evaluate_value_set(integrated, "a", "ghost", databases)

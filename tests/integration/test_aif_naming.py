@@ -1,0 +1,81 @@
+"""AIFs, re-mappings, concatenation and the naming policy."""
+
+import pytest
+
+from repro.errors import IntegrationError
+from repro.integration import (
+    AIFRegistry,
+    NamePolicy,
+    ReMapping,
+    average_aif,
+    concatenation,
+    prefer_left_aif,
+)
+
+
+class TestAIF:
+    def test_paper_average(self):
+        assert average_aif(100, 50) == 75
+
+    def test_average_null_on_missing(self):
+        assert average_aif(None, 50) is None
+        assert average_aif(100, None) is None
+
+    def test_average_rejects_non_numeric(self):
+        with pytest.raises(IntegrationError, match="custom AIF"):
+            average_aif("a", "b")
+
+    def test_prefer_left(self):
+        assert prefer_left_aif("x", "y") == "x"
+        assert prefer_left_aif(None, "y") == "y"
+
+    def test_registry_default_and_override(self):
+        registry = AIFRegistry()
+        assert registry.resolve("anything").name == "average"
+        registry.register("income", "max", max)
+        assert registry.resolve("income")(3, 9) == 9
+        assert registry.registered() == ("income",)
+
+
+class TestReMapping:
+    def test_paper_re_function_semantics(self):
+        re_mapping = ReMapping()
+        re_mapping.record("fssn#", "S1", "faculty", "fssn#")
+        re_mapping.record("fssn#", "S2", "student", "ssn#")
+        assert re_mapping.resolve("S1", "fssn#") == ("faculty", "fssn#")
+        assert re_mapping.resolve("S2", "fssn#") == ("student", "ssn#")
+        assert re_mapping.resolve("S3", "fssn#") is None
+        assert len(re_mapping) == 2
+
+
+class TestConcatenation:
+    def test_paper_cancatenation(self):
+        assert concatenation("Darmstadt", "64293") == "Darmstadt 64293"
+
+    def test_null_on_missing_partner(self):
+        assert concatenation(None, "64293") is None
+        assert concatenation("Darmstadt", None) is None
+
+    def test_literal_separator(self):
+        assert concatenation("a", "b", separator="") == "ab"
+
+
+class TestNamePolicy:
+    def test_merged_defaults_to_left(self):
+        assert NamePolicy().merged("person", "human") == "person"
+
+    def test_override_wins(self):
+        policy = NamePolicy({("person", "human"): "individual"})
+        assert policy.merged("person", "human") == "individual"
+
+    def test_local_disambiguates_on_collision(self):
+        policy = NamePolicy()
+        assert policy.local("S2", "stock", taken=False) == "stock"
+        assert policy.local("S2", "stock", taken=True) == "S2_stock"
+
+    def test_principle3_spellings(self):
+        policy = NamePolicy()
+        assert policy.intersection_class("faculty", "student") == "faculty_student"
+        assert policy.left_only_class("faculty", "student") == "faculty_only"
+        assert policy.right_only_class("faculty", "student") == "student_only"
+        assert policy.intersection_attribute("income", "support") == "income_support"

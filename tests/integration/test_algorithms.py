@@ -1,0 +1,133 @@
+"""The §6 algorithms: complexity shape, agreement, link behaviour."""
+
+import pytest
+
+from repro.core import SchemaIntegrator
+from repro.integration import (
+    naive_schema_integration,
+    schema_integration,
+    sull_kashyap_style,
+)
+from repro.workloads import inclusion_chain, match_at_depth, mirrored_pair
+
+
+class TestComplexityShape:
+    """Experiment E-C1: §6.3's O(n) vs O(n²) pair checks."""
+
+    def test_optimized_checks_linear_on_matched_trees(self):
+        for size in (32, 64, 128):
+            left, right, assertions = mirrored_pair(size, equivalence_fraction=1.0)
+            _, stats = schema_integration(left, right, assertions)
+            assert stats.pairs_checked == size
+
+    def test_naive_checks_quadratic(self):
+        for size in (16, 32):
+            left, right, assertions = mirrored_pair(size, equivalence_fraction=1.0)
+            _, stats = naive_schema_integration(left, right, assertions)
+            assert stats.pairs_checked == size * size
+
+    def test_speedup_grows_with_n(self):
+        ratios = []
+        for size in (16, 64):
+            left, right, assertions = mirrored_pair(size, equivalence_fraction=1.0)
+            _, optimized = schema_integration(left, right, assertions)
+            _, naive = naive_schema_integration(left, right, assertions)
+            ratios.append(naive.pairs_checked / optimized.pairs_checked)
+        assert ratios[1] > ratios[0]
+
+
+class TestAgreement:
+    """Both algorithms must produce the same integrated semantics."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_same_classes_and_links_on_mixed_workloads(self, seed):
+        left, right, assertions = mirrored_pair(
+            30,
+            seed=seed,
+            equivalence_fraction=0.5,
+            inclusion_fraction=0.2,
+            intersection_fraction=0.1,
+            exclusion_fraction=0.1,
+        )
+        r_opt, _ = schema_integration(left, right, assertions)
+        r_naive, _ = naive_schema_integration(left, right, assertions)
+        assert set(r_opt.classes) == set(r_naive.classes)
+        assert set(r_opt.is_a_links()) == set(r_naive.is_a_links())
+
+    def test_rules_agree_up_to_order(self):
+        left, right, assertions = mirrored_pair(
+            20, equivalence_fraction=0.4, intersection_fraction=0.4
+        )
+        r_opt, _ = schema_integration(left, right, assertions)
+        r_naive, _ = naive_schema_integration(left, right, assertions)
+        assert sorted(str(r.rule) for r in r_opt.rules) == sorted(
+            str(r.rule) for r in r_naive.rules
+        )
+
+
+class TestLinkMinimality:
+    """Experiment E-L: Fig 8 link generation vs the [33]-style baseline."""
+
+    @pytest.mark.parametrize("chain", [2, 4, 8])
+    def test_optimized_generates_single_link(self, chain):
+        left, right, assertions = inclusion_chain(chain, declare_all=True)
+        result, _ = schema_integration(left, right, assertions)
+        a_links = [l for l in result.is_a_links() if l[0] == "A"]
+        assert a_links == [("A", f"B{chain}")]
+
+    @pytest.mark.parametrize("chain", [2, 4, 8])
+    def test_baseline_generates_k_links(self, chain):
+        left, right, assertions = inclusion_chain(chain, declare_all=True)
+        result, _ = sull_kashyap_style(left, right, assertions)
+        a_links = [l for l in result.is_a_links() if l[0] == "A"]
+        assert len(a_links) == chain
+
+    def test_integrated_hierarchy_equivalent_despite_fewer_links(self):
+        left, right, assertions = inclusion_chain(5, declare_all=True)
+        minimal, _ = schema_integration(left, right, assertions)
+        verbose, _ = sull_kashyap_style(left, right, assertions)
+        # Reachability agrees even though edge counts differ.
+        for target in (f"B{i}" for i in range(1, 6)):
+            assert minimal.has_is_a_path("A", target)
+            assert verbose.has_is_a_path("A", target)
+
+
+class TestMatchDepth:
+    """Experiment E-C2: the two extreme cases of the Ω_h recurrence."""
+
+    def test_aligned_match_is_linear(self):
+        left, right, assertions = match_at_depth(63, depth=0)
+        _, stats = schema_integration(left, right, assertions)
+        assert stats.pairs_checked == 63
+
+    def test_offset_match_stays_below_naive(self):
+        from repro.integration import naive_schema_integration
+
+        left, right, assertions = match_at_depth(63, depth=5)
+        _, optimized = schema_integration(left, right, assertions)
+        _, naive = naive_schema_integration(left, right, assertions)
+        assert optimized.pairs_checked < naive.pairs_checked
+
+    def test_offset_match_same_semantics_as_naive(self):
+        from repro.integration import naive_schema_integration
+
+        left, right, assertions = match_at_depth(31, depth=3)
+        r_opt, _ = schema_integration(left, right, assertions)
+        r_naive, _ = naive_schema_integration(left, right, assertions)
+        assert set(r_opt.classes) == set(r_naive.classes)
+        assert set(r_opt.is_a_links()) == set(r_naive.is_a_links())
+
+
+class TestDeterminism:
+    def test_runs_are_reproducible(self):
+        left, right, assertions = mirrored_pair(25, equivalence_fraction=0.7)
+        first, stats_a = schema_integration(left, right, assertions)
+        second, stats_b = schema_integration(left, right, assertions)
+        assert first.describe() == second.describe()
+        assert stats_a.as_dict() == stats_b.as_dict()
+
+    def test_integrator_facade_matches_direct_call(self):
+        left, right, assertions = mirrored_pair(25, equivalence_fraction=0.7)
+        direct, _ = schema_integration(left, right, assertions)
+        facade = SchemaIntegrator(left, right, assertions).run()
+        assert direct.describe() == facade.describe()

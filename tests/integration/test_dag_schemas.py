@@ -1,0 +1,94 @@
+"""Integration over DAG-shaped schemas (multiple inheritance).
+
+The §6 algorithms are described on trees ("to simplify the explanation")
+but local OO schemas may be DAGs; the implementation must handle them:
+every pair still gets considered, labels propagate through all parents,
+and the integrated hierarchy stays a DAG.
+"""
+
+from repro.assertions import AssertionSet, parse
+from repro.integration import naive_schema_integration, schema_integration
+from repro.model import ClassDef, Schema
+
+
+def diamond_schema(name: str, suffix: str) -> Schema:
+    schema = Schema(name)
+    schema.add_class(ClassDef(f"top{suffix}").attr("k"))
+    schema.add_class(ClassDef(f"left{suffix}", parents=[f"top{suffix}"]).attr("l"))
+    schema.add_class(ClassDef(f"right{suffix}", parents=[f"top{suffix}"]).attr("r"))
+    schema.add_class(
+        ClassDef(f"bottom{suffix}", parents=[f"left{suffix}", f"right{suffix}"])
+    )
+    return schema
+
+
+def full_match_assertions() -> AssertionSet:
+    assertions = AssertionSet("S1", "S2")
+    for name in ("top", "left", "right", "bottom"):
+        assertions.extend(parse(f"assertion S1.{name}1 == S2.{name}2"))
+    return assertions
+
+
+class TestDiamonds:
+    def test_all_diamond_classes_merge(self):
+        s1 = diamond_schema("S1", "1")
+        s2 = diamond_schema("S2", "2")
+        result, _ = schema_integration(s1, s2, full_match_assertions())
+        assert len(result.classes) == 4
+        assert result.is_name("S1", "bottom1") == result.is_name("S2", "bottom2")
+
+    def test_integrated_hierarchy_is_a_diamond(self):
+        s1 = diamond_schema("S1", "1")
+        s2 = diamond_schema("S2", "2")
+        result, _ = schema_integration(s1, s2, full_match_assertions())
+        bottom = result.is_name("S1", "bottom1")
+        top = result.is_name("S1", "top1")
+        assert len(result.parents(bottom)) == 2
+        assert result.has_is_a_path(bottom, top)
+
+    def test_agrees_with_naive_on_diamonds(self):
+        s1 = diamond_schema("S1", "1")
+        s2 = diamond_schema("S2", "2")
+        r_opt, _ = schema_integration(s1, s2, full_match_assertions())
+        r_naive, _ = naive_schema_integration(s1, s2, full_match_assertions())
+        assert set(r_opt.classes) == set(r_naive.classes)
+        assert set(r_opt.is_a_links()) == set(r_naive.is_a_links())
+
+
+class TestDagInclusion:
+    def test_inclusion_into_dag_superclasses(self):
+        """A ⊆ both branches of a diamond: path_labelling through a DAG."""
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("A").attr("x"))
+        s2 = diamond_schema("S2", "2")
+        assertions = AssertionSet("S1", "S2")
+        assertions.extend(
+            parse(
+                """
+                assertion S1.A <= S2.top2
+                assertion S1.A <= S2.left2
+                assertion S1.A <= S2.right2
+                """
+            )
+        )
+        result, _ = schema_integration(s1, s2, assertions)
+        a_links = {parent for child, parent in result.is_a_links() if child == "A"}
+        # Most specific targets: both diamond branches, not the top.
+        assert a_links == {"left2", "right2"}
+
+    def test_mixed_depth_inclusions(self):
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("A").attr("x"))
+        s2 = diamond_schema("S2", "2")
+        assertions = AssertionSet("S1", "S2")
+        assertions.extend(
+            parse(
+                """
+                assertion S1.A <= S2.top2
+                assertion S1.A <= S2.bottom2
+                """
+            )
+        )
+        result, _ = schema_integration(s1, s2, assertions)
+        a_links = {parent for child, parent in result.is_a_links() if child == "A"}
+        assert a_links == {"bottom2"}

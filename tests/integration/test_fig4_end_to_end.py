@@ -1,0 +1,97 @@
+"""Fig 4's four assertions integrated together — one end-to-end pass.
+
+Exercises all assertion kinds simultaneously on the paper's own §4
+example suite: equivalence with composed-into, inclusion with member
+correspondences, intersection with an AIF, exclusion with a reverse
+aggregation — plus the supporting publisher ≡ press context.
+"""
+
+import pytest
+
+from repro.core import SchemaIntegrator
+from repro.integration import ValueSetOp
+from repro.model import Cardinality
+from repro.workloads import fig4_suite
+
+
+@pytest.fixture(scope="module")
+def integrated():
+    s1, s2, text = fig4_suite()
+    return SchemaIntegrator(s1, s2, text).run()
+
+
+class TestFig4a:
+    def test_person_human_merged_with_address(self, integrated):
+        merged = integrated.cls(integrated.is_name("S1", "person"))
+        assert "address" in merged.attributes
+        assert merged.attributes["address"].spec.op is ValueSetOp.CONCATENATION
+        assert merged.attributes["interests"].spec.op is ValueSetOp.UNION
+
+
+class TestFig4b:
+    def test_book_included_in_publication(self, integrated):
+        book = integrated.is_name("S1", "book")
+        publication = integrated.is_name("S2", "publication")
+        assert integrated.has_is_a_path(book, publication)
+
+    def test_publication_keeps_merged_aggregation_target(self, integrated):
+        publication = integrated.cls(integrated.is_name("S2", "publication"))
+        assert "published_by" in publication.aggregations
+        target = publication.aggregations["published_by"].range_class
+        assert target == integrated.is_name("S2", "press")
+
+
+class TestFig4c:
+    def test_intersection_virtual_classes(self, integrated):
+        assert integrated.cls("faculty_student").virtual
+        assert integrated.cls("faculty_only").virtual
+        assert integrated.cls("student_only").virtual
+
+    def test_aif_attribute_present(self, integrated):
+        common = integrated.cls("faculty_student")
+        assert "income_study_support" in common.attributes
+
+    def test_merged_work_in_cardinality_is_lcs(self, integrated):
+        # S1 work_in [m:1], S2 work_in [m:n] → lcs [m:n]
+        common = integrated.cls("faculty_student")
+        assert common.aggregations["work_in"].cardinality is Cardinality.M_TO_N
+
+
+class TestFig4d:
+    def test_disjoint_complement_rule(self, integrated):
+        complements = [
+            r for r in integrated.rules_by_principle("P4") if "¬" in str(r.rule)
+        ]
+        assert complements, "expected the woman ⇐ person \\ man rule"
+
+    def test_reverse_spouse_rules(self, integrated):
+        spouse_rules = [
+            r for r in integrated.rules_by_principle("P4") if "spouse" in str(r.rule)
+        ]
+        assert len(spouse_rules) == 2
+
+    def test_man_woman_remain_disjoint_classes(self, integrated):
+        assert integrated.is_name("S1", "man") != integrated.is_name("S2", "woman")
+
+
+class TestWholeSchema:
+    def test_every_local_class_placed(self, integrated):
+        s1, s2, _ = fig4_suite()
+        for schema in (s1, s2):
+            for class_name in schema.class_names:
+                assert integrated.is_name(schema.name, class_name) is not None
+
+    def test_no_pending_range_tokens(self, integrated):
+        from repro.integration import parse_range_token
+
+        for integrated_class in integrated:
+            for aggregation in integrated_class.aggregations.values():
+                assert parse_range_token(aggregation.range_class) is None
+
+    def test_all_evaluable_rules_safe(self, integrated):
+        from repro.logic.safety import violations
+
+        for integrated_rule in integrated.rules:
+            if integrated_rule.evaluable:
+                for compiled in integrated_rule.rule.compile():
+                    assert not violations(compiled)

@@ -1,0 +1,123 @@
+"""Property-based invariants of the integration algorithms (hypothesis).
+
+These are the repository's strongest correctness guarantees: for *any*
+generated workload, the optimized algorithm must agree semantically
+with the naive one while never checking more pairs, and the integrated
+schema must satisfy structural sanity conditions.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.integration import naive_schema_integration, schema_integration
+from repro.workloads import mirrored_pair
+
+
+@st.composite
+def workloads(draw):
+    size = draw(st.integers(min_value=3, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    eq = draw(st.floats(min_value=0.0, max_value=1.0))
+    remaining = 1.0 - eq
+    inc = draw(st.floats(min_value=0.0, max_value=remaining))
+    remaining -= inc
+    inter = draw(st.floats(min_value=0.0, max_value=remaining))
+    excl = max(0.0, remaining - inter)
+    return mirrored_pair(
+        size,
+        seed=seed,
+        equivalence_fraction=eq,
+        inclusion_fraction=inc,
+        intersection_fraction=inter,
+        exclusion_fraction=excl,
+    )
+
+
+@given(workloads())
+@settings(max_examples=30, deadline=None)
+def test_optimized_never_checks_more_than_naive(workload):
+    left, right, assertions = workload
+    _, optimized = schema_integration(left, right, assertions)
+    _, naive = naive_schema_integration(left, right, assertions)
+    assert optimized.pairs_checked <= naive.pairs_checked
+
+
+@given(workloads())
+@settings(max_examples=30, deadline=None)
+def test_algorithms_agree_on_classes_and_links(workload):
+    left, right, assertions = workload
+    result_opt, _ = schema_integration(left, right, assertions)
+    result_naive, _ = naive_schema_integration(left, right, assertions)
+    assert set(result_opt.classes) == set(result_naive.classes)
+    assert set(result_opt.is_a_links()) == set(result_naive.is_a_links())
+
+
+@given(workloads())
+@settings(max_examples=30, deadline=None)
+def test_every_local_class_is_placed(workload):
+    left, right, assertions = workload
+    result, _ = schema_integration(left, right, assertions)
+    for schema in (left, right):
+        for class_name in schema.class_names:
+            assert result.is_name(schema.name, class_name) is not None
+
+
+@given(workloads())
+@settings(max_examples=30, deadline=None)
+def test_integrated_is_a_is_acyclic_and_irredundant(workload):
+    left, right, assertions = workload
+    result, _ = schema_integration(left, right, assertions)
+    # acyclic: no class reaches itself through a non-empty path
+    for class_name in result.classes:
+        for parent in result.parents(class_name):
+            assert not result.has_is_a_path(parent, class_name)
+    # irredundant (§6.2): removing any edge breaks reachability
+    for child, parent in result.is_a_links():
+        result.remove_is_a(child, parent)
+        still_reachable = result.has_is_a_path(child, parent)
+        result.add_is_a(child, parent)
+        assert not still_reachable
+
+
+@given(workloads())
+@settings(max_examples=30, deadline=None)
+def test_local_subclassing_preserved_in_integrated_schema(workload):
+    """is-a semantics survive: local ancestors remain reachable."""
+    left, right, assertions = workload
+    result, _ = schema_integration(left, right, assertions)
+    for schema in (left, right):
+        for class_name in schema.class_names:
+            child_is = result.is_name(schema.name, class_name)
+            for ancestor in schema.ancestors(class_name):
+                ancestor_is = result.is_name(schema.name, ancestor)
+                assert result.has_is_a_path(child_is, ancestor_is), (
+                    f"{schema.name}: {class_name} ⊑ {ancestor} lost "
+                    f"({child_is} vs {ancestor_is})"
+                )
+
+
+@given(workloads())
+@settings(max_examples=30, deadline=None)
+def test_generated_rules_are_well_formed(workload):
+    """Evaluable rules compile and pass the ref-[8] safety conditions."""
+    from repro.logic.safety import violations
+
+    left, right, assertions = workload
+    result, _ = schema_integration(left, right, assertions)
+    for integrated_rule in result.rules:
+        if not integrated_rule.evaluable:
+            continue
+        for compiled in integrated_rule.rule.compile():
+            assert violations(compiled) == [], str(integrated_rule.rule)
+
+
+@given(workloads())
+@settings(max_examples=20, deadline=None)
+def test_aggregation_ranges_fully_resolved(workload):
+    left, right, assertions = workload
+    result, _ = schema_integration(left, right, assertions)
+    from repro.integration import parse_range_token
+
+    for integrated_class in result:
+        for aggregation in integrated_class.aggregations.values():
+            assert parse_range_token(aggregation.range_class) is None
+            assert aggregation.range_class in result.classes

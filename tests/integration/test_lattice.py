@@ -1,0 +1,94 @@
+"""Constraint lattices and lcs — Fig 13, Principle 6 (experiment E-X1)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LatticeError
+from repro.integration import EXTENDED_LATTICE, SIMPLE_LATTICE, lcs
+from repro.model import Cardinality as C
+
+
+class TestPaperExamples:
+    def test_lcs_of_1n_and_m1_is_mn(self):
+        # "[n : m] is lcs([1: m], [n : 1])"
+        assert SIMPLE_LATTICE.lcs(C.ONE_TO_N, C.M_TO_ONE) is C.M_TO_N
+
+    def test_lcs_of_11_and_m1_is_m1(self):
+        # "[n : 1] is lcs([1: 1], [n : 1])"
+        assert SIMPLE_LATTICE.lcs(C.ONE_TO_ONE, C.M_TO_ONE) is C.M_TO_ONE
+
+    def test_node_is_lcs_of_itself(self):
+        # "a node is considered to be the least common super-node of itself"
+        for constraint in SIMPLE_LATTICE.members():
+            assert SIMPLE_LATTICE.lcs(constraint, constraint) is constraint
+
+
+class TestSimpleLattice:
+    simple = [C.ONE_TO_ONE, C.ONE_TO_N, C.M_TO_ONE, C.M_TO_N]
+
+    def test_bottom_and_top(self):
+        for constraint in self.simple:
+            assert SIMPLE_LATTICE.is_super(C.M_TO_N, constraint)
+            assert SIMPLE_LATTICE.is_super(constraint, C.ONE_TO_ONE)
+
+    def test_every_pair_has_unique_lcs(self):
+        for left, right in itertools.product(self.simple, repeat=2):
+            result = SIMPLE_LATTICE.lcs(left, right)
+            assert SIMPLE_LATTICE.is_super(result, left)
+            assert SIMPLE_LATTICE.is_super(result, right)
+
+    def test_lcs_is_commutative(self):
+        for left, right in itertools.product(self.simple, repeat=2):
+            assert SIMPLE_LATTICE.lcs(left, right) is SIMPLE_LATTICE.lcs(right, left)
+
+    def test_lcs_is_least(self):
+        # No strictly lower common super-node exists.
+        for left, right in itertools.product(self.simple, repeat=2):
+            result = SIMPLE_LATTICE.lcs(left, right)
+            for candidate in SIMPLE_LATTICE.common_supers(left, right):
+                assert SIMPLE_LATTICE.is_super(candidate, result)
+
+    def test_mandatory_constraints_rejected(self):
+        with pytest.raises(LatticeError):
+            SIMPLE_LATTICE.lcs(C.MD_N_TO_ONE, C.ONE_TO_ONE)
+
+
+class TestExtendedLattice:
+    def test_mandatory_relaxes_to_plain(self):
+        # Loosening "bottom-up, which is least loosened": md_n:1 with 1:1
+        # meets at m:1 (drop mandatory, widen left).
+        assert EXTENDED_LATTICE.lcs(C.MD_N_TO_ONE, C.ONE_TO_ONE) is C.M_TO_ONE
+
+    def test_two_mandatory_constraints_stay_mandatory(self):
+        assert (
+            EXTENDED_LATTICE.lcs(C.MD_ONE_TO_N, C.MD_N_TO_ONE) is C.MD_N_TO_N
+        )
+
+    def test_mandatory_with_its_relaxation(self):
+        assert EXTENDED_LATTICE.lcs(C.MD_ONE_TO_ONE, C.ONE_TO_ONE) is C.ONE_TO_ONE
+
+    def test_every_pair_has_unique_lcs(self):
+        for left, right in itertools.product(list(C), repeat=2):
+            result = EXTENDED_LATTICE.lcs(left, right)
+            assert EXTENDED_LATTICE.is_super(result, left)
+            assert EXTENDED_LATTICE.is_super(result, right)
+            for candidate in EXTENDED_LATTICE.common_supers(left, right):
+                assert EXTENDED_LATTICE.is_super(candidate, result)
+
+    def test_relaxation_chain_ends_at_top(self):
+        for constraint in C:
+            chain = EXTENDED_LATTICE.relaxation_chain(constraint)
+            assert chain[0] is constraint
+            assert chain[-1] is C.M_TO_N
+
+    def test_module_level_lcs_uses_extended(self):
+        assert lcs(C.MD_N_TO_ONE, C.MD_N_TO_ONE) is C.MD_N_TO_ONE
+
+    def test_lcs_all_folds(self):
+        assert (
+            EXTENDED_LATTICE.lcs_all([C.ONE_TO_ONE, C.ONE_TO_N, C.M_TO_ONE])
+            is C.M_TO_N
+        )
+        with pytest.raises(LatticeError):
+            EXTENDED_LATTICE.lcs_all([])

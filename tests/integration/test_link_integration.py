@@ -1,0 +1,128 @@
+"""§6.2 link integration: local links, redundancy removal, ranges."""
+
+import pytest
+
+from repro.assertions import AssertionSet, parse
+from repro.integration import (
+    IntegratedSchema,
+    IntegrationStats,
+    apply_equivalence,
+    copy_local_class,
+    finalize_aggregation_ranges,
+    insert_local_links,
+    merge_parallel_aggregations,
+    remove_redundant_is_a,
+)
+from repro.model import Cardinality, ClassDef, Schema
+
+
+def schemas_with_equivalent_pairs():
+    """The Fig 12(a) setting: A' ≡ B', A ≡ B with parallel local links."""
+    s1 = Schema("S1")
+    s1.add_class(ClassDef("Ap").attr("x"))
+    s1.add_class(ClassDef("A", parents=["Ap"]).attr("y"))
+    s2 = Schema("S2")
+    s2.add_class(ClassDef("Bp").attr("x"))
+    s2.add_class(ClassDef("B", parents=["Bp"]).attr("y"))
+    text = """
+    assertion S1.Ap == S2.Bp
+    assertion S1.A == S2.B
+    """
+    assertions = AssertionSet("S1", "S2")
+    assertions.extend(parse(text))
+    return s1, s2, assertions
+
+
+class TestFig12a:
+    def test_duplicate_local_links_collapse(self):
+        s1, s2, assertions = schemas_with_equivalent_pairs()
+        result = IntegratedSchema("IS")
+        for pair in (("Ap", "Bp"), ("A", "B")):
+            apply_equivalence(
+                result, assertions.lookup(*pair).oriented_assertion(),
+                s1, s2, assertions,
+            )
+        stats = IntegrationStats()
+        inserted = insert_local_links(result, {"S1": s1, "S2": s2}, stats)
+        # Both local is_a(A, Ap) and is_a(B, Bp) map to one merged link.
+        assert inserted == [("A", "Ap")]
+
+
+class TestFig12b:
+    def test_shortcut_edge_removed(self):
+        result = IntegratedSchema("IS")
+        schema = Schema("X")
+        for name in ("a", "b", "c"):
+            schema.add_class(ClassDef(name))
+        for name in ("a", "b", "c"):
+            copy_local_class(result, schema, name)
+        result.add_is_a("a", "b")
+        result.add_is_a("b", "c")
+        result.add_is_a("a", "c")  # the * edge of Fig 12(b)
+        stats = IntegrationStats()
+        removed = remove_redundant_is_a(result, stats)
+        assert removed == [("a", "c")]
+        assert set(result.is_a_links()) == {("a", "b"), ("b", "c")}
+
+    def test_non_redundant_edges_kept(self):
+        result = IntegratedSchema("IS")
+        schema = Schema("X")
+        for name in ("a", "b", "c"):
+            schema.add_class(ClassDef(name))
+            copy_local_class(result, schema, name)
+        result.add_is_a("a", "b")
+        result.add_is_a("a", "c")
+        stats = IntegrationStats()
+        assert remove_redundant_is_a(result, stats) == []
+
+
+class TestRanges:
+    def test_pending_range_tokens_resolved(self):
+        schema = Schema("S1")
+        schema.add_class(ClassDef("Dept").attr("d"))
+        schema.add_class(ClassDef("Empl").agg("work_in", "Dept", "[m:1]"))
+        result = IntegratedSchema("IS")
+        copy_local_class(result, schema, "Empl")
+        finalize_aggregation_ranges(result, {"S1": schema})
+        agg = result.cls("Empl").aggregations["work_in"]
+        assert agg.range_class == "Dept"
+        assert "Dept" in result.classes  # copied on demand
+
+    def test_transitive_range_copying(self):
+        schema = Schema("S1")
+        schema.add_class(ClassDef("C").attr("x"))
+        schema.add_class(ClassDef("B").agg("f", "C"))
+        schema.add_class(ClassDef("A").agg("g", "B"))
+        result = IntegratedSchema("IS")
+        copy_local_class(result, schema, "A")
+        finalize_aggregation_ranges(result, {"S1": schema})
+        assert {"A", "B", "C"} <= set(result.classes)
+
+
+class TestParallelAggregations:
+    def test_same_name_same_range_merge_with_lcs(self):
+        result = IntegratedSchema("IS")
+        from repro.integration import IntegratedAggregation, IntegratedClass
+
+        cls = IntegratedClass("X", origins=(("S1", "X"),))
+        cls.add_aggregation(
+            IntegratedAggregation("f", "R", Cardinality.ONE_TO_N, (("S1", "X", "f"),))
+        )
+        cls.add_aggregation(
+            IntegratedAggregation(
+                "S2_f", "R", Cardinality.M_TO_ONE, (("S2", "Y", "f"),)
+            )
+        )
+        result.add_class(cls)
+        # Different base names don't merge...
+        assert merge_parallel_aggregations(result) == 0
+        # ...but identical base names (post-merge duplicates) do:
+        cls.aggregations.pop("S2_f")
+        cls.aggregations["f$dup"] = IntegratedAggregation(
+            "f$dup", "R", Cardinality.M_TO_ONE, (("S2", "Y", "f"),)
+        )
+        cls.aggregations["f$dup"].name = "f$dup"
+        merged = merge_parallel_aggregations(result)
+        assert merged == 1
+        [survivor] = cls.aggregations.values()
+        assert survivor.cardinality is Cardinality.M_TO_N

@@ -1,0 +1,163 @@
+"""Principle 5: derivation rules — Examples 9, 10 and 11 (experiment E-R)."""
+
+import pytest
+
+from repro.assertions import AssertionSet, parse
+from repro.integration import IntegratedSchema, apply_derivation
+from repro.logic import Comparison, OTerm, Variable
+from repro.workloads import bibliography, car_prices, genealogy
+
+
+def run(scenario_schemas, text):
+    s1, s2 = scenario_schemas
+    assertions = AssertionSet(s1.name, s2.name)
+    parsed = parse(text)
+    assertions.extend(parsed)
+    result = IntegratedSchema("IS")
+    rules = []
+    for assertion in parsed:
+        if assertion.left_schema == s1.name:
+            rules += apply_derivation(result, assertion, s1, s2)
+        else:
+            rules += apply_derivation(result, assertion, s2, s1)
+    return result, rules
+
+
+class TestExample9Uncle:
+    @pytest.fixture
+    def uncle_rule(self):
+        s1, s2, text, _ = genealogy(populated=False)
+        result, rules = run((s1, s2), text)
+        [rule] = rules
+        return result, rule
+
+    def test_single_rule_generated(self, uncle_rule):
+        _, rule = uncle_rule
+        assert len(rule.heads) == 1
+        assert len(rule.body) == 2
+
+    def test_head_is_uncle_oterm(self, uncle_rule):
+        _, rule = uncle_rule
+        head = rule.heads[0]
+        assert isinstance(head, OTerm)
+        assert head.class_name == "uncle"
+        assert set(head.descriptors()) == {"Ussn#", "niece_nephew"}
+
+    def test_variable_sharing_matches_paper(self, uncle_rule):
+        """Bssn# shares with Ussn#; Pssn# with brothers; children with
+        niece_nephew — the three reverse substitutions of Example 9."""
+        _, rule = uncle_rule
+        head = rule.heads[0]
+        oterms = {item.element.class_name: item.element for item in rule.body}
+        assert head.binding("Ussn#") == oterms["brother"].binding("Bssn#")
+        assert oterms["parent"].binding("Pssn#") == oterms["brother"].binding("brothers")
+        assert head.binding("niece_nephew") == oterms["parent"].binding("children")
+
+    def test_rule_is_evaluable(self, uncle_rule):
+        result, _ = uncle_rule
+        assert all(r.evaluable for r in result.rules_by_principle("P5"))
+
+
+class TestExample10Cars:
+    def test_one_rule_per_car_name(self):
+        s1, s2, text = car_prices(("vw", "bmw", "opel"))
+        result, rules = run((s1, s2), text)
+        assert len(rules) == 3
+
+    def test_rule_shape_matches_example_10(self):
+        s1, s2, text = car_prices(("vw",))
+        _, [rule] = run((s1, s2), text)
+        head = rule.heads[0]
+        assert head.class_name == "car1"
+        # time shared between head and body; price bound to the vw column;
+        # car-name constrained by the predicate  x = 'vw'.
+        [body_oterm] = [i.element for i in rule.body if isinstance(i.element, OTerm)]
+        assert head.binding("time") == body_oterm.binding("time")
+        assert head.binding("price") == body_oterm.binding("vw")
+        [predicate] = [
+            i.element for i in rule.body if isinstance(i.element, Comparison)
+        ]
+        assert predicate.right.value == "vw"
+        assert predicate.left == head.binding("car-name")
+
+    def test_rules_evaluate_schematic_discrepancy(self):
+        """car2's per-car attributes answer car1-style queries."""
+        from repro.logic import Atom, FactStore, QueryEngine, att_predicate, inst_predicate
+
+        s1, s2, text = car_prices(("vw", "bmw"))
+        result, rules = run((s1, s2), text)
+        store = FactStore()
+        store.add(inst_predicate("car2"), ("t1",))
+        store.add(att_predicate("car2", "time"), ("t1", "March"))
+        store.add(att_predicate("car2", "vw"), ("t1", 20000))
+        store.add(att_predicate("car2", "bmw"), ("t1", 50000))
+        engine = QueryEngine([r.rule for r in result.rules if r.evaluable], store)
+        rows = engine.ask(
+            Atom.of(att_predicate("car1", "car-name"), "?o", "?n"),
+            Atom.of(att_predicate("car1", "price"), "?o", "?p"),
+        )
+        answers = {(row["n"], row["p"]) for row in rows}
+        assert answers == {("vw", 20000), ("bmw", 50000)}
+
+
+class TestExample11BookAuthor:
+    def test_two_directional_rules(self):
+        s1, s2, text = bibliography()
+        result, rules = run((s1, s2), text)
+        assert len(rules) == 2
+        heads = {rule.heads[0].class_name for rule in rules}
+        assert heads == {"Book", "Author"}
+
+    def test_nested_paths_become_dotted_descriptors(self):
+        s1, s2, text = bibliography()
+        _, rules = run((s1, s2), text)
+        book_rule = next(r for r in rules if r.heads[0].class_name == "Book")
+        head = book_rule.heads[0]
+        body = book_rule.body[0].element
+        # Shared variables thread Book.ISBN/title with Author.book.*:
+        assert head.binding("ISBN") == body.binding("book.ISBN")
+        assert head.binding("title") == body.binding("book.title")
+        # ... and the nested author record with Author's own attributes.
+        assert head.binding("author.name") == body.binding("name")
+        assert head.binding("author.birthday") == body.binding("birthday")
+
+    def test_derived_virtual_objects_answer_queries(self):
+        """Ada's nested book record materializes as a Book answer."""
+        import datetime
+
+        from repro.logic import Atom, QueryEngine, att_predicate, facts_from_database
+        from repro.model import ObjectDatabase
+
+        s1, s2, text = bibliography()
+        result, rules = run((s1, s2), text)
+        db2 = ObjectDatabase(s2, agent="a2")
+        db2.insert(
+            "Author",
+            {
+                "name": "Ada",
+                "birthday": datetime.date(1815, 12, 10),
+                "book": {"ISBN": "0-19-2", "title": "Notes"},
+            },
+        )
+        store = facts_from_database(db2)
+        engine = QueryEngine([r.rule for r in result.rules if r.evaluable], store)
+        rows = engine.ask(Atom.of(att_predicate("Book", "title"), "?o", "?t"))
+        assert [row["t"] for row in rows] == ["Notes"]
+
+
+class TestDeterminism:
+    def test_same_input_same_rules(self):
+        s1, s2, text, _ = genealogy(populated=False)
+        _, rules_a = run((s1, s2), text)
+        _, rules_b = run((s1, s2), text)
+        assert [str(r) for r in rules_a] == [str(r) for r in rules_b]
+
+    def test_wrong_kind_rejected(self):
+        from repro.assertions import equivalence
+        from repro.errors import IntegrationError
+
+        s1, s2, _, _ = genealogy(populated=False)
+        with pytest.raises(IntegrationError):
+            apply_derivation(
+                IntegratedSchema("IS"), equivalence("S1.parent", "S2.uncle"), s1, s2
+            )

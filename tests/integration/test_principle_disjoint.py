@@ -1,0 +1,153 @@
+"""Principle 4: disjointness — complement rules and reverse aggregations."""
+
+import pytest
+
+from repro.assertions import AssertionSet, parse
+from repro.integration import (
+    IntegratedSchema,
+    apply_disjoint,
+    apply_disjoint_family,
+    apply_equivalence,
+)
+from repro.model import ClassDef, Schema
+
+
+@pytest.fixture
+def man_woman():
+    """Fig 4(d) with the required person ≡ human context."""
+    s1 = Schema("S1")
+    s1.add_class(ClassDef("person").attr("ssn#"))
+    s1.add_class(
+        ClassDef("man", parents=["person"]).agg("spouse", "person", "[1:1]")
+    )
+    s2 = Schema("S2")
+    s2.add_class(ClassDef("human").attr("ssn#"))
+    s2.add_class(
+        ClassDef("woman", parents=["human"]).agg("spouse", "human", "[1:1]")
+    )
+    text = """
+    assertion S1.person == S2.human
+      attr S1.person.ssn# == S2.human.ssn#
+    end
+    assertion S1.man ! S2.woman
+      agg S1.man.spouse rev S2.woman.spouse
+    end
+    """
+    assertions = AssertionSet("S1", "S2")
+    assertions.extend(parse(text))
+    result = IntegratedSchema("IS")
+    apply_equivalence(
+        result, assertions.lookup("person", "human").oriented_assertion(),
+        s1, s2, assertions,
+    )
+    return s1, s2, assertions, result
+
+
+class TestComplementRule:
+    def test_rule_generated_with_context(self, man_woman):
+        s1, s2, assertions, result = man_woman
+        rules = apply_disjoint(
+            result, assertions.lookup("man", "woman").oriented_assertion(),
+            s1, s2, assertions,
+        )
+        complement = [r for r in rules if "¬" in str(r)]
+        assert len(complement) == 1
+        text = str(complement[0])
+        # <x: woman> ⇐ <x: person>, ¬<x: man>
+        assert "woman" in text and "person" in text and "¬<x: man>" in text
+
+    def test_no_context_only_copies(self):
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("a"))
+        s2 = Schema("S2")
+        s2.add_class(ClassDef("b"))
+        assertions = AssertionSet("S1", "S2")
+        assertions.extend(parse("assertion S1.a ! S2.b"))
+        result = IntegratedSchema("IS")
+        rules = apply_disjoint(
+            result, assertions.lookup("a", "b").oriented_assertion(),
+            s1, s2, assertions,
+        )
+        assert rules == []
+        assert "a" in result.classes and "b" in result.classes
+        assert any("meaningless" in n or "copied only" in n for n in result.log)
+
+
+class TestReverseAggregation:
+    def test_symmetric_rules_generated(self, man_woman):
+        s1, s2, assertions, result = man_woman
+        rules = apply_disjoint(
+            result, assertions.lookup("man", "woman").oriented_assertion(),
+            s1, s2, assertions,
+        )
+        reverse_rules = [r for r in rules if "spouse" in str(r)]
+        assert len(reverse_rules) == 2
+        forward, backward = (str(r) for r in reverse_rules)
+        assert "woman" in forward and "man" in forward
+        assert "man" in backward and "woman" in backward
+
+    def test_reverse_rules_evaluate_symmetrically(self, man_woman):
+        """man.spouse facts answer woman.spouse queries and vice versa."""
+        from repro.logic import Atom, FactStore, QueryEngine, att_predicate, inst_predicate
+
+        s1, s2, assertions, result = man_woman
+        apply_disjoint(
+            result, assertions.lookup("man", "woman").oriented_assertion(),
+            s1, s2, assertions,
+        )
+        store = FactStore()
+        store.add(inst_predicate("man"), ("m1",))
+        store.add(att_predicate("man", "spouse"), ("m1", "w1"))
+        engine = QueryEngine([r.rule for r in result.rules if r.evaluable], store)
+        rows = engine.ask(
+            Atom.of(att_predicate("woman", "spouse"), "?w", "?m")
+        )
+        assert rows == [{"w": "w1", "m": "m1"}]
+
+
+class TestFamily:
+    def test_single_head_family_is_evaluable(self, man_woman):
+        s1, s2, assertions, result = man_woman
+        family = [assertions.lookup("man", "woman").oriented_assertion()]
+        rule = apply_disjoint_family(result, family, s1, s2, assertions)
+        assert rule is not None
+        assert result.rules[-1].evaluable
+
+    def test_multi_head_family_recorded_not_evaluable(self):
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("p"))
+        s1.add_class(ClassDef("a1", parents=["p"]))
+        s2 = Schema("S2")
+        s2.add_class(ClassDef("q"))
+        s2.add_class(ClassDef("b1", parents=["q"]))
+        s2.add_class(ClassDef("b2", parents=["q"]))
+        text = """
+        assertion S1.p == S2.q
+        assertion S1.a1 ! S2.b1
+        assertion S1.a1 ! S2.b2
+        """
+        assertions = AssertionSet("S1", "S2")
+        assertions.extend(parse(text))
+        result = IntegratedSchema("IS")
+        apply_equivalence(
+            result, assertions.lookup("p", "q").oriented_assertion(), s1, s2, assertions
+        )
+        family = [
+            assertions.lookup("a1", "b1").oriented_assertion(),
+            assertions.lookup("a1", "b2").oriented_assertion(),
+        ]
+        rule = apply_disjoint_family(result, family, s1, s2, assertions)
+        assert rule is not None
+        assert len(rule.heads) == 2
+        assert not result.rules[-1].evaluable
+
+    def test_family_without_shared_context_returns_none(self):
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("a"))
+        s2 = Schema("S2")
+        s2.add_class(ClassDef("b"))
+        assertions = AssertionSet("S1", "S2")
+        assertions.extend(parse("assertion S1.a ! S2.b"))
+        result = IntegratedSchema("IS")
+        family = [assertions.lookup("a", "b").oriented_assertion()]
+        assert apply_disjoint_family(result, family, s1, s2, assertions) is None

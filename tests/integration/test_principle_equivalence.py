@@ -1,0 +1,171 @@
+"""Principle 1: equivalence merging — attribute & aggregation cases."""
+
+import pytest
+
+from repro.assertions import AssertionSet, parse
+from repro.errors import IntegrationError
+from repro.integration import (
+    IntegratedSchema,
+    ValueSetOp,
+    apply_equivalence,
+)
+from repro.model import Cardinality, ClassDef, Schema
+from repro.workloads import fig4_suite
+
+
+def build(text, s1, s2):
+    assertions = AssertionSet(s1.name, s2.name)
+    assertions.extend(parse(text))
+    assertions.validate(s1, s2)
+    return assertions
+
+
+@pytest.fixture
+def fig4():
+    s1, s2, text = fig4_suite()
+    assertions = build(text, s1, s2)
+    return s1, s2, assertions
+
+
+def merged_person(fig4):
+    s1, s2, assertions = fig4
+    result = IntegratedSchema("IS")
+    lookup = assertions.lookup("person", "human")
+    merged = apply_equivalence(
+        result, lookup.oriented_assertion(), s1, s2, assertions
+    )
+    return result, merged
+
+
+class TestExample6:
+    """Example 6: the integrated person/human class."""
+
+    def test_merged_class_named_after_left(self, fig4):
+        result, merged = merged_person(fig4)
+        assert merged.name == "person"
+        assert result.is_name("S1", "person") == "person"
+        assert result.is_name("S2", "human") == "person"
+
+    def test_equivalent_attributes_union(self, fig4):
+        _, merged = merged_person(fig4)
+        ssn = merged.attributes["ssn#"]
+        assert ssn.spec.op is ValueSetOp.UNION
+        assert set(ssn.origins) == {
+            ("S1", "person", "ssn#"), ("S2", "human", "hssn#"),
+        }
+
+    def test_composed_into_creates_address(self, fig4):
+        _, merged = merged_person(fig4)
+        address = merged.attributes["address"]
+        assert address.spec.op is ValueSetOp.CONCATENATION
+
+    def test_inclusion_attributes_also_union(self, fig4):
+        # interests ⊇ hobby — still a single merged attribute.
+        _, merged = merged_person(fig4)
+        assert merged.attributes["interests"].spec.op is ValueSetOp.UNION
+
+    def test_source_attributes_not_duplicated(self, fig4):
+        _, merged = merged_person(fig4)
+        names = set(merged.attributes)
+        assert names == {"ssn#", "full_name", "address", "interests"}
+
+
+class TestAttributeCases:
+    def make(self, corr_line):
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("a").attr("x").attr("p"))
+        s2 = Schema("S2")
+        s2.add_class(ClassDef("b").attr("y").attr("q"))
+        text = f"assertion S1.a == S2.b\n  {corr_line}\nend"
+        assertions = build(text, s1, s2)
+        result = IntegratedSchema("IS")
+        merged = apply_equivalence(
+            result, assertions.lookup("a", "b").oriented_assertion(), s1, s2, assertions
+        )
+        return merged
+
+    def test_intersection_splits_into_three(self):
+        merged = self.make("attr S1.a.x ^ S2.b.y")
+        assert {"x_only", "y_only", "x_y"} <= set(merged.attributes)
+        assert merged.attributes["x_only"].spec.op is ValueSetOp.DIFFERENCE
+        assert merged.attributes["x_y"].spec.op is ValueSetOp.INTERSECTION
+
+    def test_exclusion_keeps_both(self):
+        merged = self.make("attr S1.a.x ! S2.b.y")
+        assert "x" in merged.attributes and "y" in merged.attributes
+        assert merged.attributes["x"].spec.op is ValueSetOp.LOCAL
+
+    def test_more_specific_keeps_left_only(self):
+        merged = self.make("attr S1.a.x beta S2.b.y")
+        assert "x" in merged.attributes
+        assert "y" not in merged.attributes
+
+    def test_unmentioned_attributes_accumulated(self):
+        merged = self.make("attr S1.a.x == S2.b.y")
+        assert "p" in merged.attributes and "q" in merged.attributes
+
+
+class TestAggregationCases:
+    def test_equivalent_aggs_merge_with_lcs(self, fig4):
+        s1, s2, assertions = fig4
+        result = IntegratedSchema("IS")
+        merged = apply_equivalence(
+            result, assertions.lookup("publisher", "press").oriented_assertion(),
+            s1, s2, assertions,
+        )
+        # now merge faculty∩student? No — test book/publication via P1 on
+        # a direct equivalence instead; see intersection tests for ∩.
+        assert merged.name == "publisher"
+
+    def test_reverse_agg_keeps_both_with_local_ccs(self):
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("man").agg("spouse", "man", "[1:1]"))
+        s2 = Schema("S2")
+        s2.add_class(ClassDef("woman").agg("spouse", "woman", "[md_1:1]"))
+        text = "assertion S1.man == S2.woman\n  agg S1.man.spouse rev S2.woman.spouse\nend"
+        assertions = build(text, s1, s2)
+        result = IntegratedSchema("IS")
+        merged = apply_equivalence(
+            result, assertions.lookup("man", "woman").oriented_assertion(),
+            s1, s2, assertions,
+        )
+        ccs = {agg.cardinality for agg in merged.aggregations.values()}
+        assert ccs == {Cardinality.ONE_TO_ONE, Cardinality.MD_ONE_TO_ONE}
+
+    def test_merged_agg_uses_lattice_lcs(self):
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("dept"))
+        s1.add_class(ClassDef("a").agg("f", "dept", "[1:n]"))
+        s2 = Schema("S2")
+        s2.add_class(ClassDef("unit"))
+        s2.add_class(ClassDef("b").agg("g", "unit", "[m:1]"))
+        text = (
+            "assertion S1.dept == S2.unit\n"
+            "assertion S1.a == S2.b\n  agg S1.a.f == S2.b.g\nend"
+        )
+        assertions = build(text, s1, s2)
+        result = IntegratedSchema("IS")
+        merged = apply_equivalence(
+            result, assertions.lookup("a", "b").oriented_assertion(), s1, s2, assertions
+        )
+        assert merged.aggregations["f"].cardinality is Cardinality.M_TO_N
+
+
+class TestGuards:
+    def test_wrong_kind_rejected(self, fig4):
+        s1, s2, assertions = fig4
+        result = IntegratedSchema("IS")
+        with pytest.raises(IntegrationError):
+            apply_equivalence(
+                result,
+                assertions.lookup("faculty", "student").oriented_assertion(),
+                s1, s2, assertions,
+            )
+
+    def test_idempotent_per_pair(self, fig4):
+        s1, s2, assertions = fig4
+        result = IntegratedSchema("IS")
+        oriented = assertions.lookup("person", "human").oriented_assertion()
+        first = apply_equivalence(result, oriented, s1, s2, assertions)
+        second = apply_equivalence(result, oriented, s1, s2, assertions)
+        assert first is second

@@ -1,0 +1,112 @@
+"""Principle 2: inclusion — is-a generation without redundancy (Fig 8)."""
+
+import pytest
+
+from repro.assertions import AssertionSet, parse
+from repro.integration import (
+    IntegratedSchema,
+    apply_inclusion,
+    apply_inclusions_generalized,
+    most_specific_superclasses,
+)
+from repro.model import ClassDef, Schema, build_hierarchy
+
+
+@pytest.fixture
+def example7():
+    """Example 7: professor ⊆ human, professor ⊆ employee; employee ⊆
+    human holds locally in S2."""
+    s1 = Schema("S1")
+    s1.add_class(ClassDef("professor").attr("name"))
+    s2 = Schema("S2")
+    s2.add_class(ClassDef("human").attr("name"))
+    s2.add_class(ClassDef("employee", parents=["human"]))
+    text = """
+    assertion S1.professor <= S2.human
+    assertion S1.professor <= S2.employee
+    """
+    assertions = AssertionSet("S1", "S2")
+    assertions.extend(parse(text))
+    return s1, s2, assertions
+
+
+class TestBasicForm:
+    def test_single_link_inserted(self, example7):
+        s1, s2, assertions = example7
+        result = IntegratedSchema("IS")
+        oriented = assertions.lookup("professor", "employee").oriented_assertion()
+        assert apply_inclusion(result, oriented, s1, s2)
+        assert ("professor", "employee") in result.is_a_links()
+
+    def test_transitively_implied_link_not_added(self, example7):
+        s1, s2, assertions = example7
+        result = IntegratedSchema("IS")
+        apply_inclusion(
+            result, assertions.lookup("professor", "employee").oriented_assertion(),
+            s1, s2,
+        )
+        from repro.integration import copy_local_class
+
+        copy_local_class(result, s2, "human")
+        result.add_is_a("employee", "human")
+        # professor ⊆ human is already derivable.
+        added = apply_inclusion(
+            result, assertions.lookup("professor", "human").oriented_assertion(),
+            s1, s2,
+        )
+        assert not added
+
+    def test_wrong_kind_rejected(self, example7):
+        from repro.assertions import equivalence
+        from repro.errors import IntegrationError
+
+        s1, s2, _ = example7
+        with pytest.raises(IntegrationError):
+            apply_inclusion(
+                IntegratedSchema("IS"), equivalence("S1.professor", "S2.human"), s1, s2
+            )
+
+
+class TestMostSpecific:
+    def test_chain_keeps_deepest(self):
+        schema = build_hierarchy(
+            "S2", [("B2", "B1"), ("B3", "B2"), ("B4", "B3")]
+        )
+        kept = most_specific_superclasses(schema, ["B1", "B2", "B3", "B4"])
+        assert kept == ["B4"]
+
+    def test_unrelated_targets_all_kept(self):
+        schema = build_hierarchy("S2", [("B2", "B1")], extra=["C"])
+        kept = most_specific_superclasses(schema, ["B2", "C"])
+        assert set(kept) == {"B2", "C"}
+
+    def test_example7_keeps_employee_only(self, example7):
+        _, s2, _ = example7
+        assert most_specific_superclasses(s2, ["human", "employee"]) == ["employee"]
+
+
+class TestGeneralizedForm:
+    def test_example7_generates_one_link(self, example7):
+        s1, s2, assertions = example7
+        result = IntegratedSchema("IS")
+        inserted = apply_inclusions_generalized(result, assertions, s1, s2)
+        assert inserted == [("professor", "employee")]
+
+    def test_fig8_chain_generates_one_link(self):
+        from repro.workloads import inclusion_chain
+
+        s1, s2, assertions = inclusion_chain(5, declare_all=True)
+        result = IntegratedSchema("IS")
+        inserted = apply_inclusions_generalized(result, assertions, s1, s2)
+        assert inserted == [("A", "B5")]
+
+    def test_reverse_orientation_handled(self):
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("big"))
+        s2 = Schema("S2")
+        s2.add_class(ClassDef("small"))
+        assertions = AssertionSet("S1", "S2")
+        assertions.extend(parse("assertion S1.big >= S2.small"))
+        result = IntegratedSchema("IS")
+        inserted = apply_inclusions_generalized(result, assertions, s1, s2)
+        assert inserted == [("small", "big")]

@@ -1,0 +1,137 @@
+"""Principle 3: intersection — virtual classes, rules, AIFs (Example 8)."""
+
+import pytest
+
+from repro.assertions import AssertionSet, parse
+from repro.errors import IntegrationError
+from repro.integration import (
+    IntegratedSchema,
+    SAME_OBJECT,
+    ValueSetOp,
+    apply_intersection,
+)
+from repro.workloads import fig4_suite
+
+
+@pytest.fixture
+def faculty_student():
+    s1, s2, text = fig4_suite()
+    assertions = AssertionSet("S1", "S2")
+    assertions.extend(parse(text))
+    result = IntegratedSchema("IS")
+    # The parent equivalence person ≡ human must exist first (BFS order).
+    from repro.integration import apply_equivalence
+
+    apply_equivalence(
+        result, assertions.lookup("person", "human").oriented_assertion(),
+        s1, s2, assertions,
+    )
+    common = apply_intersection(
+        result, assertions.lookup("faculty", "student").oriented_assertion(),
+        s1, s2, assertions,
+    )
+    return result, common
+
+
+class TestVirtualClasses:
+    def test_three_virtual_classes_created(self, faculty_student):
+        result, common = faculty_student
+        assert common.name == "faculty_student"
+        assert result.cls("faculty_student").virtual
+        assert result.cls("faculty_only").virtual
+        assert result.cls("student_only").virtual
+
+    def test_local_copies_inserted(self, faculty_student):
+        result, _ = faculty_student
+        assert not result.cls("faculty").virtual
+        assert not result.cls("student").virtual
+
+
+class TestExample8Rules:
+    def test_three_membership_rules(self, faculty_student):
+        result, _ = faculty_student
+        rules = [r.rule for r in result.rules_by_principle("P3")]
+        assert len(rules) == 3
+        texts = [str(r) for r in rules]
+        assert any(SAME_OBJECT in t for t in texts)
+        negated = [t for t in texts if "¬" in t]
+        assert len(negated) == 2
+
+    def test_membership_rule_uses_same_object_not_literal_equality(
+        self, faculty_student
+    ):
+        result, _ = faculty_student
+        [membership] = [
+            r.rule
+            for r in result.rules_by_principle("P3")
+            if "¬" not in str(r.rule)
+        ]
+        assert SAME_OBJECT in str(membership)
+
+    def test_rules_are_evaluable(self, faculty_student):
+        result, _ = faculty_student
+        assert all(r.evaluable for r in result.rules_by_principle("P3"))
+
+
+class TestExample8Attributes:
+    def test_union_attributes_defined_over_re_mapping(self, faculty_student):
+        result, common = faculty_student
+        ssn = common.attributes["fssn#"]
+        assert ssn.spec.op is ValueSetOp.UNION
+        # re(S1, fssn#) and re(S2, fssn#) both recorded.
+        assert result.re_mapping.resolve("S1", "fssn#") == ("faculty", "fssn#")
+        assert result.re_mapping.resolve("S2", "fssn#") == ("student", "ssn#")
+
+    def test_intersection_attribute_uses_aif(self, faculty_student):
+        _, common = faculty_student
+        merged = common.attributes["income_study_support"]
+        assert merged.spec.op is ValueSetOp.AIF
+        assert merged.spec.aif_attribute == "income_study_support"
+
+    def test_default_aif_is_average(self, faculty_student):
+        result, _ = faculty_student
+        aif = result.aifs.resolve("income_study_support")
+        assert aif(100, 50) == 75
+
+    def test_custom_aif_registration_wins(self, faculty_student):
+        result, _ = faculty_student
+        result.aifs.register("income_study_support", "max", max)
+        assert result.aifs.resolve("income_study_support")(100, 50) == 100
+
+    def test_merged_aggregation_on_common_class(self, faculty_student):
+        _, common = faculty_student
+        assert "work_in" in common.aggregations
+
+
+class TestGuards:
+    def test_reverse_agg_under_intersection_is_error(self):
+        from repro.model import ClassDef, Schema
+
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("a").agg("f", "a", "[1:1]"))
+        s2 = Schema("S2")
+        s2.add_class(ClassDef("b").agg("g", "b", "[1:1]"))
+        assertions = AssertionSet("S1", "S2")
+        assertions.extend(
+            parse("assertion S1.a ^ S2.b\n  agg S1.a.f rev S2.b.g\nend")
+        )
+        with pytest.raises(IntegrationError, match="error"):
+            apply_intersection(
+                IntegratedSchema("IS"),
+                assertions.lookup("a", "b").oriented_assertion(),
+                s1, s2, assertions,
+            )
+
+    def test_idempotent(self, faculty_student):
+        result, common = faculty_student
+        # A second application returns the existing virtual class.
+        from repro.workloads import fig4_suite
+
+        s1, s2, text = fig4_suite()
+        assertions = AssertionSet("S1", "S2")
+        assertions.extend(parse(text))
+        again = apply_intersection(
+            result, assertions.lookup("faculty", "student").oriented_assertion(),
+            s1, s2, assertions,
+        )
+        assert again is common

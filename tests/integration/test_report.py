@@ -1,0 +1,86 @@
+"""Integration reports."""
+
+import pytest
+
+from repro.core import SchemaIntegrator
+from repro.integration import build_report, render_markdown
+from repro.workloads import appendix_a, fig4_suite
+
+
+@pytest.fixture(scope="module")
+def appendix_a_report():
+    s1, s2, text = appendix_a()
+    integrator = SchemaIntegrator(s1, s2, text)
+    integrator.run()
+    return build_report(integrator.result, integrator.stats)
+
+
+class TestBuild:
+    def test_class_partition_sums(self, appendix_a_report):
+        report = appendix_a_report
+        assert (
+            report.merged_classes + report.copied_classes + report.virtual_classes
+            == report.total_classes
+        )
+
+    def test_appendix_a_shape(self, appendix_a_report):
+        report = appendix_a_report
+        assert report.merged_classes == 1  # person/human
+        assert report.virtual_classes == 3  # the Principle 3 trio
+        assert dict(report.rules_by_principle) == {"P3": 3}
+        assert report.warnings == ()
+
+    def test_stats_embedded(self, appendix_a_report):
+        assert appendix_a_report.stats is not None
+        assert appendix_a_report.stats.pairs_checked > 0
+
+    def test_fig4_has_p4_rules(self):
+        s1, s2, text = fig4_suite()
+        integrator = SchemaIntegrator(s1, s2, text)
+        integrator.run()
+        report = build_report(integrator.result)
+        principles = dict(report.rules_by_principle)
+        assert "P3" in principles and "P4" in principles
+
+    def test_warnings_collected(self):
+        from repro.assertions import AssertionSet, parse
+        from repro.integration import schema_integration
+        from repro.model import ClassDef, Schema
+
+        s1 = Schema("S1")
+        s1.add_class(ClassDef("a"))
+        s1.add_class(ClassDef("a_sub", parents=["a"]))
+        s2 = Schema("S2")
+        s2.add_class(ClassDef("b"))
+        s2.add_class(ClassDef("b_sub", parents=["b"]))
+        assertions = AssertionSet("S1", "S2")
+        assertions.extend(
+            parse("assertion S1.a ! S2.b\nassertion S1.a_sub ^ S2.b_sub")
+        )
+        result, stats = schema_integration(s1, s2, assertions)
+        report = build_report(result, stats)
+        assert len(report.warnings) == 1
+
+
+class TestMarkdown:
+    def test_renders_table_and_metrics(self, appendix_a_report):
+        text = render_markdown(appendix_a_report)
+        assert text.startswith("# Integration report")
+        assert "| merged (≥ 2 origins) | 1 |" in text
+        assert "| rules from P3 | 3 |" in text
+        assert "pair checks" in text
+
+    def test_cli_report_flag(self, tmp_path):
+        from repro.cli import main
+        import io
+
+        left = tmp_path / "s1.schema"
+        right = tmp_path / "s2.schema"
+        dsl = tmp_path / "a.dsl"
+        left.write_text("schema S1\nclass a\n  attr k: string\n")
+        right.write_text("schema S2\nclass b\n  attr k: string\n")
+        dsl.write_text("assertion S1.a == S2.b\n  attr S1.a.k == S2.b.k\nend\n")
+        out = io.StringIO()
+        status = main(["integrate", str(left), str(right), str(dsl), "--report"], out=out)
+        assert status == 0
+        assert "# Integration report" in out.getvalue()

@@ -1,0 +1,120 @@
+"""IntegratedSchema: the result container's own API."""
+
+import pytest
+
+from repro.errors import IntegrationError, UnknownClassError
+from repro.integration import (
+    IntegratedAttribute,
+    IntegratedClass,
+    IntegratedSchema,
+    ValueSetOp,
+    ValueSetSpec,
+)
+from repro.logic import Atom, Rule
+
+
+def make_class(name, origins=()):
+    return IntegratedClass(name=name, origins=tuple(origins))
+
+
+@pytest.fixture
+def schema() -> IntegratedSchema:
+    result = IntegratedSchema("IS")
+    result.add_class(make_class("a", [("S1", "a")]))
+    result.add_class(make_class("b", [("S2", "b")]))
+    result.add_class(make_class("c", [("S1", "c"), ("S2", "c2")]))
+    return result
+
+
+class TestClasses:
+    def test_is_map_from_origins(self, schema):
+        assert schema.is_name("S1", "a") == "a"
+        assert schema.is_name("S2", "c2") == "c"
+        assert schema.is_name("S1", "ghost") is None
+
+    def test_require_is_raises(self, schema):
+        with pytest.raises(IntegrationError):
+            schema.require_is("S1", "ghost")
+
+    def test_duplicate_class_rejected(self, schema):
+        with pytest.raises(IntegrationError):
+            schema.add_class(make_class("a"))
+
+    def test_map_origin_extends_provenance(self, schema):
+        schema.map_origin("S3", "x", "a")
+        assert schema.is_name("S3", "x") == "a"
+        assert ("S3", "x") in schema.cls("a").origins
+
+    def test_map_origin_unknown_class_rejected(self, schema):
+        with pytest.raises(UnknownClassError):
+            schema.map_origin("S3", "x", "ghost")
+
+    def test_member_namespace_shared(self, schema):
+        cls = schema.cls("a")
+        cls.add_attribute(
+            IntegratedAttribute("x", ValueSetSpec(ValueSetOp.LOCAL, ("S1", "a", "x")), ())
+        )
+        with pytest.raises(IntegrationError):
+            cls.add_attribute(
+                IntegratedAttribute(
+                    "x", ValueSetSpec(ValueSetOp.LOCAL, ("S1", "a", "x")), ()
+                )
+            )
+
+
+class TestLinks:
+    def test_add_and_query(self, schema):
+        assert schema.add_is_a("a", "b")
+        assert not schema.add_is_a("a", "b")  # duplicate
+        assert schema.parents("a") == ("b",)
+        assert schema.children("b") == ("a",)
+
+    def test_reflexive_rejected(self, schema):
+        with pytest.raises(IntegrationError):
+            schema.add_is_a("a", "a")
+
+    def test_unknown_endpoint_rejected(self, schema):
+        with pytest.raises(UnknownClassError):
+            schema.add_is_a("a", "ghost")
+
+    def test_path_reachability(self, schema):
+        schema.add_is_a("a", "b")
+        schema.add_is_a("b", "c")
+        assert schema.has_is_a_path("a", "c")
+        assert not schema.has_is_a_path("c", "a")
+
+    def test_remove(self, schema):
+        schema.add_is_a("a", "b")
+        assert schema.remove_is_a("a", "b")
+        assert not schema.remove_is_a("a", "b")
+
+
+class TestRules:
+    def test_rule_bookkeeping(self, schema):
+        rule = Rule.of(Atom.of("p", "?x"), [Atom.of("q", "?x")])
+        schema.add_rule(rule, principle="P3")
+        schema.add_rule(rule, principle="P4", evaluable=False)
+        assert len(schema.evaluable_rules()) == 1
+        assert len(schema.rules_by_principle("P4")) == 1
+
+    def test_describe_includes_everything(self, schema):
+        schema.add_is_a("a", "b")
+        schema.add_rule(
+            Rule.of(Atom.of("p", "?x"), [Atom.of("q", "?x")]), principle="P3"
+        )
+        text = schema.describe()
+        assert "is_a(a, b)" in text
+        assert "rules:" in text
+
+
+class TestModelProjection:
+    def test_to_model_schema_preserves_shape(self, schema):
+        schema.add_is_a("a", "b")
+        cls = schema.cls("a")
+        cls.add_attribute(
+            IntegratedAttribute("x", ValueSetSpec(ValueSetOp.LOCAL, ("S1", "a", "x")), ())
+        )
+        projected = schema.to_model_schema()
+        assert set(projected.class_names) == {"a", "b", "c"}
+        assert ("a", "b") in projected.is_a_links()
+        assert projected.cls("a").has_member("x")

@@ -1,0 +1,78 @@
+"""§6.1 observation 3's safety valve: assertions under ∅/→ pairs.
+
+"If such pairs exist, we may, for the purpose of safety, inform the
+user that something is strange, and ask her or him whether the
+assertion is correct or a mistake. (This is the only case where user
+interference is required.)"  The implementation warns in the build log
+and honours the declaration.
+"""
+
+from repro.assertions import AssertionSet, parse
+from repro.integration import schema_integration
+from repro.model import ClassDef, Schema
+
+
+def build():
+    s1 = Schema("S1")
+    s1.add_class(ClassDef("man").attr("ssn#"))
+    s1.add_class(ClassDef("man_student", parents=["man"]).attr("uni"))
+    s2 = Schema("S2")
+    s2.add_class(ClassDef("woman").attr("ssn#"))
+    s2.add_class(ClassDef("woman_student", parents=["woman"]).attr("uni"))
+    return s1, s2
+
+
+def test_plain_disjoint_skips_descendant_pairs_silently():
+    s1, s2 = build()
+    assertions = AssertionSet("S1", "S2")
+    assertions.extend(parse("assertion S1.man ! S2.woman"))
+    result, stats = schema_integration(s1, s2, assertions)
+    assert not any("WARNING" in note for note in result.log)
+    # the skipped pairs were never checked
+    assert stats.pairs_checked <= 4
+
+
+def test_declared_assertion_below_disjoint_pair_warns_and_is_honoured():
+    s1, s2 = build()
+    assertions = AssertionSet("S1", "S2")
+    assertions.extend(
+        parse(
+            """
+            assertion S1.man ! S2.woman
+            # strange: a subclass pair declared despite the parents' ∅
+            assertion S1.man_student ^ S2.woman_student
+            """
+        )
+    )
+    result, _ = schema_integration(s1, s2, assertions)
+    warnings = [note for note in result.log if "WARNING" in note]
+    assert len(warnings) == 1
+    assert "man_student" in warnings[0] and "woman_student" in warnings[0]
+    # honoured: the intersection's virtual class exists
+    assert "man_student_woman_student" in result.classes
+
+
+def test_declared_assertion_below_derivation_pair_warns():
+    s1 = Schema("S1")
+    s1.add_class(ClassDef("parent").attr("Pssn#"))
+    s1.add_class(ClassDef("brother").attr("Bssn#").attr("brothers", multivalued=True))
+    s1.add_class(ClassDef("old_brother", parents=["brother"]))
+    s2 = Schema("S2")
+    s2.add_class(ClassDef("uncle").attr("Ussn#"))
+    s2.add_class(ClassDef("rich_uncle", parents=["uncle"]))
+    assertions = AssertionSet("S1", "S2")
+    assertions.extend(
+        parse(
+            """
+            assertion S1(parent, brother) -> S2.uncle
+              attr S1.brother.Bssn# == S2.uncle.Ussn#
+            end
+            assertion S1.old_brother <= S2.rich_uncle
+            """
+        )
+    )
+    result, _ = schema_integration(s1, s2, assertions)
+    warnings = [note for note in result.log if "WARNING" in note]
+    assert warnings
+    # the inclusion is still realized
+    assert ("old_brother", "rich_uncle") in result.is_a_links()

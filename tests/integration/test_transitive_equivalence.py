@@ -1,0 +1,98 @@
+"""Transitive equivalence: A ≡ B and A ≡ C must end in one class.
+
+The §6.3 analysis assumes each concept has exactly one counterpart, but
+assertion sets lifted across integration rounds (Fig 2 strategies) can
+relate one class to several; Principle 1 absorbs the extras into the
+existing merge.  Regression tests for the dispatch path that once
+skipped the absorption.
+"""
+
+import pytest
+
+from repro.assertions import AssertionSet, parse
+from repro.integration import naive_schema_integration, schema_integration
+from repro.model import ClassDef, Schema
+
+
+@pytest.fixture
+def fan_out():
+    """S1.a equivalent to both S2 roots b and c (brothers)."""
+    s1 = Schema("S1")
+    s1.add_class(ClassDef("a").attr("k").attr("x1"))
+    s2 = Schema("S2")
+    s2.add_class(ClassDef("b").attr("k").attr("x2"))
+    s2.add_class(ClassDef("c").attr("k").attr("x3"))
+    assertions = AssertionSet("S1", "S2")
+    assertions.extend(
+        parse(
+            """
+            assertion S1.a == S2.b
+              attr S1.a.k == S2.b.k
+            end
+            assertion S1.a == S2.c
+              attr S1.a.k == S2.c.k
+            end
+            """
+        )
+    )
+    return s1, s2, assertions
+
+
+@pytest.mark.parametrize("algorithm", [schema_integration, naive_schema_integration])
+def test_all_three_classes_collapse(fan_out, algorithm):
+    s1, s2, assertions = fan_out
+    result, _ = algorithm(s1, s2, assertions)
+    assert (
+        result.is_name("S1", "a")
+        == result.is_name("S2", "b")
+        == result.is_name("S2", "c")
+    )
+
+
+def test_absorbed_class_contributes_origins(fan_out):
+    s1, s2, assertions = fan_out
+    result, _ = schema_integration(s1, s2, assertions)
+    merged = result.cls(result.is_name("S1", "a"))
+    assert set(merged.origins) == {("S1", "a"), ("S2", "b"), ("S2", "c")}
+    key = merged.attributes["k"]
+    assert {origin[0:2] for origin in key.origins} == {
+        ("S1", "a"), ("S2", "b"), ("S2", "c"),
+    }
+
+
+def test_absorbed_class_unmatched_attributes_accumulate(fan_out):
+    s1, s2, assertions = fan_out
+    result, _ = schema_integration(s1, s2, assertions)
+    merged = result.cls(result.is_name("S1", "a"))
+    assert {"x1", "x2", "x3"} <= set(merged.attributes)
+
+
+def test_three_way_chain_through_subclasses():
+    """Equivalences at different hierarchy levels still chain."""
+    s1 = Schema("S1")
+    s1.add_class(ClassDef("top1").attr("k"))
+    s1.add_class(ClassDef("mid1", parents=["top1"]).attr("m"))
+    s2 = Schema("S2")
+    s2.add_class(ClassDef("top2").attr("k"))
+    s2.add_class(ClassDef("mid2", parents=["top2"]).attr("m"))
+    s2.add_class(ClassDef("mid2b", parents=["top2"]).attr("m2"))
+    assertions = AssertionSet("S1", "S2")
+    assertions.extend(
+        parse(
+            """
+            assertion S1.top1 == S2.top2
+            assertion S1.mid1 == S2.mid2
+            assertion S1.mid1 == S2.mid2b
+            """
+        )
+    )
+    result, _ = schema_integration(s1, s2, assertions)
+    assert (
+        result.is_name("S1", "mid1")
+        == result.is_name("S2", "mid2")
+        == result.is_name("S2", "mid2b")
+    )
+    # hierarchy intact
+    assert result.has_is_a_path(
+        result.is_name("S1", "mid1"), result.is_name("S1", "top1")
+    )

@@ -1,0 +1,102 @@
+"""Atoms, comparisons (τ set + ∈) and skolem builtins."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import Atom, Comparison, ComparisonOp, Literal, lits, negated
+from repro.logic.atoms import Skolem
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+
+
+class TestAtom:
+    def test_of_lifts_arguments(self):
+        atom = Atom.of("p", "?x", "John", 3)
+        assert atom.args == (Variable("x"), Constant("John"), Constant(3))
+
+    def test_variables(self):
+        assert Atom.of("p", "?x", "c", "?y").variables() == {
+            Variable("x"), Variable("y"),
+        }
+
+    def test_is_ground(self):
+        assert Atom.of("p", 1, 2).is_ground()
+        assert not Atom.of("p", "?x").is_ground()
+
+    def test_substitute(self):
+        atom = Atom.of("p", "?x")
+        bound = atom.substitute(Substitution({Variable("x"): Constant(7)}))
+        assert bound == Atom.of("p", 7)
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(LogicError):
+            Atom("", (Constant(1),))
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "left,op,right,expected",
+        [
+            (1, "=", 1, True),
+            (1, "!=", 2, True),
+            (1, "<", 2, True),
+            (2, "<=", 2, True),
+            (3, ">", 2, True),
+            (3, ">=", 4, False),
+        ],
+    )
+    def test_operator_evaluation(self, left, op, right, expected):
+        assert Comparison.of(left, op, right).holds() is expected
+
+    def test_unicode_aliases(self):
+        assert Comparison.of(1, "≤", 2).op is ComparisonOp.LE
+        assert Comparison.of(1, "≠", 2).op is ComparisonOp.NE
+
+    def test_membership_over_collections(self):
+        assert Comparison.of("a", "in", frozenset({"a", "b"})).holds()
+        assert not Comparison.of("z", "in", frozenset({"a"})).holds()
+
+    def test_membership_degrades_to_equality_on_scalars(self):
+        assert Comparison.of("a", "in", "a").holds()
+
+    def test_non_ground_evaluation_rejected(self):
+        with pytest.raises(LogicError):
+            Comparison.of("?x", "=", 1).holds()
+
+    def test_incomparable_types_fail_closed(self):
+        assert not Comparison.of("abc", "<", 3).holds()
+
+
+class TestSkolem:
+    def test_token_is_deterministic(self):
+        skolem = Skolem(Variable("o"), "uncle", (Constant("B1"), Constant("John")))
+        assert skolem.token() == ("sk", "uncle", "B1", "John")
+
+    def test_token_requires_ground_args(self):
+        skolem = Skolem(Variable("o"), "uncle", (Variable("x"),))
+        with pytest.raises(LogicError):
+            skolem.token()
+
+    def test_substitute_traverses_result_and_args(self):
+        skolem = Skolem(Variable("o"), "t", (Variable("x"),))
+        bound = skolem.substitute(Substitution({Variable("x"): Constant(1)}))
+        assert bound.args == (Constant(1),)
+
+    def test_str_form(self):
+        skolem = Skolem(Variable("o"), "t", (Variable("x"),))
+        assert "sk[t]" in str(skolem)
+
+
+class TestLiterals:
+    def test_negated_helper(self):
+        literal = negated(Atom.of("p", 1))
+        assert not literal.positive
+        assert str(literal).startswith("¬")
+
+    def test_lits_wraps_plain_atoms(self):
+        wrapped = lits([Atom.of("p", 1), Literal(Atom.of("q", 2), positive=False)])
+        assert wrapped[0].positive and not wrapped[1].positive
+
+    def test_is_comparison_flag(self):
+        assert Literal(Comparison.of(1, "=", 1)).is_comparison
+        assert not Literal(Atom.of("p", 1)).is_comparison

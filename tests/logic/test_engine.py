@@ -1,0 +1,213 @@
+"""The bottom-up engine: stratification, semi-naive evaluation, queries."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.logic import (
+    Atom,
+    BodyItem,
+    Comparison,
+    FactStore,
+    Literal,
+    OTerm,
+    QueryEngine,
+    Rule,
+    evaluate,
+    negated,
+    stratify,
+)
+from repro.logic.rules import DatalogRule
+
+
+def facts(**predicates) -> FactStore:
+    store = FactStore()
+    for predicate, tuples in predicates.items():
+        for values in tuples:
+            store.add(predicate, tuple(values))
+    return store
+
+
+def dl(head, *body) -> DatalogRule:
+    return DatalogRule(head, tuple(body))
+
+
+class TestStratify:
+    def test_positive_program_is_one_stratum(self):
+        rules = [
+            dl(Atom.of("p", "?x"), Literal(Atom.of("q", "?x"))),
+            dl(Atom.of("q", "?x"), Literal(Atom.of("base", "?x"))),
+        ]
+        assert len(stratify(rules)) == 1
+
+    def test_negation_pushes_to_later_stratum(self):
+        rules = [
+            dl(Atom.of("q", "?x"), Literal(Atom.of("base", "?x"))),
+            dl(
+                Atom.of("p", "?x"),
+                Literal(Atom.of("base", "?x")),
+                negated(Atom.of("q", "?x")),
+            ),
+        ]
+        layers = stratify(rules)
+        assert len(layers) == 2
+        assert layers[0][0].head.predicate == "q"
+
+    def test_negation_through_recursion_rejected(self):
+        rules = [
+            dl(Atom.of("p", "?x"), negated(Atom.of("q", "?x")), Literal(Atom.of("b", "?x"))),
+            dl(Atom.of("q", "?x"), negated(Atom.of("p", "?x")), Literal(Atom.of("b", "?x"))),
+        ]
+        with pytest.raises(EvaluationError, match="stratifiable"):
+            stratify(rules)
+
+
+class TestEvaluate:
+    def test_uncle_join(self):
+        store = facts(
+            parent=[("John", "Mary")], brother=[("Mary", "Bill")]
+        )
+        rules = [
+            dl(
+                Atom.of("uncle", "?x", "?z"),
+                Literal(Atom.of("parent", "?x", "?y")),
+                Literal(Atom.of("brother", "?y", "?z")),
+            )
+        ]
+        result = evaluate(rules, store)
+        assert ("John", "Bill") in result.facts("uncle")
+
+    def test_transitive_closure_semi_naive(self):
+        edges = [(i, i + 1) for i in range(20)]
+        store = facts(edge=edges)
+        rules = [
+            dl(Atom.of("path", "?x", "?y"), Literal(Atom.of("edge", "?x", "?y"))),
+            dl(
+                Atom.of("path", "?x", "?z"),
+                Literal(Atom.of("path", "?x", "?y")),
+                Literal(Atom.of("edge", "?y", "?z")),
+            ),
+        ]
+        result = evaluate(rules, store)
+        assert len(result.facts("path")) == 20 * 21 // 2
+
+    def test_stratified_negation(self):
+        store = facts(all=[("a",), ("b",), ("c",)], special=[("b",)])
+        rules = [
+            dl(
+                Atom.of("plain", "?x"),
+                Literal(Atom.of("all", "?x")),
+                negated(Atom.of("special", "?x")),
+            )
+        ]
+        result = evaluate(rules, store)
+        assert result.facts("plain") == {("a",), ("c",)}
+
+    def test_comparison_filters(self):
+        store = facts(num=[(1,), (5,), (9,)])
+        rules = [
+            dl(
+                Atom.of("big", "?x"),
+                Literal(Atom.of("num", "?x")),
+                Literal(Comparison.of("?x", ">", 4)),
+            )
+        ]
+        assert evaluate(rules, store).facts("big") == {(5,), (9,)}
+
+    def test_defining_equality_binds(self):
+        store = facts(num=[(2,)])
+        rules = [
+            dl(
+                Atom.of("pair", "?x", "?y"),
+                Literal(Atom.of("num", "?x")),
+                Literal(Comparison.of("?y", "=", "?x")),
+            )
+        ]
+        assert evaluate(rules, store).facts("pair") == {(2, 2)}
+
+    def test_incomparable_values_fail_closed(self):
+        store = facts(num=[("a",), (3,)])
+        rules = [
+            dl(
+                Atom.of("big", "?x"),
+                Literal(Atom.of("num", "?x")),
+                Literal(Comparison.of("?x", ">", 1)),
+            )
+        ]
+        assert evaluate(rules, store).facts("big") == {(3,)}
+
+
+class TestQueryEngine:
+    def test_ask_with_oterm_rules(self):
+        store = facts(**{
+            "inst$person": [("p1",), ("p2",)],
+            "att$person$age": [("p1", 30), ("p2", 12)],
+            "att$person$name": [("p1", "Ann"), ("p2", "Bob")],
+        })
+        rule = Rule.of(
+            Atom.of("adult", "?n"),
+            [
+                OTerm.of("?o", "person", {"age": "?a", "name": "?n"}),
+                Comparison.of("?a", ">=", 18),
+            ],
+        )
+        engine = QueryEngine([rule], store)
+        assert engine.ask(Atom.of("adult", "?n")) == [{"n": "Ann"}]
+
+    def test_holds_requires_ground_goal(self):
+        engine = QueryEngine([], facts(p=[(1,)]))
+        assert engine.holds(Atom.of("p", 1))
+        assert not engine.holds(Atom.of("p", 2))
+        with pytest.raises(EvaluationError):
+            engine.holds(Atom.of("p", "?x"))
+
+    def test_conjunctive_ask_joins_goals(self):
+        store = facts(p=[(1, 2)], q=[(2, 3)])
+        engine = QueryEngine([], store)
+        rows = engine.ask(Atom.of("p", "?x", "?y"), Atom.of("q", "?y", "?z"))
+        assert rows == [{"x": 1, "y": 2, "z": 3}]
+
+    def test_invalidate_recomputes(self):
+        store = facts(p=[(1,)])
+        rule = DatalogRule(Atom.of("q", "?x"), (Literal(Atom.of("p", "?x")),))
+        engine = QueryEngine([Rule.of(Atom.of("q", "?x"), [Atom.of("p", "?x")])], store)
+        assert engine.ask(Atom.of("q", "?x")) == [{"x": 1}]
+        store.add("p", (2,))
+        engine.invalidate()
+        assert {row["x"] for row in engine.ask(Atom.of("q", "?x"))} == {1, 2}
+
+
+class TestFactsFromDatabase:
+    def test_multivalued_values_become_per_element_facts(self):
+        from repro.logic import facts_from_database
+        from repro.model import ClassDef, ObjectDatabase, Schema
+
+        schema = Schema("S")
+        schema.add_class(ClassDef("brother").attr("brothers", multivalued=True))
+        db = ObjectDatabase(schema)
+        db.insert("brother", {"brothers": ["P1", "P2"]})
+        store = facts_from_database(db)
+        values = {v for _, v in store.facts("att$brother$brothers")}
+        assert values == {"P1", "P2"}
+
+    def test_subclass_instances_appear_in_ancestor_extensions(self):
+        from repro.logic import facts_from_database, inst_predicate
+        from repro.model import ClassDef, ObjectDatabase, Schema
+
+        schema = Schema("S")
+        schema.add_class(ClassDef("person").attr("name"))
+        schema.add_class(ClassDef("student", parents=["person"]))
+        db = ObjectDatabase(schema)
+        db.insert("student", {"name": "Bob"})
+        store = facts_from_database(db)
+        assert len(store.facts(inst_predicate("person"))) == 1
+        assert len(store.facts("att$person$name")) == 1
+
+    def test_is_a_facts_emitted(self):
+        from repro.logic import facts_from_database
+        from repro.model import ClassDef, ObjectDatabase, Schema
+
+        schema = Schema("S")
+        schema.add_class(ClassDef("a"))
+        schema.add_class(ClassDef("b", parents=["a"]))
+        store = facts_from_database(ObjectDatabase(schema))
+        assert ("b", "a") in store.facts("is_a")

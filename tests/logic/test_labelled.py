@@ -1,0 +1,115 @@
+"""Appendix B: schema-labelled predicates and top-down evaluation."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.logic import (
+    Atom,
+    Comparison,
+    LabelledProgram,
+    Literal,
+    negated,
+    source_from_facts,
+)
+from repro.logic.rules import DatalogRule
+
+
+def dl(head, *body) -> DatalogRule:
+    return DatalogRule(head, tuple(body))
+
+
+@pytest.fixture
+def appendix_b_program() -> LabelledProgram:
+    """The exact Appendix B setting: mother/father in S1, parent/brother
+    and the uncle rule over S2."""
+    s1 = source_from_facts(
+        "S1",
+        {
+            "mother": [("John", "Mary")],
+            "father": [("Ann", "Carl")],
+        },
+    )
+    s2 = source_from_facts(
+        "S2",
+        {
+            "parent": [("Zoe", "Pam")],
+            "brother": [("Mary", "Bill"), ("Pam", "Ugo")],
+        },
+    )
+    rules = [
+        dl(Atom.of("parent", "?x", "?y"), Literal(Atom.of("mother", "?x", "?y"))),
+        dl(Atom.of("parent", "?x", "?y"), Literal(Atom.of("father", "?x", "?y"))),
+        dl(
+            Atom.of("uncle", "?x", "?y"),
+            Literal(Atom.of("parent", "?x", "?z")),
+            Literal(Atom.of("brother", "?z", "?y")),
+        ),
+    ]
+    return LabelledProgram(rules, [s1, s2])
+
+
+class TestLabels:
+    def test_head_labels_are_source_schemas(self, appendix_b_program):
+        assert appendix_b_program.head_label("parent") == {"S2"}
+        assert appendix_b_program.head_label("mother") == {"S1"}
+        assert appendix_b_program.head_label("uncle") == frozenset()
+
+    def test_body_labels_are_rule_sets(self, appendix_b_program):
+        assert len(appendix_b_program.body_label("parent")) == 2
+        assert len(appendix_b_program.body_label("brother")) == 0
+
+
+class TestEvaluation:
+    def test_uncle_query_unions_local_and_derived(self, appendix_b_program):
+        rows = appendix_b_program.evaluation(Atom.of("uncle", "?x", "?y"))
+        assert {(r["x"], r["y"]) for r in rows} == {("John", "Bill"), ("Zoe", "Ugo")}
+
+    def test_constants_select(self, appendix_b_program):
+        rows = appendix_b_program.evaluation(Atom.of("uncle", "John", "?y"))
+        assert rows == [{"y": "Bill"}]
+
+    def test_parent_unions_rule_results_with_local_facts(self, appendix_b_program):
+        rows = appendix_b_program.evaluation(Atom.of("parent", "?x", "?y"))
+        pairs = {(r["x"], r["y"]) for r in rows}
+        assert pairs == {("John", "Mary"), ("Ann", "Carl"), ("Zoe", "Pam")}
+
+    def test_unknown_predicate_rejected(self, appendix_b_program):
+        with pytest.raises(EvaluationError, match="unknown predicate"):
+            appendix_b_program.evaluation(Atom.of("cousin", "?x", "?y"))
+
+    def test_recursion_detected(self):
+        source = source_from_facts("S", {"edge": [(1, 2)]})
+        rules = [
+            dl(Atom.of("path", "?x", "?y"), Literal(Atom.of("edge", "?x", "?y"))),
+            dl(
+                Atom.of("path", "?x", "?z"),
+                Literal(Atom.of("path", "?x", "?y")),
+                Literal(Atom.of("edge", "?y", "?z")),
+            ),
+        ]
+        program = LabelledProgram(rules, [source])
+        with pytest.raises(EvaluationError, match="recursive"):
+            program.evaluation(Atom.of("path", "?x", "?y"))
+
+    def test_negation_and_comparison_in_bodies(self):
+        source = source_from_facts(
+            "S", {"num": [(1,), (5,)], "blocked": [(5,)]}
+        )
+        rules = [
+            dl(
+                Atom.of("ok", "?x"),
+                Literal(Atom.of("num", "?x")),
+                Literal(Comparison.of("?x", ">", 0)),
+                negated(Atom.of("blocked", "?x")),
+            )
+        ]
+        program = LabelledProgram(rules, [source])
+        assert program.evaluation(Atom.of("ok", "?x")) == [{"x": 1}]
+
+    def test_autonomy_only_fetches_extensions(self, appendix_b_program):
+        """The FSM side never pushes work down: sources only serve
+        single-concept fetches (counted)."""
+        s1 = appendix_b_program._sources[0]
+        before = s1.fetch_count
+        appendix_b_program.evaluation(Atom.of("uncle", "?x", "?y"))
+        assert s1.fetch_count > before  # fetched, but only via fetch()

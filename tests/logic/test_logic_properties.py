@@ -1,0 +1,146 @@
+"""Property-based tests on logic-layer invariants (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (
+    Atom,
+    Constant,
+    FactStore,
+    Literal,
+    ReverseSubstitution,
+    Substitution,
+    Variable,
+    evaluate,
+    unify_atoms,
+)
+from repro.logic.rules import DatalogRule
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+values = st.one_of(st.integers(-50, 50), names)
+terms = st.one_of(
+    names.map(Variable),
+    values.map(Constant),
+)
+
+
+@given(st.dictionaries(names.map(Variable), values.map(Constant), max_size=5), terms)
+def test_substitution_apply_is_idempotent(bindings, term):
+    substitution = Substitution(bindings)
+    once = substitution.apply(term)
+    assert substitution.apply(once) == once
+
+
+@given(
+    st.dictionaries(names.map(Variable), values.map(Constant), max_size=4),
+    st.dictionaries(names.map(Variable), values.map(Constant), max_size=4),
+    terms,
+)
+def test_substitution_compose_semantics(left_bindings, right_bindings, term):
+    left = Substitution(left_bindings)
+    right = Substitution(right_bindings)
+    composed = left.compose(right)
+    assert composed.apply(term) == right.apply(left.apply(term))
+
+
+@st.composite
+def ground_atoms(draw):
+    predicate = draw(names)
+    arity = draw(st.integers(1, 3))
+    return Atom(predicate, tuple(Constant(draw(values)) for _ in range(arity)))
+
+
+@given(ground_atoms())
+def test_unify_atom_with_itself_is_identity(atom):
+    result = unify_atoms(atom, atom)
+    assert result is not None
+    assert len(result) == 0
+
+
+@given(ground_atoms(), st.data())
+def test_unify_pattern_against_fact_substitutes_back(fact, data):
+    # Generalize the fact by replacing some args with fresh variables.
+    args = []
+    for index, arg in enumerate(fact.args):
+        if data.draw(st.booleans()):
+            args.append(Variable(f"v{index}"))
+        else:
+            args.append(arg)
+    pattern = Atom(fact.predicate, tuple(args))
+    substitution = unify_atoms(pattern, fact)
+    assert substitution is not None
+    assert pattern.substitute(substitution) == fact
+
+
+@given(
+    st.dictionaries(
+        st.one_of(values.map(Constant), names.map(Variable)),
+        names.map(Variable),
+        max_size=5,
+    )
+)
+def test_reverse_substitution_application_total(bindings):
+    reverse = ReverseSubstitution(bindings)
+    for key in bindings:
+        assert reverse.replace(key) == bindings[key]
+    assert reverse.replace(Constant("__untouched__")) == Constant("__untouched__")
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)), min_size=1, max_size=30)
+)
+@settings(max_examples=40, deadline=None)
+def test_transitive_closure_matches_reference(edges):
+    """Engine-computed closure equals a reference Floyd-Warshall-ish set."""
+    store = FactStore()
+    for a, b in edges:
+        store.add("edge", (a, b))
+    rules = [
+        DatalogRule(Atom.of("path", "?x", "?y"), (Literal(Atom.of("edge", "?x", "?y")),)),
+        DatalogRule(
+            Atom.of("path", "?x", "?z"),
+            (
+                Literal(Atom.of("path", "?x", "?y")),
+                Literal(Atom.of("edge", "?y", "?z")),
+            ),
+        ),
+    ]
+    derived = evaluate(rules, store).facts("path")
+
+    reference = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for a, b in list(reference):
+            for c, d in edges:
+                if b == c and (a, d) not in reference:
+                    reference.add((a, d))
+                    changed = True
+    assert derived == reference
+
+
+@given(st.lists(st.tuples(names, st.integers(0, 20)), min_size=1, max_size=25))
+@settings(max_examples=40)
+def test_negation_partitions_the_domain(pairs):
+    """plain(x) and special(x) partition all(x) under stratified ¬."""
+    store = FactStore()
+    special_cutoff = 10
+    for name, number in pairs:
+        store.add("all", (name, number))
+        if number >= special_cutoff:
+            store.add("special", (name, number))
+    rules = [
+        DatalogRule(
+            Atom.of("plain", "?x", "?n"),
+            (
+                Literal(Atom.of("all", "?x", "?n")),
+                Literal(Atom.of("special", "?x", "?n"), positive=False),
+            ),
+        )
+    ]
+    result = evaluate(rules, store)
+    plain = result.facts("plain")
+    special = result.facts("special")
+    assert plain | special == result.facts("all")
+    assert not plain & special

@@ -1,0 +1,140 @@
+"""O-terms, typing O-terms and rule compilation (§2, §5)."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import (
+    Atom,
+    BodyItem,
+    Comparison,
+    Constant,
+    OTerm,
+    Rule,
+    TypingOTerm,
+    Variable,
+    att_predicate,
+    inst_predicate,
+    parse_predicate,
+)
+from repro.logic.atoms import Skolem
+
+
+class TestOTerm:
+    def test_paper_empl_dept_oterm(self):
+        # <o1: Empl | e_name: x, work_in: o2>
+        oterm = OTerm.of("?o1", "Empl", {"e_name": "?x", "work_in": "?o2"})
+        assert str(oterm) == "<o1: Empl | e_name: x, work_in: o2>"
+
+    def test_duplicate_descriptor_rejected(self):
+        with pytest.raises(LogicError, match="twice"):
+            OTerm(Variable("o"), "C", (("a", Constant(1)), ("a", Constant(2))))
+
+    def test_membership_only(self):
+        assert OTerm.of("?x", "C").is_membership_only()
+        assert not OTerm.of("?x", "C", {"a": 1}).is_membership_only()
+
+    def test_schematic_detection(self):
+        assert OTerm.of("?x", Variable("cls")).is_schematic()
+        assert OTerm(Variable("x"), "C", ((Variable("attr"), Constant(1)),)).is_schematic()
+        assert not OTerm.of("?x", "C", {"a": 1}).is_schematic()
+
+    def test_compile_produces_inst_and_att_atoms(self):
+        oterm = OTerm.of("?o", "Empl", {"e_name": "?x"})
+        atoms = oterm.compile()
+        assert atoms[0] == Atom(inst_predicate("Empl"), (Variable("o"),))
+        assert atoms[1] == Atom(
+            att_predicate("Empl", "e_name"), (Variable("o"), Variable("x"))
+        )
+
+    def test_compile_schematic_refused(self):
+        with pytest.raises(LogicError, match="schematic"):
+            OTerm.of("?x", Variable("cls")).compile()
+
+    def test_compile_negated_membership_only(self):
+        [literal] = OTerm.of("?x", "C").compile_negated()
+        assert not literal.positive
+        with pytest.raises(LogicError):
+            OTerm.of("?x", "C", {"a": 1}).compile_negated()
+
+    def test_predicate_name_roundtrip(self):
+        assert parse_predicate(inst_predicate("C")) == ("C", None)
+        assert parse_predicate(att_predicate("C", "a")) == ("C", "a")
+        assert parse_predicate("plain") is None
+
+    def test_with_binding_replaces(self):
+        oterm = OTerm.of("?x", "C", {"a": 1})
+        updated = oterm.with_binding("a", Constant(2))
+        assert updated.binding("a") == Constant(2)
+
+
+class TestTypingOTerm:
+    def test_compiles_to_is_a_atom(self):
+        atom = TypingOTerm("student", "person").compile()
+        assert atom == Atom.of("is_a", "student", "person")
+
+    def test_str_matches_paper(self):
+        assert str(TypingOTerm("student", "person")) == "<student: person>"
+
+
+class TestRuleCompile:
+    def test_department_manager_rule_compiles(self):
+        # <o1: Empl | work_in: o2> ⇐ <o2: Dept | manager: o1>
+        head = OTerm.of("?o1", "Empl", {"work_in": "?o2"})
+        body = OTerm.of("?o2", "Dept", {"manager": "?o1"})
+        compiled = Rule.of(head, [body]).compile()
+        # inst head + att head, same 2-literal body each.
+        assert len(compiled) == 2
+        assert all(len(rule.body) == 2 for rule in compiled)
+
+    def test_conjunctive_head_splits(self):
+        rule = Rule.of(
+            [Atom.of("p", "?x"), Atom.of("q", "?x")], [Atom.of("r", "?x")]
+        )
+        assert [r.head.predicate for r in rule.compile()] == ["p", "q"]
+
+    def test_comparison_head_rejected(self):
+        with pytest.raises(LogicError):
+            Rule.of(Comparison.of("?x", "=", 1), [])
+
+    def test_virtual_head_object_is_skolemized(self):
+        # The uncle rule: o1 appears only in the head.
+        head = OTerm.of("?o1", "uncle", {"Ussn#": "?x1"})
+        body = OTerm.of("?o2", "brother", {"Bssn#": "?x1"})
+        compiled = Rule.of(head, [body]).compile()
+        skolems = [
+            literal
+            for rule in compiled
+            for literal in rule.body
+            if isinstance(literal.atom, Skolem)
+        ]
+        assert skolems, "expected a skolem literal for the virtual o1"
+        assert skolems[0].atom.result == Variable("o1")
+
+    def test_bound_head_object_not_skolemized(self):
+        head = OTerm.of("?o", "C", {"a": "?x"})
+        body = OTerm.of("?o", "D", {"b": "?x"})
+        compiled = Rule.of(head, [body]).compile()
+        assert not any(
+            isinstance(literal.atom, Skolem)
+            for rule in compiled
+            for literal in rule.body
+        )
+
+    def test_negated_body_oterm_compiles_to_negated_membership(self):
+        rule = Rule.of(
+            OTerm.of("?x", "A_only"),
+            [BodyItem(OTerm.of("?x", "A")), BodyItem(OTerm.of("?x", "AB"), False)],
+        )
+        [compiled] = rule.compile()
+        negatives = [l for l in compiled.body if not l.positive]
+        assert len(negatives) == 1
+        assert negatives[0].atom.predicate == inst_predicate("AB")
+
+    def test_rule_str_uses_paper_arrow(self):
+        rule = Rule.of(Atom.of("p", "?x"), [Atom.of("q", "?x")])
+        assert "⇐" in str(rule)
+
+    def test_fact_rule(self):
+        rule = Rule.of(Atom.of("p", 1), [])
+        assert rule.is_fact()
+        assert str(rule).endswith(".")

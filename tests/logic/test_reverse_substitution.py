@@ -1,0 +1,89 @@
+"""Reverse substitutions — Definitions 5.1, 5.2, 5.3 verbatim."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import (
+    Constant,
+    OTerm,
+    ReverseSubstitution,
+    Variable,
+    compose_all,
+)
+
+
+class TestDefinition51:
+    def test_keys_may_be_constants_or_variables(self):
+        theta = ReverseSubstitution.of(("z", "x1"), (Variable("w"), "x1"))
+        assert len(theta) == 2
+
+    def test_keys_must_be_distinct(self):
+        with pytest.raises(LogicError, match="duplicate"):
+            ReverseSubstitution.of(("z", "x1"), ("z", "x2"))
+
+    def test_values_must_be_variables(self):
+        with pytest.raises(LogicError):
+            ReverseSubstitution({Constant("c"): Constant("d")})
+
+
+class TestDefinition52:
+    def test_replaces_each_occurrence_simultaneously(self):
+        theta = ReverseSubstitution.of((Variable("x"), "x2"), (Variable("y"), "x3"))
+        terms = (Variable("x"), Variable("y"), Variable("x"), Constant("k"))
+        assert theta.apply_terms(terms) == (
+            Variable("x2"),
+            Variable("x3"),
+            Variable("x2"),
+            Constant("k"),
+        )
+
+    def test_paper_example_uncle_oterm(self):
+        # B = <o1: IS(S2.uncle) | Ussn#: x, niece_nephew: y>, θ = {x/x2, y/x3}
+        b = OTerm.of("?o1", "IS(S2.uncle)", {"Ussn#": "?x", "niece_nephew": "?y"})
+        theta = ReverseSubstitution.of((Variable("x"), "x2"), (Variable("y"), "x3"))
+        result = b.apply_reverse(theta)
+        assert result.binding("Ussn#") == Variable("x2")
+        assert result.binding("niece_nephew") == Variable("x3")
+
+    def test_constants_replaced_too(self):
+        theta = ReverseSubstitution.of(("car-name", "y3"))
+        assert theta.replace(Constant("car-name")) == Variable("y3")
+        assert theta.replace(Constant("other")) == Constant("other")
+
+
+class TestDefinition53:
+    def test_composition_rewrites_right_sides(self):
+        # θ = {c/x}, δ = {x/y}  →  θδ = {c/y, x/y}
+        theta = ReverseSubstitution.of(("c", "x"))
+        delta = ReverseSubstitution.of((Variable("x"), "y"))
+        composed = theta.compose(delta)
+        assert composed.replace(Constant("c")) == Variable("y")
+        assert composed.replace(Variable("x")) == Variable("y")
+
+    def test_identity_bindings_deleted(self):
+        # θ = {x/y}, δ = {y/x}: binding x/x (from xδ) must be deleted.
+        theta = ReverseSubstitution.of((Variable("x"), "y"))
+        delta = ReverseSubstitution.of((Variable("y"), "x"))
+        composed = theta.compose(delta)
+        assert Variable("x") not in composed
+        # δ's own binding y/x survives (y ∉ dom θ keys? y IS a key of δ
+        # and not among θ's keys {x}), so it is kept.
+        assert composed.replace(Variable("y")) == Variable("x")
+
+    def test_right_bindings_shadowed_by_left_keys_deleted(self):
+        # dj/yj with dj ∈ {c1..cn} is deleted.
+        theta = ReverseSubstitution.of(("c", "x"))
+        delta = ReverseSubstitution.of(("c", "z"), ("d", "w"))
+        composed = theta.compose(delta)
+        assert composed.replace(Constant("c")) == Variable("x")
+        assert composed.replace(Constant("d")) == Variable("w")
+
+    def test_compose_all_disjoint_components(self):
+        # The three θs of Example 9 are disjoint; composition is their union.
+        theta1 = ReverseSubstitution.of(("z", "x1"), (Variable("w"), "x1"))
+        theta2 = ReverseSubstitution.of((Variable("v"), "x2"), (Variable("x"), "x2"))
+        theta3 = ReverseSubstitution.of((Variable("u"), "x3"), (Variable("y"), "x3"))
+        composed = compose_all([theta1, theta2, theta3])
+        assert len(composed) == 6
+        assert composed.replace(Variable("v")) == Variable("x2")
+        assert composed.replace(Constant("z")) == Variable("x1")

@@ -1,0 +1,103 @@
+"""Safety / range restriction / allowedness of rules (§5, ref [8])."""
+
+import pytest
+
+from repro.errors import SafetyError
+from repro.logic import (
+    Atom,
+    Comparison,
+    Literal,
+    Rule,
+    check_rule,
+    is_safe,
+    negated,
+    violations,
+)
+from repro.logic.rules import DatalogRule
+
+
+def dl(head, *body) -> DatalogRule:
+    return DatalogRule(head, tuple(body))
+
+
+class TestRangeRestriction:
+    def test_safe_rule_passes(self):
+        rule = dl(Atom.of("p", "?x"), Literal(Atom.of("q", "?x")))
+        assert is_safe(rule)
+
+    def test_unbound_head_variable_detected(self):
+        rule = dl(Atom.of("p", "?x", "?y"), Literal(Atom.of("q", "?x")))
+        problems = violations(rule)
+        assert any("y" in p for p in problems)
+
+    def test_check_rule_raises(self):
+        rule = dl(Atom.of("p", "?y"), Literal(Atom.of("q", "?x")))
+        with pytest.raises(SafetyError):
+            check_rule(rule)
+
+    def test_equality_comparison_grounds_a_variable(self):
+        # p(y) ⇐ q(x), y = x   — y limited through the equality.
+        rule = dl(
+            Atom.of("p", "?y"),
+            Literal(Atom.of("q", "?x")),
+            Literal(Comparison.of("?y", "=", "?x")),
+        )
+        assert is_safe(rule)
+
+    def test_equality_to_constant_grounds(self):
+        rule = dl(Atom.of("p", "?y"), Literal(Comparison.of("?y", "=", 3)))
+        assert is_safe(rule)
+
+    def test_equality_chain_propagates(self):
+        rule = dl(
+            Atom.of("p", "?z"),
+            Literal(Atom.of("q", "?x")),
+            Literal(Comparison.of("?y", "=", "?x")),
+            Literal(Comparison.of("?z", "=", "?y")),
+        )
+        assert is_safe(rule)
+
+    def test_inequality_cannot_ground(self):
+        rule = dl(Atom.of("p", "?y"), Literal(Comparison.of("?y", "<", 3)))
+        assert not is_safe(rule)
+
+
+class TestAllowedness:
+    def test_negative_literal_with_unlimited_variable_detected(self):
+        rule = dl(
+            Atom.of("p", "?x"),
+            Literal(Atom.of("q", "?x")),
+            negated(Atom.of("r", "?z")),
+        )
+        problems = violations(rule)
+        assert any("z" in p for p in problems)
+
+    def test_negative_literal_over_limited_variables_allowed(self):
+        rule = dl(
+            Atom.of("p", "?x"),
+            Literal(Atom.of("q", "?x")),
+            negated(Atom.of("r", "?x")),
+        )
+        assert is_safe(rule)
+
+
+class TestGeneratedRules:
+    def test_principle3_rules_are_safe(self):
+        from repro.logic import BodyItem, OTerm, check_all
+
+        rule = Rule.of(
+            OTerm.of("?x", "IS_AB"),
+            [
+                BodyItem(OTerm.of("?x", "A")),
+                BodyItem(OTerm.of("?y", "B")),
+                BodyItem(Atom.of("same_object", "?x", "?y")),
+            ],
+        )
+        assert check_all([rule]) == []
+
+    def test_skolemized_derivation_rule_is_safe(self):
+        from repro.logic import OTerm, check_all
+
+        head = OTerm.of("?o1", "uncle", {"Ussn#": "?x1"})
+        body = OTerm.of("?o3", "brother", {"Bssn#": "?x1"})
+        assert check_all([Rule.of(head, [body])]) == []

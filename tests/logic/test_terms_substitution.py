@@ -1,0 +1,105 @@
+"""Terms, forward substitutions and unification."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import (
+    Atom,
+    Constant,
+    EMPTY,
+    Substitution,
+    Variable,
+    VariableFactory,
+    make_term,
+    unify_atoms,
+    unify_terms,
+)
+
+
+class TestTerms:
+    def test_make_term_lifts_question_mark_strings(self):
+        assert make_term("?x") == Variable("x")
+
+    def test_make_term_wraps_plain_values(self):
+        assert make_term("John") == Constant("John")
+        assert make_term(42) == Constant(42)
+
+    def test_make_term_passes_terms_through(self):
+        v = Variable("x")
+        assert make_term(v) is v
+
+    def test_bare_question_mark_is_a_constant(self):
+        assert make_term("?") == Constant("?")
+
+    def test_constant_requires_hashable(self):
+        with pytest.raises(LogicError):
+            Constant(["unhashable"])
+
+    def test_variable_factory_is_fresh(self):
+        factory = VariableFactory()
+        assert factory.fresh() != factory.fresh()
+
+    def test_variable_factory_named_hint(self):
+        factory = VariableFactory()
+        assert factory.fresh_named("ssn").name.startswith("ssn_")
+
+
+class TestSubstitution:
+    def test_apply_follows_chains(self):
+        s = Substitution({Variable("x"): Variable("y"), Variable("y"): Constant(1)})
+        assert s.apply(Variable("x")) == Constant(1)
+
+    def test_bind_consistent_extension(self):
+        s = EMPTY.bind(Variable("x"), Constant(1))
+        assert s is not None
+        assert s.apply(Variable("x")) == Constant(1)
+
+    def test_bind_conflict_returns_none(self):
+        s = EMPTY.bind(Variable("x"), Constant(1))
+        assert s.bind(Variable("x"), Constant(2)) is None
+
+    def test_bind_same_value_is_noop(self):
+        s = EMPTY.bind(Variable("x"), Constant(1))
+        assert s.bind(Variable("x"), Constant(1)) is s
+
+    def test_bind_variable_to_variable_then_ground(self):
+        s = EMPTY.bind(Variable("x"), Variable("y"))
+        s = s.bind(Variable("y"), Constant(3))
+        assert s.apply(Variable("x")) == Constant(3)
+
+    def test_compose_applies_left_then_right(self):
+        left = Substitution({Variable("x"): Variable("y")})
+        right = Substitution({Variable("y"): Constant(7)})
+        composed = left.compose(right)
+        assert composed.apply(Variable("x")) == Constant(7)
+
+    def test_identity_bindings_dropped(self):
+        s = Substitution({Variable("x"): Variable("x")})
+        assert len(s) == 0
+
+
+class TestUnify:
+    def test_unify_variable_with_constant(self):
+        s = unify_terms(Variable("x"), Constant(5))
+        assert s.apply(Variable("x")) == Constant(5)
+
+    def test_unify_two_constants_fails_when_distinct(self):
+        assert unify_terms(Constant(1), Constant(2)) is None
+
+    def test_unify_atoms_matches_paper_predicates(self):
+        pattern = Atom.of("uncle", "?x", "?z")
+        fact = Atom.of("uncle", "John", "Bill")
+        s = unify_atoms(pattern, fact)
+        assert s.apply(Variable("x")) == Constant("John")
+        assert s.apply(Variable("z")) == Constant("Bill")
+
+    def test_unify_atoms_rejects_different_predicates(self):
+        assert unify_atoms(Atom.of("p", "?x"), Atom.of("q", "?x")) is None
+
+    def test_unify_atoms_rejects_different_arity(self):
+        assert unify_atoms(Atom.of("p", "?x"), Atom.of("p", "?x", "?y")) is None
+
+    def test_shared_variables_must_agree(self):
+        pattern = Atom.of("p", "?x", "?x")
+        assert unify_atoms(pattern, Atom.of("p", 1, 2)) is None
+        assert unify_atoms(pattern, Atom.of("p", 1, 1)) is not None

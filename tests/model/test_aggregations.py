@@ -1,0 +1,59 @@
+"""Cardinality constraints and aggregation declarations (§2, Fig 13)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import AggregationFunction, Cardinality
+from repro.model.aggregations import relaxed
+
+
+class TestCardinalityParse:
+    def test_bracketed_forms(self):
+        assert Cardinality.parse("[1:1]") is Cardinality.ONE_TO_ONE
+        assert Cardinality.parse("[m:n]") is Cardinality.M_TO_N
+
+    def test_brackets_optional(self):
+        assert Cardinality.parse("m:1") is Cardinality.M_TO_ONE
+
+    def test_paper_spelling_aliases(self):
+        # The paper writes both [1:m]/[n:1] and [1:n]/[m:1].
+        assert Cardinality.parse("[1:m]") is Cardinality.ONE_TO_N
+        assert Cardinality.parse("[n:1]") is Cardinality.M_TO_ONE
+        assert Cardinality.parse("[n:m]") is Cardinality.M_TO_N
+
+    def test_mandatory_forms(self):
+        assert Cardinality.parse("[md_n:1]") is Cardinality.MD_N_TO_ONE
+        assert Cardinality.parse("md_1:n") is Cardinality.MD_ONE_TO_N
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ModelError):
+            Cardinality.parse("[x:y:z]")
+        with pytest.raises(ModelError):
+            Cardinality.parse("banana")
+
+
+class TestMandatory:
+    def test_is_mandatory_flag(self):
+        assert Cardinality.MD_N_TO_ONE.is_mandatory
+        assert not Cardinality.M_TO_ONE.is_mandatory
+
+    def test_relaxed_drops_mandatory_marker(self):
+        assert relaxed(Cardinality.MD_N_TO_ONE) is Cardinality.M_TO_ONE
+        assert relaxed(Cardinality.MD_ONE_TO_ONE) is Cardinality.ONE_TO_ONE
+
+    def test_relaxed_is_identity_on_plain_constraints(self):
+        assert relaxed(Cardinality.ONE_TO_N) is Cardinality.ONE_TO_N
+
+
+class TestAggregationFunction:
+    def test_defaults_to_loosest_constraint(self):
+        agg = AggregationFunction("f", "C")
+        assert agg.cardinality is Cardinality.M_TO_N
+
+    def test_str_matches_paper_layout(self):
+        agg = AggregationFunction("Published_in", "Proceedings", Cardinality.M_TO_ONE)
+        assert str(agg) == "Published_in: Proceedings with [m:1]"
+
+    def test_requires_range_class(self):
+        with pytest.raises(ModelError):
+            AggregationFunction("f", "")

@@ -1,0 +1,101 @@
+"""ClassDef: member namespaces, fluent builders, type signatures (§2)."""
+
+import pytest
+
+from repro.errors import DuplicateDefinitionError, ModelError, UnknownAttributeError
+from repro.model import (
+    AggregationFunction,
+    Attribute,
+    Cardinality,
+    ClassDef,
+    ClassType,
+    DataType,
+)
+
+
+def article_class() -> ClassDef:
+    """The paper's §2 example: Article with Published_in [m:1]."""
+    return (
+        ClassDef("Article")
+        .attr("title")
+        .attr("author_name")
+        .agg("Published_in", "Proceedings", "[m:1]")
+    )
+
+
+class TestConstruction:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            ClassDef("")
+
+    def test_attr_shorthand_parses_primitive_names(self):
+        class_def = ClassDef("C").attr("age", "integer")
+        assert class_def.attribute("age").value_type is DataType.INTEGER
+
+    def test_attr_shorthand_wraps_class_names(self):
+        class_def = ClassDef("Book").attr("author", "Person")
+        assert class_def.attribute("author").value_type == ClassType("Person")
+
+    def test_agg_shorthand_parses_cardinality(self):
+        class_def = article_class()
+        agg = class_def.aggregation("Published_in")
+        assert agg.range_class == "Proceedings"
+        assert agg.cardinality is Cardinality.M_TO_ONE
+
+    def test_attribute_and_aggregation_share_one_namespace(self):
+        class_def = ClassDef("C").attr("x")
+        with pytest.raises(DuplicateDefinitionError):
+            class_def.agg("x", "D")
+
+    def test_duplicate_attribute_rejected(self):
+        class_def = ClassDef("C").attr("x")
+        with pytest.raises(DuplicateDefinitionError):
+            class_def.attr("x")
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(ModelError):
+            ClassDef("C", parents=["C"])
+
+    def test_add_parent_is_idempotent(self):
+        class_def = ClassDef("C").add_parent("P").add_parent("P")
+        assert class_def.parents == ["P"]
+
+
+class TestLookup:
+    def test_member_finds_both_kinds(self):
+        class_def = article_class()
+        assert isinstance(class_def.member("title"), Attribute)
+        assert isinstance(class_def.member("Published_in"), AggregationFunction)
+
+    def test_unknown_member_raises_with_class_name(self):
+        with pytest.raises(UnknownAttributeError, match="Article"):
+            article_class().member("nope")
+
+    def test_iteration_order_attributes_then_aggregations(self):
+        names = [member.name for member in article_class()]
+        assert names == ["title", "author_name", "Published_in"]
+
+    def test_has_member(self):
+        class_def = article_class()
+        assert class_def.has_member("title")
+        assert class_def.has_member("Published_in")
+        assert not class_def.has_member("zzz")
+
+
+class TestPresentation:
+    def test_type_signature_matches_paper_layout(self):
+        text = article_class().type_signature()
+        assert text.startswith("type(Article) = <")
+        assert "Published_in: Proceedings with [m:1]" in text
+
+    def test_copy_preserves_members_under_new_name(self):
+        original = article_class()
+        clone = original.copy("Paper")
+        assert clone.name == "Paper"
+        assert clone.attribute_names == original.attribute_names
+        assert clone.aggregation_names == original.aggregation_names
+
+    def test_equality_ignores_parent_order(self):
+        a = ClassDef("C", parents=["P", "Q"]).attr("x")
+        b = ClassDef("C", parents=["Q", "P"]).attr("x")
+        assert a == b

@@ -1,0 +1,78 @@
+"""Property-based tests on the object-model invariants (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.model import OID, ClassDef, Schema, build_hierarchy
+
+component = st.text(
+    alphabet=string.ascii_lowercase + string.digits + "_-",
+    min_size=1,
+    max_size=12,
+).filter(lambda s: "." not in s)
+
+
+@given(component, component, component, component, st.integers(0, 10**9))
+def test_oid_string_roundtrip(agent, system, database, relation, number):
+    oid = OID(agent, system, database, relation, number)
+    assert OID.parse(str(oid)) == oid
+
+
+@st.composite
+def tree_edges(draw):
+    """A random is-a forest as (child, parent) edges over c0..cN."""
+    size = draw(st.integers(min_value=2, max_value=25))
+    edges = []
+    for index in range(1, size):
+        parent = draw(st.integers(min_value=0, max_value=index - 1))
+        edges.append((f"c{index}", f"c{parent}"))
+    return edges
+
+
+@given(tree_edges())
+@settings(max_examples=50)
+def test_ancestor_descendant_duality(edges):
+    schema = build_hierarchy("S", edges)
+    for class_name in schema.class_names:
+        for ancestor in schema.ancestors(class_name):
+            assert class_name in schema.descendants(ancestor)
+
+
+@given(tree_edges())
+@settings(max_examples=50)
+def test_bfs_order_visits_every_class_once_parents_first(edges):
+    schema = build_hierarchy("S", edges)
+    order = schema.bfs_order()
+    assert sorted(order) == sorted(schema.class_names)
+    position = {name: index for index, name in enumerate(order)}
+    for child, parent in schema.is_a_links():
+        assert position[parent] < position[child]
+
+
+@given(tree_edges())
+@settings(max_examples=50)
+def test_is_a_path_endpoints_and_links(edges):
+    schema = build_hierarchy("S", edges)
+    for class_name in schema.class_names:
+        for ancestor in schema.ancestors(class_name):
+            path = schema.is_a_path(class_name, ancestor)
+            assert path is not None
+            assert path[0] == class_name and path[-1] == ancestor
+            for child, parent in zip(path, path[1:]):
+                assert (child, parent) in schema.is_a_links()
+
+
+@given(st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=8, unique=True))
+def test_effective_class_includes_all_inherited_members(names):
+    schema = Schema("S")
+    previous = None
+    for name in names:
+        class_def = ClassDef(name).attr(f"attr_{name}")
+        if previous is not None:
+            class_def.add_parent(previous)
+        schema.add_class(class_def)
+        previous = name
+    deepest = schema.effective_class(names[-1])
+    for name in names:
+        assert deepest.has_member(f"attr_{name}")

@@ -1,0 +1,69 @@
+"""OIDs: the §3 federation-wide identifier scheme."""
+
+import pytest
+
+from repro.errors import OIDError
+from repro.model import OID, OIDGenerator
+
+
+class TestOID:
+    def test_string_form_matches_paper_example(self):
+        oid = OID("FSMagent1", "informix", "PatientDB", "patient-records", 5)
+        assert str(oid) == "FSMagent1.informix.PatientDB.patient-records.5"
+
+    def test_roundtrip_parse(self):
+        oid = OID("a", "sys", "db", "rel", 42)
+        assert OID.parse(str(oid)) == oid
+
+    def test_parse_rejects_wrong_arity(self):
+        with pytest.raises(OIDError, match="5 dotted components"):
+            OID.parse("a.b.c.4")
+
+    def test_parse_rejects_non_integer_number(self):
+        with pytest.raises(OIDError, match="integer"):
+            OID.parse("a.b.c.d.x")
+
+    def test_components_may_not_contain_separator(self):
+        with pytest.raises(OIDError, match="may not contain"):
+            OID("a.b", "sys", "db", "rel", 1)
+
+    def test_negative_number_rejected(self):
+        with pytest.raises(OIDError):
+            OID("a", "s", "d", "r", -1)
+
+    def test_attribute_ref_replaces_number_with_attribute(self):
+        oid = OID("agent1", "informix", "PatientDB", "patient-records", 5)
+        assert (
+            oid.attribute_ref("name")
+            == "agent1.informix.PatientDB.patient-records.name"
+        )
+
+    def test_same_source(self):
+        a = OID("x", "s", "d", "r", 1)
+        b = OID("x", "s", "d", "r", 2)
+        c = OID("x", "s", "d", "other", 1)
+        assert a.same_source(b)
+        assert not a.same_source(c)
+
+    def test_ordering_is_stable(self):
+        a = OID("x", "s", "d", "r", 1)
+        b = OID("x", "s", "d", "r", 2)
+        assert a < b
+
+
+class TestGenerator:
+    def test_numbers_start_at_one_per_relation(self):
+        generator = OIDGenerator("a", "s", "d")
+        assert generator.next_oid("r").number == 1
+        assert generator.next_oid("r").number == 2
+        assert generator.next_oid("other").number == 1
+
+    def test_issued_lists_touched_relations(self):
+        generator = OIDGenerator("a", "s", "d")
+        generator.next_oid("r1")
+        generator.next_oid("r2")
+        assert set(generator.issued()) == {"r1", "r2"}
+
+    def test_generator_validates_components(self):
+        with pytest.raises(OIDError):
+            OIDGenerator("a.b", "s", "d")

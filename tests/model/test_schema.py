@@ -1,0 +1,133 @@
+"""Schema: hierarchy queries, graph view, validation (§2, §6.1)."""
+
+import pytest
+
+from repro.errors import CycleError, DuplicateDefinitionError, UnknownClassError
+from repro.model import ClassDef, Schema, VIRTUAL_ROOT, build_hierarchy
+
+
+@pytest.fixture
+def university() -> Schema:
+    """S2 of Appendix A: human <- employee <- faculty <- professor."""
+    return build_hierarchy(
+        "S2",
+        [
+            ("employee", "human"),
+            ("faculty", "employee"),
+            ("professor", "faculty"),
+        ],
+        extra=["visitor"],
+    )
+
+
+class TestHierarchy:
+    def test_roots_are_parentless_classes(self, university):
+        assert set(university.roots()) == {"human", "visitor"}
+
+    def test_children_of_virtual_root_are_roots(self, university):
+        assert set(university.children(VIRTUAL_ROOT)) == {"human", "visitor"}
+
+    def test_ancestors_are_transitive(self, university):
+        assert university.ancestors("professor") == {"faculty", "employee", "human"}
+
+    def test_descendants_are_transitive(self, university):
+        assert university.descendants("human") == {"employee", "faculty", "professor"}
+
+    def test_is_subclass_reflexive(self, university):
+        assert university.is_subclass("faculty", "faculty")
+
+    def test_is_subclass_transitive(self, university):
+        assert university.is_subclass("professor", "human")
+        assert not university.is_subclass("human", "professor")
+
+    def test_is_a_path_returns_chain(self, university):
+        path = university.is_a_path("professor", "human")
+        assert path == ["professor", "faculty", "employee", "human"]
+
+    def test_is_a_path_none_when_unreachable(self, university):
+        assert university.is_a_path("visitor", "human") is None
+
+    def test_bfs_order_parents_before_children(self, university):
+        order = university.bfs_order()
+        assert order.index("human") < order.index("employee") < order.index("faculty")
+
+
+class TestEffectiveClass:
+    def test_inherited_attributes_are_visible(self):
+        schema = Schema("S")
+        schema.add_class(ClassDef("person").attr("name"))
+        schema.add_class(ClassDef("student", parents=["person"]).attr("gpa"))
+        effective = schema.effective_class("student")
+        assert effective.has_member("name")
+        assert effective.has_member("gpa")
+
+    def test_subclass_declaration_wins_on_clash(self):
+        schema = Schema("S")
+        schema.add_class(ClassDef("person").attr("id", "string"))
+        schema.add_class(ClassDef("student", parents=["person"]).attr("id", "integer"))
+        from repro.model import DataType
+
+        assert (
+            schema.effective_class("student").attribute("id").value_type
+            is DataType.INTEGER
+        )
+
+    def test_diamond_inheritance_merges_once(self):
+        schema = build_hierarchy(
+            "S", [("b", "a"), ("c", "a"), ("d", "b"), ("d", "c")]
+        )
+        schema.cls("a").attr("x")
+        effective = schema.effective_class("d")
+        assert effective.has_member("x")
+
+
+class TestValidation:
+    def test_unknown_parent_rejected(self):
+        schema = Schema("S")
+        schema.add_class(ClassDef("a", parents=["ghost"]))
+        with pytest.raises(UnknownClassError, match="ghost"):
+            schema.validate()
+
+    def test_unknown_aggregation_range_rejected(self):
+        schema = Schema("S")
+        schema.add_class(ClassDef("a").agg("f", "ghost"))
+        with pytest.raises(UnknownClassError, match="ghost"):
+            schema.validate()
+
+    def test_unknown_complex_attribute_type_rejected(self):
+        schema = Schema("S")
+        schema.add_class(ClassDef("a").attr("x", "ghost"))
+        with pytest.raises(UnknownClassError, match="ghost"):
+            schema.validate()
+
+    def test_cycle_detected_and_reported(self):
+        schema = Schema("S")
+        schema.add_class(ClassDef("a", parents=["b"]))
+        schema.add_class(ClassDef("b", parents=["a"]))
+        with pytest.raises(CycleError, match="a|b"):
+            schema.validate()
+
+    def test_duplicate_class_rejected(self):
+        schema = Schema("S")
+        schema.add_class(ClassDef("a"))
+        with pytest.raises(DuplicateDefinitionError):
+            schema.add_class(ClassDef("a"))
+
+
+class TestLinks:
+    def test_is_a_links_enumerated(self, university):
+        assert ("professor", "faculty") in university.is_a_links()
+        assert len(university.is_a_links()) == 3
+
+    def test_aggregation_links_enumerated(self):
+        schema = Schema("S")
+        schema.add_class(ClassDef("Proceedings"))
+        schema.add_class(ClassDef("Article").agg("Published_in", "Proceedings"))
+        assert schema.aggregation_links() == [
+            ("Article", "Published_in", "Proceedings")
+        ]
+
+    def test_describe_mentions_every_class(self, university):
+        text = university.describe()
+        for name in university.class_names:
+            assert name in text

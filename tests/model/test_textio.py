@@ -1,0 +1,109 @@
+"""Schema text format and JSON (de)serialization."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (
+    Cardinality,
+    ClassType,
+    DataType,
+    parse_schema,
+    schema_from_dict,
+    schema_to_dict,
+    schema_to_text,
+)
+from repro.workloads import appendix_a, fig4_suite
+
+SAMPLE = """
+# a sample schema file
+schema S1
+class person
+  attr ssn#: string
+  attr age: integer
+  attr interests: {string}
+class student extends person
+  attr gpa: real
+class proceedings
+  attr year: integer
+class article
+  attr title: string
+  attr meta: proceedings
+  agg Published_in -> proceedings [m:1]
+"""
+
+
+class TestParse:
+    def test_classes_and_inheritance(self):
+        schema = parse_schema(SAMPLE)
+        assert set(schema.class_names) == {
+            "person", "student", "proceedings", "article",
+        }
+        assert schema.parents("student") == ("person",)
+
+    def test_attribute_types(self):
+        schema = parse_schema(SAMPLE)
+        person = schema.cls("person")
+        assert person.attribute("age").value_type is DataType.INTEGER
+        assert person.attribute("interests").multivalued
+
+    def test_complex_attribute(self):
+        schema = parse_schema(SAMPLE)
+        assert schema.cls("article").attribute("meta").value_type == ClassType(
+            "proceedings"
+        )
+
+    def test_aggregation_with_cardinality(self):
+        schema = parse_schema(SAMPLE)
+        agg = schema.cls("article").aggregation("Published_in")
+        assert agg.range_class == "proceedings"
+        assert agg.cardinality is Cardinality.M_TO_ONE
+
+    def test_member_before_class_rejected(self):
+        with pytest.raises(ModelError, match="outside a class"):
+            parse_schema("schema S\nattr x: string")
+
+    def test_missing_schema_header_rejected(self):
+        with pytest.raises(ModelError, match="expected 'schema"):
+            parse_schema("class a")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ModelError, match="empty"):
+            parse_schema("# only comments\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ModelError, match="cannot parse"):
+            parse_schema("schema S\nclass a\n  wibble wobble")
+
+    def test_validation_runs(self):
+        with pytest.raises(Exception):
+            parse_schema("schema S\nclass a extends ghost")
+
+
+class TestRoundTrip:
+    def test_text_roundtrip(self):
+        schema = parse_schema(SAMPLE)
+        again = parse_schema(schema_to_text(schema))
+        assert schema_to_text(again) == schema_to_text(schema)
+
+    @pytest.mark.parametrize("scenario", [appendix_a, fig4_suite])
+    def test_scenarios_roundtrip_via_text(self, scenario):
+        s1, s2, _ = scenario()
+        for schema in (s1, s2):
+            again = parse_schema(schema_to_text(schema))
+            assert set(again.class_names) == set(schema.class_names)
+            assert set(again.is_a_links()) == set(schema.is_a_links())
+
+    def test_json_roundtrip(self):
+        import json
+
+        schema = parse_schema(SAMPLE)
+        payload = json.dumps(schema_to_dict(schema))
+        again = schema_from_dict(json.loads(payload))
+        assert schema_to_text(again) == schema_to_text(schema)
+
+    def test_parse_schema_file(self, tmp_path):
+        from repro.model import parse_schema_file
+
+        path = tmp_path / "s.schema"
+        path.write_text(SAMPLE)
+        assert len(parse_schema_file(str(path))) == 4

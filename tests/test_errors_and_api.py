@@ -1,0 +1,67 @@
+"""The error hierarchy and the top-level public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    def test_every_error_is_a_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_domain_groups(self):
+        assert issubclass(errors.UnknownClassError, errors.ModelError)
+        assert issubclass(errors.SafetyError, errors.LogicError)
+        assert issubclass(errors.AssertionParseError, errors.AssertionSpecError)
+        assert issubclass(errors.DecompositionError, errors.IntegrationError)
+        assert issubclass(errors.MappingError, errors.FederationError)
+
+    def test_one_catch_all(self):
+        from repro.model import Schema
+
+        with pytest.raises(errors.ReproError):
+            Schema("")
+
+    def test_structured_errors_carry_context(self):
+        error = errors.UnknownClassError("ghost", "S1")
+        assert error.class_name == "ghost"
+        assert error.schema_name == "S1"
+        error2 = errors.UnknownAttributeError("x", "C")
+        assert error2.attribute == "x"
+
+
+class TestTopLevelAPI:
+    def test_exports(self):
+        assert set(repro.__all__) == {
+            "FederationSession",
+            "ReproError",
+            "SchemaIntegrator",
+            "__version__",
+        }
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        import repro.assertions
+        import repro.core
+        import repro.federation
+        import repro.integration
+        import repro.logic
+        import repro.model
+        import repro.workloads
+
+    def test_all_lists_resolve(self):
+        import repro.assertions as a
+        import repro.federation as f
+        import repro.integration as i
+        import repro.logic as l
+        import repro.model as m
+
+        for module in (a, f, i, l, m):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,108 @@
+"""Workload generators: determinism and structural guarantees."""
+
+from repro.workloads import (
+    inclusion_chain,
+    match_at_depth,
+    mirrored_pair,
+    populate,
+    random_tree_schema,
+)
+
+
+class TestRandomTree:
+    def test_requested_size(self):
+        schema = random_tree_schema("S", 40)
+        assert len(schema) == 40
+
+    def test_is_a_tree(self):
+        schema = random_tree_schema("S", 40)
+        # every class but the root has exactly one parent
+        assert len(schema.is_a_links()) == 39
+        assert len(schema.roots()) == 1
+
+    def test_deterministic_per_seed(self):
+        a = random_tree_schema("S", 30, seed=5)
+        b = random_tree_schema("S", 30, seed=5)
+        assert a.is_a_links() == b.is_a_links()
+
+    def test_seeds_differ(self):
+        a = random_tree_schema("S", 30, seed=5)
+        b = random_tree_schema("S", 30, seed=6)
+        assert a.is_a_links() != b.is_a_links()
+
+    def test_validates(self):
+        random_tree_schema("S", 25).validate()
+
+
+class TestMirroredPair:
+    def test_structural_mirror(self):
+        left, right, _ = mirrored_pair(30)
+        left_edges = {(c[1:], p[1:]) for c, p in left.is_a_links()}
+        right_edges = {(c[1:], p[1:]) for c, p in right.is_a_links()}
+        assert left_edges == right_edges
+
+    def test_full_equivalence_declares_all_pairs(self):
+        _, _, assertions = mirrored_pair(20, equivalence_fraction=1.0)
+        assert len(assertions) == 20
+
+    def test_fractions_control_mix(self):
+        _, _, assertions = mirrored_pair(
+            200, seed=1,
+            equivalence_fraction=0.5,
+            inclusion_fraction=0.3,
+            intersection_fraction=0.1,
+            exclusion_fraction=0.1,
+        )
+        from repro.assertions import ClassKind
+
+        kinds = [a.kind for a in assertions]
+        assert kinds.count(ClassKind.EQUIVALENCE) > kinds.count(ClassKind.SUBSET)
+        assert kinds.count(ClassKind.SUBSET) > kinds.count(ClassKind.INTERSECTION)
+
+    def test_assertions_validate(self):
+        left, right, assertions = mirrored_pair(
+            25, equivalence_fraction=0.5, inclusion_fraction=0.5
+        )
+        assertions.validate(left, right)
+
+
+class TestInclusionChain:
+    def test_chain_structure(self):
+        left, right, assertions = inclusion_chain(4)
+        assert len(right) == 4
+        assert right.is_subclass("B4", "B1")
+        assert len(assertions) == 4
+
+    def test_single_declaration_variant(self):
+        _, _, assertions = inclusion_chain(4, declare_all=False)
+        assert len(assertions) == 1
+
+
+class TestMatchAtDepth:
+    def test_mirror_hangs_at_requested_depth(self):
+        left, right, assertions = match_at_depth(31, depth=3)
+        # every S1 class has an equivalence into the mirror subtree
+        assert len(assertions) == 31
+        # D0 (the mirror's root) sits below the 3-node filler chain
+        depth = 0
+        node = "D0"
+        while right.parents(node):
+            node = right.parents(node)[0]
+            depth += 1
+        assert depth == 3
+
+    def test_depth_zero_is_plain_mirror(self):
+        left, right, assertions = match_at_depth(15, depth=0)
+        assert len(right) == 15
+        assert not [c for c in right.class_names if c.startswith("F")]
+
+
+class TestPopulate:
+    def test_population_counts(self):
+        schema = random_tree_schema("S", 10)
+        database = populate(schema, per_class=3)
+        assert len(database) == 30
+
+    def test_instances_validate(self):
+        schema = random_tree_schema("S", 6)
+        populate(schema, per_class=2)  # validation on insert
