@@ -1,0 +1,132 @@
+"""Experiment E-R1 — federation runtime latency under injected delay.
+
+A 4-agent federation with 10ms of simulated per-call network latency
+answers the same global query three ways: sequentially with the cache
+off (the pre-runtime behaviour), through the concurrent fan-out, and
+from a warm extent cache.  The fan-out should collapse the 8 serial
+round-trips towards a single one, and the warm run should touch no
+agent at all.
+
+Runs standalone (``python benchmarks/bench_federation_runtime.py``)
+or under pytest; both emit ``BENCH_runtime.json``.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.federation import FSM, FSMAgent
+from repro.runtime import (
+    FaultProfile,
+    FederationRuntime,
+    InProcessTransport,
+    RuntimePolicy,
+    SimulatedNetworkTransport,
+)
+from repro.workloads import federated_cluster
+
+QUERY = "person0() -> ssn#"
+LATENCY = 0.010  # 10ms per agent call
+ROUNDS = 5
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+
+def _cluster_fsm():
+    built, text, databases = federated_cluster(schemas=4, per_class=8)
+    fsm = FSM()
+    for index, schema in enumerate(built):
+        agent = FSMAgent(f"agent{index + 1}")
+        agent.host_object_database(databases[schema.name])
+        fsm.register_agent(agent)
+    fsm.declare(text)
+    fsm.integrate_all()
+    return fsm
+
+
+def _attach(fsm, policy):
+    transport = SimulatedNetworkTransport(
+        InProcessTransport(fsm._agents, fsm._schema_host),
+        FaultProfile(latency=LATENCY),
+    )
+    return fsm.use_runtime(
+        runtime=FederationRuntime(transport=transport, policy=policy)
+    )
+
+
+def _timed_query(fsm):
+    started = time.perf_counter()
+    rows = fsm.query(QUERY)
+    return (time.perf_counter() - started) * 1000.0, rows
+
+
+def _median_cold(policy):
+    """Median cold-query latency (fresh cache each round)."""
+    samples = []
+    for _ in range(ROUNDS):
+        fsm = _cluster_fsm()
+        _attach(fsm, policy)
+        elapsed, rows = _timed_query(fsm)
+        samples.append(elapsed)
+    return statistics.median(samples), len(rows)
+
+
+def run_experiment():
+    sequential_ms, answers = _median_cold(
+        RuntimePolicy.sequential(cache_enabled=False)
+    )
+    concurrent_ms, _ = _median_cold(
+        RuntimePolicy(max_workers=8, cache_enabled=False)
+    )
+
+    fsm = _cluster_fsm()
+    _attach(fsm, RuntimePolicy(max_workers=8))
+    fsm.query(QUERY)  # populate the cache
+    warm_samples = []
+    warm_scans = 0
+    for _ in range(ROUNDS):
+        elapsed, _ = _timed_query(fsm)
+        warm_samples.append(elapsed)
+        warm_scans += fsm.last_query_stats.counter("agent_scans")
+    cached_ms = statistics.median(warm_samples)
+
+    return {
+        "experiment": "E-R1 federation runtime latency",
+        "agents": 4,
+        "injected_latency_ms": LATENCY * 1000.0,
+        "answers": answers,
+        "sequential_cold_ms": round(sequential_ms, 3),
+        "concurrent_cold_ms": round(concurrent_ms, 3),
+        "cached_warm_ms": round(cached_ms, 3),
+        "concurrent_speedup": round(sequential_ms / concurrent_ms, 2),
+        "warm_agent_scans": warm_scans,
+    }
+
+
+def _emit(results):
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_runtime_latency(benchmark, report):
+    """Cold sequential vs cold concurrent vs warm cached latency."""
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    _emit(results)
+    report(
+        "E-R1  federated query latency, 4 agents x 10ms per call",
+        ("mode", "median ms"),
+        [
+            ("sequential cold", results["sequential_cold_ms"]),
+            ("concurrent cold", results["concurrent_cold_ms"]),
+            ("cached warm", results["cached_warm_ms"]),
+            ("speedup", f'{results["concurrent_speedup"]}x'),
+        ],
+    )
+    assert results["concurrent_cold_ms"] < results["sequential_cold_ms"]
+    assert results["warm_agent_scans"] == 0
+
+
+if __name__ == "__main__":
+    emitted = _emit(run_experiment())
+    print(json.dumps(emitted, indent=2))
+    print(f"wrote {OUTPUT}")

@@ -15,6 +15,17 @@ Subcommands:
 ``check LEFT.schema RIGHT.schema ASSERTIONS.dsl``
     Validate schemas and assertions without integrating; exit status 1
     on the first error, with a readable message.
+
+``query "class(attr='v') -> out"``
+    Integrate a federation and run a global query through the federation
+    runtime.  Sources are either ``--demo genealogy|cluster`` (built-in
+    populated scenarios) or ``--schema`` files plus ``--assertions`` and
+    an optional ``--data`` JSON file (``{"S1": {"class": [{...}]}}``).
+    ``--latency MS`` simulates per-call network latency, ``--workers`` /
+    ``--sequential`` size the fan-out pool, ``--repeat N`` re-runs the
+    query (showing the extent cache), ``--appendix-b`` uses the top-down
+    evaluator, and ``--stats`` prints the per-query and cumulative
+    :class:`~repro.runtime.RuntimeStats`.
 """
 
 from __future__ import annotations
@@ -72,6 +83,63 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("left")
     check.add_argument("right")
     check.add_argument("assertions")
+
+    query = commands.add_parser(
+        "query", help="run a federated query through the federation runtime"
+    )
+    query.add_argument("query", help="e.g. \"uncle(niece_nephew='John') -> Ussn#\"")
+    query.add_argument(
+        "--demo",
+        choices=("genealogy", "cluster"),
+        help="use a built-in populated federation instead of files",
+    )
+    query.add_argument(
+        "--schema",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="component schema file (repeatable; needs --assertions)",
+    )
+    query.add_argument("--assertions", help="assertion DSL file for --schema mode")
+    query.add_argument(
+        "--data",
+        help="JSON instance file: {schema: {class: [attribute maps]}}",
+    )
+    query.add_argument(
+        "--appendix-b",
+        action="store_true",
+        help="evaluate top-down (Appendix B) instead of bottom-up",
+    )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-query and cumulative runtime stats",
+    )
+    query.add_argument(
+        "--latency",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="simulated per-agent-call latency in milliseconds",
+    )
+    query.add_argument(
+        "--workers", type=int, default=8, help="fan-out thread pool size"
+    )
+    query.add_argument(
+        "--sequential",
+        action="store_true",
+        help="one worker, no retries (the pre-runtime behaviour)",
+    )
+    query.add_argument(
+        "--no-cache", action="store_true", help="disable the extent cache"
+    )
+    query.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the query N times (repeats hit the extent cache)",
+    )
     return parser
 
 
@@ -81,6 +149,128 @@ def _load(left_path: str, right_path: str, assertions_path: str):
     assertions = AssertionSet(left.name, right.name)
     assertions.extend(parse_assertion_file(assertions_path))
     return left, right, assertions
+
+
+def _build_query_fsm(arguments):
+    """An integrated FSM (one agent per component schema) for ``query``."""
+    from .errors import QueryError
+    from .federation.agent import FSMAgent
+    from .federation.fsm import FSM
+    from .model.database import ObjectDatabase
+
+    if arguments.demo:
+        if arguments.schema or arguments.assertions or arguments.data:
+            raise QueryError("--demo and --schema/--assertions/--data are exclusive")
+        if arguments.demo == "genealogy":
+            from .workloads import genealogy
+
+            _, _, text, databases = genealogy()
+        else:
+            from .workloads import federated_cluster
+
+            _, text, databases = federated_cluster(schemas=4, per_class=8)
+    else:
+        if len(arguments.schema) < 2 or not arguments.assertions:
+            raise QueryError(
+                "query needs --demo, or at least two --schema files plus "
+                "--assertions"
+            )
+        import json
+
+        rows_by_schema = {}
+        if arguments.data:
+            with open(arguments.data, "r", encoding="utf-8") as handle:
+                rows_by_schema = json.load(handle)
+        databases = {}
+        for path in arguments.schema:
+            schema = parse_schema_file(path)
+            database = ObjectDatabase(schema, agent=f"host-{schema.name}")
+            for class_name, rows in rows_by_schema.get(schema.name, {}).items():
+                database.insert_many(class_name, rows)
+            databases[schema.name] = database
+        with open(arguments.assertions, "r", encoding="utf-8") as handle:
+            text = handle.read()
+
+    fsm = FSM()
+    for schema_name, database in databases.items():
+        agent = FSMAgent(f"agent-{schema_name}")
+        agent.host_object_database(database)
+        fsm.register_agent(agent)
+    fsm.declare(text)
+    names = list(fsm.schema_names())
+    if len(names) == 2:
+        fsm.integrate(names[0], names[1])
+    else:
+        fsm.integrate_all(names)
+    return fsm
+
+
+def _attach_query_runtime(fsm, arguments):
+    from .runtime import (
+        FaultProfile,
+        FederationRuntime,
+        InProcessTransport,
+        RuntimePolicy,
+        SimulatedNetworkTransport,
+    )
+
+    if arguments.sequential:
+        policy = RuntimePolicy.sequential(cache_enabled=not arguments.no_cache)
+    else:
+        policy = RuntimePolicy(
+            max_workers=max(1, arguments.workers),
+            cache_enabled=not arguments.no_cache,
+        )
+    transport = InProcessTransport(fsm._agents, fsm._schema_host)
+    if arguments.latency > 0:
+        transport = SimulatedNetworkTransport(
+            transport, FaultProfile(latency=arguments.latency / 1000.0)
+        )
+    return fsm.use_runtime(
+        runtime=FederationRuntime(transport=transport, policy=policy)
+    )
+
+
+def _cmd_query(arguments, out) -> int:
+    from .federation.query import FederatedQuery
+
+    fsm = _build_query_fsm(arguments)
+    runtime = _attach_query_runtime(fsm, arguments)
+    query = FederatedQuery.parse(arguments.query)
+    repeats = max(1, arguments.repeat)
+    rows = []
+    for run in range(repeats):
+        if arguments.appendix_b:
+            before = runtime.stats()
+            with runtime.timer("query"):
+                rows = query.run(fsm.appendix_b())
+            fsm.last_query_stats = runtime.stats() - before
+        else:
+            rows = fsm.query(query)
+        if arguments.stats and repeats > 1:
+            delta = fsm.last_query_stats
+            timer = delta.timers.get("query")
+            print(
+                f"run {run + 1}: {timer.total * 1000:.2f}ms  "
+                f"agent_scans={delta.counter('agent_scans')}  "
+                f"cache_hits={delta.counter('cache_hits')}",
+                file=out,
+            )
+    if not rows:
+        print("no answers", file=out)
+    for row in rows:
+        items = ", ".join(f"{k}={v!r}" for k, v in row.items())
+        print(f"  {items}", file=out)
+    for warning in runtime.drain_warnings():
+        print(f"warning: {warning}", file=out)
+    if arguments.stats:
+        print(file=out)
+        print("last query:", file=out)
+        print(fsm.last_query_stats.describe(), file=out)
+        print(file=out)
+        print("cumulative:", file=out)
+        print(runtime.stats().describe(), file=out)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -98,6 +288,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
                 file=out,
             )
             return 0
+        if arguments.command == "query":
+            return _cmd_query(arguments, out)
         if arguments.command == "check":
             from .assertions.analysis import report as analysis_report
 

@@ -19,7 +19,12 @@ data mappings).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.metrics import RuntimeStats
+    from ..runtime.policy import RuntimePolicy
+    from ..runtime.runtime import FederationRuntime
 
 from ..federation.agent import FSMAgent
 from ..federation.evaluation import FederationEngine
@@ -100,6 +105,30 @@ class FederationSession:
     @property
     def integrated(self) -> Optional[IntegratedSchema]:
         return self.fsm.integrated
+
+    # ------------------------------------------------------------------
+    def enable_runtime(
+        self,
+        policy: Optional["RuntimePolicy"] = None,
+        runtime: Optional["FederationRuntime"] = None,
+    ) -> "FederationRuntime":
+        """Route agent access through a federation runtime (concurrent
+        fan-out, retries, extent caching, metrics); see
+        :meth:`repro.federation.fsm.FSM.use_runtime`."""
+        return self.fsm.use_runtime(policy=policy, runtime=runtime)
+
+    @property
+    def runtime(self) -> Optional["FederationRuntime"]:
+        return self.fsm.runtime
+
+    def runtime_stats(self) -> Optional["RuntimeStats"]:
+        """Cumulative runtime counters (None when no runtime is enabled)."""
+        return self.fsm.runtime_stats()
+
+    @property
+    def last_query_stats(self) -> Optional["RuntimeStats"]:
+        """The counter/timer delta of the most recent :meth:`query`."""
+        return self.fsm.last_query_stats
 
     # ------------------------------------------------------------------
     def engine(self) -> FederationEngine:

@@ -126,3 +126,36 @@ class MappingError(FederationError):
 
 class QueryError(FederationError):
     """A global query is malformed or references unknown concepts."""
+
+
+class RuntimeFederationError(FederationError):
+    """The federation runtime could not complete an agent operation."""
+
+
+class TransportError(RuntimeFederationError):
+    """An agent call failed in transit (network fault, dropped reply)."""
+
+
+class AgentTimeoutError(TransportError):
+    """An agent call exceeded the per-call timeout budget."""
+
+    def __init__(self, agent: str, timeout: float) -> None:
+        super().__init__(f"agent {agent!r} timed out after {timeout:.3f}s")
+        self.agent = agent
+        self.timeout = timeout
+
+
+class CircuitOpenError(RuntimeFederationError):
+    """An agent's circuit breaker is open; calls fast-fail until reset."""
+
+    def __init__(self, agent: str) -> None:
+        super().__init__(f"agent {agent!r} circuit is open (persistent failures)")
+        self.agent = agent
+
+
+class PartialResultError(RuntimeFederationError):
+    """A fan-out failed and the runtime policy forbids partial answers."""
+
+    def __init__(self, message: str, failures=()) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)

@@ -16,6 +16,7 @@ evaluates rules inside a component system, Appendix B) is testable.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Set, Tuple
 
 from ..errors import RegistrationError
@@ -37,6 +38,9 @@ class FSMAgent:
         self._databases: Dict[str, ObjectDatabase] = {}
         self.access_count = 0
         self.accessed_classes: Set[Tuple[str, str]] = set()
+        # the federation runtime scans agents from a thread pool; the
+        # autonomy counters must stay exact under concurrent access
+        self._access_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # registration
@@ -98,5 +102,6 @@ class FSMAgent:
             ) from None
 
     def _record(self, schema_name: str, class_name: str) -> None:
-        self.access_count += 1
-        self.accessed_classes.add((schema_name, class_name))
+        with self._access_lock:
+            self.access_count += 1
+            self.accessed_classes.add((schema_name, class_name))

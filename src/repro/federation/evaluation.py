@@ -19,7 +19,21 @@ paper's autonomy argument made observable.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.runtime import FederationRuntime
 
 from ..integration.result import IntegratedSchema
 from ..logic.atoms import Atom, Literal
@@ -65,6 +79,7 @@ def lift_facts(
     databases: Mapping[str, ObjectDatabase],
     mappings: Optional[MappingRegistry] = None,
     same_specs: Sequence[SameObjectSpec] = (),
+    runtime: Optional["FederationRuntime"] = None,
 ) -> FactStore:
     """Compile all component extents into integrated-name facts.
 
@@ -75,9 +90,25 @@ def lift_facts(
     ``att$...(oid, translated_value)`` fact per value element.
     Aggregation values (OIDs) lift untranslated under the aggregation's
     integrated name.
+
+    With a *runtime*, every needed direct extent is first fetched in one
+    concurrent fan-out (cached, retried, circuit-broken); the lifting
+    loop then runs over the prefetched scans.  Extents the runtime could
+    not serve (failed agents under the ``PARTIAL`` policy) lift as empty.
     """
     mappings = mappings or MappingRegistry()
     store = FactStore()
+
+    prefetched: Optional[Dict[Tuple[str, str], List[Any]]] = None
+    if runtime is not None:
+        pairs = [
+            (schema_name, class_name)
+            for integrated_class in integrated
+            if not integrated_class.virtual
+            for schema_name, class_name in integrated_class.origins
+            if schema_name in databases
+        ]
+        prefetched = runtime.scan_extents(pairs, op="direct_extent")
 
     for integrated_class in integrated:
         if integrated_class.virtual:
@@ -89,7 +120,12 @@ def lift_facts(
             local_class = database.schema.effective_class(class_name)
             local_ancestry = {class_name} | database.schema.ancestors(class_name)
             targets = _ancestor_chain(integrated, integrated_class.name)
-            for instance in database.direct_extent(class_name):
+            extent = (
+                prefetched.get((schema_name, class_name), [])
+                if prefetched is not None
+                else database.direct_extent(class_name)
+            )
+            for instance in extent:
                 for target_name in targets:
                     store.add(inst_predicate(target_name), (instance.oid,))
                     target = integrated.cls(target_name)
@@ -200,9 +236,17 @@ class FederationEngine:
         databases: Mapping[str, ObjectDatabase],
         mappings: Optional[MappingRegistry] = None,
         same_specs: Sequence[SameObjectSpec] = (),
+        runtime: Optional["FederationRuntime"] = None,
     ) -> None:
         self.integrated = integrated
-        base = lift_facts(integrated, databases, mappings, same_specs)
+        self.runtime = runtime
+        if runtime is not None:
+            with runtime.timer("lift_facts"):
+                base = lift_facts(
+                    integrated, databases, mappings, same_specs, runtime
+                )
+        else:
+            base = lift_facts(integrated, databases, mappings, same_specs)
         rules = integrated.evaluable_rules() + inheritance_rules(integrated)
         self._engine = QueryEngine(rules, base)
 
@@ -264,11 +308,19 @@ class AgentSource(SchemaSource):
         agent: FSMAgent,
         integrated: IntegratedSchema,
         mappings: Optional[MappingRegistry] = None,
+        runtime: Optional["FederationRuntime"] = None,
     ) -> None:
         super().__init__(schema_name)
         self._agent = agent
         self._integrated = integrated
         self._mappings = mappings or MappingRegistry()
+        self._runtime = runtime
+
+    def _extent(self, schema_name: str, local_class: str):
+        """One class extension — through the runtime when attached."""
+        if self._runtime is not None:
+            return self._runtime.extent(schema_name, local_class)
+        return self._agent.fetch_extent(schema_name, local_class)
 
     def _nested_descriptors(self, local_class: str, attr: str, base: str) -> List[str]:
         """Flattened descriptors under one local attribute (Def 4.1 paths)."""
@@ -330,7 +382,7 @@ class AgentSource(SchemaSource):
             if schema_name != self.name:
                 continue
             if descriptor is None:
-                for instance in self._agent.fetch_extent(schema_name, local_class):
+                for instance in self._extent(schema_name, local_class):
                     result.add((instance.oid,))
                 continue
             # Nested (dotted) descriptors address inside a complex
@@ -345,7 +397,7 @@ class AgentSource(SchemaSource):
                 if o_schema != schema_name:
                     continue
                 mapping = self._mappings.resolve(descriptor, schema_name, o_attr)
-                for instance in self._agent.fetch_extent(schema_name, local_class):
+                for instance in self._extent(schema_name, local_class):
                     value = instance.get(o_attr)
                     if value is None:
                         continue
@@ -364,15 +416,18 @@ def appendix_b_program(
     mappings: Optional[MappingRegistry] = None,
     same_specs: Sequence[SameObjectSpec] = (),
     databases: Optional[Mapping[str, ObjectDatabase]] = None,
+    runtime: Optional["FederationRuntime"] = None,
 ) -> LabelledProgram:
     """Build the Appendix B labelled program for an integrated schema.
 
     *agents* maps schema name → hosting agent.  ``same_object`` facts
     (needed by Principle 3 rules) are served by an extra synthetic
-    source when *same_specs* and *databases* are provided.
+    source when *same_specs* and *databases* are provided.  With a
+    *runtime*, every source's extension fetches run through the extent
+    cache and the executor's failure model.
     """
     sources: List[SchemaSource] = [
-        AgentSource(schema_name, agent, integrated, mappings)
+        AgentSource(schema_name, agent, integrated, mappings, runtime)
         for schema_name, agent in agents.items()
     ]
     if same_specs and databases:

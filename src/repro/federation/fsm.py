@@ -14,12 +14,33 @@ conflicting local databases and defining global schemas" with
   becomes ``IS1.IS(A) θ S3.C`` against the intermediate schema, with
   attribute paths renamed through the recorded provenance;
 * :meth:`engine` / :meth:`query` evaluate global queries bottom-up;
-  :meth:`appendix_b` builds the faithful top-down evaluator.
+  :meth:`appendix_b` builds the faithful top-down evaluator;
+* :meth:`use_runtime` attaches a :class:`~repro.runtime.FederationRuntime`
+  so both evaluation paths fan agent scans out concurrently, retry and
+  circuit-break failing agents, serve repeats from the extent cache, and
+  expose per-query :class:`~repro.runtime.RuntimeStats`
+  (:attr:`last_query_stats`).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.policy import RuntimePolicy
+    from ..runtime.runtime import FederationRuntime
+    from ..runtime.metrics import RuntimeStats
 
 from ..assertions.aggregation_assertions import AggregationCorrespondence
 from ..assertions.assertion_set import AssertionSet
@@ -61,6 +82,8 @@ class FSM:
         self.same_specs: List[SameObjectSpec] = []
         self.integrated: Optional[IntegratedSchema] = None
         self.last_stats: Optional[IntegrationStats] = None
+        self.runtime: Optional["FederationRuntime"] = None
+        self.last_query_stats: Optional["RuntimeStats"] = None
 
     # ------------------------------------------------------------------
     # registration
@@ -250,6 +273,40 @@ class FSM:
         return assertion_set
 
     # ------------------------------------------------------------------
+    # runtime
+    # ------------------------------------------------------------------
+    def use_runtime(
+        self,
+        policy: Optional["RuntimePolicy"] = None,
+        runtime: Optional["FederationRuntime"] = None,
+    ) -> "FederationRuntime":
+        """Attach a federation runtime to both evaluation paths.
+
+        Either pass a prebuilt *runtime* (e.g. one whose transport
+        simulates network faults), or a *policy* and the FSM builds an
+        in-process runtime over its live agent registry (agents
+        registered later are picked up automatically).
+        """
+        if runtime is None:
+            from ..runtime.runtime import FederationRuntime
+            from ..runtime.transport import InProcessTransport
+
+            runtime = FederationRuntime(
+                transport=InProcessTransport(self._agents, self._schema_host),
+                policy=policy,
+            )
+        self.runtime = runtime
+        return runtime
+
+    def detach_runtime(self) -> None:
+        """Return to the seed's direct, sequential agent access."""
+        self.runtime = None
+
+    def runtime_stats(self) -> Optional["RuntimeStats"]:
+        """Cumulative runtime counters, or None without a runtime."""
+        return self.runtime.stats() if self.runtime is not None else None
+
+    # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
     def engine(self) -> FederationEngine:
@@ -257,14 +314,29 @@ class FSM:
         if self.integrated is None:
             raise QueryError("integrate schemas before querying")
         return FederationEngine(
-            self.integrated, self.databases(), self.mappings, self.same_specs
+            self.integrated,
+            self.databases(),
+            self.mappings,
+            self.same_specs,
+            runtime=self.runtime,
         )
 
     def query(self, query: Union[str, FederatedQuery]) -> List[Dict[str, Any]]:
-        """Run a federated query (textual form accepted)."""
+        """Run a federated query (textual form accepted).
+
+        With a runtime attached, the per-query counter/timer delta lands
+        in :attr:`last_query_stats` — the autonomy property (how many
+        scans each agent served for *this* query) made observable.
+        """
         if isinstance(query, str):
             query = FederatedQuery.parse(query)
-        return query.run(self.engine())
+        if self.runtime is None:
+            return query.run(self.engine())
+        before = self.runtime.stats()
+        with self.runtime.timer("query"):
+            rows = query.run(self.engine())
+        self.last_query_stats = self.runtime.stats() - before
+        return rows
 
     def appendix_b(self) -> LabelledProgram:
         """The faithful Appendix B top-down evaluator."""
@@ -275,7 +347,12 @@ class FSM:
             for schema_name in self._schema_host
         }
         return appendix_b_program(
-            self.integrated, agents, self.mappings, self.same_specs, self.databases()
+            self.integrated,
+            agents,
+            self.mappings,
+            self.same_specs,
+            self.databases(),
+            runtime=self.runtime,
         )
 
 

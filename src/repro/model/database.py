@@ -51,6 +51,9 @@ class ObjectDatabase:
             name: [] for name in schema.class_names
         }
         self._by_oid: Dict[OID, ObjectInstance] = {}
+        #: monotonic mutation counter; caches key their entries to it so a
+        #: write to the component database invalidates stale extents.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # population
@@ -70,6 +73,7 @@ class ObjectDatabase:
             instance.validate_against(self.schema.effective_class(class_name))
         self._extents[class_name].append(instance)
         self._by_oid[oid] = instance
+        self.version += 1
         return instance
 
     def adopt(self, instance: ObjectInstance) -> ObjectInstance:
@@ -86,6 +90,7 @@ class ObjectDatabase:
             instance.validate_against(self.schema.effective_class(instance.class_name))
         self._extents[instance.class_name].append(instance)
         self._by_oid[instance.oid] = instance
+        self.version += 1
         return instance
 
     def insert_many(

@@ -1,0 +1,57 @@
+"""Federation runtime: concurrent, fault-tolerant, observable agent access.
+
+The paper's FSM pulls one concept extension per FSM-agent call (§3,
+Appendix B); the seed did every pull synchronously with no failure
+model.  This package is the distribution/runtime layer between the
+query paths and the agents:
+
+* :mod:`~repro.runtime.transport` — the :class:`AgentTransport`
+  abstraction: in-process calls or a simulated network with injectable
+  latency, drops and flaky agents;
+* :mod:`~repro.runtime.executor` — thread-pool fan-out with per-call
+  timeouts, bounded exponential-backoff retries and per-agent circuit
+  breakers;
+* :mod:`~repro.runtime.cache` — the ``(agent, schema, class)`` extent
+  cache with explicit and generation-based invalidation;
+* :mod:`~repro.runtime.metrics` — counters, phase timers and per-agent
+  access histograms behind :class:`RuntimeStats` snapshots;
+* :mod:`~repro.runtime.runtime` — the :class:`FederationRuntime` facade
+  the FSM attaches via :meth:`repro.federation.fsm.FSM.use_runtime`.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .cache import MISS, ExtentCache
+from .executor import FederationExecutor, ScanFailure, ScanOutcome
+from .metrics import RuntimeMetrics, RuntimeStats, TimerStats
+from .policy import FailurePolicy, RuntimePolicy
+from .runtime import FederationRuntime
+from .transport import (
+    AgentTransport,
+    FaultProfile,
+    InProcessTransport,
+    ScanRequest,
+    SimulatedNetworkTransport,
+)
+
+__all__ = [
+    "AgentTransport",
+    "CLOSED",
+    "CircuitBreaker",
+    "ExtentCache",
+    "FailurePolicy",
+    "FaultProfile",
+    "FederationExecutor",
+    "FederationRuntime",
+    "HALF_OPEN",
+    "InProcessTransport",
+    "MISS",
+    "OPEN",
+    "RuntimeMetrics",
+    "RuntimePolicy",
+    "RuntimeStats",
+    "ScanFailure",
+    "ScanOutcome",
+    "ScanRequest",
+    "SimulatedNetworkTransport",
+    "TimerStats",
+]

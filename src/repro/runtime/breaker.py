@@ -1,0 +1,108 @@
+"""Per-agent circuit breakers.
+
+A component system that keeps failing should stop being hammered: after
+*threshold* consecutive failures an agent's circuit **opens** and calls
+fast-fail with :class:`~repro.errors.CircuitOpenError` instead of
+burning a timeout each.  After *reset_timeout* seconds the circuit goes
+**half-open**: one probe call is let through; success closes the
+circuit, failure re-opens it for another full window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Tuple
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class _AgentCircuit:
+    __slots__ = ("failures", "opened_at", "probing")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.opened_at: float = -1.0  # < 0 means closed
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure breaker over a set of agents."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._circuits: Dict[str, _AgentCircuit] = {}
+        self._lock = threading.Lock()
+
+    def _circuit(self, agent: str) -> _AgentCircuit:
+        circuit = self._circuits.get(agent)
+        if circuit is None:
+            circuit = self._circuits[agent] = _AgentCircuit()
+        return circuit
+
+    # ------------------------------------------------------------------
+    def allow(self, agent: str) -> bool:
+        """May a call to *agent* proceed right now?
+
+        While open, returns False until the reset window elapses, then
+        admits exactly one probe (half-open) at a time.
+        """
+        with self._lock:
+            circuit = self._circuit(agent)
+            if circuit.opened_at < 0:
+                return True
+            if self._clock() - circuit.opened_at < self.reset_timeout:
+                return False
+            if circuit.probing:
+                return False
+            circuit.probing = True
+            return True
+
+    def record_success(self, agent: str) -> None:
+        with self._lock:
+            circuit = self._circuit(agent)
+            circuit.failures = 0
+            circuit.opened_at = -1.0
+            circuit.probing = False
+
+    def record_failure(self, agent: str) -> bool:
+        """Count one failure; returns True when this call tripped the circuit."""
+        with self._lock:
+            circuit = self._circuit(agent)
+            circuit.failures += 1
+            was_open = circuit.opened_at >= 0
+            if circuit.failures >= self.threshold or circuit.probing:
+                circuit.opened_at = self._clock()
+                circuit.probing = False
+                return not was_open
+            return False
+
+    # ------------------------------------------------------------------
+    def state(self, agent: str) -> str:
+        with self._lock:
+            circuit = self._circuits.get(agent)
+            if circuit is None or circuit.opened_at < 0:
+                return CLOSED
+            if self._clock() - circuit.opened_at >= self.reset_timeout:
+                return HALF_OPEN
+            return OPEN
+
+    def states(self) -> Dict[str, str]:
+        return {agent: self.state(agent) for agent in tuple(self._circuits)}
+
+    def reset(self, agent: str = "") -> None:
+        """Force-close one agent's circuit (or all, with no argument)."""
+        with self._lock:
+            agents: Tuple[str, ...] = (agent,) if agent else tuple(self._circuits)
+            for name in agents:
+                if name in self._circuits:
+                    self._circuits[name] = _AgentCircuit()

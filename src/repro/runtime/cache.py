@@ -1,0 +1,141 @@
+"""The extent cache: repeated global queries stop re-scanning locals.
+
+Every :meth:`FSM.query <repro.federation.fsm.FSM.query>` builds a fresh
+engine, and the seed re-lifted every component extent each time — N
+agent scans per query forever.  :class:`ExtentCache` memoizes scan
+results keyed by the ``(agent, schema, class)`` granule (each granule
+holding its ``(op, attribute)`` variants), with two invalidation paths:
+
+* **explicit** — :meth:`invalidate` by agent / schema / class, or
+  :meth:`clear`;
+* **generation-based** — entries record the component database's
+  ``version`` at fill time (via the transport) plus the cache's own
+  generation counter; a database write or a :meth:`bump_generation`
+  makes the stale entry miss and evicts it lazily.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from .transport import ScanRequest
+
+_MISS = object()
+
+
+class _Entry:
+    __slots__ = ("value", "cache_generation", "source_generation")
+
+    def __init__(
+        self, value: Any, cache_generation: int, source_generation: Optional[int]
+    ) -> None:
+        self.value = value
+        self.cache_generation = cache_generation
+        self.source_generation = source_generation
+
+
+def _copy(value: Any) -> Any:
+    """Shallow-copy container results so callers cannot mutate the cache."""
+    if isinstance(value, list):
+        return list(value)
+    if isinstance(value, (set, frozenset)):
+        return set(value)
+    return value
+
+
+class ExtentCache:
+    """Thread-safe ``(agent, schema, class)``-keyed scan cache."""
+
+    def __init__(self) -> None:
+        self._granules: Dict[
+            Tuple[str, str, str], Dict[Tuple[str, Optional[str]], _Entry]
+        ] = {}
+        self._generation = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def bump_generation(self) -> int:
+        """Invalidate everything currently cached (lazily evicted)."""
+        with self._lock:
+            self._generation += 1
+            return self._generation
+
+    def get(
+        self, request: ScanRequest, source_generation: Optional[int] = None
+    ) -> Any:
+        """The cached value for *request*, or :data:`MISS`.
+
+        A hit requires the entry to be from the current cache generation
+        and, when *source_generation* is observable, to match the
+        component database's version it was filled at.
+        """
+        with self._lock:
+            granule = self._granules.get(request.cache_key)
+            entry = granule.get((request.op, request.attribute)) if granule else None
+            if entry is None:
+                self.misses += 1
+                return _MISS
+            stale = entry.cache_generation != self._generation or (
+                source_generation is not None
+                and entry.source_generation != source_generation
+            )
+            if stale:
+                assert granule is not None
+                granule.pop((request.op, request.attribute), None)
+                self.misses += 1
+                return _MISS
+            self.hits += 1
+            return _copy(entry.value)
+
+    def put(
+        self, request: ScanRequest, value: Any, source_generation: Optional[int] = None
+    ) -> None:
+        with self._lock:
+            granule = self._granules.setdefault(request.cache_key, {})
+            granule[(request.op, request.attribute)] = _Entry(
+                _copy(value), self._generation, source_generation
+            )
+
+    # ------------------------------------------------------------------
+    def invalidate(
+        self,
+        agent: Optional[str] = None,
+        schema: Optional[str] = None,
+        class_name: Optional[str] = None,
+    ) -> int:
+        """Drop every granule matching the given coordinates; counts drops.
+
+        Any combination works: ``invalidate(agent="a1")`` drops one
+        agent's granules, ``invalidate(schema="S1", class_name="person")``
+        one class wherever hosted, ``invalidate()`` everything.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key in self._granules
+                if (agent is None or key[0] == agent)
+                and (schema is None or key[1] == schema)
+                and (class_name is None or key[2] == class_name)
+            ]
+            for key in doomed:
+                del self._granules[key]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._granules.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(granule) for granule in self._granules.values())
+
+
+#: sentinel returned by :meth:`ExtentCache.get` on a miss
+MISS = _MISS

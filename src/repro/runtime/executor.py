@@ -1,0 +1,200 @@
+"""The concurrent executor: fan extent scans out across FSM-agents.
+
+The seed pulled component extents one agent at a time; under per-call
+latency a global query over *n* agents paid *n* round-trips in series.
+:class:`FederationExecutor` schedules :class:`ScanRequest`\\ s on a
+thread pool (bounded by the policy's ``max_workers``) and wraps every
+attempt in the full failure model:
+
+* per-call **timeouts** (:class:`~repro.errors.AgentTimeoutError`);
+* bounded **retries** with exponential backoff;
+* a per-agent **circuit breaker** — persistent failers trip open and
+  fast-fail instead of burning timeouts;
+* a :class:`ScanOutcome` separating successes from failures so the
+  caller's :class:`~repro.runtime.policy.FailurePolicy` can either
+  degrade to partial answers or refuse the query.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..errors import (
+    AgentTimeoutError,
+    CircuitOpenError,
+    ReproError,
+    TransportError,
+)
+from .breaker import CircuitBreaker
+from .metrics import RuntimeMetrics
+from .policy import RuntimePolicy
+from .transport import AgentTransport, ScanRequest
+
+
+@dataclasses.dataclass(frozen=True)
+class ScanFailure:
+    """One scan that failed past all retries (or was fast-failed)."""
+
+    request: ScanRequest
+    error: str
+    kind: str  # "transport" | "timeout" | "circuit_open" | "error"
+    attempts: int
+
+    def describe(self) -> str:
+        return f"{self.request.describe()} failed after {self.attempts} attempt(s): {self.error}"
+
+
+class ScanOutcome:
+    """Fan-out result: per-request values plus the failures."""
+
+    def __init__(
+        self,
+        results: Dict[ScanRequest, Any],
+        failures: Sequence[ScanFailure] = (),
+    ) -> None:
+        self.results = results
+        self.failures = list(failures)
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.failures)
+
+    def warnings(self) -> List[str]:
+        return [failure.describe() for failure in self.failures]
+
+
+def _call_with_timeout(fn: Callable[[], Any], timeout: float, agent: str) -> Any:
+    """Run *fn* in a helper thread, abandoning it past *timeout* seconds.
+
+    Synchronous transports cannot be interrupted; an overdue call keeps
+    running in its daemon thread and its eventual result is discarded —
+    the standard thread-pool timeout compromise.
+    """
+    holder: Dict[str, Any] = {}
+    done = threading.Event()
+
+    def target() -> None:
+        try:
+            holder["value"] = fn()
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            holder["error"] = error
+        finally:
+            done.set()
+
+    worker = threading.Thread(target=target, daemon=True)
+    worker.start()
+    if not done.wait(timeout):
+        raise AgentTimeoutError(agent, timeout)
+    if "error" in holder:
+        raise holder["error"]
+    return holder["value"]
+
+
+class FederationExecutor:
+    """Schedule agent scans under the runtime policy's failure model."""
+
+    def __init__(
+        self,
+        transport: AgentTransport,
+        policy: Optional[RuntimePolicy] = None,
+        metrics: Optional[RuntimeMetrics] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.transport = transport
+        self.policy = policy or RuntimePolicy()
+        self.metrics = metrics or RuntimeMetrics()
+        self.breaker = breaker or CircuitBreaker(
+            self.policy.breaker_threshold, self.policy.breaker_reset
+        )
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    def run_one(self, request: ScanRequest) -> Any:
+        """One scan through the retry / breaker / timeout machinery."""
+        policy = self.policy
+        agent = request.agent
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.max_retries + 2):
+            if attempt > 1:
+                self.metrics.incr("retries")
+                self._sleep(policy.backoff(attempt - 1))
+            if not self.breaker.allow(agent):
+                self.metrics.incr("circuit_rejections")
+                raise CircuitOpenError(agent)
+            self.metrics.record_agent_scan(agent)
+            try:
+                if policy.timeout is None:
+                    value = self.transport.perform(request)
+                else:
+                    value = _call_with_timeout(
+                        lambda: self.transport.perform(request),
+                        policy.timeout,
+                        agent,
+                    )
+            except AgentTimeoutError as error:
+                self.metrics.incr("timeouts")
+                if self.breaker.record_failure(agent):
+                    self.metrics.incr("breaker_trips")
+                last_error = error
+                continue
+            except TransportError as error:
+                self.metrics.incr("transport_failures")
+                if self.breaker.record_failure(agent):
+                    self.metrics.incr("breaker_trips")
+                last_error = error
+                continue
+            self.breaker.record_success(agent)
+            return value
+        assert last_error is not None
+        raise last_error
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Iterable[ScanRequest]) -> ScanOutcome:
+        """Fan *requests* out; never raises for per-scan failures."""
+        pending = list(requests)
+        results: Dict[ScanRequest, Any] = {}
+        failures: List[ScanFailure] = []
+        if not pending:
+            return ScanOutcome(results)
+
+        def guarded(request: ScanRequest) -> None:
+            try:
+                value = self.run_one(request)
+            except CircuitOpenError as error:
+                failures.append(
+                    ScanFailure(request, str(error), "circuit_open", attempts=0)
+                )
+            except AgentTimeoutError as error:
+                failures.append(
+                    ScanFailure(
+                        request, str(error), "timeout", self.policy.max_retries + 1
+                    )
+                )
+            except TransportError as error:
+                failures.append(
+                    ScanFailure(
+                        request, str(error), "transport", self.policy.max_retries + 1
+                    )
+                )
+            except ReproError as error:
+                failures.append(ScanFailure(request, str(error), "error", attempts=1))
+            else:
+                results[request] = value
+
+        workers = min(self.policy.max_workers, len(pending))
+        if workers <= 1:
+            for request in pending:
+                guarded(request)
+        else:
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="fsm-scan"
+            ) as pool:
+                list(pool.map(guarded, pending))
+        if failures:
+            self.metrics.incr("scan_failures", len(failures))
+        return ScanOutcome(results, failures)

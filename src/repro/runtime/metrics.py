@@ -1,0 +1,154 @@
+"""Runtime metrics: counters, phase timers, per-agent access histograms.
+
+The paper's autonomy argument is *counted* — the FSM only ever fetches
+single concept extensions from agents (§3, Appendix B) — and the
+ROADMAP's heavy-traffic goal needs the hot path visible.  This module
+makes both observable: a thread-safe :class:`RuntimeMetrics` collector
+the executor and cache write into, and an immutable :class:`RuntimeStats`
+snapshot with delta arithmetic (``after - before``) so callers can
+attribute counts to a single query.
+
+Counter vocabulary (all monotonic):
+
+``requests``            scans asked of the runtime
+``cache_hits`` / ``cache_misses``   extent-cache outcomes
+``agent_scans``         attempts that reached the transport
+``retries``             re-attempts after a failure
+``transport_failures`` / ``timeouts``   failed attempts by kind
+``breaker_trips``       circuits opened
+``circuit_rejections``  calls fast-failed while a circuit was open
+``scan_failures``       scans that exhausted retries
+``partial_results``     fan-outs degraded to partial answers
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping, NamedTuple
+
+
+class TimerStats(NamedTuple):
+    """Aggregate wall-clock of one phase."""
+
+    count: int
+    total: float
+    max: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class RuntimeStats:
+    """An immutable snapshot of the collector; supports ``a - b`` deltas."""
+
+    def __init__(
+        self,
+        counters: Mapping[str, int],
+        agent_scans: Mapping[str, int],
+        timers: Mapping[str, TimerStats],
+    ) -> None:
+        self.counters: Dict[str, int] = dict(counters)
+        self.agent_scans: Dict[str, int] = dict(agent_scans)
+        self.timers: Dict[str, TimerStats] = dict(timers)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def __sub__(self, earlier: "RuntimeStats") -> "RuntimeStats":
+        counters = {
+            name: value - earlier.counters.get(name, 0)
+            for name, value in self.counters.items()
+        }
+        scans = {
+            agent: value - earlier.agent_scans.get(agent, 0)
+            for agent, value in self.agent_scans.items()
+        }
+        timers = {}
+        for phase, stats in self.timers.items():
+            prior = earlier.timers.get(phase, TimerStats(0, 0.0, 0.0))
+            delta_total = stats.total - prior.total
+            # the true max of just the new samples is unrecoverable from
+            # aggregates; their sum bounds it, and so does the overall max
+            timers[phase] = TimerStats(
+                stats.count - prior.count, delta_total, min(stats.max, delta_total)
+            )
+        return RuntimeStats(
+            {k: v for k, v in counters.items() if v},
+            {k: v for k, v in scans.items() if v},
+            {k: v for k, v in timers.items() if v.count},
+        )
+
+    def describe(self) -> str:
+        """A readable report (the CLI's ``--stats`` output)."""
+        lines = ["runtime stats:"]
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<22} {self.counters[name]}")
+        if self.agent_scans:
+            lines.append("  agent scans:")
+            for agent in sorted(self.agent_scans):
+                lines.append(f"    {agent:<20} {self.agent_scans[agent]}")
+        if self.timers:
+            lines.append("  phases:")
+            for phase in sorted(self.timers):
+                stats = self.timers[phase]
+                lines.append(
+                    f"    {phase:<20} n={stats.count}  "
+                    f"total={stats.total * 1000:.2f}ms  "
+                    f"mean={stats.mean * 1000:.2f}ms  "
+                    f"max={stats.max * 1000:.2f}ms"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RuntimeStats({self.counters!r}, agents={self.agent_scans!r})"
+
+
+class RuntimeMetrics:
+    """Thread-safe collector the runtime components write into."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._agent_scans: Dict[str, int] = {}
+        self._timers: Dict[str, TimerStats] = {}
+
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def record_agent_scan(self, agent: str) -> None:
+        with self._lock:
+            self._counters["agent_scans"] = self._counters.get("agent_scans", 0) + 1
+            self._agent_scans[agent] = self._agent_scans.get(agent, 0) + 1
+
+    def record_phase(self, phase: str, elapsed: float) -> None:
+        with self._lock:
+            prior = self._timers.get(phase, TimerStats(0, 0.0, 0.0))
+            self._timers[phase] = TimerStats(
+                prior.count + 1, prior.total + elapsed, max(prior.max, elapsed)
+            )
+
+    @contextmanager
+    def timer(self, phase: str) -> Iterator[None]:
+        """Time a phase: ``with metrics.timer("lift_facts"): ...``."""
+        started = self._clock()
+        try:
+            yield
+        finally:
+            self.record_phase(phase, self._clock() - started)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RuntimeStats:
+        with self._lock:
+            return RuntimeStats(self._counters, self._agent_scans, self._timers)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._agent_scans.clear()
+            self._timers.clear()

@@ -1,0 +1,208 @@
+"""The federation runtime facade.
+
+:class:`FederationRuntime` is the one object the FSM query layer talks
+to: it owns a transport, the concurrent executor (retries, timeouts,
+circuit breakers), the extent cache and the metrics collector, and
+exposes the scan API the evaluation paths need —
+
+* :meth:`direct_extent` / :meth:`extent` / :meth:`value_set` for single
+  scans (the Appendix B :class:`~repro.federation.evaluation.AgentSource`
+  hot path);
+* :meth:`scan_extents` for the fact-lifting fan-out: all component
+  extents a global query needs, fetched concurrently;
+* :meth:`invalidate` / :meth:`bump_generation` for cache control;
+* :meth:`stats` for the observable autonomy / performance counters.
+
+Failure policy: ``PARTIAL`` serves what survived (missing extents come
+back empty) and records a warning per failure; ``ERROR`` raises
+:class:`~repro.errors.PartialResultError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import PartialResultError
+from ..federation.agent import FSMAgent
+from ..model.instances import ObjectInstance
+from .breaker import CircuitBreaker
+from .cache import MISS, ExtentCache
+from .executor import FederationExecutor, ScanOutcome
+from .metrics import RuntimeMetrics, RuntimeStats
+from .policy import FailurePolicy, RuntimePolicy
+from .transport import AgentTransport, InProcessTransport, ScanRequest
+
+
+class FederationRuntime:
+    """Concurrent, cached, observable access to a federation's agents."""
+
+    def __init__(
+        self,
+        agents: Optional[Mapping[str, FSMAgent]] = None,
+        transport: Optional[AgentTransport] = None,
+        policy: Optional[RuntimePolicy] = None,
+        metrics: Optional[RuntimeMetrics] = None,
+        cache: Optional[ExtentCache] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
+        if transport is None:
+            if agents is None:
+                raise PartialResultError(
+                    "FederationRuntime needs agents or an explicit transport"
+                )
+            transport = InProcessTransport(agents)
+        self.transport = transport
+        self.policy = policy or RuntimePolicy()
+        self.metrics = metrics or RuntimeMetrics()
+        self.cache = cache or ExtentCache()
+        self.breaker = breaker or CircuitBreaker(
+            self.policy.breaker_threshold, self.policy.breaker_reset
+        )
+        self.executor = FederationExecutor(
+            self.transport, self.policy, self.metrics, self.breaker
+        )
+        #: warnings from the most recent degraded operation
+        self.last_warnings: List[str] = []
+
+    # ------------------------------------------------------------------
+    # request construction
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        schema_name: str,
+        class_name: str,
+        op: str = "direct_extent",
+        attribute: Optional[str] = None,
+    ) -> ScanRequest:
+        agent = self.transport.agent_for_schema(schema_name)
+        return ScanRequest(agent, schema_name, class_name, op, attribute)
+
+    # ------------------------------------------------------------------
+    # single scans
+    # ------------------------------------------------------------------
+    def direct_extent(
+        self, schema_name: str, class_name: str
+    ) -> List[ObjectInstance]:
+        return self._fetch(self.request(schema_name, class_name, "direct_extent"), [])
+
+    def extent(self, schema_name: str, class_name: str) -> List[ObjectInstance]:
+        return self._fetch(self.request(schema_name, class_name, "extent"), [])
+
+    def value_set(
+        self, schema_name: str, class_name: str, attribute: str
+    ) -> Set[Any]:
+        return self._fetch(
+            self.request(schema_name, class_name, "value_set", attribute), set()
+        )
+
+    def _fetch(self, request: ScanRequest, empty: Any) -> Any:
+        """One scan through cache + executor, honouring the failure policy."""
+        self.metrics.incr("requests")
+        cached = self._cache_get(request)
+        if cached is not MISS:
+            return cached
+        try:
+            value = self.executor.run_one(request)
+        except PartialResultError:
+            raise
+        except Exception as error:
+            if self.policy.failure_policy is FailurePolicy.ERROR:
+                raise
+            warning = f"{request.describe()}: {error}"
+            self.last_warnings.append(warning)
+            self.metrics.incr("partial_results")
+            return empty
+        self._cache_put(request, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # fan-out
+    # ------------------------------------------------------------------
+    def scan_extents(
+        self,
+        pairs: Iterable[Tuple[str, str]],
+        op: str = "direct_extent",
+    ) -> Dict[Tuple[str, str], List[ObjectInstance]]:
+        """Concurrently fetch the extents of many ``(schema, class)`` pairs.
+
+        Cached granules are served without touching their agents; only
+        the misses fan out.  Failed scans are absent from the mapping
+        under the ``PARTIAL`` policy (callers treat them as empty).
+        """
+        requests = [
+            self.request(schema_name, class_name, op)
+            for schema_name, class_name in dict.fromkeys(pairs)
+        ]
+        self.metrics.incr("requests", len(requests))
+        extents: Dict[Tuple[str, str], List[ObjectInstance]] = {}
+        to_fetch: List[ScanRequest] = []
+        for request in requests:
+            cached = self._cache_get(request)
+            if cached is MISS:
+                to_fetch.append(request)
+            else:
+                extents[(request.schema, request.class_name)] = cached
+        if to_fetch:
+            with self.metrics.timer("fan_out"):
+                outcome = self.executor.run(to_fetch)
+            self._apply_failure_policy(outcome)
+            for request, value in outcome.results.items():
+                self._cache_put(request, value)
+                extents[(request.schema, request.class_name)] = value
+        return extents
+
+    def _apply_failure_policy(self, outcome: ScanOutcome) -> None:
+        if not outcome.partial:
+            return
+        if self.policy.failure_policy is FailurePolicy.ERROR:
+            raise PartialResultError(
+                "; ".join(outcome.warnings()), failures=outcome.failures
+            )
+        self.last_warnings.extend(outcome.warnings())
+        self.metrics.incr("partial_results", len(outcome.failures))
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+    # ------------------------------------------------------------------
+    def _cache_get(self, request: ScanRequest) -> Any:
+        if not self.policy.cache_enabled:
+            return MISS
+        value = self.cache.get(request, self.transport.generation(request))
+        self.metrics.incr("cache_hits" if value is not MISS else "cache_misses")
+        return value
+
+    def _cache_put(self, request: ScanRequest, value: Any) -> None:
+        if self.policy.cache_enabled:
+            self.cache.put(request, value, self.transport.generation(request))
+
+    def invalidate(
+        self,
+        agent: Optional[str] = None,
+        schema: Optional[str] = None,
+        class_name: Optional[str] = None,
+    ) -> int:
+        """Explicitly drop cached extents (see :meth:`ExtentCache.invalidate`)."""
+        return self.cache.invalidate(agent, schema, class_name)
+
+    def bump_generation(self) -> int:
+        """Invalidate the whole cache via its generation counter."""
+        return self.cache.bump_generation()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> RuntimeStats:
+        """A point-in-time snapshot; subtract two for per-query deltas."""
+        return self.metrics.snapshot()
+
+    def timer(self, phase: str):
+        return self.metrics.timer(phase)
+
+    def agent_access_counts(self) -> Dict[str, int]:
+        """Scans that reached each agent (injected-fault attempts included)."""
+        return dict(self.stats().agent_scans)
+
+    def drain_warnings(self) -> List[str]:
+        """Return and clear the accumulated degradation warnings."""
+        warnings, self.last_warnings = self.last_warnings, []
+        return warnings

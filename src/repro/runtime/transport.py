@@ -1,0 +1,221 @@
+"""Agent transports: how the runtime reaches FSM-agents.
+
+The paper's FSM pulls one concept extension per agent call (§3,
+Appendix B); :class:`AgentTransport` is that call made explicit.  A
+:class:`ScanRequest` names the agent, schema, class and operation; the
+transport performs it and returns the raw value.
+
+Two implementations ship:
+
+* :class:`InProcessTransport` — direct calls against registered
+  :class:`~repro.federation.agent.FSMAgent` objects (the seed behaviour);
+* :class:`SimulatedNetworkTransport` — a decorator adding injectable
+  per-agent latency, drop probability and scripted failures, so the
+  executor's retry / circuit-breaker / partial-result machinery is
+  testable without a real network.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import threading
+import time
+from collections import defaultdict
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import RegistrationError, TransportError
+from ..federation.agent import FSMAgent
+
+#: operations a transport can perform against one class of one schema
+_OPS = ("direct_extent", "extent", "value_set")
+
+
+@dataclasses.dataclass(frozen=True)
+class ScanRequest:
+    """One agent scan: the unit the executor schedules and the cache keys."""
+
+    agent: str
+    schema: str
+    class_name: str
+    op: str = "direct_extent"
+    attribute: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise TransportError(f"unknown scan op {self.op!r}; choose from {_OPS}")
+        if self.op == "value_set" and not self.attribute:
+            raise TransportError("value_set scans need an attribute")
+
+    @property
+    def cache_key(self) -> Tuple[str, str, str]:
+        """The (agent, schema, class) cache granule this scan belongs to."""
+        return (self.agent, self.schema, self.class_name)
+
+    def describe(self) -> str:
+        suffix = f".{self.attribute}" if self.attribute else ""
+        return f"{self.op}({self.agent}:{self.schema}.{self.class_name}{suffix})"
+
+
+class AgentTransport:
+    """Protocol: route :class:`ScanRequest`\\ s to component systems."""
+
+    def agent_names(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def agent_for_schema(self, schema_name: str) -> str:
+        """The agent hosting *schema_name*."""
+        raise NotImplementedError
+
+    def generation(self, request: ScanRequest) -> Optional[int]:
+        """Backing-store version for *request*, or None when unobservable.
+
+        Caches compare this against the generation an entry was filled
+        at, so component-database writes invalidate stale extents.
+        """
+        return None
+
+    def perform(self, request: ScanRequest) -> Any:
+        """Execute the scan and return its raw value."""
+        raise NotImplementedError
+
+
+class InProcessTransport(AgentTransport):
+    """Direct calls against live :class:`FSMAgent` objects.
+
+    *agents* may be the FSM's own (mutable) registry — agents registered
+    after construction are visible, matching
+    :meth:`repro.federation.fsm.FSM.use_runtime` semantics.
+    """
+
+    def __init__(
+        self,
+        agents: Mapping[str, FSMAgent],
+        schema_host: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self._agents = agents
+        self._schema_host = schema_host
+
+    def agent_names(self) -> Tuple[str, ...]:
+        return tuple(self._agents)
+
+    def agent_for_schema(self, schema_name: str) -> str:
+        if self._schema_host is not None and schema_name in self._schema_host:
+            return self._schema_host[schema_name]
+        for name, agent in self._agents.items():
+            if schema_name in agent.schema_names():
+                return name
+        raise RegistrationError(f"no registered agent hosts schema {schema_name!r}")
+
+    def _agent(self, name: str) -> FSMAgent:
+        try:
+            return self._agents[name]
+        except KeyError:
+            raise RegistrationError(f"no agent {name!r} registered") from None
+
+    def generation(self, request: ScanRequest) -> Optional[int]:
+        try:
+            return self._agent(request.agent).database(request.schema).version
+        except RegistrationError:
+            return None
+
+    def perform(self, request: ScanRequest) -> Any:
+        agent = self._agent(request.agent)
+        if request.op == "direct_extent":
+            return agent.fetch_direct_extent(request.schema, request.class_name)
+        if request.op == "extent":
+            return agent.fetch_extent(request.schema, request.class_name)
+        assert request.attribute is not None
+        return agent.fetch_value_set(
+            request.schema, request.class_name, request.attribute
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultProfile:
+    """Injectable faults for one agent behind the simulated network."""
+
+    #: fixed seconds added to every call
+    latency: float = 0.0
+    #: extra uniform-random seconds on top of the fixed latency
+    jitter: float = 0.0
+    #: probability a call is dropped (raises TransportError)
+    drop_rate: float = 0.0
+    #: each distinct request fails its first N attempts, then succeeds —
+    #: the deterministic "flaky agent" script retries must ride out
+    fail_times: int = 0
+
+
+class SimulatedNetworkTransport(AgentTransport):
+    """A transport decorator that injects latency, drops and failures.
+
+    Per-agent :class:`FaultProfile`\\ s are installed with
+    :meth:`set_profile`; agents without one use *default_profile*.
+    Randomness is seeded, so runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        inner: AgentTransport,
+        default_profile: Optional[FaultProfile] = None,
+        seed: int = 0,
+        clock: Any = time.sleep,
+    ) -> None:
+        self._inner = inner
+        self._default = default_profile or FaultProfile()
+        self._profiles: Dict[str, FaultProfile] = {}
+        self._attempts: Dict[Tuple[Any, ...], int] = defaultdict(int)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._sleep = clock
+        #: calls that reached this transport, per agent (injected faults
+        #: included) — the "network side" view of the access histogram
+        self.calls: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    def set_profile(self, agent: str, profile: FaultProfile) -> FaultProfile:
+        self._profiles[agent] = profile
+        return profile
+
+    def profile_for(self, agent: str) -> FaultProfile:
+        return self._profiles.get(agent, self._default)
+
+    def reset_scripts(self) -> None:
+        """Forget scripted-failure attempt counters (fresh fault run)."""
+        with self._lock:
+            self._attempts.clear()
+
+    # ------------------------------------------------------------------
+    def agent_names(self) -> Tuple[str, ...]:
+        return self._inner.agent_names()
+
+    def agent_for_schema(self, schema_name: str) -> str:
+        return self._inner.agent_for_schema(schema_name)
+
+    def generation(self, request: ScanRequest) -> Optional[int]:
+        return self._inner.generation(request)
+
+    def perform(self, request: ScanRequest) -> Any:
+        profile = self.profile_for(request.agent)
+        with self._lock:
+            self.calls[request.agent] += 1
+            key = dataclasses.astuple(request)
+            self._attempts[key] += 1
+            attempt = self._attempts[key]
+            jitter = self._rng.random() * profile.jitter if profile.jitter else 0.0
+            dropped = (
+                profile.drop_rate > 0.0 and self._rng.random() < profile.drop_rate
+            )
+        delay = profile.latency + jitter
+        if delay > 0.0:
+            self._sleep(delay)
+        if attempt <= profile.fail_times:
+            raise TransportError(
+                f"injected failure {attempt}/{profile.fail_times} from agent "
+                f"{request.agent!r} ({request.describe()})"
+            )
+        if dropped:
+            raise TransportError(
+                f"reply from agent {request.agent!r} dropped ({request.describe()})"
+            )
+        return self._inner.perform(request)

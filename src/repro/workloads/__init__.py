@@ -1,6 +1,7 @@
 """Workloads: synthetic generators (§6.3 settings) and paper scenarios."""
 
 from .generators import (
+    federated_cluster,
     inclusion_chain,
     match_at_depth,
     mirrored_pair,
@@ -20,6 +21,7 @@ __all__ = [
     "appendix_a",
     "bibliography",
     "car_prices",
+    "federated_cluster",
     "fig4_suite",
     "genealogy",
     "inclusion_chain",

@@ -175,6 +175,69 @@ def match_at_depth(
     return left, right, assertions
 
 
+def federated_cluster(
+    schemas: int = 4,
+    per_class: int = 8,
+    classes_per_schema: int = 2,
+    seed: int = 13,
+) -> Tuple[List[Schema], str, Dict[str, "object"]]:
+    """*schemas* mirrored component schemas, chained ≡ assertions, data.
+
+    The federation-runtime workload: every schema ``Si`` defines the same
+    ``person0..personK`` classes (``ssn#``, ``name``, ``grade``); the DSL
+    text asserts each consecutive pair equivalent attribute-by-attribute,
+    so :meth:`FSM.integrate_all <repro.federation.fsm.FSM.integrate_all>`
+    folds the cluster into one global class per shape.  Each schema gets
+    its own populated :class:`~repro.model.database.ObjectDatabase`
+    (distinct OID agents, disjoint ssn values), ready to be hosted one
+    per FSM-agent — the ≥ 4-agent fan-out scenario.
+    """
+    from ..model.database import ObjectDatabase
+
+    rng = random.Random(seed)
+    names = [f"S{index + 1}" for index in range(schemas)]
+    built: List[Schema] = []
+    for name in names:
+        schema = Schema(name)
+        for shape in range(classes_per_schema):
+            schema.add_class(
+                ClassDef(f"person{shape}")
+                .attr("ssn#")
+                .attr("name")
+                .attr("grade", "integer")
+            )
+        schema.validate()
+        built.append(schema)
+    blocks: List[str] = []
+    for left_name, right_name in zip(names, names[1:]):
+        for shape in range(classes_per_schema):
+            cls = f"person{shape}"
+            blocks.append(
+                f"""
+                assertion {left_name}.{cls} == {right_name}.{cls}
+                  attr {left_name}.{cls}.ssn# == {right_name}.{cls}.ssn#
+                  attr {left_name}.{cls}.name == {right_name}.{cls}.name
+                  attr {left_name}.{cls}.grade == {right_name}.{cls}.grade
+                end
+                """
+            )
+    databases: Dict[str, "object"] = {}
+    for index, schema in enumerate(built):
+        database = ObjectDatabase(schema, agent=f"host{index + 1}")
+        for shape in range(classes_per_schema):
+            for row in range(per_class):
+                database.insert(
+                    f"person{shape}",
+                    {
+                        "ssn#": f"{schema.name}-{shape}-{row}",
+                        "name": f"p{index + 1}_{shape}_{row}",
+                        "grade": rng.randint(1, 5),
+                    },
+                )
+        databases[schema.name] = database
+    return built, "\n".join(blocks), databases
+
+
 def populate(schema: Schema, per_class: int, seed: int = 11) -> "object":
     """An :class:`ObjectDatabase` with *per_class* instances per class."""
     from ..model.database import ObjectDatabase

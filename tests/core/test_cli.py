@@ -95,3 +95,49 @@ class TestTables:
         assert "Table 2." in output
         assert "Table 3." in output
         assert "derivation" in output and "reverse" in output
+
+class TestQuery:
+    def test_demo_cluster_answers(self):
+        status, output = run(["query", "person0() -> ssn#", "--demo", "cluster"])
+        assert status == 0
+        assert output.count("ssn#=") == 4 * 8  # 4 schemas x 8 per class
+
+    def test_stats_flag_reports_scans_and_cache(self):
+        status, output = run(
+            ["query", "person0() -> ssn#", "--demo", "cluster",
+             "--repeat", "2", "--stats"]
+        )
+        assert status == 0
+        assert "run 1:" in output and "run 2:" in output
+        assert "agent_scans=0" in output  # the warm repeat
+        assert "last query:" in output and "cumulative:" in output
+
+    def test_appendix_b_path(self):
+        status, output = run(
+            ["query", "person0() -> ssn#", "--demo", "cluster",
+             "--appendix-b", "--stats"]
+        )
+        assert status == 0
+        assert "ssn#=" in output and "agent_scans" in output
+
+    def test_schema_files_with_data(self, files, tmp_path):
+        import json
+
+        data = tmp_path / "data.json"
+        data.write_text(json.dumps({
+            "S1": {"person": [{"ssn#": "1"}, {"ssn#": "2"}]},
+            "S2": {"human": [{"ssn#": "3"}]},
+        }))
+        status, output = run(
+            ["query", "person() -> ssn#", "--schema", files[0],
+             "--schema", files[1], "--assertions", files[2],
+             "--data", str(data)]
+        )
+        assert status == 0
+        assert output.count("ssn#=") == 3
+
+    def test_demo_and_schema_are_exclusive(self, files):
+        status, _ = run(
+            ["query", "p() -> x", "--demo", "cluster", "--schema", files[0]]
+        )
+        assert status == 1

@@ -1,0 +1,31 @@
+"""Shared builders for the federation-runtime suite."""
+
+import pytest
+
+from repro.federation import FSM, FSMAgent
+from repro.workloads import federated_cluster
+
+
+def build_cluster_fsm(schemas=4, per_class=5, classes_per_schema=2):
+    """An integrated ≥4-agent federation over the cluster workload."""
+    built, text, databases = federated_cluster(
+        schemas=schemas, per_class=per_class, classes_per_schema=classes_per_schema
+    )
+    fsm = FSM()
+    for index, schema in enumerate(built):
+        agent = FSMAgent(f"agent{index + 1}")
+        agent.host_object_database(databases[schema.name])
+        fsm.register_agent(agent)
+    fsm.declare(text)
+    fsm.integrate_all()
+    return fsm
+
+
+@pytest.fixture
+def cluster_fsm():
+    return build_cluster_fsm()
+
+
+@pytest.fixture
+def cluster_builder():
+    return build_cluster_fsm

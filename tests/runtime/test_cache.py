@@ -1,0 +1,115 @@
+"""The extent cache: hits, explicit invalidation, generation semantics."""
+
+import pytest
+
+from repro.federation import FSMAgent
+from repro.model import ClassDef, ObjectDatabase, Schema
+from repro.runtime import (
+    ExtentCache,
+    FederationRuntime,
+    MISS,
+    RuntimePolicy,
+    ScanRequest,
+)
+
+
+@pytest.fixture
+def runtime():
+    schema = Schema("S1")
+    schema.add_class(ClassDef("person").attr("ssn#"))
+    database = ObjectDatabase(schema, agent="h1")
+    database.insert("person", {"ssn#": "1"})
+    agent = FSMAgent("a1")
+    agent.host_object_database(database)
+    return FederationRuntime(agents={"a1": agent}), agent, database
+
+
+class TestCachePrimitives:
+    def test_miss_then_hit(self):
+        cache = ExtentCache()
+        request = ScanRequest("a1", "S1", "person")
+        assert cache.get(request) is MISS
+        cache.put(request, [1, 2])
+        assert cache.get(request) == [1, 2]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_results_are_copied(self):
+        cache = ExtentCache()
+        request = ScanRequest("a1", "S1", "person")
+        cache.put(request, [1])
+        cache.get(request).append(2)
+        assert cache.get(request) == [1]
+
+    def test_variants_share_a_granule(self):
+        cache = ExtentCache()
+        direct = ScanRequest("a1", "S1", "person")
+        values = ScanRequest("a1", "S1", "person", "value_set", "ssn#")
+        cache.put(direct, [1])
+        cache.put(values, {"x"})
+        assert len(cache) == 2
+        assert cache.invalidate(class_name="person") == 1  # one granule
+        assert cache.get(direct) is MISS and cache.get(values) is MISS
+
+    def test_explicit_invalidation_by_coordinate(self):
+        cache = ExtentCache()
+        cache.put(ScanRequest("a1", "S1", "person"), [1])
+        cache.put(ScanRequest("a2", "S2", "person"), [2])
+        assert cache.invalidate(agent="a1") == 1
+        assert cache.get(ScanRequest("a2", "S2", "person")) == [2]
+        assert cache.invalidate() == 1  # drop the rest
+
+    def test_bump_generation_invalidates_lazily(self):
+        cache = ExtentCache()
+        request = ScanRequest("a1", "S1", "person")
+        cache.put(request, [1])
+        cache.bump_generation()
+        assert cache.get(request) is MISS
+
+    def test_source_generation_mismatch_is_a_miss(self):
+        cache = ExtentCache()
+        request = ScanRequest("a1", "S1", "person")
+        cache.put(request, [1], source_generation=7)
+        assert cache.get(request, source_generation=7) == [1]
+        assert cache.get(request, source_generation=8) is MISS
+
+
+class TestRuntimeCaching:
+    def test_warm_fetch_skips_the_agent(self, runtime):
+        rt, agent, _ = runtime
+        first = rt.direct_extent("S1", "person")
+        count_after_cold = agent.access_count
+        second = rt.direct_extent("S1", "person")
+        assert [i.oid for i in first] == [i.oid for i in second]
+        assert agent.access_count == count_after_cold  # zero warm scans
+        stats = rt.stats()
+        assert stats.counter("cache_hits") == 1
+        assert stats.counter("cache_misses") == 1
+
+    def test_component_write_invalidates_via_generation(self, runtime):
+        rt, agent, database = runtime
+        assert len(rt.direct_extent("S1", "person")) == 1
+        database.insert("person", {"ssn#": "2"})
+        assert len(rt.direct_extent("S1", "person")) == 2  # refetched
+        assert agent.access_count == 2
+
+    def test_explicit_invalidation_forces_rescan(self, runtime):
+        rt, agent, _ = runtime
+        rt.direct_extent("S1", "person")
+        assert rt.invalidate(schema="S1") == 1
+        rt.direct_extent("S1", "person")
+        assert agent.access_count == 2
+
+    def test_cache_disabled_policy_always_scans(self):
+        schema = Schema("S1")
+        schema.add_class(ClassDef("person").attr("ssn#"))
+        database = ObjectDatabase(schema, agent="h1")
+        database.insert("person", {"ssn#": "1"})
+        agent = FSMAgent("a1")
+        agent.host_object_database(database)
+        rt = FederationRuntime(
+            agents={"a1": agent}, policy=RuntimePolicy(cache_enabled=False)
+        )
+        rt.direct_extent("S1", "person")
+        rt.direct_extent("S1", "person")
+        assert agent.access_count == 2
+        assert rt.stats().counter("cache_hits") == 0

@@ -1,0 +1,128 @@
+"""Agent transports: in-process calls and the simulated network."""
+
+import pytest
+
+from repro.errors import RegistrationError, TransportError
+from repro.federation import FSMAgent
+from repro.model import ClassDef, ObjectDatabase, Schema
+from repro.runtime import (
+    FaultProfile,
+    InProcessTransport,
+    ScanRequest,
+    SimulatedNetworkTransport,
+)
+
+
+@pytest.fixture
+def agents():
+    schema = Schema("S1")
+    schema.add_class(ClassDef("person").attr("ssn#").attr("name"))
+    database = ObjectDatabase(schema, agent="h1")
+    database.insert("person", {"ssn#": "1", "name": "ann"})
+    database.insert("person", {"ssn#": "2", "name": "bob"})
+    agent = FSMAgent("a1")
+    agent.host_object_database(database)
+    return {"a1": agent}
+
+
+class TestScanRequest:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TransportError, match="unknown scan op"):
+            ScanRequest("a1", "S1", "person", op="explode")
+
+    def test_value_set_needs_attribute(self):
+        with pytest.raises(TransportError, match="attribute"):
+            ScanRequest("a1", "S1", "person", op="value_set")
+
+    def test_cache_key_is_agent_schema_class(self):
+        request = ScanRequest("a1", "S1", "person", "value_set", "name")
+        assert request.cache_key == ("a1", "S1", "person")
+
+
+class TestInProcessTransport:
+    def test_performs_all_ops(self, agents):
+        transport = InProcessTransport(agents)
+        extent = transport.perform(ScanRequest("a1", "S1", "person"))
+        assert len(extent) == 2
+        full = transport.perform(ScanRequest("a1", "S1", "person", "extent"))
+        assert len(full) == 2
+        values = transport.perform(
+            ScanRequest("a1", "S1", "person", "value_set", "name")
+        )
+        assert values == {"ann", "bob"}
+
+    def test_counts_agent_accesses(self, agents):
+        transport = InProcessTransport(agents)
+        transport.perform(ScanRequest("a1", "S1", "person"))
+        assert agents["a1"].access_count == 1
+
+    def test_agent_for_schema(self, agents):
+        transport = InProcessTransport(agents)
+        assert transport.agent_for_schema("S1") == "a1"
+        with pytest.raises(RegistrationError):
+            transport.agent_for_schema("S9")
+
+    def test_generation_follows_database_version(self, agents):
+        transport = InProcessTransport(agents)
+        request = ScanRequest("a1", "S1", "person")
+        before = transport.generation(request)
+        agents["a1"].database("S1").insert("person", {"ssn#": "3", "name": "cid"})
+        assert transport.generation(request) == before + 1
+
+
+class TestSimulatedNetworkTransport:
+    def test_flaky_script_fails_then_succeeds(self, agents):
+        simulated = SimulatedNetworkTransport(InProcessTransport(agents))
+        simulated.set_profile("a1", FaultProfile(fail_times=2))
+        request = ScanRequest("a1", "S1", "person")
+        for _ in range(2):
+            with pytest.raises(TransportError, match="injected failure"):
+                simulated.perform(request)
+        assert len(simulated.perform(request)) == 2
+
+    def test_scripts_are_per_request(self, agents):
+        simulated = SimulatedNetworkTransport(InProcessTransport(agents))
+        simulated.set_profile("a1", FaultProfile(fail_times=1))
+        first = ScanRequest("a1", "S1", "person")
+        second = ScanRequest("a1", "S1", "person", "value_set", "name")
+        with pytest.raises(TransportError):
+            simulated.perform(first)
+        with pytest.raises(TransportError):
+            simulated.perform(second)  # its own fresh failure budget
+        assert len(simulated.perform(first)) == 2
+        assert simulated.perform(second) == {"ann", "bob"}
+
+    def test_reset_scripts_restores_failures(self, agents):
+        simulated = SimulatedNetworkTransport(InProcessTransport(agents))
+        simulated.set_profile("a1", FaultProfile(fail_times=1))
+        request = ScanRequest("a1", "S1", "person")
+        with pytest.raises(TransportError):
+            simulated.perform(request)
+        simulated.perform(request)
+        simulated.reset_scripts()
+        with pytest.raises(TransportError):
+            simulated.perform(request)
+
+    def test_drops_are_transport_errors(self, agents):
+        simulated = SimulatedNetworkTransport(
+            InProcessTransport(agents), FaultProfile(drop_rate=1.0)
+        )
+        with pytest.raises(TransportError, match="dropped"):
+            simulated.perform(ScanRequest("a1", "S1", "person"))
+
+    def test_latency_uses_injected_clock(self, agents):
+        naps = []
+        simulated = SimulatedNetworkTransport(
+            InProcessTransport(agents),
+            FaultProfile(latency=0.25),
+            clock=naps.append,
+        )
+        simulated.perform(ScanRequest("a1", "S1", "person"))
+        assert naps == [0.25]
+
+    def test_call_histogram(self, agents):
+        simulated = SimulatedNetworkTransport(InProcessTransport(agents))
+        request = ScanRequest("a1", "S1", "person")
+        simulated.perform(request)
+        simulated.perform(request)
+        assert simulated.calls["a1"] == 2
