@@ -1,11 +1,18 @@
-"""Experiment E-R1 — federation runtime latency under injected delay.
+"""Experiments E-R1 / E-R2 — federation runtime latency and fan-out scale.
 
-A 4-agent federation with 10ms of simulated per-call network latency
-answers the same global query three ways: sequentially with the cache
-off (the pre-runtime behaviour), through the concurrent fan-out, and
-from a warm extent cache.  The fan-out should collapse the 8 serial
-round-trips towards a single one, and the warm run should touch no
-agent at all.
+**E-R1** (4 agents, 10ms injected per-call latency): the same global
+query answered sequentially with the cache off (the pre-runtime
+behaviour), through the concurrent fan-out, and from a warm extent
+cache.  The fan-out should collapse the 8 serial round-trips towards a
+single one, and the warm run should touch no agent at all.
+
+**E-R2** (4 / 32 / 256 simulated agents, 10ms latency each): one scan
+per agent fanned out by the threaded executor (default 8-thread pool)
+versus the asyncio executor (coroutines on one event loop).  At 4
+agents the two are equivalent; at 256 the thread pool pays
+``ceil(256/8)`` serial waves while the event loop multiplexes every
+sleep concurrently — the fan-out a thread-per-scan design cannot match
+without 256 workers.
 
 Runs standalone (``python benchmarks/bench_federation_runtime.py``)
 or under pytest; both emit ``BENCH_runtime.json``.
@@ -17,11 +24,17 @@ import time
 from pathlib import Path
 
 from repro.federation import FSM, FSMAgent
+from repro.model import ClassDef, ObjectDatabase, Schema
 from repro.runtime import (
+    AsyncFederationExecutor,
+    AsyncInProcessTransport,
+    AsyncSimulatedNetworkTransport,
     FaultProfile,
+    FederationExecutor,
     FederationRuntime,
     InProcessTransport,
     RuntimePolicy,
+    ScanRequest,
     SimulatedNetworkTransport,
 )
 from repro.workloads import federated_cluster
@@ -29,6 +42,8 @@ from repro.workloads import federated_cluster
 QUERY = "person0() -> ssn#"
 LATENCY = 0.010  # 10ms per agent call
 ROUNDS = 5
+FLEET_SIZES = (4, 32, 256)
+FLEET_ROUNDS = 3
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
 
 
@@ -71,6 +86,71 @@ def _median_cold(policy):
     return statistics.median(samples), len(rows)
 
 
+def _fleet(size):
+    """*size* agents, each hosting one tiny single-class schema."""
+    agents = {}
+    requests = []
+    for index in range(size):
+        schema = Schema(f"F{index}")
+        schema.add_class(ClassDef("item").attr("id"))
+        database = ObjectDatabase(schema, agent=f"fleet-host{index}")
+        database.insert("item", {"id": str(index)})
+        agent = FSMAgent(f"fleet{index}")
+        agent.host_object_database(database)
+        agents[agent.name] = agent
+        requests.append(ScanRequest(agent.name, schema.name, "item"))
+    return agents, requests
+
+
+def _timed_fanout(executor, requests, rounds=FLEET_ROUNDS):
+    samples = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        outcome = executor.run(requests)
+        samples.append((time.perf_counter() - started) * 1000.0)
+        assert not outcome.failures
+        assert len(outcome.results) == len(requests)
+    return statistics.median(samples)
+
+
+def run_fanout_scale():
+    """E-R2: one scan per agent, threaded pool vs asyncio event loop."""
+    profile = FaultProfile(latency=LATENCY)
+    scales = []
+    for size in FLEET_SIZES:
+        agents, requests = _fleet(size)
+        policy = RuntimePolicy(max_inflight=size)
+
+        threaded = FederationExecutor(
+            SimulatedNetworkTransport(InProcessTransport(agents), profile),
+            policy,
+        )
+        threaded_ms = _timed_fanout(threaded, requests)
+
+        async_executor = AsyncFederationExecutor(
+            AsyncSimulatedNetworkTransport(
+                AsyncInProcessTransport(agents), profile
+            ),
+            policy,
+        )
+        try:
+            async_ms = _timed_fanout(async_executor, requests)
+        finally:
+            async_executor.close()
+
+        scales.append(
+            {
+                "agents": size,
+                "threaded_ms": round(threaded_ms, 3),
+                "async_ms": round(async_ms, 3),
+                "threaded_scans_per_s": round(size / (threaded_ms / 1000.0), 1),
+                "async_scans_per_s": round(size / (async_ms / 1000.0), 1),
+                "async_speedup": round(threaded_ms / async_ms, 2),
+            }
+        )
+    return scales
+
+
 def run_experiment():
     sequential_ms, answers = _median_cold(
         RuntimePolicy.sequential(cache_enabled=False)
@@ -103,6 +183,12 @@ def run_experiment():
     }
 
 
+def run_all():
+    results = run_experiment()
+    results["fanout"] = run_fanout_scale()
+    return results
+
+
 def _emit(results):
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
     return results
@@ -110,7 +196,7 @@ def _emit(results):
 
 def test_runtime_latency(benchmark, report):
     """Cold sequential vs cold concurrent vs warm cached latency."""
-    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
     _emit(results)
     report(
         "E-R1  federated query latency, 4 agents x 10ms per call",
@@ -122,11 +208,21 @@ def test_runtime_latency(benchmark, report):
             ("speedup", f'{results["concurrent_speedup"]}x'),
         ],
     )
+    report(
+        "E-R2  fan-out scale, threaded (8 threads) vs async, 10ms/scan",
+        ("agents", "threaded ms", "async ms", "async speedup"),
+        [
+            (s["agents"], s["threaded_ms"], s["async_ms"], f'{s["async_speedup"]}x')
+            for s in results["fanout"]
+        ],
+    )
     assert results["concurrent_cold_ms"] < results["sequential_cold_ms"]
     assert results["warm_agent_scans"] == 0
+    at_256 = next(s for s in results["fanout"] if s["agents"] == 256)
+    assert at_256["async_scans_per_s"] >= at_256["threaded_scans_per_s"]
 
 
 if __name__ == "__main__":
-    emitted = _emit(run_experiment())
+    emitted = _emit(run_all())
     print(json.dumps(emitted, indent=2))
     print(f"wrote {OUTPUT}")

@@ -1,0 +1,158 @@
+"""Perf-regression gate over ``BENCH_runtime.json`` (CI's last word).
+
+Reads a freshly generated benchmark file and fails (exit 1) when the
+federation runtime's load-bearing numbers regress:
+
+* ``concurrent_speedup`` below the absolute floor (default 3.0) — the
+  fan-out no longer beats the sequential baseline;
+* ``warm_agent_scans`` nonzero — the extent cache leaks scans to agents
+  on warm queries (the paper's autonomy accounting breaks);
+* in the E-R2 fan-out series, async throughput below threaded
+  throughput at the largest scale — the event-loop path lost the very
+  property it exists for;
+* optionally, drift against a committed baseline file: any gated metric
+  worse than ``tolerance`` × baseline fails even above absolute floors.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_runtime.json \
+        --baseline BENCH_baseline.json --min-speedup 3.0 --tolerance 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+
+def _load(path: str) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def check(
+    fresh: dict,
+    baseline: Optional[dict] = None,
+    min_speedup: float = 3.0,
+    tolerance: float = 0.5,
+) -> List[str]:
+    """Return the list of regression messages (empty = gate passes)."""
+    problems: List[str] = []
+
+    speedup = fresh.get("concurrent_speedup", 0.0)
+    if speedup < min_speedup:
+        problems.append(
+            f"concurrent_speedup {speedup} is below the {min_speedup} floor "
+            "(fan-out no longer beats sequential)"
+        )
+
+    warm = fresh.get("warm_agent_scans", -1)
+    if warm != 0:
+        problems.append(
+            f"warm_agent_scans is {warm}, expected 0 "
+            "(extent cache leaks scans to agents on warm queries)"
+        )
+
+    fanout = fresh.get("fanout", [])
+    if not fanout:
+        problems.append("fanout series is missing (E-R2 did not run)")
+    else:
+        largest = max(fanout, key=lambda s: s.get("agents", 0))
+        threaded = largest.get("threaded_scans_per_s", 0.0)
+        asynchronous = largest.get("async_scans_per_s", 0.0)
+        if asynchronous < threaded:
+            problems.append(
+                f"async throughput {asynchronous} scans/s trails threaded "
+                f"{threaded} scans/s at {largest.get('agents')} agents"
+            )
+
+    if baseline is not None:
+        base_speedup = baseline.get("concurrent_speedup", 0.0)
+        if base_speedup > 0 and speedup < base_speedup * tolerance:
+            problems.append(
+                f"concurrent_speedup {speedup} fell below {tolerance:.0%} of "
+                f"the committed baseline ({base_speedup})"
+            )
+        base_fanout = {
+            s["agents"]: s for s in baseline.get("fanout", []) if "agents" in s
+        }
+        for series in fanout:
+            base = base_fanout.get(series.get("agents"))
+            if base is None:
+                continue
+            fresh_tp = series.get("async_scans_per_s", 0.0)
+            base_tp = base.get("async_scans_per_s", 0.0)
+            if base_tp > 0 and fresh_tp < base_tp * tolerance:
+                problems.append(
+                    f"async throughput at {series['agents']} agents "
+                    f"({fresh_tp} scans/s) fell below {tolerance:.0%} of the "
+                    f"committed baseline ({base_tp} scans/s)"
+                )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail CI when BENCH_runtime.json regresses"
+    )
+    parser.add_argument(
+        "fresh",
+        nargs="?",
+        default="BENCH_runtime.json",
+        help="freshly generated benchmark file (default: BENCH_runtime.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="committed baseline benchmark file to diff against (optional)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="absolute concurrent_speedup floor (default: 3.0)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="fraction of the baseline a metric may drop to (default: 0.5)",
+    )
+    arguments = parser.parse_args(argv)
+
+    try:
+        fresh = _load(arguments.fresh)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"regression gate: cannot read {arguments.fresh}: {error}")
+        return 1
+    baseline = None
+    if arguments.baseline:
+        try:
+            baseline = _load(arguments.baseline)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"regression gate: cannot read baseline: {error}")
+            return 1
+
+    problems = check(
+        fresh, baseline, arguments.min_speedup, arguments.tolerance
+    )
+    if problems:
+        print("regression gate FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    fanout = fresh.get("fanout", [])
+    largest = max(fanout, key=lambda s: s.get("agents", 0)) if fanout else {}
+    print(
+        "regression gate passed: "
+        f"concurrent_speedup={fresh.get('concurrent_speedup')} "
+        f"warm_agent_scans={fresh.get('warm_agent_scans')} "
+        f"async@{largest.get('agents', '?')}="
+        f"{largest.get('async_scans_per_s', '?')} scans/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,9 +22,11 @@ Subcommands:
     populated scenarios) or ``--schema`` files plus ``--assertions`` and
     an optional ``--data`` JSON file (``{"S1": {"class": [{...}]}}``).
     ``--latency MS`` simulates per-call network latency, ``--workers`` /
-    ``--sequential`` size the fan-out pool, ``--repeat N`` re-runs the
-    query (showing the extent cache), ``--appendix-b`` uses the top-down
-    evaluator, and ``--stats`` prints the per-query and cumulative
+    ``--sequential`` size the fan-out pool, ``--async`` switches the
+    runtime to the asyncio executor (``--max-inflight`` bounds its
+    in-flight window), ``--repeat N`` re-runs the query (showing the
+    extent cache), ``--appendix-b`` uses the top-down evaluator, and
+    ``--stats`` prints the per-query and cumulative
     :class:`~repro.runtime.RuntimeStats`.
 """
 
@@ -126,6 +128,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=8, help="fan-out thread pool size"
     )
     query.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="multiplex agent scans on one asyncio event loop instead of "
+        "a thread pool (same answers, same cache, same stats)",
+    )
+    query.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="concurrent in-flight scans the async executor admits "
+        "(only with --async; default 64)",
+    )
+    query.add_argument(
         "--sequential",
         action="store_true",
         help="one worker, no retries (the pre-runtime behaviour)",
@@ -207,6 +224,8 @@ def _build_query_fsm(arguments):
 
 def _attach_query_runtime(fsm, arguments):
     from .runtime import (
+        AsyncInProcessTransport,
+        AsyncSimulatedNetworkTransport,
         FaultProfile,
         FederationRuntime,
         InProcessTransport,
@@ -219,15 +238,22 @@ def _attach_query_runtime(fsm, arguments):
     else:
         policy = RuntimePolicy(
             max_workers=max(1, arguments.workers),
+            max_inflight=max(1, arguments.max_inflight),
             cache_enabled=not arguments.no_cache,
         )
-    transport = InProcessTransport(fsm._agents, fsm._schema_host)
-    if arguments.latency > 0:
-        transport = SimulatedNetworkTransport(
-            transport, FaultProfile(latency=arguments.latency / 1000.0)
-        )
+    profile = FaultProfile(latency=arguments.latency / 1000.0)
+    if arguments.use_async:
+        transport = AsyncInProcessTransport(fsm._agents, fsm._schema_host)
+        if arguments.latency > 0:
+            transport = AsyncSimulatedNetworkTransport(transport, profile)
+        mode = "async"
+    else:
+        transport = InProcessTransport(fsm._agents, fsm._schema_host)
+        if arguments.latency > 0:
+            transport = SimulatedNetworkTransport(transport, profile)
+        mode = "threaded"
     return fsm.use_runtime(
-        runtime=FederationRuntime(transport=transport, policy=policy)
+        runtime=FederationRuntime(transport=transport, policy=policy, mode=mode)
     )
 
 

@@ -111,11 +111,13 @@ class FederationSession:
         self,
         policy: Optional["RuntimePolicy"] = None,
         runtime: Optional["FederationRuntime"] = None,
+        mode: str = "threaded",
     ) -> "FederationRuntime":
         """Route agent access through a federation runtime (concurrent
-        fan-out, retries, extent caching, metrics); see
-        :meth:`repro.federation.fsm.FSM.use_runtime`."""
-        return self.fsm.use_runtime(policy=policy, runtime=runtime)
+        fan-out, retries, extent caching, metrics); *mode* picks the
+        thread-pool (``"threaded"``) or event-loop (``"async"``)
+        executor; see :meth:`repro.federation.fsm.FSM.use_runtime`."""
+        return self.fsm.use_runtime(policy=policy, runtime=runtime, mode=mode)
 
     @property
     def runtime(self) -> Optional["FederationRuntime"]:

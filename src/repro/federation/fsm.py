@@ -279,21 +279,30 @@ class FSM:
         self,
         policy: Optional["RuntimePolicy"] = None,
         runtime: Optional["FederationRuntime"] = None,
+        mode: str = "threaded",
     ) -> "FederationRuntime":
         """Attach a federation runtime to both evaluation paths.
 
         Either pass a prebuilt *runtime* (e.g. one whose transport
         simulates network faults), or a *policy* and the FSM builds an
         in-process runtime over its live agent registry (agents
-        registered later are picked up automatically).
+        registered later are picked up automatically).  *mode* selects
+        the execution engine for the built runtime: ``"threaded"``
+        (thread-pool fan-out) or ``"async"`` (one event loop multiplexes
+        every in-flight scan).
         """
         if runtime is None:
+            from ..runtime.async_transport import AsyncInProcessTransport
             from ..runtime.runtime import FederationRuntime
             from ..runtime.transport import InProcessTransport
 
+            transport = (
+                AsyncInProcessTransport(self._agents, self._schema_host)
+                if mode == "async"
+                else InProcessTransport(self._agents, self._schema_host)
+            )
             runtime = FederationRuntime(
-                transport=InProcessTransport(self._agents, self._schema_host),
-                policy=policy,
+                transport=transport, policy=policy, mode=mode
             )
         self.runtime = runtime
         return runtime

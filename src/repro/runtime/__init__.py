@@ -11,6 +11,12 @@ query paths and the agents:
 * :mod:`~repro.runtime.executor` — thread-pool fan-out with per-call
   timeouts, bounded exponential-backoff retries and per-agent circuit
   breakers;
+* :mod:`~repro.runtime.async_transport` / :mod:`~repro.runtime.async_executor`
+  — the asyncio twins: coroutine transports (including a fault-injecting
+  simulated network that sleeps on the loop, not a thread) and an
+  event-loop executor with ``asyncio.timeout`` deadlines and a
+  semaphore-bounded in-flight window, sharing the same policy, breaker
+  and metrics objects as the threaded path;
 * :mod:`~repro.runtime.cache` — the ``(agent, schema, class)`` extent
   cache with explicit and generation-based invalidation;
 * :mod:`~repro.runtime.metrics` — counters, phase timers and per-agent
@@ -19,12 +25,19 @@ query paths and the agents:
   the FSM attaches via :meth:`repro.federation.fsm.FSM.use_runtime`.
 """
 
+from .async_executor import AsyncFederationExecutor
+from .async_transport import (
+    AsyncAgentTransport,
+    AsyncInProcessTransport,
+    AsyncSimulatedNetworkTransport,
+    AsyncTransportAdapter,
+)
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .cache import MISS, ExtentCache
 from .executor import FederationExecutor, ScanFailure, ScanOutcome
 from .metrics import RuntimeMetrics, RuntimeStats, TimerStats
 from .policy import FailurePolicy, RuntimePolicy
-from .runtime import FederationRuntime
+from .runtime import MODES, FederationRuntime
 from .transport import (
     AgentTransport,
     FaultProfile,
@@ -35,6 +48,11 @@ from .transport import (
 
 __all__ = [
     "AgentTransport",
+    "AsyncAgentTransport",
+    "AsyncFederationExecutor",
+    "AsyncInProcessTransport",
+    "AsyncSimulatedNetworkTransport",
+    "AsyncTransportAdapter",
     "CLOSED",
     "CircuitBreaker",
     "ExtentCache",
@@ -45,6 +63,7 @@ __all__ = [
     "HALF_OPEN",
     "InProcessTransport",
     "MISS",
+    "MODES",
     "OPEN",
     "RuntimeMetrics",
     "RuntimePolicy",

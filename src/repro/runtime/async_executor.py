@@ -1,0 +1,235 @@
+"""The asyncio executor: multiplex agent scans on one event loop.
+
+:class:`~repro.runtime.executor.FederationExecutor` spends an OS thread
+per in-flight scan, so its fan-out width is bounded by the pool; 256
+slow agents behind 10ms links cost ``256 / max_workers`` round-trip
+waves.  :class:`AsyncFederationExecutor` drives the same
+:class:`~repro.runtime.transport.ScanRequest` fan-out as coroutines —
+an awaiting scan costs a timer, not a thread — with semantics
+deliberately *shared*, not forked:
+
+* the same :class:`~repro.runtime.policy.RuntimePolicy` object supplies
+  retries, backoff schedule and per-call timeout;
+* the same :class:`~repro.runtime.breaker.CircuitBreaker` *instance*
+  may be shared with a threaded executor (its lock never crosses an
+  ``await``), so both paths see one failure history per agent;
+* the same :class:`~repro.runtime.metrics.RuntimeMetrics` vocabulary —
+  ``timeouts``, ``retries``, ``breaker_trips`` — keeps ``--stats``
+  identical across modes;
+* per-call deadlines use :func:`asyncio.timeout` (``asyncio.wait_for``
+  before 3.11): an overdue scan's coroutine is **cancelled**, not
+  abandoned — the transport sees the cancellation, and the attempt is
+  recorded as a timeout, never a success;
+* fan-out width is a semaphore (``policy.max_inflight``), so admitting
+  thousands of scans costs no OS resources.
+
+The executor exposes both coroutine (:meth:`run_async`,
+:meth:`run_one_async`) and synchronous (:meth:`run`, :meth:`run_one`)
+APIs.  The sync bridge submits to a lazily-started daemon event-loop
+thread, so the synchronous FSM query paths use the async mode without
+any caller becoming async themselves.  Do not call the sync API from a
+coroutine running on that same loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Awaitable, Callable, Dict, Iterable, List, Optional
+
+from ..errors import (
+    AgentTimeoutError,
+    CircuitOpenError,
+    ReproError,
+    TransportError,
+)
+from .breaker import CLOSED, CircuitBreaker
+from .executor import ScanFailure, ScanOutcome
+from .metrics import RuntimeMetrics
+from .policy import RuntimePolicy
+from .async_transport import AsyncAgentTransport
+from .transport import ScanRequest
+
+#: asyncio.timeout landed in 3.11; 3.10 falls back to wait_for
+_TIMEOUT_FACTORY = getattr(asyncio, "timeout", None)
+
+
+async def _with_deadline(awaitable: Awaitable[Any], seconds: float) -> Any:
+    if _TIMEOUT_FACTORY is not None:
+        async with _TIMEOUT_FACTORY(seconds):
+            return await awaitable
+    return await asyncio.wait_for(awaitable, seconds)
+
+
+class _EventLoopThread:
+    """A lazily-started daemon thread running one event loop forever.
+
+    The synchronous facade submits coroutines with
+    :func:`asyncio.run_coroutine_threadsafe` and blocks on the future —
+    the standard sync-over-async bridge.  Restartable: if the thread
+    died (interpreter teardown races in tests), the next submit starts
+    a fresh loop.
+    """
+
+    def __init__(self, name: str = "fsm-async-loop") -> None:
+        self._name = name
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    def _ensure(self) -> asyncio.AbstractEventLoop:
+        with self._lock:
+            if (
+                self._loop is None
+                or self._thread is None
+                or not self._thread.is_alive()
+            ):
+                loop = asyncio.new_event_loop()
+                thread = threading.Thread(
+                    target=self._drive, args=(loop,), name=self._name, daemon=True
+                )
+                thread.start()
+                self._loop, self._thread = loop, thread
+            return self._loop
+
+    @staticmethod
+    def _drive(loop: asyncio.AbstractEventLoop) -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_forever()
+
+    def submit(self, coroutine: Awaitable[Any]) -> Any:
+        """Run *coroutine* on the loop thread and return its result."""
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, self._ensure()  # type: ignore[arg-type]
+        ).result()
+
+    def close(self) -> None:
+        with self._lock:
+            loop, thread = self._loop, self._thread
+            self._loop = self._thread = None
+        if loop is None or thread is None:
+            return
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5.0)
+        loop.close()
+
+
+class AsyncFederationExecutor:
+    """Schedule agent scans as coroutines under the shared failure model."""
+
+    def __init__(
+        self,
+        transport: AsyncAgentTransport,
+        policy: Optional[RuntimePolicy] = None,
+        metrics: Optional[RuntimeMetrics] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+    ) -> None:
+        self.transport = transport
+        self.policy = policy or RuntimePolicy()
+        self.metrics = metrics or RuntimeMetrics()
+        self.breaker = breaker or CircuitBreaker(
+            self.policy.breaker_threshold, self.policy.breaker_reset
+        )
+        self._sleep = sleep
+        self._runner = _EventLoopThread()
+
+    # ------------------------------------------------------------------
+    # coroutine API
+    # ------------------------------------------------------------------
+    async def run_one_async(self, request: ScanRequest) -> Any:
+        """One scan through the retry / breaker / deadline machinery."""
+        policy = self.policy
+        agent = request.agent
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.max_retries + 2):
+            if attempt > 1:
+                self.metrics.incr("retries")
+                await self._sleep(policy.backoff(attempt - 1))
+            probing = self.breaker.state(agent) != CLOSED
+            if not self.breaker.allow(agent):
+                self.metrics.incr("circuit_rejections")
+                raise CircuitOpenError(agent)
+            self.metrics.record_agent_scan(agent)
+            try:
+                if policy.timeout is None:
+                    value = await self.transport.perform(request)
+                else:
+                    value = await _with_deadline(
+                        self.transport.perform(request), policy.timeout
+                    )
+            except (asyncio.TimeoutError, TimeoutError):
+                self.metrics.incr("timeouts")
+                if self.breaker.record_failure(agent):
+                    self.metrics.incr("breaker_trips")
+                last_error = AgentTimeoutError(agent, policy.timeout or 0.0)
+                continue
+            except asyncio.CancelledError:
+                # externally cancelled (shutdown, caller deadline): release
+                # a half-open probe slot so the breaker stays live, then
+                # let the cancellation propagate
+                if probing:
+                    self.breaker.abandon_probe(agent)
+                raise
+            except TransportError as error:
+                self.metrics.incr("transport_failures")
+                if self.breaker.record_failure(agent):
+                    self.metrics.incr("breaker_trips")
+                last_error = error
+                continue
+            self.breaker.record_success(agent)
+            return value
+        assert last_error is not None
+        raise last_error
+
+    async def run_async(self, requests: Iterable[ScanRequest]) -> ScanOutcome:
+        """Fan *requests* out concurrently; never raises per-scan failures."""
+        pending = list(requests)
+        results: Dict[ScanRequest, Any] = {}
+        failures: List[ScanFailure] = []
+        if not pending:
+            return ScanOutcome(results)
+        gate = asyncio.Semaphore(self.policy.max_inflight)
+
+        async def guarded(request: ScanRequest) -> None:
+            try:
+                async with gate:
+                    value = await self.run_one_async(request)
+            except CircuitOpenError as error:
+                failures.append(
+                    ScanFailure(request, str(error), "circuit_open", attempts=0)
+                )
+            except AgentTimeoutError as error:
+                failures.append(
+                    ScanFailure(
+                        request, str(error), "timeout", self.policy.max_retries + 1
+                    )
+                )
+            except TransportError as error:
+                failures.append(
+                    ScanFailure(
+                        request, str(error), "transport", self.policy.max_retries + 1
+                    )
+                )
+            except ReproError as error:
+                failures.append(ScanFailure(request, str(error), "error", attempts=1))
+            else:
+                results[request] = value
+
+        await asyncio.gather(*(guarded(request) for request in pending))
+        if failures:
+            self.metrics.incr("scan_failures", len(failures))
+        return ScanOutcome(results, failures)
+
+    # ------------------------------------------------------------------
+    # synchronous bridge (what FederationRuntime calls in async mode)
+    # ------------------------------------------------------------------
+    def run_one(self, request: ScanRequest) -> Any:
+        return self._runner.submit(self.run_one_async(request))
+
+    def run(self, requests: Iterable[ScanRequest]) -> ScanOutcome:
+        return self._runner.submit(self.run_async(requests))
+
+    def close(self) -> None:
+        """Stop the bridge's event-loop thread (idempotent)."""
+        self._runner.close()

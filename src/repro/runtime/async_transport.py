@@ -1,0 +1,193 @@
+"""Asyncio agent transports: coroutine-shaped access to FSM-agents.
+
+The threaded executor needs one OS thread per in-flight scan; to
+multiplex thousands of slow agents from one process the transport layer
+must *suspend* instead of *block*.  :class:`AsyncAgentTransport` is the
+coroutine twin of :class:`~repro.runtime.transport.AgentTransport`:
+``perform`` is ``async`` while the cheap metadata lookups
+(:meth:`agent_names`, :meth:`agent_for_schema`, :meth:`generation`)
+stay synchronous so the :class:`~repro.runtime.runtime.FederationRuntime`
+facade and the :class:`~repro.runtime.cache.ExtentCache` work unchanged
+across modes.
+
+Three implementations ship:
+
+* :class:`AsyncInProcessTransport` — direct calls against registered
+  agents (extent scans are CPU-bound and fast; no suspension needed);
+* :class:`AsyncSimulatedNetworkTransport` — injects per-agent latency,
+  jitter, drops and scripted failures through ``await asyncio.sleep``,
+  reusing the existing :class:`~repro.runtime.transport.FaultProfile`
+  vocabulary — 256 sleeping agents cost 256 timers, not 256 threads;
+* :class:`AsyncTransportAdapter` — lifts any synchronous transport into
+  the async protocol (its ``perform`` must not block the loop; wrap
+  latency simulation with :class:`AsyncSimulatedNetworkTransport`
+  instead of the thread-sleeping simulator).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import random
+import threading
+from collections import defaultdict
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..federation.agent import FSMAgent
+from ..errors import TransportError
+from .transport import (
+    AgentTransport,
+    FaultProfile,
+    InProcessTransport,
+    ScanRequest,
+)
+
+
+class AsyncAgentTransport:
+    """Protocol: route :class:`ScanRequest`\\ s to agents as coroutines."""
+
+    def agent_names(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def agent_for_schema(self, schema_name: str) -> str:
+        """The agent hosting *schema_name* (synchronous metadata lookup)."""
+        raise NotImplementedError
+
+    def generation(self, request: ScanRequest) -> Optional[int]:
+        """Backing-store version for *request*, or None when unobservable."""
+        return None
+
+    async def perform(self, request: ScanRequest) -> Any:
+        """Execute the scan and return its raw value."""
+        raise NotImplementedError
+
+
+class AsyncTransportAdapter(AsyncAgentTransport):
+    """Lift a synchronous :class:`AgentTransport` into the async protocol.
+
+    The wrapped ``perform`` runs inline on the event loop — correct for
+    in-process scans, wrong for anything that blocks (a
+    :class:`~repro.runtime.transport.SimulatedNetworkTransport` with
+    latency would stall every other coroutine; use
+    :class:`AsyncSimulatedNetworkTransport` for fault injection).
+    """
+
+    def __init__(self, inner: AgentTransport) -> None:
+        self.inner = inner
+
+    def agent_names(self) -> Tuple[str, ...]:
+        return self.inner.agent_names()
+
+    def agent_for_schema(self, schema_name: str) -> str:
+        return self.inner.agent_for_schema(schema_name)
+
+    def generation(self, request: ScanRequest) -> Optional[int]:
+        return self.inner.generation(request)
+
+    async def perform(self, request: ScanRequest) -> Any:
+        return self.inner.perform(request)
+
+
+class AsyncInProcessTransport(AsyncTransportAdapter):
+    """Direct coroutine calls against live :class:`FSMAgent` objects."""
+
+    def __init__(
+        self,
+        agents: Mapping[str, FSMAgent],
+        schema_host: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        super().__init__(InProcessTransport(agents, schema_host))
+
+
+class AsyncSimulatedNetworkTransport(AsyncAgentTransport):
+    """Fault injection for the asyncio path: latency without threads.
+
+    Mirrors :class:`~repro.runtime.transport.SimulatedNetworkTransport`
+    — the same per-agent :class:`FaultProfile`\\ s, the same seeded
+    reproducibility — but the delay is ``await asyncio.sleep``, so a
+    fleet of slow agents shares one event loop.  Cancellation is
+    first-class: a coroutine cancelled mid-flight (deadline, shutdown)
+    is counted in :attr:`cancelled` and never in :attr:`completed`,
+    which the cancellation tests use to prove overdue scans really die.
+
+    Bookkeeping is guarded by a :class:`threading.Lock` held only across
+    non-awaiting sections, so one instance may also serve transports
+    driven from several loops or threads in tests.
+    """
+
+    def __init__(
+        self,
+        inner: AsyncAgentTransport,
+        default_profile: Optional[FaultProfile] = None,
+        seed: int = 0,
+    ) -> None:
+        self._inner = inner
+        self._default = default_profile or FaultProfile()
+        self._profiles: Dict[str, FaultProfile] = {}
+        self._attempts: Dict[Tuple[Any, ...], int] = defaultdict(int)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        #: calls that reached this transport, per agent (faults included)
+        self.calls: Dict[str, int] = defaultdict(int)
+        #: calls whose coroutine was cancelled mid-flight, per agent
+        self.cancelled: Dict[str, int] = defaultdict(int)
+        #: calls that ran to a successful return (faulted calls are the
+        #: remainder: ``calls - completed - cancelled``)
+        self.completed: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    def set_profile(self, agent: str, profile: FaultProfile) -> FaultProfile:
+        self._profiles[agent] = profile
+        return profile
+
+    def profile_for(self, agent: str) -> FaultProfile:
+        return self._profiles.get(agent, self._default)
+
+    def reset_scripts(self) -> None:
+        """Forget scripted-failure attempt counters (fresh fault run)."""
+        with self._lock:
+            self._attempts.clear()
+
+    # ------------------------------------------------------------------
+    def agent_names(self) -> Tuple[str, ...]:
+        return self._inner.agent_names()
+
+    def agent_for_schema(self, schema_name: str) -> str:
+        return self._inner.agent_for_schema(schema_name)
+
+    def generation(self, request: ScanRequest) -> Optional[int]:
+        return self._inner.generation(request)
+
+    async def perform(self, request: ScanRequest) -> Any:
+        profile = self.profile_for(request.agent)
+        with self._lock:
+            self.calls[request.agent] += 1
+            key = dataclasses.astuple(request)
+            self._attempts[key] += 1
+            attempt = self._attempts[key]
+            jitter = self._rng.random() * profile.jitter if profile.jitter else 0.0
+            dropped = (
+                profile.drop_rate > 0.0 and self._rng.random() < profile.drop_rate
+            )
+        delay = profile.latency + jitter
+        try:
+            if delay > 0.0:
+                await asyncio.sleep(delay)
+            if attempt <= profile.fail_times:
+                raise TransportError(
+                    f"injected failure {attempt}/{profile.fail_times} from agent "
+                    f"{request.agent!r} ({request.describe()})"
+                )
+            if dropped:
+                raise TransportError(
+                    f"reply from agent {request.agent!r} dropped "
+                    f"({request.describe()})"
+                )
+            value = await self._inner.perform(request)
+        except asyncio.CancelledError:
+            with self._lock:
+                self.cancelled[request.agent] += 1
+            raise
+        with self._lock:
+            self.completed[request.agent] += 1
+        return value

@@ -6,13 +6,24 @@ fast-fail with :class:`~repro.errors.CircuitOpenError` instead of
 burning a timeout each.  After *reset_timeout* seconds the circuit goes
 **half-open**: one probe call is let through; success closes the
 circuit, failure re-opens it for another full window.
+
+The half-open probe is a *lease*, not a flag.  A plain "probing" boolean
+deadlocks under asyncio: a probe coroutine cancelled between
+:meth:`CircuitBreaker.allow` and its ``record_*`` call would leave the
+flag set forever and no probe would ever run again.  Instead, an
+admitted probe holds the slot only until *probe_lease* seconds elapse;
+an abandoned (cancelled, crashed, lost) probe expires and the next
+caller may probe.  Callers that know they were cancelled can release
+the slot early with :meth:`abandon_probe`.  All state is guarded by one
+lock and keyed by agent name — safe for any mix of threads and
+coroutines, with no thread- or task-local assumptions.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 CLOSED = "closed"
 OPEN = "open"
@@ -20,25 +31,34 @@ HALF_OPEN = "half-open"
 
 
 class _AgentCircuit:
-    __slots__ = ("failures", "opened_at", "probing")
+    __slots__ = ("failures", "opened_at", "probe_expires_at")
 
     def __init__(self) -> None:
         self.failures = 0
         self.opened_at: float = -1.0  # < 0 means closed
-        self.probing = False
+        self.probe_expires_at: float = -1.0  # < 0 means no probe in flight
 
 
 class CircuitBreaker:
-    """Thread-safe consecutive-failure breaker over a set of agents."""
+    """Consecutive-failure breaker over a set of agents.
+
+    Safe to share between the threaded and the asyncio executors: every
+    transition happens under one :class:`threading.Lock` with no
+    blocking call inside, so coroutines never yield while holding it.
+    """
 
     def __init__(
         self,
         threshold: int = 5,
         reset_timeout: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        probe_lease: Optional[float] = None,
     ) -> None:
         self.threshold = threshold
         self.reset_timeout = reset_timeout
+        #: seconds an admitted half-open probe may stay unreported before
+        #: its slot is considered abandoned (defaults to reset_timeout)
+        self.probe_lease = reset_timeout if probe_lease is None else probe_lease
         self._clock = clock
         self._circuits: Dict[str, _AgentCircuit] = {}
         self._lock = threading.Lock()
@@ -54,17 +74,19 @@ class CircuitBreaker:
         """May a call to *agent* proceed right now?
 
         While open, returns False until the reset window elapses, then
-        admits exactly one probe (half-open) at a time.
+        admits exactly one live probe (half-open) at a time; a probe
+        whose lease expired no longer blocks the slot.
         """
         with self._lock:
             circuit = self._circuit(agent)
             if circuit.opened_at < 0:
                 return True
-            if self._clock() - circuit.opened_at < self.reset_timeout:
+            now = self._clock()
+            if now - circuit.opened_at < self.reset_timeout:
                 return False
-            if circuit.probing:
+            if now < circuit.probe_expires_at:
                 return False
-            circuit.probing = True
+            circuit.probe_expires_at = now + self.probe_lease
             return True
 
     def record_success(self, agent: str) -> None:
@@ -72,7 +94,7 @@ class CircuitBreaker:
             circuit = self._circuit(agent)
             circuit.failures = 0
             circuit.opened_at = -1.0
-            circuit.probing = False
+            circuit.probe_expires_at = -1.0
 
     def record_failure(self, agent: str) -> bool:
         """Count one failure; returns True when this call tripped the circuit."""
@@ -80,11 +102,25 @@ class CircuitBreaker:
             circuit = self._circuit(agent)
             circuit.failures += 1
             was_open = circuit.opened_at >= 0
-            if circuit.failures >= self.threshold or circuit.probing:
+            probing = circuit.probe_expires_at >= 0
+            if circuit.failures >= self.threshold or probing:
                 circuit.opened_at = self._clock()
-                circuit.probing = False
+                circuit.probe_expires_at = -1.0
                 return not was_open
             return False
+
+    def abandon_probe(self, agent: str) -> None:
+        """Release a half-open probe slot without recording an outcome.
+
+        Cancellation handlers call this when a probe coroutine is torn
+        down between :meth:`allow` and its ``record_*`` call, so the
+        next caller may probe immediately instead of waiting out the
+        lease.  The circuit stays open with its original timestamp.
+        """
+        with self._lock:
+            circuit = self._circuits.get(agent)
+            if circuit is not None:
+                circuit.probe_expires_at = -1.0
 
     # ------------------------------------------------------------------
     def state(self, agent: str) -> str:

@@ -43,6 +43,9 @@ class RuntimePolicy:
 
     #: threads fanning agent scans out; 1 degenerates to the sequential path
     max_workers: int = 8
+    #: concurrent in-flight scans the asyncio executor admits (semaphore
+    #: width); unlike threads, raising this costs no OS resources
+    max_inflight: int = 64
     #: per-call budget in seconds; ``None`` waits forever
     timeout: Optional[float] = None
     #: retries *after* the first attempt of each scan
@@ -63,6 +66,8 @@ class RuntimePolicy:
     def __post_init__(self) -> None:
         if self.max_workers < 1:
             raise RuntimeFederationError("max_workers must be >= 1")
+        if self.max_inflight < 1:
+            raise RuntimeFederationError("max_inflight must be >= 1")
         if self.max_retries < 0:
             raise RuntimeFederationError("max_retries must be >= 0")
         if self.timeout is not None and self.timeout <= 0:

@@ -13,6 +13,15 @@ exposes the scan API the evaluation paths need —
 * :meth:`invalidate` / :meth:`bump_generation` for cache control;
 * :meth:`stats` for the observable autonomy / performance counters.
 
+Two execution modes share this facade.  ``mode="threaded"`` (default)
+fans scans across a thread pool; ``mode="async"`` multiplexes them as
+coroutines on one event loop via
+:class:`~repro.runtime.async_executor.AsyncFederationExecutor`, so
+thousands of slow agents cost timers instead of threads.  Both modes
+feed the same :class:`~repro.runtime.metrics.RuntimeMetrics` and
+:class:`~repro.runtime.cache.ExtentCache`, so ``--stats`` output and
+cache behaviour are identical across modes.
+
 Failure policy: ``PARTIAL`` serves what survived (missing extents come
 back empty) and records a warning per failure; ``ERROR`` raises
 :class:`~repro.errors.PartialResultError`.
@@ -22,15 +31,24 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..errors import PartialResultError
+from ..errors import PartialResultError, RuntimeFederationError
 from ..federation.agent import FSMAgent
 from ..model.instances import ObjectInstance
+from .async_executor import AsyncFederationExecutor
+from .async_transport import (
+    AsyncAgentTransport,
+    AsyncInProcessTransport,
+    AsyncTransportAdapter,
+)
 from .breaker import CircuitBreaker
 from .cache import MISS, ExtentCache
 from .executor import FederationExecutor, ScanOutcome
 from .metrics import RuntimeMetrics, RuntimeStats
 from .policy import FailurePolicy, RuntimePolicy
 from .transport import AgentTransport, InProcessTransport, ScanRequest
+
+#: accepted FederationRuntime execution modes
+MODES = ("threaded", "async")
 
 
 class FederationRuntime:
@@ -39,18 +57,35 @@ class FederationRuntime:
     def __init__(
         self,
         agents: Optional[Mapping[str, FSMAgent]] = None,
-        transport: Optional[AgentTransport] = None,
+        transport: Optional["AgentTransport | AsyncAgentTransport"] = None,
         policy: Optional[RuntimePolicy] = None,
         metrics: Optional[RuntimeMetrics] = None,
         cache: Optional[ExtentCache] = None,
         breaker: Optional[CircuitBreaker] = None,
+        mode: str = "threaded",
     ) -> None:
+        if mode not in MODES:
+            raise RuntimeFederationError(
+                f"unknown runtime mode {mode!r}; choose from {MODES}"
+            )
+        self.mode = mode
         if transport is None:
             if agents is None:
                 raise PartialResultError(
                     "FederationRuntime needs agents or an explicit transport"
                 )
-            transport = InProcessTransport(agents)
+            transport = (
+                AsyncInProcessTransport(agents)
+                if mode == "async"
+                else InProcessTransport(agents)
+            )
+        if mode == "async" and isinstance(transport, AgentTransport):
+            transport = AsyncTransportAdapter(transport)
+        if mode == "threaded" and isinstance(transport, AsyncAgentTransport):
+            raise RuntimeFederationError(
+                "async transports need mode='async' (threaded executors "
+                "cannot await coroutines)"
+            )
         self.transport = transport
         self.policy = policy or RuntimePolicy()
         self.metrics = metrics or RuntimeMetrics()
@@ -58,9 +93,17 @@ class FederationRuntime:
         self.breaker = breaker or CircuitBreaker(
             self.policy.breaker_threshold, self.policy.breaker_reset
         )
-        self.executor = FederationExecutor(
-            self.transport, self.policy, self.metrics, self.breaker
-        )
+        self.executor: "FederationExecutor | AsyncFederationExecutor"
+        if mode == "async":
+            assert isinstance(transport, AsyncAgentTransport)
+            self.executor = AsyncFederationExecutor(
+                transport, self.policy, self.metrics, self.breaker
+            )
+        else:
+            assert isinstance(transport, AgentTransport)
+            self.executor = FederationExecutor(
+                transport, self.policy, self.metrics, self.breaker
+            )
         #: warnings from the most recent degraded operation
         self.last_warnings: List[str] = []
 
@@ -206,3 +249,12 @@ class FederationRuntime:
         """Return and clear the accumulated degradation warnings."""
         warnings, self.last_warnings = self.last_warnings, []
         return warnings
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor resources (the async mode's loop thread)."""
+        closer = getattr(self.executor, "close", None)
+        if closer is not None:
+            closer()

@@ -1,0 +1,156 @@
+"""Deadline cancellation: overdue coroutines die and count as timeouts.
+
+The threaded executor can only *abandon* an overdue scan (its worker
+thread keeps running and the result is discarded).  The asyncio
+executor must do better: hitting the per-call deadline **cancels** the
+in-flight coroutine, the transport observes the cancellation, and the
+attempt lands in the ``timeouts`` counter — never in the results.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.federation import FSMAgent
+from repro.model import ClassDef, ObjectDatabase, Schema
+from repro.runtime import (
+    AsyncFederationExecutor,
+    AsyncInProcessTransport,
+    AsyncSimulatedNetworkTransport,
+    CircuitBreaker,
+    FaultProfile,
+    RuntimeMetrics,
+    RuntimePolicy,
+    ScanRequest,
+)
+
+
+def _fleet(count):
+    agents = {}
+    requests = []
+    for index in range(count):
+        schema = Schema(f"S{index + 1}")
+        schema.add_class(ClassDef("person").attr("ssn#"))
+        database = ObjectDatabase(schema, agent=f"h{index + 1}")
+        database.insert("person", {"ssn#": str(index)})
+        agent = FSMAgent(f"a{index + 1}")
+        agent.host_object_database(database)
+        agents[agent.name] = agent
+        requests.append(ScanRequest(agent.name, schema.name, "person"))
+    return agents, requests
+
+
+def test_deadline_cancels_inflight_scans_and_records_timeouts():
+    agents, requests = _fleet(4)
+    transport = AsyncSimulatedNetworkTransport(
+        AsyncInProcessTransport(agents), FaultProfile(latency=5.0)
+    )
+    metrics = RuntimeMetrics()
+    executor = AsyncFederationExecutor(
+        transport,
+        RuntimePolicy(timeout=0.03, max_retries=0, backoff_base=0.0),
+        metrics,
+    )
+    try:
+        outcome = executor.run(requests)
+    finally:
+        executor.close()
+
+    # every scan failed as a timeout; none leaked through as a success
+    assert outcome.results == {}
+    assert len(outcome.failures) == 4
+    assert {failure.kind for failure in outcome.failures} == {"timeout"}
+    stats = metrics.snapshot()
+    assert stats.counter("timeouts") == 4
+    assert stats.counter("scan_failures") == 4
+
+    # the transport saw the cancellations: nothing ran to completion
+    assert sum(transport.cancelled.values()) == 4
+    assert sum(transport.completed.values()) == 0
+
+
+def test_timed_out_attempt_retries_then_reports_timeout():
+    agents, requests = _fleet(1)
+    transport = AsyncSimulatedNetworkTransport(
+        AsyncInProcessTransport(agents), FaultProfile(latency=5.0)
+    )
+    metrics = RuntimeMetrics()
+    executor = AsyncFederationExecutor(
+        transport,
+        RuntimePolicy(timeout=0.02, max_retries=2, backoff_base=0.0),
+        metrics,
+    )
+    try:
+        outcome = executor.run(requests)
+    finally:
+        executor.close()
+    assert [failure.kind for failure in outcome.failures] == ["timeout"]
+    stats = metrics.snapshot()
+    assert stats.counter("timeouts") == 3  # initial attempt + 2 retries
+    assert sum(transport.cancelled.values()) == 3
+
+
+def test_external_cancellation_releases_the_half_open_probe():
+    """A cancelled probe must not wedge the breaker (the asyncio bug)."""
+    agents, requests = _fleet(1)
+    (request,) = requests
+    transport = AsyncSimulatedNetworkTransport(AsyncInProcessTransport(agents))
+    transport.set_profile("a1", FaultProfile(fail_times=1, latency=0.0))
+    breaker = CircuitBreaker(threshold=1, reset_timeout=0.01)
+    metrics = RuntimeMetrics()
+    executor = AsyncFederationExecutor(
+        transport,
+        RuntimePolicy(max_retries=0, backoff_base=0.0),
+        metrics,
+        breaker,
+    )
+
+    async def scenario():
+        # trip the circuit, wait out the reset window
+        with pytest.raises(Exception):
+            await executor.run_one_async(request)
+        await asyncio.sleep(0.02)
+        # the probe is admitted, then cancelled mid-flight
+        transport.set_profile("a1", FaultProfile(latency=5.0))
+        probe = asyncio.ensure_future(executor.run_one_async(request))
+        await asyncio.sleep(0.02)
+        probe.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await probe
+        # the slot was released: the next caller may probe immediately,
+        # rather than deadlocking behind an abandoned "probing" flag
+        assert breaker.allow("a1")
+
+    asyncio.run(scenario())
+    executor.close()
+
+
+def test_circuit_rejections_stay_fast_while_fleet_times_out():
+    """Breaker + deadlines compose: rejected scans never await the agent."""
+    agents, requests = _fleet(1)
+    (request,) = requests
+    transport = AsyncSimulatedNetworkTransport(
+        AsyncInProcessTransport(agents), FaultProfile(latency=5.0)
+    )
+    breaker = CircuitBreaker(threshold=1, reset_timeout=60.0)
+    metrics = RuntimeMetrics()
+    executor = AsyncFederationExecutor(
+        transport,
+        RuntimePolicy(timeout=0.02, max_retries=0, backoff_base=0.0),
+        metrics,
+        breaker,
+    )
+
+    async def scenario():
+        with pytest.raises(Exception):
+            await executor.run_one_async(request)  # timeout trips breaker
+        with pytest.raises(CircuitOpenError):
+            await executor.run_one_async(request)  # fast-fail, no await
+
+    asyncio.run(scenario())
+    executor.close()
+    stats = metrics.snapshot()
+    assert stats.counter("timeouts") == 1
+    assert stats.counter("circuit_rejections") == 1
+    assert transport.calls["a1"] == 1  # the rejected scan never reached it

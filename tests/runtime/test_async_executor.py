@@ -1,0 +1,274 @@
+"""The asyncio executor: shared failure semantics, bounded fan-out, bridge."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import AgentTimeoutError, CircuitOpenError, TransportError
+from repro.federation import FSMAgent
+from repro.model import ClassDef, ObjectDatabase, Schema
+from repro.runtime import (
+    AsyncFederationExecutor,
+    AsyncInProcessTransport,
+    AsyncSimulatedNetworkTransport,
+    CircuitBreaker,
+    FaultProfile,
+    FederationExecutor,
+    InProcessTransport,
+    RuntimeMetrics,
+    RuntimePolicy,
+    ScanRequest,
+    SimulatedNetworkTransport,
+)
+from repro.runtime.async_transport import AsyncAgentTransport
+
+
+def _agents(count=1):
+    agents = {}
+    for index in range(count):
+        schema = Schema(f"S{index + 1}")
+        schema.add_class(ClassDef("person").attr("ssn#"))
+        database = ObjectDatabase(schema, agent=f"h{index + 1}")
+        database.insert("person", {"ssn#": str(index)})
+        agent = FSMAgent(f"a{index + 1}")
+        agent.host_object_database(database)
+        agents[agent.name] = agent
+    return agents
+
+
+def _executor(profile=None, policy=None, breaker=None, agents=None):
+    agents = agents or _agents()
+    transport = AsyncInProcessTransport(agents)
+    if profile is not None:
+        simulated = AsyncSimulatedNetworkTransport(transport)
+        for name in agents:
+            simulated.set_profile(name, profile)
+        transport = simulated
+    metrics = RuntimeMetrics()
+
+    async def no_sleep(_seconds):
+        return None
+
+    executor = AsyncFederationExecutor(
+        transport,
+        policy or RuntimePolicy(backoff_base=0.0, backoff_max=0.0),
+        metrics,
+        breaker,
+        sleep=no_sleep,
+    )
+    return executor, metrics, transport
+
+
+REQUEST = ScanRequest("a1", "S1", "person")
+
+
+class TestRetries:
+    def test_flaky_agent_succeeds_within_budget(self):
+        executor, metrics, _ = _executor(
+            FaultProfile(fail_times=2),
+            RuntimePolicy(max_retries=2, backoff_base=0.0),
+        )
+        try:
+            extent = executor.run_one(REQUEST)
+        finally:
+            executor.close()
+        assert len(extent) == 1
+        stats = metrics.snapshot()
+        assert stats.counter("retries") == 2
+        assert stats.counter("transport_failures") == 2
+        assert stats.counter("agent_scans") == 3
+
+    def test_exhausted_retries_raise_last_error(self):
+        executor, metrics, _ = _executor(
+            FaultProfile(fail_times=10),
+            RuntimePolicy(max_retries=1, backoff_base=0.0),
+        )
+        try:
+            with pytest.raises(TransportError, match="injected failure"):
+                executor.run_one(REQUEST)
+        finally:
+            executor.close()
+        assert metrics.snapshot().counter("retries") == 1
+
+    def test_backoff_uses_the_shared_policy_schedule(self):
+        naps = []
+
+        async def record_nap(seconds):
+            naps.append(seconds)
+
+        agents = _agents()
+        transport = AsyncSimulatedNetworkTransport(AsyncInProcessTransport(agents))
+        transport.set_profile("a1", FaultProfile(fail_times=3))
+        executor = AsyncFederationExecutor(
+            transport,
+            RuntimePolicy(
+                max_retries=3,
+                backoff_base=0.01,
+                backoff_multiplier=2.0,
+                backoff_max=1.0,
+            ),
+            RuntimeMetrics(),
+            sleep=record_nap,
+        )
+        try:
+            executor.run_one(REQUEST)
+        finally:
+            executor.close()
+        assert naps == [0.01, 0.02, 0.04]
+
+
+class TestDeadlines:
+    def test_slow_agent_times_out(self):
+        executor, metrics, _ = _executor(
+            FaultProfile(latency=0.5),
+            RuntimePolicy(timeout=0.02, max_retries=0),
+        )
+        try:
+            with pytest.raises(AgentTimeoutError):
+                executor.run_one(REQUEST)
+        finally:
+            executor.close()
+        assert metrics.snapshot().counter("timeouts") == 1
+
+    def test_fast_agent_beats_deadline(self):
+        executor, _, _ = _executor(policy=RuntimePolicy(timeout=5.0, max_retries=0))
+        try:
+            assert len(executor.run_one(REQUEST)) == 1
+        finally:
+            executor.close()
+
+
+class TestSharedBreaker:
+    def test_threaded_trip_fast_fails_the_async_path(self):
+        """One CircuitBreaker instance serves both executors at once."""
+        breaker = CircuitBreaker(threshold=2, reset_timeout=60.0)
+        agents = _agents()
+
+        sync_transport = SimulatedNetworkTransport(InProcessTransport(agents))
+        sync_transport.set_profile("a1", FaultProfile(fail_times=10))
+        threaded = FederationExecutor(
+            sync_transport,
+            RuntimePolicy(max_retries=1, backoff_base=0.0),
+            RuntimeMetrics(),
+            breaker,
+            sleep=lambda _t: None,
+        )
+        with pytest.raises(TransportError):
+            threaded.run_one(REQUEST)  # two failures >= threshold: trips
+
+        executor, metrics, _ = _executor(breaker=breaker, agents=agents)
+        try:
+            with pytest.raises(CircuitOpenError):
+                executor.run_one(REQUEST)
+        finally:
+            executor.close()
+        assert metrics.snapshot().counter("circuit_rejections") == 1
+
+    def test_async_trip_fast_fails_the_threaded_path(self):
+        breaker = CircuitBreaker(threshold=2, reset_timeout=60.0)
+        agents = _agents()
+        executor, _, _ = _executor(
+            FaultProfile(fail_times=10),
+            RuntimePolicy(max_retries=1, backoff_base=0.0),
+            breaker=breaker,
+            agents=agents,
+        )
+        try:
+            with pytest.raises(TransportError):
+                executor.run_one(REQUEST)
+        finally:
+            executor.close()
+
+        threaded = FederationExecutor(
+            InProcessTransport(agents),
+            RuntimePolicy(max_retries=0),
+            RuntimeMetrics(),
+            breaker,
+        )
+        with pytest.raises(CircuitOpenError):
+            threaded.run_one(REQUEST)
+
+
+class _InflightProbe(AsyncAgentTransport):
+    """Counts concurrent in-flight performs to verify the semaphore."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.active = 0
+        self.high_water = 0
+
+    def agent_names(self):
+        return self.inner.agent_names()
+
+    def agent_for_schema(self, schema_name):
+        return self.inner.agent_for_schema(schema_name)
+
+    def generation(self, request):
+        return self.inner.generation(request)
+
+    async def perform(self, request):
+        self.active += 1
+        self.high_water = max(self.high_water, self.active)
+        try:
+            await asyncio.sleep(0.005)
+            return await self.inner.perform(request)
+        finally:
+            self.active -= 1
+
+
+class TestFanOut:
+    def test_semaphore_bounds_inflight_scans(self):
+        agents = _agents(12)
+        probe = _InflightProbe(AsyncInProcessTransport(agents))
+        executor = AsyncFederationExecutor(
+            probe, RuntimePolicy(max_inflight=3), RuntimeMetrics()
+        )
+        requests = [
+            ScanRequest(f"a{i + 1}", f"S{i + 1}", "person") for i in range(12)
+        ]
+        try:
+            outcome = executor.run(requests)
+        finally:
+            executor.close()
+        assert len(outcome.results) == 12
+        assert probe.high_water <= 3
+
+    def test_partial_outcome_separates_failures(self):
+        agents = _agents(3)
+        transport = AsyncSimulatedNetworkTransport(AsyncInProcessTransport(agents))
+        transport.set_profile("a2", FaultProfile(fail_times=10))
+        executor = AsyncFederationExecutor(
+            transport,
+            RuntimePolicy(max_retries=0, backoff_base=0.0),
+            RuntimeMetrics(),
+        )
+        requests = [
+            ScanRequest(f"a{i + 1}", f"S{i + 1}", "person") for i in range(3)
+        ]
+        try:
+            outcome = executor.run(requests)
+        finally:
+            executor.close()
+        assert outcome.partial
+        assert len(outcome.results) == 2
+        assert [f.kind for f in outcome.failures] == ["transport"]
+
+    def test_empty_fanout_short_circuits(self):
+        executor, _, _ = _executor()
+        try:
+            outcome = executor.run([])
+        finally:
+            executor.close()
+        assert outcome.results == {} and not outcome.partial
+
+    def test_coroutine_api_composes_with_caller_loops(self):
+        """run_async is awaitable from the caller's own event loop."""
+        agents = _agents(4)
+        executor = AsyncFederationExecutor(
+            AsyncInProcessTransport(agents), RuntimePolicy(), RuntimeMetrics()
+        )
+        requests = [
+            ScanRequest(f"a{i + 1}", f"S{i + 1}", "person") for i in range(4)
+        ]
+        outcome = asyncio.run(executor.run_async(requests))
+        assert len(outcome.results) == 4

@@ -1,0 +1,133 @@
+"""Asyncio transports: fault injection, cancellation accounting, adapters."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import TransportError
+from repro.federation import FSMAgent
+from repro.model import ClassDef, ObjectDatabase, Schema
+from repro.runtime import (
+    AsyncInProcessTransport,
+    AsyncSimulatedNetworkTransport,
+    AsyncTransportAdapter,
+    FaultProfile,
+    InProcessTransport,
+    ScanRequest,
+)
+
+
+def _one_agent():
+    schema = Schema("S1")
+    schema.add_class(ClassDef("person").attr("ssn#"))
+    database = ObjectDatabase(schema, agent="h1")
+    database.insert("person", {"ssn#": "1"})
+    agent = FSMAgent("a1")
+    agent.host_object_database(database)
+    return {"a1": agent}, database
+
+
+REQUEST = ScanRequest("a1", "S1", "person")
+
+
+class TestAsyncInProcessTransport:
+    def test_perform_returns_extent(self):
+        agents, _ = _one_agent()
+        transport = AsyncInProcessTransport(agents)
+        extent = asyncio.run(transport.perform(REQUEST))
+        assert len(extent) == 1
+
+    def test_metadata_lookups_stay_synchronous(self):
+        agents, database = _one_agent()
+        transport = AsyncInProcessTransport(agents)
+        assert transport.agent_names() == ("a1",)
+        assert transport.agent_for_schema("S1") == "a1"
+        assert transport.generation(REQUEST) == database.version
+
+    def test_adapter_wraps_any_sync_transport(self):
+        agents, _ = _one_agent()
+        adapter = AsyncTransportAdapter(InProcessTransport(agents))
+        extent = asyncio.run(adapter.perform(REQUEST))
+        assert len(extent) == 1
+
+
+class TestSimulatedFaults:
+    def test_scripted_failures_then_success(self):
+        agents, _ = _one_agent()
+        transport = AsyncSimulatedNetworkTransport(AsyncInProcessTransport(agents))
+        transport.set_profile("a1", FaultProfile(fail_times=2))
+
+        async def attempts():
+            outcomes = []
+            for _ in range(3):
+                try:
+                    outcomes.append(len(await transport.perform(REQUEST)))
+                except TransportError:
+                    outcomes.append("fail")
+            return outcomes
+
+        assert asyncio.run(attempts()) == ["fail", "fail", 1]
+        assert transport.calls["a1"] == 3
+        assert transport.completed["a1"] == 1
+
+    def test_drops_raise_transport_error(self):
+        agents, _ = _one_agent()
+        transport = AsyncSimulatedNetworkTransport(
+            AsyncInProcessTransport(agents), FaultProfile(drop_rate=1.0)
+        )
+        with pytest.raises(TransportError, match="dropped"):
+            asyncio.run(transport.perform(REQUEST))
+
+    def test_latency_suspends_instead_of_blocking(self):
+        """Two 30ms scans sharing one loop finish in ~one latency window."""
+        agents, _ = _one_agent()
+        transport = AsyncSimulatedNetworkTransport(
+            AsyncInProcessTransport(agents), FaultProfile(latency=0.030)
+        )
+
+        async def both():
+            return await asyncio.gather(
+                transport.perform(REQUEST), transport.perform(REQUEST)
+            )
+
+        started = time.perf_counter()
+        extents = asyncio.run(both())
+        elapsed = time.perf_counter() - started
+        assert [len(e) for e in extents] == [1, 1]
+        assert elapsed < 0.055  # serial blocking would need >= 60ms
+
+    def test_reset_scripts_forgets_attempts(self):
+        agents, _ = _one_agent()
+        transport = AsyncSimulatedNetworkTransport(AsyncInProcessTransport(agents))
+        transport.set_profile("a1", FaultProfile(fail_times=1))
+
+        async def one():
+            return await transport.perform(REQUEST)
+
+        with pytest.raises(TransportError):
+            asyncio.run(one())
+        assert len(asyncio.run(one())) == 1  # scripted failure consumed
+        transport.reset_scripts()
+        with pytest.raises(TransportError):
+            asyncio.run(one())  # script replays from scratch
+
+
+class TestCancellationAccounting:
+    def test_cancelled_scan_counts_as_cancelled_never_completed(self):
+        agents, _ = _one_agent()
+        transport = AsyncSimulatedNetworkTransport(
+            AsyncInProcessTransport(agents), FaultProfile(latency=5.0)
+        )
+
+        async def cancel_mid_flight():
+            task = asyncio.ensure_future(transport.perform(REQUEST))
+            await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        asyncio.run(cancel_mid_flight())
+        assert transport.calls["a1"] == 1
+        assert transport.cancelled["a1"] == 1
+        assert transport.completed["a1"] == 0

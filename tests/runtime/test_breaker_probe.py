@@ -1,0 +1,147 @@
+"""Half-open probe leasing: breaker liveness under threads + coroutines.
+
+Regression suite for the asyncio wedge: the old breaker marked the
+half-open probe with a bare ``probing`` flag, so a probe torn down
+between ``allow`` and its ``record_*`` call (coroutine cancellation,
+crashed worker) blocked every future probe forever.  The probe is now a
+*lease* that expires, plus an explicit :meth:`abandon_probe` release —
+and all transitions stay correct when sync and async callers hammer one
+instance concurrently.
+"""
+
+import asyncio
+import threading
+
+from repro.runtime import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _open_breaker(clock, threshold=1, reset=10.0, lease=5.0):
+    breaker = CircuitBreaker(
+        threshold=threshold, reset_timeout=reset, clock=clock, probe_lease=lease
+    )
+    for _ in range(threshold):
+        breaker.record_failure("a1")
+    assert breaker.state("a1") == OPEN
+    return breaker
+
+
+class TestProbeLease:
+    def test_single_probe_per_lease_window(self):
+        clock = FakeClock()
+        breaker = _open_breaker(clock)
+        clock.advance(11.0)  # past the reset window: half-open
+        assert breaker.state("a1") == HALF_OPEN
+        assert breaker.allow("a1")  # the probe
+        assert not breaker.allow("a1")  # concurrent caller: rejected
+
+    def test_abandoned_probe_expires_instead_of_wedging(self):
+        """The asyncio bug: a probe that never reports must not block forever."""
+        clock = FakeClock()
+        breaker = _open_breaker(clock, lease=5.0)
+        clock.advance(11.0)
+        assert breaker.allow("a1")  # probe admitted... and then lost
+        assert not breaker.allow("a1")
+        clock.advance(6.0)  # lease expired
+        assert breaker.allow("a1")  # liveness restored: a fresh probe runs
+
+    def test_abandon_probe_releases_the_slot_immediately(self):
+        clock = FakeClock()
+        breaker = _open_breaker(clock)
+        clock.advance(11.0)
+        assert breaker.allow("a1")
+        assert not breaker.allow("a1")
+        breaker.abandon_probe("a1")  # cancellation handler path
+        assert breaker.allow("a1")
+
+    def test_probe_success_closes_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = _open_breaker(clock)
+        clock.advance(11.0)
+        assert breaker.allow("a1")
+        breaker.record_failure("a1")  # failed probe: re-open a full window
+        assert breaker.state("a1") == OPEN
+        assert not breaker.allow("a1")
+        clock.advance(11.0)
+        assert breaker.allow("a1")
+        breaker.record_success("a1")
+        assert breaker.state("a1") == CLOSED
+        assert breaker.allow("a1")
+
+    def test_abandon_probe_on_unknown_agent_is_a_noop(self):
+        breaker = CircuitBreaker()
+        breaker.abandon_probe("ghost")
+        assert breaker.allow("ghost")
+
+
+class TestMixedSyncAsyncHammer:
+    def test_one_breaker_survives_threads_and_coroutines(self):
+        """Hammer one agent's circuit from 4 threads + 8 coroutines.
+
+        The breaker must neither crash nor deadlock, admit at most one
+        live probe per lease, and stay *live*: after the storm a probe
+        is admitted and a success closes the circuit.
+        """
+        breaker = CircuitBreaker(threshold=3, reset_timeout=0.005, probe_lease=0.005)
+        iterations = 300
+        admitted = []
+        admitted_lock = threading.Lock()
+
+        def exercise(step):
+            allowed = breaker.allow("a1")
+            if allowed:
+                with admitted_lock:
+                    admitted.append(step)
+            # deterministic mix of outcomes, including abandoned probes
+            if step % 7 == 0:
+                breaker.abandon_probe("a1")
+            elif step % 3 == 0:
+                breaker.record_success("a1")
+            else:
+                breaker.record_failure("a1")
+
+        def sync_hammer(offset):
+            for step in range(iterations):
+                exercise(offset + step)
+
+        async def async_hammer(offset):
+            for step in range(iterations):
+                exercise(offset + step)
+                if step % 16 == 0:
+                    await asyncio.sleep(0)
+
+        async def async_storm():
+            await asyncio.gather(*(async_hammer(1000 * t) for t in range(8)))
+
+        threads = [
+            threading.Thread(target=sync_hammer, args=(10_000 * (t + 1),))
+            for t in range(4)
+        ]
+        async_thread = threading.Thread(target=lambda: asyncio.run(async_storm()))
+        for thread in threads + [async_thread]:
+            thread.start()
+        for thread in threads + [async_thread]:
+            thread.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads + [async_thread])
+        assert admitted  # the breaker kept admitting work throughout
+
+        # liveness after the storm: force open, wait the window, probe, close
+        breaker.reset("a1")
+        for _ in range(3):
+            breaker.record_failure("a1")
+        assert not breaker.allow("a1")
+        deadline = threading.Event()
+        deadline.wait(0.01)  # sleep past reset_timeout
+        assert breaker.allow("a1")
+        breaker.record_success("a1")
+        assert breaker.state("a1") == CLOSED

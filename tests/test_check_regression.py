@@ -1,0 +1,111 @@
+"""The CI perf-regression gate: floors, fan-out parity, baseline drift."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def _healthy():
+    return {
+        "concurrent_speedup": 5.5,
+        "warm_agent_scans": 0,
+        "fanout": [
+            {"agents": 4, "threaded_scans_per_s": 370.0, "async_scans_per_s": 375.0},
+            {
+                "agents": 256,
+                "threaded_scans_per_s": 780.0,
+                "async_scans_per_s": 15000.0,
+            },
+        ],
+    }
+
+
+class TestCheck:
+    def test_healthy_numbers_pass(self):
+        assert check_regression.check(_healthy()) == []
+
+    def test_speedup_floor(self):
+        doc = _healthy()
+        doc["concurrent_speedup"] = 2.4
+        problems = check_regression.check(doc)
+        assert any("below the 3.0 floor" in p for p in problems)
+
+    def test_warm_scans_must_be_zero(self):
+        doc = _healthy()
+        doc["warm_agent_scans"] = 7
+        problems = check_regression.check(doc)
+        assert any("warm_agent_scans is 7" in p for p in problems)
+
+    def test_missing_fanout_series_fails(self):
+        doc = _healthy()
+        del doc["fanout"]
+        assert any("fanout" in p for p in check_regression.check(doc))
+
+    def test_async_must_match_threaded_at_largest_scale(self):
+        doc = _healthy()
+        doc["fanout"][-1]["async_scans_per_s"] = 500.0
+        problems = check_regression.check(doc)
+        assert any("trails threaded" in p for p in problems)
+
+    def test_baseline_drift_fails_even_above_floors(self):
+        fresh = _healthy()
+        fresh["concurrent_speedup"] = 3.5  # above the 3.0 floor...
+        baseline = _healthy()
+        baseline["concurrent_speedup"] = 12.0  # ...but < 50% of the baseline
+        problems = check_regression.check(fresh, baseline)
+        assert any("fell below 50%" in p for p in problems)
+
+    def test_fanout_throughput_drift_fails(self):
+        fresh = _healthy()
+        fresh["fanout"][-1]["async_scans_per_s"] = 2000.0  # still > threaded
+        problems = check_regression.check(fresh, _healthy())
+        assert any("256 agents" in p for p in problems)
+
+    def test_tolerance_is_configurable(self):
+        fresh = _healthy()
+        fresh["concurrent_speedup"] = 3.1
+        baseline = _healthy()  # 5.5; 3.1 is ~56% of it
+        assert check_regression.check(fresh, baseline, tolerance=0.5) == []
+        problems = check_regression.check(fresh, baseline, tolerance=0.9)
+        assert any("fell below 90%" in p for p in problems)
+
+
+class TestMain:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_exit_zero_on_healthy_run(self, tmp_path, capsys):
+        fresh = self._write(tmp_path, "fresh.json", _healthy())
+        assert check_regression.main([fresh]) == 0
+        assert "regression gate passed" in capsys.readouterr().out
+
+    def test_exit_one_on_artificial_slowdown(self, tmp_path, capsys):
+        doc = _healthy()
+        doc["concurrent_speedup"] = 1.1  # the documented artificial slowdown
+        fresh = self._write(tmp_path, "fresh.json", doc)
+        baseline = self._write(tmp_path, "baseline.json", _healthy())
+        assert check_regression.main([fresh, "--baseline", baseline]) == 1
+        out = capsys.readouterr().out
+        assert "regression gate FAILED" in out
+        assert "below the 3.0 floor" in out
+
+    def test_unreadable_fresh_file_fails(self, tmp_path):
+        assert check_regression.main([str(tmp_path / "missing.json")]) == 1
+
+    def test_real_committed_baseline_passes_the_gate(self):
+        committed = (
+            Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+        )
+        doc = json.loads(committed.read_text())
+        assert check_regression.check(doc, doc) == []
