@@ -1,4 +1,4 @@
-"""Experiments E-R1 / E-R2 — federation runtime latency and fan-out scale.
+"""Experiments E-R1 / E-R2 / E-R3 — runtime latency, fan-out, sharding.
 
 **E-R1** (4 agents, 10ms injected per-call latency): the same global
 query answered sequentially with the cache off (the pre-runtime
@@ -13,6 +13,13 @@ agents the two are equivalent; at 256 the thread pool pays
 ``ceil(256/8)`` serial waves while the event loop multiplexes every
 sleep concurrently — the fan-out a thread-per-scan design cannot match
 without 256 workers.
+
+**E-R3** (one 2048-instance extent, 2ms call latency + 50µs per
+transferred item): the same scatter/merge scan under 1 / 2 / 8-way
+shard plans, threaded and async.  An unsharded scan pays the whole
+~102ms transfer serially; N concurrent shards each carry ~1/N of the
+extent, so the wall-clock follows the largest slice — the data-volume
+scaling the sharded-agent design exists for.
 
 Runs standalone (``python benchmarks/bench_federation_runtime.py``)
 or under pytest; both emit ``BENCH_runtime.json``.
@@ -35,6 +42,7 @@ from repro.runtime import (
     InProcessTransport,
     RuntimePolicy,
     ScanRequest,
+    ShardPlan,
     SimulatedNetworkTransport,
 )
 from repro.workloads import federated_cluster
@@ -44,6 +52,11 @@ LATENCY = 0.010  # 10ms per agent call
 ROUNDS = 5
 FLEET_SIZES = (4, 32, 256)
 FLEET_ROUNDS = 3
+SHARD_COUNTS = (1, 2, 8)
+SHARD_EXTENT = 2048
+SHARD_LATENCY = 0.002  # 2ms per shard call
+SHARD_PER_ITEM = 0.00005  # 50us of transfer per result item
+SHARD_ROUNDS = 3
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
 
 
@@ -151,6 +164,75 @@ def run_fanout_scale():
     return scales
 
 
+def _big_extent_agents(size=SHARD_EXTENT):
+    """One agent hosting one large single-class extent."""
+    schema = Schema("BIG")
+    schema.add_class(ClassDef("fact").attr("id"))
+    database = ObjectDatabase(schema, agent="big-host")
+    database.insert_many("fact", [{"id": str(index)} for index in range(size)])
+    agent = FSMAgent("big")
+    agent.host_object_database(database)
+    return {"big": agent}
+
+
+def _timed_sharded(executor, request, plan, rounds=SHARD_ROUNDS):
+    samples = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        outcome = executor.run_sharded([request], plan)
+        samples.append((time.perf_counter() - started) * 1000.0)
+        assert not outcome.missing
+        assert len(outcome.results[request]) == SHARD_EXTENT
+    return statistics.median(samples)
+
+
+def run_shard_scale():
+    """E-R3: scatter/merge one large extent across 1 / 2 / 8 shards."""
+    profile = FaultProfile(latency=SHARD_LATENCY, per_item=SHARD_PER_ITEM)
+    request = ScanRequest("big", "BIG", "fact")
+    series = []
+    for count in SHARD_COUNTS:
+        plan = ShardPlan(count)
+        agents = _big_extent_agents()
+        policy = RuntimePolicy(
+            max_workers=max(8, count), max_inflight=max(64, count)
+        )
+
+        threaded = FederationExecutor(
+            SimulatedNetworkTransport(InProcessTransport(agents), profile),
+            policy,
+        )
+        threaded_ms = _timed_sharded(threaded, request, plan)
+
+        async_executor = AsyncFederationExecutor(
+            AsyncSimulatedNetworkTransport(
+                AsyncInProcessTransport(agents), profile
+            ),
+            policy,
+        )
+        try:
+            async_ms = _timed_sharded(async_executor, request, plan)
+        finally:
+            async_executor.close()
+
+        series.append(
+            {
+                "shards": count,
+                "extent": SHARD_EXTENT,
+                "threaded_ms": round(threaded_ms, 3),
+                "async_ms": round(async_ms, 3),
+            }
+        )
+    base_threaded = series[0]["threaded_ms"]
+    base_async = series[0]["async_ms"]
+    for entry in series:
+        entry["threaded_speedup_vs_1"] = round(
+            base_threaded / entry["threaded_ms"], 2
+        )
+        entry["async_speedup_vs_1"] = round(base_async / entry["async_ms"], 2)
+    return series
+
+
 def run_experiment():
     sequential_ms, answers = _median_cold(
         RuntimePolicy.sequential(cache_enabled=False)
@@ -186,6 +268,7 @@ def run_experiment():
 def run_all():
     results = run_experiment()
     results["fanout"] = run_fanout_scale()
+    results["sharding"] = run_shard_scale()
     return results
 
 
@@ -216,10 +299,27 @@ def test_runtime_latency(benchmark, report):
             for s in results["fanout"]
         ],
     )
+    report(
+        "E-R3  shard scale, 2048-instance extent, 2ms/call + 50us/item",
+        ("shards", "threaded ms", "async ms", "speedup vs 1 (thr/async)"),
+        [
+            (
+                s["shards"],
+                s["threaded_ms"],
+                s["async_ms"],
+                f'{s["threaded_speedup_vs_1"]}x / {s["async_speedup_vs_1"]}x',
+            )
+            for s in results["sharding"]
+        ],
+    )
     assert results["concurrent_cold_ms"] < results["sequential_cold_ms"]
     assert results["warm_agent_scans"] == 0
     at_256 = next(s for s in results["fanout"] if s["agents"] == 256)
     assert at_256["async_scans_per_s"] >= at_256["threaded_scans_per_s"]
+    one_shard = next(s for s in results["sharding"] if s["shards"] == 1)
+    eight_shards = next(s for s in results["sharding"] if s["shards"] == 8)
+    assert eight_shards["threaded_ms"] < one_shard["threaded_ms"]
+    assert eight_shards["async_ms"] < one_shard["async_ms"]
 
 
 if __name__ == "__main__":

@@ -10,13 +10,17 @@ federation runtime's load-bearing numbers regress:
 * in the E-R2 fan-out series, async throughput below threaded
   throughput at the largest scale — the event-loop path lost the very
   property it exists for;
+* in the E-R3 sharding series, the widest plan's speedup over the
+  1-shard baseline below the floor (default 1.5, both modes) — the
+  scatter/merge stopped paying for itself on large extents;
 * optionally, drift against a committed baseline file: any gated metric
   worse than ``tolerance`` × baseline fails even above absolute floors.
 
 Usage::
 
     python benchmarks/check_regression.py BENCH_runtime.json \
-        --baseline BENCH_baseline.json --min-speedup 3.0 --tolerance 0.5
+        --baseline BENCH_baseline.json --min-speedup 3.0 \
+        --min-shard-speedup 1.5 --tolerance 0.5
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ def check(
     baseline: Optional[dict] = None,
     min_speedup: float = 3.0,
     tolerance: float = 0.5,
+    min_shard_speedup: float = 1.5,
 ) -> List[str]:
     """Return the list of regression messages (empty = gate passes)."""
     problems: List[str] = []
@@ -68,6 +73,25 @@ def check(
                 f"{threaded} scans/s at {largest.get('agents')} agents"
             )
 
+    sharding = fresh.get("sharding", [])
+    if not sharding:
+        problems.append("sharding series is missing (E-R3 did not run)")
+    else:
+        widest = max(sharding, key=lambda s: s.get("shards", 0))
+        if widest.get("shards", 0) <= 1:
+            problems.append(
+                "sharding series has no multi-shard entry (E-R3 only ran N=1)"
+            )
+        else:
+            for key in ("threaded_speedup_vs_1", "async_speedup_vs_1"):
+                ratio = widest.get(key, 0.0)
+                if ratio < min_shard_speedup:
+                    problems.append(
+                        f"{key} {ratio} at {widest.get('shards')} shards is "
+                        f"below the {min_shard_speedup} floor "
+                        "(scatter/merge no longer beats the unsharded scan)"
+                    )
+
     if baseline is not None:
         base_speedup = baseline.get("concurrent_speedup", 0.0)
         if base_speedup > 0 and speedup < base_speedup * tolerance:
@@ -90,6 +114,22 @@ def check(
                     f"({fresh_tp} scans/s) fell below {tolerance:.0%} of the "
                     f"committed baseline ({base_tp} scans/s)"
                 )
+        base_sharding = {
+            s["shards"]: s for s in baseline.get("sharding", []) if "shards" in s
+        }
+        for series in sharding:
+            base = base_sharding.get(series.get("shards"))
+            if base is None or series.get("shards", 0) <= 1:
+                continue
+            for key in ("threaded_speedup_vs_1", "async_speedup_vs_1"):
+                fresh_ratio = series.get(key, 0.0)
+                base_ratio = base.get(key, 0.0)
+                if base_ratio > 0 and fresh_ratio < base_ratio * tolerance:
+                    problems.append(
+                        f"{key} at {series['shards']} shards ({fresh_ratio}) "
+                        f"fell below {tolerance:.0%} of the committed "
+                        f"baseline ({base_ratio})"
+                    )
     return problems
 
 
@@ -114,6 +154,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="absolute concurrent_speedup floor (default: 3.0)",
     )
     parser.add_argument(
+        "--min-shard-speedup",
+        type=float,
+        default=1.5,
+        help="absolute shard speedup-vs-1 floor at the widest plan "
+        "(default: 1.5)",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.5,
@@ -135,7 +182,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
 
     problems = check(
-        fresh, baseline, arguments.min_speedup, arguments.tolerance
+        fresh,
+        baseline,
+        arguments.min_speedup,
+        arguments.tolerance,
+        arguments.min_shard_speedup,
     )
     if problems:
         print("regression gate FAILED:")
@@ -144,12 +195,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     fanout = fresh.get("fanout", [])
     largest = max(fanout, key=lambda s: s.get("agents", 0)) if fanout else {}
+    sharding = fresh.get("sharding", [])
+    widest = max(sharding, key=lambda s: s.get("shards", 0)) if sharding else {}
     print(
         "regression gate passed: "
         f"concurrent_speedup={fresh.get('concurrent_speedup')} "
         f"warm_agent_scans={fresh.get('warm_agent_scans')} "
         f"async@{largest.get('agents', '?')}="
-        f"{largest.get('async_scans_per_s', '?')} scans/s"
+        f"{largest.get('async_scans_per_s', '?')} scans/s "
+        f"shard@{widest.get('shards', '?')}="
+        f"{widest.get('threaded_speedup_vs_1', '?')}x/"
+        f"{widest.get('async_speedup_vs_1', '?')}x"
     )
     return 0
 

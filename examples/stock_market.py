@@ -80,6 +80,7 @@ def stock_example() -> None:
     session.add_database(db2)
     session.declare(assertion_text)
     integrated = session.integrate()
+    session.enable_runtime()  # fan-out + extent cache + per-query stats
 
     print("\ngenerated rules:")
     for rule in integrated.rules:
@@ -88,6 +89,16 @@ def stock_example() -> None:
     print("\n?- stock(time='March') -> stock-name, price")
     for row in session.query("stock(time='March') -> stock-name, price"):
         print("   ", {k: v for k, v in row.items() if k != "oid"})
+
+    stats = session.last_query_stats
+    print("\nlast query runtime stats:")
+    print(
+        "   agent_scans:", stats.counter("agent_scans"),
+        " cache_hits:", stats.counter("cache_hits"),
+        " retries:", stats.counter("retries"),
+        " missing_shards:", stats.counter("missing_shards"),
+    )
+    session.runtime.close()
 
 
 if __name__ == "__main__":

@@ -24,7 +24,9 @@ Subcommands:
     ``--latency MS`` simulates per-call network latency, ``--workers`` /
     ``--sequential`` size the fan-out pool, ``--async`` switches the
     runtime to the asyncio executor (``--max-inflight`` bounds its
-    in-flight window), ``--repeat N`` re-runs the query (showing the
+    in-flight window), ``--shards N`` scatters every extent scan across
+    N shard endpoints per agent (``--shard-kind hash|range`` picks the
+    OID partitioning), ``--repeat N`` re-runs the query (showing the
     extent cache), ``--appendix-b`` uses the top-down evaluator, and
     ``--stats`` prints the per-query and cumulative
     :class:`~repro.runtime.RuntimeStats`.
@@ -143,6 +145,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "(only with --async; default 64)",
     )
     query.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="split every extent across N shard endpoints per agent "
+        "(0 disables sharding)",
+    )
+    query.add_argument(
+        "--shard-kind",
+        choices=("hash", "range"),
+        default="hash",
+        help="how the shard plan partitions global OIDs (default: hash)",
+    )
+    query.add_argument(
         "--sequential",
         action="store_true",
         help="one worker, no retries (the pre-runtime behaviour)",
@@ -230,6 +246,7 @@ def _attach_query_runtime(fsm, arguments):
         FederationRuntime,
         InProcessTransport,
         RuntimePolicy,
+        ShardPlan,
         SimulatedNetworkTransport,
     )
 
@@ -252,8 +269,15 @@ def _attach_query_runtime(fsm, arguments):
         if arguments.latency > 0:
             transport = SimulatedNetworkTransport(transport, profile)
         mode = "threaded"
+    shard_plan = (
+        ShardPlan(arguments.shards, arguments.shard_kind)
+        if arguments.shards > 0
+        else None
+    )
     return fsm.use_runtime(
-        runtime=FederationRuntime(transport=transport, policy=policy, mode=mode)
+        runtime=FederationRuntime(
+            transport=transport, policy=policy, mode=mode, shard_plan=shard_plan
+        )
     )
 
 

@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..runtime.metrics import RuntimeStats
     from ..runtime.policy import RuntimePolicy
     from ..runtime.runtime import FederationRuntime
+    from ..runtime.sharding import ShardPlan
 
 from ..federation.agent import FSMAgent
 from ..federation.evaluation import FederationEngine
@@ -112,12 +113,16 @@ class FederationSession:
         policy: Optional["RuntimePolicy"] = None,
         runtime: Optional["FederationRuntime"] = None,
         mode: str = "threaded",
+        shard_plan: "ShardPlan | int | None" = None,
     ) -> "FederationRuntime":
         """Route agent access through a federation runtime (concurrent
         fan-out, retries, extent caching, metrics); *mode* picks the
         thread-pool (``"threaded"``) or event-loop (``"async"``)
-        executor; see :meth:`repro.federation.fsm.FSM.use_runtime`."""
-        return self.fsm.use_runtime(policy=policy, runtime=runtime, mode=mode)
+        executor; *shard_plan* (a plan or a bare count) shards every
+        extent scan; see :meth:`repro.federation.fsm.FSM.use_runtime`."""
+        return self.fsm.use_runtime(
+            policy=policy, runtime=runtime, mode=mode, shard_plan=shard_plan
+        )
 
     @property
     def runtime(self) -> Optional["FederationRuntime"]:

@@ -41,6 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..runtime.policy import RuntimePolicy
     from ..runtime.runtime import FederationRuntime
     from ..runtime.metrics import RuntimeStats
+    from ..runtime.sharding import ShardPlan
 
 from ..assertions.aggregation_assertions import AggregationCorrespondence
 from ..assertions.assertion_set import AssertionSet
@@ -280,6 +281,7 @@ class FSM:
         policy: Optional["RuntimePolicy"] = None,
         runtime: Optional["FederationRuntime"] = None,
         mode: str = "threaded",
+        shard_plan: "ShardPlan | int | None" = None,
     ) -> "FederationRuntime":
         """Attach a federation runtime to both evaluation paths.
 
@@ -289,7 +291,10 @@ class FSM:
         registered later are picked up automatically).  *mode* selects
         the execution engine for the built runtime: ``"threaded"``
         (thread-pool fan-out) or ``"async"`` (one event loop multiplexes
-        every in-flight scan).
+        every in-flight scan).  *shard_plan* — a
+        :class:`~repro.runtime.sharding.ShardPlan` or a bare shard
+        count — makes every extent scan a scatter/merge across N shard
+        endpoints per agent.
         """
         if runtime is None:
             from ..runtime.async_transport import AsyncInProcessTransport
@@ -302,7 +307,8 @@ class FSM:
                 else InProcessTransport(self._agents, self._schema_host)
             )
             runtime = FederationRuntime(
-                transport=transport, policy=policy, mode=mode
+                transport=transport, policy=policy, mode=mode,
+                shard_plan=shard_plan,
             )
         self.runtime = runtime
         return runtime

@@ -17,8 +17,13 @@ query paths and the agents:
   event-loop executor with ``asyncio.timeout`` deadlines and a
   semaphore-bounded in-flight window, sharing the same policy, breaker
   and metrics objects as the threaded path;
+* :mod:`~repro.runtime.sharding` — :class:`ShardPlan` /
+  :class:`ShardSpec`: split one schema's extent across N shard
+  endpoints (hash or range over global OIDs) and merge the slices back
+  with OID-level dedup and exact missing-shard reporting;
 * :mod:`~repro.runtime.cache` — the ``(agent, schema, class)`` extent
-  cache with explicit and generation-based invalidation;
+  cache (plus an ``(index, of)`` coordinate per shard granule) with
+  explicit and generation-based invalidation;
 * :mod:`~repro.runtime.metrics` — counters, phase timers and per-agent
   access histograms behind :class:`RuntimeStats` snapshots;
 * :mod:`~repro.runtime.runtime` — the :class:`FederationRuntime` facade
@@ -38,6 +43,15 @@ from .executor import FederationExecutor, ScanFailure, ScanOutcome
 from .metrics import RuntimeMetrics, RuntimeStats, TimerStats
 from .policy import FailurePolicy, RuntimePolicy
 from .runtime import MODES, FederationRuntime
+from .sharding import (
+    PLAN_KINDS,
+    ShardPlan,
+    ShardSpec,
+    ShardedOutcome,
+    merge_shard_values,
+    shard_of_oid,
+    split_requests,
+)
 from .transport import (
     AgentTransport,
     FaultProfile,
@@ -65,12 +79,19 @@ __all__ = [
     "MISS",
     "MODES",
     "OPEN",
+    "PLAN_KINDS",
     "RuntimeMetrics",
     "RuntimePolicy",
     "RuntimeStats",
     "ScanFailure",
     "ScanOutcome",
     "ScanRequest",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardedOutcome",
     "SimulatedNetworkTransport",
     "TimerStats",
+    "merge_shard_values",
+    "shard_of_oid",
+    "split_requests",
 ]

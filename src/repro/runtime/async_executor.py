@@ -48,6 +48,7 @@ from .executor import ScanFailure, ScanOutcome
 from .metrics import RuntimeMetrics
 from .policy import RuntimePolicy
 from .async_transport import AsyncAgentTransport
+from .sharding import ShardPlan, ShardedOutcome, merge_outcome, split_requests
 from .transport import ScanRequest
 
 #: asyncio.timeout landed in 3.11; 3.10 falls back to wait_for
@@ -138,9 +139,13 @@ class AsyncFederationExecutor:
     # coroutine API
     # ------------------------------------------------------------------
     async def run_one_async(self, request: ScanRequest) -> Any:
-        """One scan through the retry / breaker / deadline machinery."""
+        """One scan through the retry / breaker / deadline machinery.
+
+        As in the threaded executor, the failure domain is
+        :attr:`ScanRequest.endpoint` — per-shard circuits and histograms.
+        """
         policy = self.policy
-        agent = request.agent
+        agent = request.endpoint
         last_error: Optional[BaseException] = None
         for attempt in range(1, policy.max_retries + 2):
             if attempt > 1:
@@ -221,6 +226,29 @@ class AsyncFederationExecutor:
             self.metrics.incr("scan_failures", len(failures))
         return ScanOutcome(results, failures)
 
+    async def run_sharded_async(
+        self,
+        requests: Iterable[ScanRequest],
+        plan: ShardPlan,
+        preloaded: Optional[Dict[ScanRequest, Any]] = None,
+    ) -> ShardedOutcome:
+        """Scatter/merge as coroutines — semantics identical to
+        :meth:`FederationExecutor.run_sharded` (shared merge helpers)."""
+        groups = split_requests(requests, plan)
+        known: Dict[ScanRequest, Any] = dict(preloaded or {})
+        pending = [
+            shard_request
+            for shard_requests in groups.values()
+            for shard_request in shard_requests
+            if shard_request not in known
+        ]
+        outcome = await self.run_async(pending)
+        known.update(outcome.results)
+        merged = merge_outcome(groups, known, outcome.failures)
+        for endpoint in merged.missing_endpoints:
+            self.metrics.record_missing_shard(endpoint)
+        return merged
+
     # ------------------------------------------------------------------
     # synchronous bridge (what FederationRuntime calls in async mode)
     # ------------------------------------------------------------------
@@ -229,6 +257,14 @@ class AsyncFederationExecutor:
 
     def run(self, requests: Iterable[ScanRequest]) -> ScanOutcome:
         return self._runner.submit(self.run_async(requests))
+
+    def run_sharded(
+        self,
+        requests: Iterable[ScanRequest],
+        plan: ShardPlan,
+        preloaded: Optional[Dict[ScanRequest, Any]] = None,
+    ) -> ShardedOutcome:
+        return self._runner.submit(self.run_sharded_async(requests, plan, preloaded))
 
     def close(self) -> None:
         """Stop the bridge's event-loop thread (idempotent)."""

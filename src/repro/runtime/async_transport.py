@@ -137,11 +137,17 @@ class AsyncSimulatedNetworkTransport(AsyncAgentTransport):
 
     # ------------------------------------------------------------------
     def set_profile(self, agent: str, profile: FaultProfile) -> FaultProfile:
+        """Install *profile* for an agent name or shard endpoint name."""
         self._profiles[agent] = profile
         return profile
 
-    def profile_for(self, agent: str) -> FaultProfile:
-        return self._profiles.get(agent, self._default)
+    def profile_for(self, endpoint: str) -> FaultProfile:
+        """Endpoint profile, falling back to the base agent's, then the
+        default."""
+        if endpoint in self._profiles:
+            return self._profiles[endpoint]
+        base = endpoint.split("#", 1)[0]
+        return self._profiles.get(base, self._default)
 
     def reset_scripts(self) -> None:
         """Forget scripted-failure attempt counters (fresh fault run)."""
@@ -159,9 +165,10 @@ class AsyncSimulatedNetworkTransport(AsyncAgentTransport):
         return self._inner.generation(request)
 
     async def perform(self, request: ScanRequest) -> Any:
-        profile = self.profile_for(request.agent)
+        endpoint = request.endpoint
+        profile = self.profile_for(endpoint)
         with self._lock:
-            self.calls[request.agent] += 1
+            self.calls[endpoint] += 1
             key = dataclasses.astuple(request)
             self._attempts[key] += 1
             attempt = self._attempts[key]
@@ -176,18 +183,25 @@ class AsyncSimulatedNetworkTransport(AsyncAgentTransport):
             if attempt <= profile.fail_times:
                 raise TransportError(
                     f"injected failure {attempt}/{profile.fail_times} from agent "
-                    f"{request.agent!r} ({request.describe()})"
+                    f"{endpoint!r} ({request.describe()})"
                 )
             if dropped:
                 raise TransportError(
-                    f"reply from agent {request.agent!r} dropped "
+                    f"reply from agent {endpoint!r} dropped "
                     f"({request.describe()})"
                 )
             value = await self._inner.perform(request)
+            if profile.per_item > 0.0:
+                try:
+                    transfer = len(value) * profile.per_item
+                except TypeError:
+                    transfer = profile.per_item
+                if transfer > 0.0:
+                    await asyncio.sleep(transfer)
         except asyncio.CancelledError:
             with self._lock:
-                self.cancelled[request.agent] += 1
+                self.cancelled[endpoint] += 1
             raise
         with self._lock:
-            self.completed[request.agent] += 1
+            self.completed[endpoint] += 1
         return value

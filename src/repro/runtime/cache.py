@@ -7,7 +7,10 @@ results keyed by the ``(agent, schema, class)`` granule (each granule
 holding its ``(op, attribute)`` variants), with two invalidation paths:
 
 * **explicit** — :meth:`invalidate` by agent / schema / class, or
-  :meth:`clear`;
+  :meth:`clear`;  sharded scans key a *fourth* coordinate —
+  ``(agent, schema, class, (index, of))`` — and the coordinate match
+  deliberately ignores it, so ``invalidate(class_name="person")`` drops
+  every shard granule of that class, never just the unsharded one;
 * **generation-based** — entries record the component database's
   ``version`` at fill time (via the transport) plus the cache's own
   generation counter; a database write or a :meth:`bump_generation`
@@ -45,11 +48,12 @@ def _copy(value: Any) -> Any:
 
 
 class ExtentCache:
-    """Thread-safe ``(agent, schema, class)``-keyed scan cache."""
+    """Thread-safe scan cache keyed by ``(agent, schema, class)`` —
+    plus a ``(index, of)`` shard coordinate for sharded granules."""
 
     def __init__(self) -> None:
         self._granules: Dict[
-            Tuple[str, str, str], Dict[Tuple[str, Optional[str]], _Entry]
+            Tuple[Any, ...], Dict[Tuple[str, Optional[str]], _Entry]
         ] = {}
         self._generation = 0
         self._lock = threading.Lock()
@@ -109,12 +113,18 @@ class ExtentCache:
         agent: Optional[str] = None,
         schema: Optional[str] = None,
         class_name: Optional[str] = None,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> int:
         """Drop every granule matching the given coordinates; counts drops.
 
         Any combination works: ``invalidate(agent="a1")`` drops one
         agent's granules, ``invalidate(schema="S1", class_name="person")``
-        one class wherever hosted, ``invalidate()`` everything.
+        one class wherever hosted, ``invalidate()`` everything.  Keys are
+        3-tuples for unsharded granules and 4-tuples (the extra element
+        being the ``(index, of)`` shard coordinate) for sharded ones; a
+        coordinate-only match covers *both* shapes, so a class-level
+        invalidation can never strand a shard granule.  Pass *shard* to
+        narrow the drop to one shard's granules.
         """
         with self._lock:
             doomed = [
@@ -123,6 +133,10 @@ class ExtentCache:
                 if (agent is None or key[0] == agent)
                 and (schema is None or key[1] == schema)
                 and (class_name is None or key[2] == class_name)
+                and (
+                    shard is None
+                    or (len(key) > 3 and key[3] == tuple(shard))
+                )
             ]
             for key in doomed:
                 del self._granules[key]

@@ -32,6 +32,7 @@ from ..errors import (
 from .breaker import CircuitBreaker
 from .metrics import RuntimeMetrics
 from .policy import RuntimePolicy
+from .sharding import ShardPlan, ShardedOutcome, merge_outcome, split_requests
 from .transport import AgentTransport, ScanRequest
 
 
@@ -115,9 +116,14 @@ class FederationExecutor:
 
     # ------------------------------------------------------------------
     def run_one(self, request: ScanRequest) -> Any:
-        """One scan through the retry / breaker / timeout machinery."""
+        """One scan through the retry / breaker / timeout machinery.
+
+        The failure domain is :attr:`ScanRequest.endpoint` — for sharded
+        requests that is ``agent#index/of``, so each shard has its own
+        circuit and scan histogram.
+        """
         policy = self.policy
-        agent = request.agent
+        agent = request.endpoint
         last_error: Optional[BaseException] = None
         for attempt in range(1, policy.max_retries + 2):
             if attempt > 1:
@@ -198,3 +204,33 @@ class FederationExecutor:
         if failures:
             self.metrics.incr("scan_failures", len(failures))
         return ScanOutcome(results, failures)
+
+    # ------------------------------------------------------------------
+    def run_sharded(
+        self,
+        requests: Iterable[ScanRequest],
+        plan: ShardPlan,
+        preloaded: Optional[Dict[ScanRequest, Any]] = None,
+    ) -> ShardedOutcome:
+        """Scatter each logical request across *plan*'s shards and merge.
+
+        *preloaded* carries per-shard values already known (warm cache
+        entries); only the rest are fanned out — through the same retry
+        / breaker / timeout machinery as any scan.  The merge dedups by
+        OID, and absent slices are reported per logical request and
+        recorded in the metrics' missing-shard histogram.
+        """
+        groups = split_requests(requests, plan)
+        known: Dict[ScanRequest, Any] = dict(preloaded or {})
+        pending = [
+            shard_request
+            for shard_requests in groups.values()
+            for shard_request in shard_requests
+            if shard_request not in known
+        ]
+        outcome = self.run(pending)
+        known.update(outcome.results)
+        merged = merge_outcome(groups, known, outcome.failures)
+        for endpoint in merged.missing_endpoints:
+            self.metrics.record_missing_shard(endpoint)
+        return merged

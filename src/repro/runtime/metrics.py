@@ -19,6 +19,13 @@ Counter vocabulary (all monotonic):
 ``circuit_rejections``  calls fast-failed while a circuit was open
 ``scan_failures``       scans that exhausted retries
 ``partial_results``     fan-outs degraded to partial answers
+``sharded_scans``       logical scans answered by scatter/merge
+``missing_shards``      shard slices absent from a merged answer
+
+Sharded runs additionally record *which* shard endpoints went missing:
+:attr:`RuntimeStats.missing_shards` maps ``agent#index/of`` endpoint
+names to how many merges they were absent from — the exact account the
+partial failure policy promises (ISSUE 4).
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Mapping, NamedTuple
+from typing import Dict, Iterator, Mapping, NamedTuple, Optional
 
 
 class TimerStats(NamedTuple):
@@ -49,10 +56,13 @@ class RuntimeStats:
         counters: Mapping[str, int],
         agent_scans: Mapping[str, int],
         timers: Mapping[str, TimerStats],
+        missing_shards: Optional[Mapping[str, int]] = None,
     ) -> None:
         self.counters: Dict[str, int] = dict(counters)
         self.agent_scans: Dict[str, int] = dict(agent_scans)
         self.timers: Dict[str, TimerStats] = dict(timers)
+        #: shard endpoints absent from merged answers -> occurrence count
+        self.missing_shards: Dict[str, int] = dict(missing_shards or {})
 
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -65,6 +75,10 @@ class RuntimeStats:
         scans = {
             agent: value - earlier.agent_scans.get(agent, 0)
             for agent, value in self.agent_scans.items()
+        }
+        missing = {
+            endpoint: value - earlier.missing_shards.get(endpoint, 0)
+            for endpoint, value in self.missing_shards.items()
         }
         timers = {}
         for phase, stats in self.timers.items():
@@ -79,6 +93,7 @@ class RuntimeStats:
             {k: v for k, v in counters.items() if v},
             {k: v for k, v in scans.items() if v},
             {k: v for k, v in timers.items() if v.count},
+            {k: v for k, v in missing.items() if v},
         )
 
     def describe(self) -> str:
@@ -90,6 +105,10 @@ class RuntimeStats:
             lines.append("  agent scans:")
             for agent in sorted(self.agent_scans):
                 lines.append(f"    {agent:<20} {self.agent_scans[agent]}")
+        if self.missing_shards:
+            lines.append("  missing shards:")
+            for endpoint in sorted(self.missing_shards):
+                lines.append(f"    {endpoint:<20} {self.missing_shards[endpoint]}")
         if self.timers:
             lines.append("  phases:")
             for phase in sorted(self.timers):
@@ -115,6 +134,7 @@ class RuntimeMetrics:
         self._counters: Dict[str, int] = {}
         self._agent_scans: Dict[str, int] = {}
         self._timers: Dict[str, TimerStats] = {}
+        self._missing_shards: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
@@ -125,6 +145,14 @@ class RuntimeMetrics:
         with self._lock:
             self._counters["agent_scans"] = self._counters.get("agent_scans", 0) + 1
             self._agent_scans[agent] = self._agent_scans.get(agent, 0) + 1
+
+    def record_missing_shard(self, endpoint: str) -> None:
+        """One shard endpoint's slice was absent from a merged answer."""
+        with self._lock:
+            self._counters["missing_shards"] = (
+                self._counters.get("missing_shards", 0) + 1
+            )
+            self._missing_shards[endpoint] = self._missing_shards.get(endpoint, 0) + 1
 
     def record_phase(self, phase: str, elapsed: float) -> None:
         with self._lock:
@@ -145,10 +173,13 @@ class RuntimeMetrics:
     # ------------------------------------------------------------------
     def snapshot(self) -> RuntimeStats:
         with self._lock:
-            return RuntimeStats(self._counters, self._agent_scans, self._timers)
+            return RuntimeStats(
+                self._counters, self._agent_scans, self._timers, self._missing_shards
+            )
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
             self._agent_scans.clear()
             self._timers.clear()
+            self._missing_shards.clear()

@@ -25,6 +25,14 @@ cache behaviour are identical across modes.
 Failure policy: ``PARTIAL`` serves what survived (missing extents come
 back empty) and records a warning per failure; ``ERROR`` raises
 :class:`~repro.errors.PartialResultError`.
+
+A :class:`~repro.runtime.sharding.ShardPlan` (or a bare shard count)
+turns every scan into a scatter/merge: each logical request fans out as
+one request per shard, per-shard results are cached on their own
+granules, and the merge dedups by OID.  Partial shard failure follows
+the same policy split — ``ERROR`` refuses, ``PARTIAL`` serves the
+merged slice set and reports exactly the missing shard endpoints in
+:attr:`RuntimeStats.missing_shards <repro.runtime.metrics.RuntimeStats>`.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ from .cache import MISS, ExtentCache
 from .executor import FederationExecutor, ScanOutcome
 from .metrics import RuntimeMetrics, RuntimeStats
 from .policy import FailurePolicy, RuntimePolicy
+from .sharding import ShardPlan, ShardedOutcome, merge_shard_values
 from .transport import AgentTransport, InProcessTransport, ScanRequest
 
 #: accepted FederationRuntime execution modes
@@ -63,6 +72,7 @@ class FederationRuntime:
         cache: Optional[ExtentCache] = None,
         breaker: Optional[CircuitBreaker] = None,
         mode: str = "threaded",
+        shard_plan: "ShardPlan | int | None" = None,
     ) -> None:
         if mode not in MODES:
             raise RuntimeFederationError(
@@ -104,6 +114,8 @@ class FederationRuntime:
             self.executor = FederationExecutor(
                 transport, self.policy, self.metrics, self.breaker
             )
+        #: scatter/merge plan; None means classic one-scan-per-extent
+        self.shard_plan: Optional[ShardPlan] = ShardPlan.coerce(shard_plan)
         #: warnings from the most recent degraded operation
         self.last_warnings: List[str] = []
 
@@ -141,6 +153,8 @@ class FederationRuntime:
     def _fetch(self, request: ScanRequest, empty: Any) -> Any:
         """One scan through cache + executor, honouring the failure policy."""
         self.metrics.incr("requests")
+        if self.shard_plan is not None:
+            return self._fetch_sharded(request, empty)
         cached = self._cache_get(request)
         if cached is not MISS:
             return cached
@@ -157,6 +171,26 @@ class FederationRuntime:
             return empty
         self._cache_put(request, value)
         return value
+
+    def _fetch_sharded(self, request: ScanRequest, empty: Any) -> Any:
+        """One logical scan scattered across the shard plan and merged."""
+        plan = self.shard_plan
+        assert plan is not None
+        shard_requests = plan.split(request)
+        preloaded: Dict[ScanRequest, Any] = {}
+        for shard_request in shard_requests:
+            cached = self._cache_get(shard_request)
+            if cached is not MISS:
+                preloaded[shard_request] = cached
+        if len(preloaded) == len(shard_requests):
+            return merge_shard_values(
+                request.op, [preloaded[r] for r in shard_requests]
+            )
+        self.metrics.incr("sharded_scans")
+        outcome = self.executor.run_sharded([request], plan, preloaded)
+        self._cache_shard_results(outcome, preloaded)
+        self._apply_sharded_failure_policy(outcome)
+        return outcome.results.get(request, empty)
 
     # ------------------------------------------------------------------
     # fan-out
@@ -177,6 +211,8 @@ class FederationRuntime:
             for schema_name, class_name in dict.fromkeys(pairs)
         ]
         self.metrics.incr("requests", len(requests))
+        if self.shard_plan is not None:
+            return self._scan_extents_sharded(requests)
         extents: Dict[Tuple[str, str], List[ObjectInstance]] = {}
         to_fetch: List[ScanRequest] = []
         for request in requests:
@@ -194,6 +230,53 @@ class FederationRuntime:
                 extents[(request.schema, request.class_name)] = value
         return extents
 
+    def _scan_extents_sharded(
+        self, requests: Sequence[ScanRequest]
+    ) -> Dict[Tuple[str, str], List[ObjectInstance]]:
+        """The sharded fan-out: scatter every logical miss, merge slices.
+
+        Warm shard granules are merged locally; a logical request with
+        any cold shard goes through the executor's scatter (cold shards
+        only — the warm slices ride along as *preloaded*).  Under the
+        ``PARTIAL`` policy a logical request missing some shards still
+        appears in the mapping, carrying the slices that survived.
+        """
+        plan = self.shard_plan
+        assert plan is not None
+        extents: Dict[Tuple[str, str], List[ObjectInstance]] = {}
+        preloaded: Dict[ScanRequest, Any] = {}
+        to_fetch: List[ScanRequest] = []
+        for request in requests:
+            shard_requests = plan.split(request)
+            warm: List[Any] = []
+            for shard_request in shard_requests:
+                cached = self._cache_get(shard_request)
+                if cached is not MISS:
+                    preloaded[shard_request] = cached
+                    warm.append(cached)
+            if len(warm) == len(shard_requests):
+                extents[(request.schema, request.class_name)] = merge_shard_values(
+                    request.op, warm
+                )
+            else:
+                to_fetch.append(request)
+        if to_fetch:
+            self.metrics.incr("sharded_scans", len(to_fetch))
+            with self.metrics.timer("fan_out"):
+                outcome = self.executor.run_sharded(to_fetch, plan, preloaded)
+            self._cache_shard_results(outcome, preloaded)
+            self._apply_sharded_failure_policy(outcome)
+            for request, value in outcome.results.items():
+                extents[(request.schema, request.class_name)] = value
+        return extents
+
+    def _cache_shard_results(
+        self, outcome: ShardedOutcome, preloaded: Mapping[ScanRequest, Any]
+    ) -> None:
+        for shard_request, value in outcome.shard_results.items():
+            if shard_request not in preloaded:
+                self._cache_put(shard_request, value)
+
     def _apply_failure_policy(self, outcome: ScanOutcome) -> None:
         if not outcome.partial:
             return
@@ -203,6 +286,16 @@ class FederationRuntime:
             )
         self.last_warnings.extend(outcome.warnings())
         self.metrics.incr("partial_results", len(outcome.failures))
+
+    def _apply_sharded_failure_policy(self, outcome: ShardedOutcome) -> None:
+        if not outcome.partial:
+            return
+        if self.policy.failure_policy is FailurePolicy.ERROR:
+            raise PartialResultError(
+                "; ".join(outcome.warnings()), failures=outcome.failures
+            )
+        self.last_warnings.extend(outcome.warnings())
+        self.metrics.incr("partial_results", len(outcome.missing))
 
     # ------------------------------------------------------------------
     # cache plumbing
@@ -223,9 +316,10 @@ class FederationRuntime:
         agent: Optional[str] = None,
         schema: Optional[str] = None,
         class_name: Optional[str] = None,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> int:
         """Explicitly drop cached extents (see :meth:`ExtentCache.invalidate`)."""
-        return self.cache.invalidate(agent, schema, class_name)
+        return self.cache.invalidate(agent, schema, class_name, shard)
 
     def bump_generation(self) -> int:
         """Invalidate the whole cache via its generation counter."""

@@ -22,24 +22,48 @@ import random
 import threading
 import time
 from collections import defaultdict
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
 
 from ..errors import RegistrationError, TransportError
 from ..federation.agent import FSMAgent
+
+if TYPE_CHECKING:  # sharding imports ScanRequest; only the type flows back
+    from .sharding import ShardSpec
 
 #: operations a transport can perform against one class of one schema
 _OPS = ("direct_extent", "extent", "value_set")
 
 
+def _value_set_of(instances: Any, attribute: str) -> set:
+    """``value_set(att)`` over an instance slice — mirrors
+    :meth:`repro.model.database.ObjectDatabase.value_set` flattening."""
+    values: set = set()
+    for obj in instances:
+        value = obj.get(attribute)
+        if value is None:
+            continue
+        if isinstance(value, frozenset):
+            values.update(v for v in value if v is not None)
+        else:
+            values.add(value)
+    return values
+
+
 @dataclasses.dataclass(frozen=True)
 class ScanRequest:
-    """One agent scan: the unit the executor schedules and the cache keys."""
+    """One agent scan: the unit the executor schedules and the cache keys.
+
+    A *shard* coordinate (see :mod:`repro.runtime.sharding`) narrows the
+    scan to the slice of the extent that shard owns; unsharded requests
+    leave it None and behave exactly as before.
+    """
 
     agent: str
     schema: str
     class_name: str
     op: str = "direct_extent"
     attribute: Optional[str] = None
+    shard: Optional["ShardSpec"] = None
 
     def __post_init__(self) -> None:
         if self.op not in _OPS:
@@ -48,13 +72,33 @@ class ScanRequest:
             raise TransportError("value_set scans need an attribute")
 
     @property
-    def cache_key(self) -> Tuple[str, str, str]:
-        """The (agent, schema, class) cache granule this scan belongs to."""
-        return (self.agent, self.schema, self.class_name)
+    def endpoint(self) -> str:
+        """The failure-domain name: ``agent`` or ``agent#index/of``.
+
+        Circuit breakers, scan histograms and fault profiles key on
+        this, so one shard trips and reports independently of its
+        siblings, while :attr:`agent` stays the routing key.
+        """
+        if self.shard is None:
+            return self.agent
+        return f"{self.agent}{self.shard.suffix}"
+
+    @property
+    def cache_key(self) -> Tuple[Any, ...]:
+        """The cache granule: ``(agent, schema, class)`` for unsharded
+        scans, ``(agent, schema, class, (index, of))`` per shard."""
+        if self.shard is None:
+            return (self.agent, self.schema, self.class_name)
+        return (
+            self.agent,
+            self.schema,
+            self.class_name,
+            (self.shard.index, self.shard.of),
+        )
 
     def describe(self) -> str:
         suffix = f".{self.attribute}" if self.attribute else ""
-        return f"{self.op}({self.agent}:{self.schema}.{self.class_name}{suffix})"
+        return f"{self.op}({self.endpoint}:{self.schema}.{self.class_name}{suffix})"
 
 
 class AgentTransport:
@@ -122,18 +166,30 @@ class InProcessTransport(AgentTransport):
     def perform(self, request: ScanRequest) -> Any:
         agent = self._agent(request.agent)
         if request.op == "direct_extent":
-            return agent.fetch_direct_extent(request.schema, request.class_name)
-        if request.op == "extent":
-            return agent.fetch_extent(request.schema, request.class_name)
-        assert request.attribute is not None
-        return agent.fetch_value_set(
-            request.schema, request.class_name, request.attribute
-        )
+            extent = agent.fetch_direct_extent(request.schema, request.class_name)
+        elif request.op == "extent":
+            extent = agent.fetch_extent(request.schema, request.class_name)
+        else:
+            assert request.attribute is not None
+            if request.shard is None:
+                return agent.fetch_value_set(
+                    request.schema, request.class_name, request.attribute
+                )
+            # a shard's value set is computed over the slice it owns, with
+            # the same flattening semantics as ObjectDatabase.value_set
+            owned = request.shard.filter_instances(
+                agent.fetch_extent(request.schema, request.class_name)
+            )
+            return _value_set_of(owned, request.attribute)
+        if request.shard is not None:
+            extent = request.shard.filter_instances(extent)
+        return extent
 
 
 @dataclasses.dataclass(frozen=True)
 class FaultProfile:
-    """Injectable faults for one agent behind the simulated network."""
+    """Injectable faults for one agent (or shard endpoint) behind the
+    simulated network."""
 
     #: fixed seconds added to every call
     latency: float = 0.0
@@ -144,13 +200,19 @@ class FaultProfile:
     #: each distinct request fails its first N attempts, then succeeds —
     #: the deterministic "flaky agent" script retries must ride out
     fail_times: int = 0
+    #: seconds per result item (transfer cost) — what sharding amortises:
+    #: N concurrent shards each carry ~1/N of the extent
+    per_item: float = 0.0
 
 
 class SimulatedNetworkTransport(AgentTransport):
     """A transport decorator that injects latency, drops and failures.
 
     Per-agent :class:`FaultProfile`\\ s are installed with
-    :meth:`set_profile`; agents without one use *default_profile*.
+    :meth:`set_profile`; agents without one use *default_profile*.  A
+    profile may also target one shard endpoint (``"agent1#2/4"``) — the
+    lookup tries the exact endpoint first, then the base agent — so a
+    single shard can be killed while its siblings stay healthy.
     Randomness is seeded, so runs are reproducible.
     """
 
@@ -174,11 +236,17 @@ class SimulatedNetworkTransport(AgentTransport):
 
     # ------------------------------------------------------------------
     def set_profile(self, agent: str, profile: FaultProfile) -> FaultProfile:
+        """Install *profile* for an agent name or shard endpoint name."""
         self._profiles[agent] = profile
         return profile
 
-    def profile_for(self, agent: str) -> FaultProfile:
-        return self._profiles.get(agent, self._default)
+    def profile_for(self, endpoint: str) -> FaultProfile:
+        """Endpoint profile, falling back to the base agent's, then the
+        default."""
+        if endpoint in self._profiles:
+            return self._profiles[endpoint]
+        base = endpoint.split("#", 1)[0]
+        return self._profiles.get(base, self._default)
 
     def reset_scripts(self) -> None:
         """Forget scripted-failure attempt counters (fresh fault run)."""
@@ -196,9 +264,10 @@ class SimulatedNetworkTransport(AgentTransport):
         return self._inner.generation(request)
 
     def perform(self, request: ScanRequest) -> Any:
-        profile = self.profile_for(request.agent)
+        endpoint = request.endpoint
+        profile = self.profile_for(endpoint)
         with self._lock:
-            self.calls[request.agent] += 1
+            self.calls[endpoint] += 1
             key = dataclasses.astuple(request)
             self._attempts[key] += 1
             attempt = self._attempts[key]
@@ -212,10 +281,18 @@ class SimulatedNetworkTransport(AgentTransport):
         if attempt <= profile.fail_times:
             raise TransportError(
                 f"injected failure {attempt}/{profile.fail_times} from agent "
-                f"{request.agent!r} ({request.describe()})"
+                f"{endpoint!r} ({request.describe()})"
             )
         if dropped:
             raise TransportError(
-                f"reply from agent {request.agent!r} dropped ({request.describe()})"
+                f"reply from agent {endpoint!r} dropped ({request.describe()})"
             )
-        return self._inner.perform(request)
+        result = self._inner.perform(request)
+        if profile.per_item > 0.0:
+            try:
+                transfer = len(result) * profile.per_item
+            except TypeError:
+                transfer = profile.per_item
+            if transfer > 0.0:
+                self._sleep(transfer)
+        return result

@@ -10,6 +10,7 @@ from repro.runtime import (
     MISS,
     RuntimePolicy,
     ScanRequest,
+    ShardPlan,
 )
 
 
@@ -71,6 +72,78 @@ class TestCachePrimitives:
         cache.put(request, [1], source_generation=7)
         assert cache.get(request, source_generation=7) == [1]
         assert cache.get(request, source_generation=8) is MISS
+
+
+class TestShardGranules:
+    """Sharded scans key 4-tuples; no invalidation path may miss them.
+
+    The regression this pins: :meth:`ExtentCache.invalidate` matches on
+    the first three key coordinates — it must treat the 3-tuple
+    (unsharded) and 4-tuple (sharded) key shapes uniformly instead of
+    silently skipping shard granules.
+    """
+
+    @staticmethod
+    def _sharded_requests(shards=3):
+        plan = ShardPlan(shards)
+        return plan.split(ScanRequest("a1", "S1", "person"))
+
+    def test_each_shard_is_its_own_granule(self):
+        cache = ExtentCache()
+        for index, request in enumerate(self._sharded_requests()):
+            cache.put(request, [index])
+        requests = self._sharded_requests()
+        assert [cache.get(r) for r in requests] == [[0], [1], [2]]
+        # the unsharded granule of the same class is untouched
+        assert cache.get(ScanRequest("a1", "S1", "person")) is MISS
+
+    def test_class_invalidation_evicts_every_shard_granule(self):
+        cache = ExtentCache()
+        cache.put(ScanRequest("a1", "S1", "person"), ["unsharded"])
+        for request in self._sharded_requests():
+            cache.put(request, ["slice"])
+        # 1 unsharded + 3 shard granules, all matched by the class name
+        assert cache.invalidate(class_name="person") == 4
+        assert all(cache.get(r) is MISS for r in self._sharded_requests())
+        assert cache.get(ScanRequest("a1", "S1", "person")) is MISS
+
+    def test_generation_bump_evicts_every_shard_granule(self):
+        cache = ExtentCache()
+        requests = self._sharded_requests()
+        for request in requests:
+            cache.put(request, ["slice"])
+        cache.bump_generation()
+        assert all(cache.get(r) is MISS for r in requests)
+
+    def test_shard_coordinate_narrows_invalidation(self):
+        cache = ExtentCache()
+        requests = self._sharded_requests()
+        for request in requests:
+            cache.put(request, ["slice"])
+        assert cache.invalidate(shard=(1, 3)) == 1
+        assert cache.get(requests[1]) is MISS
+        assert cache.get(requests[0]) == ["slice"]
+        assert cache.get(requests[2]) == ["slice"]
+
+    def test_runtime_generation_bump_forces_full_rescatter(self):
+        schema = Schema("S1")
+        schema.add_class(ClassDef("person").attr("ssn#"))
+        database = ObjectDatabase(schema, agent="h1")
+        for index in range(12):
+            database.insert("person", {"ssn#": str(index)})
+        agent = FSMAgent("a1")
+        agent.host_object_database(database)
+        rt = FederationRuntime(agents={"a1": agent}, shard_plan=ShardPlan(4))
+        cold = {i.oid for i in rt.direct_extent("S1", "person")}
+        scans_after_cold = agent.access_count
+        warm = {i.oid for i in rt.direct_extent("S1", "person")}
+        assert warm == cold
+        assert agent.access_count == scans_after_cold  # all granules warm
+        rt.bump_generation()
+        again = {i.oid for i in rt.direct_extent("S1", "person")}
+        assert again == cold
+        # every one of the 4 shard granules had to rescan
+        assert agent.access_count == scans_after_cold + 4
 
 
 class TestRuntimeCaching:

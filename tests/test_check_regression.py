@@ -26,6 +26,22 @@ def _healthy():
                 "async_scans_per_s": 15000.0,
             },
         ],
+        "sharding": [
+            {
+                "shards": 1,
+                "threaded_ms": 105.0,
+                "async_ms": 108.0,
+                "threaded_speedup_vs_1": 1.0,
+                "async_speedup_vs_1": 1.0,
+            },
+            {
+                "shards": 8,
+                "threaded_ms": 30.0,
+                "async_ms": 33.0,
+                "threaded_speedup_vs_1": 3.5,
+                "async_speedup_vs_1": 3.2,
+            },
+        ],
     }
 
 
@@ -56,6 +72,37 @@ class TestCheck:
         problems = check_regression.check(doc)
         assert any("trails threaded" in p for p in problems)
 
+    def test_missing_sharding_series_fails(self):
+        doc = _healthy()
+        del doc["sharding"]
+        assert any(
+            "sharding series is missing" in p for p in check_regression.check(doc)
+        )
+
+    def test_sharding_without_a_multi_shard_entry_fails(self):
+        doc = _healthy()
+        doc["sharding"] = doc["sharding"][:1]  # only the N=1 baseline ran
+        problems = check_regression.check(doc)
+        assert any("no multi-shard entry" in p for p in problems)
+
+    def test_shard_speedup_floor_gates_both_modes(self):
+        doc = _healthy()
+        doc["sharding"][-1]["async_speedup_vs_1"] = 1.1
+        problems = check_regression.check(doc)
+        assert any(
+            "async_speedup_vs_1 1.1 at 8 shards is below the 1.5 floor" in p
+            for p in problems
+        )
+        doc["sharding"][-1]["threaded_speedup_vs_1"] = 0.9
+        problems = check_regression.check(doc)
+        assert any("threaded_speedup_vs_1 0.9" in p for p in problems)
+
+    def test_shard_speedup_floor_is_configurable(self):
+        doc = _healthy()  # 3.5x / 3.2x at 8 shards
+        assert check_regression.check(doc, min_shard_speedup=3.0) == []
+        problems = check_regression.check(doc, min_shard_speedup=4.0)
+        assert len([p for p in problems if "below the 4.0 floor" in p]) == 2
+
     def test_baseline_drift_fails_even_above_floors(self):
         fresh = _healthy()
         fresh["concurrent_speedup"] = 3.5  # above the 3.0 floor...
@@ -69,6 +116,16 @@ class TestCheck:
         fresh["fanout"][-1]["async_scans_per_s"] = 2000.0  # still > threaded
         problems = check_regression.check(fresh, _healthy())
         assert any("256 agents" in p for p in problems)
+
+    def test_shard_speedup_drift_fails(self):
+        fresh = _healthy()
+        # above the 1.5 floor, but less than 50% of the committed 3.5x
+        fresh["sharding"][-1]["threaded_speedup_vs_1"] = 1.6
+        problems = check_regression.check(fresh, _healthy())
+        assert any(
+            "threaded_speedup_vs_1 at 8 shards (1.6) fell below 50%" in p
+            for p in problems
+        )
 
     def test_tolerance_is_configurable(self):
         fresh = _healthy()
