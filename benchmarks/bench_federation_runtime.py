@@ -1,4 +1,4 @@
-"""Experiments E-R1 / E-R2 / E-R3 — runtime latency, fan-out, sharding.
+"""Experiments E-R1 – E-R4 — latency, fan-out, sharding, warm restart.
 
 **E-R1** (4 agents, 10ms injected per-call latency): the same global
 query answered sequentially with the cache off (the pre-runtime
@@ -21,12 +21,20 @@ shard plans, threaded and async.  An unsharded scan pays the whole
 extent, so the wall-clock follows the largest slice — the data-volume
 scaling the sharded-agent design exists for.
 
+**E-R4** (same 4-agent cluster, 10ms latency, ``--cache-path``-style
+persistence): one cold run populating a sqlite-backed extent cache,
+then the federation is torn down and rebuilt — a process restart — and
+the first query after each restart is answered from the restored cache.
+The warm-restart run must touch zero agents and return byte-identical
+answers; a cold start pays every scan's round-trip again.
+
 Runs standalone (``python benchmarks/bench_federation_runtime.py``)
 or under pytest; both emit ``BENCH_runtime.json``.
 """
 
 import json
 import statistics
+import tempfile
 import time
 from pathlib import Path
 
@@ -72,13 +80,15 @@ def _cluster_fsm():
     return fsm
 
 
-def _attach(fsm, policy):
+def _attach(fsm, policy, cache_path=None):
     transport = SimulatedNetworkTransport(
         InProcessTransport(fsm._agents, fsm._schema_host),
         FaultProfile(latency=LATENCY),
     )
     return fsm.use_runtime(
-        runtime=FederationRuntime(transport=transport, policy=policy)
+        runtime=FederationRuntime(
+            transport=transport, policy=policy, cache_path=cache_path
+        )
     )
 
 
@@ -233,6 +243,51 @@ def run_shard_scale():
     return series
 
 
+def _rows_key(rows):
+    return sorted(tuple(sorted(row.items())) for row in rows)
+
+
+def run_restart():
+    """E-R4: cold start vs warm restart from a persisted extent cache."""
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_path = str(Path(scratch) / "extents.db")
+
+        cold_fsm = _cluster_fsm()
+        cold_runtime = _attach(cold_fsm, RuntimePolicy(max_workers=8), cache_path)
+        try:
+            cold_ms, cold_rows = _timed_query(cold_fsm)
+            cold_scans = cold_fsm.last_query_stats.counter("agent_scans")
+        finally:
+            cold_runtime.close()
+
+        warm_samples = []
+        warm_scans = 0
+        restores = 0
+        warm_rows = []
+        for _ in range(ROUNDS):
+            # deterministic rebuild of the whole federation = a restart
+            fsm = _cluster_fsm()
+            runtime = _attach(fsm, RuntimePolicy(max_workers=8), cache_path)
+            try:
+                elapsed, warm_rows = _timed_query(fsm)
+                warm_samples.append(elapsed)
+                warm_scans += fsm.last_query_stats.counter("agent_scans")
+                restores += runtime.stats().counter("cache_restores")
+            finally:
+                runtime.close()
+
+    return {
+        "experiment": "E-R4 warm restart from persisted extent cache",
+        "injected_latency_ms": LATENCY * 1000.0,
+        "cold_ms": round(cold_ms, 3),
+        "cold_agent_scans": cold_scans,
+        "warm_restart_ms": round(statistics.median(warm_samples), 3),
+        "warm_restart_agent_scans": warm_scans,
+        "cache_restores": restores,
+        "answers_match": _rows_key(cold_rows) == _rows_key(warm_rows),
+    }
+
+
 def run_experiment():
     sequential_ms, answers = _median_cold(
         RuntimePolicy.sequential(cache_enabled=False)
@@ -269,6 +324,7 @@ def run_all():
     results = run_experiment()
     results["fanout"] = run_fanout_scale()
     results["sharding"] = run_shard_scale()
+    results["restart"] = run_restart()
     return results
 
 
@@ -312,8 +368,25 @@ def test_runtime_latency(benchmark, report):
             for s in results["sharding"]
         ],
     )
+    restart = results["restart"]
+    report(
+        "E-R4  warm restart from persisted cache, 4 agents x 10ms per call",
+        ("metric", "value"),
+        [
+            ("cold start ms", restart["cold_ms"]),
+            ("warm restart ms", restart["warm_restart_ms"]),
+            ("cold agent scans", restart["cold_agent_scans"]),
+            ("warm restart agent scans", restart["warm_restart_agent_scans"]),
+            ("granules restored", restart["cache_restores"]),
+            ("answers byte-identical", restart["answers_match"]),
+        ],
+    )
     assert results["concurrent_cold_ms"] < results["sequential_cold_ms"]
     assert results["warm_agent_scans"] == 0
+    assert restart["warm_restart_agent_scans"] == 0
+    assert restart["answers_match"]
+    assert restart["cache_restores"] > 0
+    assert restart["warm_restart_ms"] < restart["cold_ms"]
     at_256 = next(s for s in results["fanout"] if s["agents"] == 256)
     assert at_256["async_scans_per_s"] >= at_256["threaded_scans_per_s"]
     one_shard = next(s for s in results["sharding"] if s["shards"] == 1)

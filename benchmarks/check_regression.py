@@ -13,6 +13,10 @@ federation runtime's load-bearing numbers regress:
 * in the E-R3 sharding series, the widest plan's speedup over the
   1-shard baseline below the floor (default 1.5, both modes) — the
   scatter/merge stopped paying for itself on large extents;
+* in the E-R4 restart section, any warm-restart agent scan, a warm
+  restart slower than the cold start, or answers diverging from the
+  cold run — the persistent extent cache stopped delivering scan-free
+  byte-identical warm restarts;
 * optionally, drift against a committed baseline file: any gated metric
   worse than ``tolerance`` × baseline fails even above absolute floors.
 
@@ -91,6 +95,34 @@ def check(
                         f"below the {min_shard_speedup} floor "
                         "(scatter/merge no longer beats the unsharded scan)"
                     )
+
+    restart = fresh.get("restart", {})
+    if not restart:
+        problems.append("restart section is missing (E-R4 did not run)")
+    else:
+        warm_restart = restart.get("warm_restart_agent_scans", -1)
+        if warm_restart != 0:
+            problems.append(
+                f"warm_restart_agent_scans is {warm_restart}, expected 0 "
+                "(persisted cache no longer restores scan-free)"
+            )
+        if not restart.get("answers_match", False):
+            problems.append(
+                "restart answers_match is false "
+                "(warm restart diverged from the cold run's answers)"
+            )
+        warm_ms = restart.get("warm_restart_ms", float("inf"))
+        cold_ms = restart.get("cold_ms", 0.0)
+        if warm_ms >= cold_ms:
+            problems.append(
+                f"warm_restart_ms {warm_ms} is not below cold_ms {cold_ms} "
+                "(restoring the cache no longer beats rescanning)"
+            )
+        if restart.get("cache_restores", 0) <= 0:
+            problems.append(
+                "cache_restores is 0 (the warm restart restored nothing, so "
+                "its numbers measure an ordinary cold run)"
+            )
 
     if baseline is not None:
         base_speedup = baseline.get("concurrent_speedup", 0.0)
@@ -197,6 +229,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     largest = max(fanout, key=lambda s: s.get("agents", 0)) if fanout else {}
     sharding = fresh.get("sharding", [])
     widest = max(sharding, key=lambda s: s.get("shards", 0)) if sharding else {}
+    restart = fresh.get("restart", {})
     print(
         "regression gate passed: "
         f"concurrent_speedup={fresh.get('concurrent_speedup')} "
@@ -205,7 +238,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{largest.get('async_scans_per_s', '?')} scans/s "
         f"shard@{widest.get('shards', '?')}="
         f"{widest.get('threaded_speedup_vs_1', '?')}x/"
-        f"{widest.get('async_speedup_vs_1', '?')}x"
+        f"{widest.get('async_speedup_vs_1', '?')}x "
+        f"restart={restart.get('warm_restart_ms', '?')}ms/"
+        f"{restart.get('warm_restart_agent_scans', '?')} scans"
     )
     return 0
 

@@ -26,7 +26,9 @@ Subcommands:
     runtime to the asyncio executor (``--max-inflight`` bounds its
     in-flight window), ``--shards N`` scatters every extent scan across
     N shard endpoints per agent (``--shard-kind hash|range`` picks the
-    OID partitioning), ``--repeat N`` re-runs the query (showing the
+    OID partitioning), ``--cache-path FILE`` persists the extent cache
+    to a sqlite file (a re-run with the same path answers warm without
+    touching one agent), ``--repeat N`` re-runs the query (showing the
     extent cache), ``--appendix-b`` uses the top-down evaluator, and
     ``--stats`` prints the per-query and cumulative
     :class:`~repro.runtime.RuntimeStats`.
@@ -159,6 +161,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="how the shard plan partitions global OIDs (default: hash)",
     )
     query.add_argument(
+        "--cache-path",
+        metavar="FILE",
+        help="persist the extent cache to a sqlite file; re-running with "
+        "the same path restores it, so warm queries touch no agent",
+    )
+    query.add_argument(
         "--sequential",
         action="store_true",
         help="one worker, no retries (the pre-runtime behaviour)",
@@ -276,7 +284,8 @@ def _attach_query_runtime(fsm, arguments):
     )
     return fsm.use_runtime(
         runtime=FederationRuntime(
-            transport=transport, policy=policy, mode=mode, shard_plan=shard_plan
+            transport=transport, policy=policy, mode=mode, shard_plan=shard_plan,
+            cache_path=arguments.cache_path,
         )
     )
 
@@ -320,6 +329,7 @@ def _cmd_query(arguments, out) -> int:
         print(file=out)
         print("cumulative:", file=out)
         print(runtime.stats().describe(), file=out)
+    runtime.close()  # flush/release the persistent cache store, if any
     return 0
 
 

@@ -114,14 +114,18 @@ class FederationSession:
         runtime: Optional["FederationRuntime"] = None,
         mode: str = "threaded",
         shard_plan: "ShardPlan | int | None" = None,
+        cache_path: Optional[str] = None,
     ) -> "FederationRuntime":
         """Route agent access through a federation runtime (concurrent
         fan-out, retries, extent caching, metrics); *mode* picks the
         thread-pool (``"threaded"``) or event-loop (``"async"``)
         executor; *shard_plan* (a plan or a bare count) shards every
-        extent scan; see :meth:`repro.federation.fsm.FSM.use_runtime`."""
+        extent scan; *cache_path* persists the extent cache to a sqlite
+        file so a restarted session warms up scan-free; see
+        :meth:`repro.federation.fsm.FSM.use_runtime`."""
         return self.fsm.use_runtime(
-            policy=policy, runtime=runtime, mode=mode, shard_plan=shard_plan
+            policy=policy, runtime=runtime, mode=mode, shard_plan=shard_plan,
+            cache_path=cache_path,
         )
 
     @property

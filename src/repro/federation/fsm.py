@@ -282,6 +282,7 @@ class FSM:
         runtime: Optional["FederationRuntime"] = None,
         mode: str = "threaded",
         shard_plan: "ShardPlan | int | None" = None,
+        cache_path: Optional[str] = None,
     ) -> "FederationRuntime":
         """Attach a federation runtime to both evaluation paths.
 
@@ -294,7 +295,9 @@ class FSM:
         every in-flight scan).  *shard_plan* — a
         :class:`~repro.runtime.sharding.ShardPlan` or a bare shard
         count — makes every extent scan a scatter/merge across N shard
-        endpoints per agent.
+        endpoints per agent.  *cache_path* spills the extent cache to a
+        sqlite file and restores it on attach, so a restarted federation
+        answers warm queries without re-scanning its components.
         """
         if runtime is None:
             from ..runtime.async_transport import AsyncInProcessTransport
@@ -308,7 +311,7 @@ class FSM:
             )
             runtime = FederationRuntime(
                 transport=transport, policy=policy, mode=mode,
-                shard_plan=shard_plan,
+                shard_plan=shard_plan, cache_path=cache_path,
             )
         self.runtime = runtime
         return runtime

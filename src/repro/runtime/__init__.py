@@ -22,8 +22,11 @@ query paths and the agents:
   endpoints (hash or range over global OIDs) and merge the slices back
   with OID-level dedup and exact missing-shard reporting;
 * :mod:`~repro.runtime.cache` — the ``(agent, schema, class)`` extent
-  cache (plus an ``(index, of)`` coordinate per shard granule) with
-  explicit and generation-based invalidation;
+  cache (plus an ``(index, of, kind, band)`` coordinate per shard
+  granule) with explicit and generation-based invalidation;
+* :mod:`~repro.runtime.persistence` — the sqlite-backed
+  :class:`PersistentExtentStore` the cache spills granules into, so a
+  federation restarted with the same cache path warms up scan-free;
 * :mod:`~repro.runtime.metrics` — counters, phase timers and per-agent
   access histograms behind :class:`RuntimeStats` snapshots;
 * :mod:`~repro.runtime.runtime` — the :class:`FederationRuntime` facade
@@ -41,6 +44,7 @@ from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .cache import MISS, ExtentCache
 from .executor import FederationExecutor, ScanFailure, ScanOutcome
 from .metrics import RuntimeMetrics, RuntimeStats, TimerStats
+from .persistence import FORMAT_VERSION, PersistentExtentStore
 from .policy import FailurePolicy, RuntimePolicy
 from .runtime import MODES, FederationRuntime
 from .sharding import (
@@ -70,6 +74,7 @@ __all__ = [
     "CLOSED",
     "CircuitBreaker",
     "ExtentCache",
+    "FORMAT_VERSION",
     "FailurePolicy",
     "FaultProfile",
     "FederationExecutor",
@@ -80,6 +85,7 @@ __all__ = [
     "MODES",
     "OPEN",
     "PLAN_KINDS",
+    "PersistentExtentStore",
     "RuntimeMetrics",
     "RuntimePolicy",
     "RuntimeStats",

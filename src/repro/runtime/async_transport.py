@@ -36,10 +36,12 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from ..federation.agent import FSMAgent
 from ..errors import TransportError
 from .transport import (
+    MAX_SCRIPT_ENTRIES,
     AgentTransport,
     FaultProfile,
     InProcessTransport,
     ScanRequest,
+    _prune_scripts,
 )
 
 
@@ -169,9 +171,15 @@ class AsyncSimulatedNetworkTransport(AsyncAgentTransport):
         profile = self.profile_for(endpoint)
         with self._lock:
             self.calls[endpoint] += 1
-            key = dataclasses.astuple(request)
-            self._attempts[key] += 1
-            attempt = self._attempts[key]
+            if profile.fail_times > 0:
+                # mirror the threaded simulator: attempt history only for
+                # scripted endpoints, bounded so it cannot grow forever
+                key = dataclasses.astuple(request)
+                self._attempts[key] += 1
+                attempt = self._attempts[key]
+                _prune_scripts(self._attempts, MAX_SCRIPT_ENTRIES)
+            else:
+                attempt = 1
             jitter = self._rng.random() * profile.jitter if profile.jitter else 0.0
             dropped = (
                 profile.drop_rate > 0.0 and self._rng.random() < profile.drop_rate

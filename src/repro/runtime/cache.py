@@ -8,21 +8,36 @@ holding its ``(op, attribute)`` variants), with two invalidation paths:
 
 * **explicit** — :meth:`invalidate` by agent / schema / class, or
   :meth:`clear`;  sharded scans key a *fourth* coordinate —
-  ``(agent, schema, class, (index, of))`` — and the coordinate match
-  deliberately ignores it, so ``invalidate(class_name="person")`` drops
-  every shard granule of that class, never just the unsharded one;
+  ``(agent, schema, class, (index, of, kind, band))`` — and the
+  coordinate match deliberately ignores it, so
+  ``invalidate(class_name="person")`` drops every shard granule of that
+  class, never just the unsharded one;
 * **generation-based** — entries record the component database's
   ``version`` at fill time (via the transport) plus the cache's own
   generation counter; a database write or a :meth:`bump_generation`
   makes the stale entry miss and evicts it lazily.
+
+With a :class:`~repro.runtime.persistence.PersistentExtentStore`
+attached, granules additionally spill to disk on :meth:`put` and are
+reloaded on construction — a restarted federation warms up without an
+agent scan — while every invalidation path above (explicit drops, stale
+evictions, generation bumps) writes through, so the disk tier can never
+resurrect an entry the in-memory tier already condemned.  Entries whose
+component version was unobservable at fill time stay memory-only: after
+a restart their freshness could not be checked.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Optional, Tuple
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Any, ContextManager, Dict, Mapping, Optional, Tuple
 
 from .transport import ScanRequest
+
+if TYPE_CHECKING:
+    from .metrics import RuntimeMetrics
+    from .persistence import PersistentExtentStore
 
 _MISS = object()
 
@@ -44,14 +59,21 @@ def _copy(value: Any) -> Any:
         return list(value)
     if isinstance(value, (set, frozenset)):
         return set(value)
+    if isinstance(value, Mapping):
+        return dict(value)
     return value
 
 
 class ExtentCache:
     """Thread-safe scan cache keyed by ``(agent, schema, class)`` —
-    plus a ``(index, of)`` shard coordinate for sharded granules."""
+    plus an ``(index, of, kind, band)`` shard coordinate for sharded
+    granules — optionally backed by a persistent on-disk store."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        store: Optional["PersistentExtentStore"] = None,
+        metrics: Optional["RuntimeMetrics"] = None,
+    ) -> None:
         self._granules: Dict[
             Tuple[Any, ...], Dict[Tuple[str, Optional[str]], _Entry]
         ] = {}
@@ -59,8 +81,32 @@ class ExtentCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self._store = store
+        self._metrics = metrics
+        #: entries reloaded from the persistent store at construction
+        self.restored = 0
+        if store is not None:
+            with self._persistence_timer():
+                self._generation = store.generation()
+                for key, variant, value, cache_generation, source_generation in (
+                    store.load()
+                ):
+                    self._granules.setdefault(key, {})[variant] = _Entry(
+                        value, cache_generation, source_generation
+                    )
+                    self.restored += 1
 
     # ------------------------------------------------------------------
+    def _persistence_timer(self) -> ContextManager[None]:
+        """Time store traffic under the metrics' ``persistence`` phase."""
+        if self._metrics is None:
+            return nullcontext()
+        return self._metrics.timer("persistence")
+
+    @property
+    def persistent(self) -> bool:
+        return self._store is not None
+
     @property
     def generation(self) -> int:
         return self._generation
@@ -69,6 +115,9 @@ class ExtentCache:
         """Invalidate everything currently cached (lazily evicted)."""
         with self._lock:
             self._generation += 1
+            if self._store is not None:
+                with self._persistence_timer():
+                    self._store.set_generation(self._generation)
             return self._generation
 
     def get(
@@ -80,9 +129,11 @@ class ExtentCache:
         and, when *source_generation* is observable, to match the
         component database's version it was filled at.
         """
+        key = request.cache_key
+        variant = (request.op, request.attribute)
         with self._lock:
-            granule = self._granules.get(request.cache_key)
-            entry = granule.get((request.op, request.attribute)) if granule else None
+            granule = self._granules.get(key)
+            entry = granule.get(variant) if granule else None
             if entry is None:
                 self.misses += 1
                 return _MISS
@@ -92,7 +143,13 @@ class ExtentCache:
             )
             if stale:
                 assert granule is not None
-                granule.pop((request.op, request.attribute), None)
+                granule.pop(variant, None)
+                if not granule:
+                    # an emptied granule dict must not be stranded forever
+                    self._granules.pop(key, None)
+                if self._store is not None:
+                    with self._persistence_timer():
+                        self._store.delete(key, variant)
                 self.misses += 1
                 return _MISS
             self.hits += 1
@@ -101,11 +158,16 @@ class ExtentCache:
     def put(
         self, request: ScanRequest, value: Any, source_generation: Optional[int] = None
     ) -> None:
+        key = request.cache_key
+        variant = (request.op, request.attribute)
         with self._lock:
-            granule = self._granules.setdefault(request.cache_key, {})
-            granule[(request.op, request.attribute)] = _Entry(
-                _copy(value), self._generation, source_generation
-            )
+            granule = self._granules.setdefault(key, {})
+            granule[variant] = _Entry(_copy(value), self._generation, source_generation)
+            if self._store is not None and source_generation is not None:
+                with self._persistence_timer():
+                    self._store.put(
+                        key, variant, value, self._generation, source_generation
+                    )
 
     # ------------------------------------------------------------------
     def invalidate(
@@ -113,7 +175,7 @@ class ExtentCache:
         agent: Optional[str] = None,
         schema: Optional[str] = None,
         class_name: Optional[str] = None,
-        shard: Optional[Tuple[int, int]] = None,
+        shard: Optional[Tuple[Any, ...]] = None,
     ) -> int:
         """Drop every granule matching the given coordinates; counts drops.
 
@@ -121,11 +183,14 @@ class ExtentCache:
         agent's granules, ``invalidate(schema="S1", class_name="person")``
         one class wherever hosted, ``invalidate()`` everything.  Keys are
         3-tuples for unsharded granules and 4-tuples (the extra element
-        being the ``(index, of)`` shard coordinate) for sharded ones; a
-        coordinate-only match covers *both* shapes, so a class-level
-        invalidation can never strand a shard granule.  Pass *shard* to
-        narrow the drop to one shard's granules.
+        being the ``(index, of, kind, band)`` shard coordinate) for
+        sharded ones; a coordinate-only match covers *both* shapes, so a
+        class-level invalidation can never strand a shard granule.  Pass
+        *shard* to narrow the drop to one shard's granules — either the
+        legacy ``(index, of)`` pair, matched as a prefix across every
+        plan kind and band, or the full 4-tuple for one exact plan.
         """
+        probe = tuple(shard) if shard is not None else None
         with self._lock:
             doomed = [
                 key
@@ -134,17 +199,29 @@ class ExtentCache:
                 and (schema is None or key[1] == schema)
                 and (class_name is None or key[2] == class_name)
                 and (
-                    shard is None
-                    or (len(key) > 3 and key[3] == tuple(shard))
+                    probe is None
+                    or (len(key) > 3 and tuple(key[3][: len(probe)]) == probe)
                 )
             ]
             for key in doomed:
                 del self._granules[key]
+            if self._store is not None and doomed:
+                with self._persistence_timer():
+                    for key in doomed:
+                        self._store.delete_granule(key)
             return len(doomed)
 
     def clear(self) -> None:
         with self._lock:
             self._granules.clear()
+            if self._store is not None:
+                with self._persistence_timer():
+                    self._store.clear()
+
+    def close(self) -> None:
+        """Release the persistent store's connection (no-op when memory-only)."""
+        if self._store is not None:
+            self._store.close()
 
     def __len__(self) -> int:
         with self._lock:

@@ -21,6 +21,12 @@ Counter vocabulary (all monotonic):
 ``partial_results``     fan-outs degraded to partial answers
 ``sharded_scans``       logical scans answered by scatter/merge
 ``missing_shards``      shard slices absent from a merged answer
+``cache_restores``      entries reloaded from a persistent extent store
+
+Timer vocabulary includes the ``persistence`` phase: every persistent
+extent-store interaction (the warm-restart reload, spills on fill,
+write-through invalidations) accumulates there, so the disk tier's cost
+is visible next to ``fan_out`` and ``query``.
 
 Sharded runs additionally record *which* shard endpoints went missing:
 :attr:`RuntimeStats.missing_shards` maps ``agent#index/of`` endpoint

@@ -26,6 +26,15 @@ Failure policy: ``PARTIAL`` serves what survived (missing extents come
 back empty) and records a warning per failure; ``ERROR`` raises
 :class:`~repro.errors.PartialResultError`.
 
+*cache_path* puts a
+:class:`~repro.runtime.persistence.PersistentExtentStore` under the
+extent cache: granules spill to the sqlite file on fill and are
+restored on construction (counted in ``cache_restores``, timed under
+the ``persistence`` phase), so a federation restarted with the same
+path answers warm queries without one agent scan — while component
+writes and generation bumps invalidate restored entries exactly as
+they do live ones.
+
 A :class:`~repro.runtime.sharding.ShardPlan` (or a bare shard count)
 turns every scan into a scatter/merge: each logical request fans out as
 one request per shard, per-shard results are cached on their own
@@ -37,6 +46,7 @@ merged slice set and reports exactly the missing shard endpoints in
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import PartialResultError, RuntimeFederationError
@@ -52,6 +62,7 @@ from .breaker import CircuitBreaker
 from .cache import MISS, ExtentCache
 from .executor import FederationExecutor, ScanOutcome
 from .metrics import RuntimeMetrics, RuntimeStats
+from .persistence import PersistentExtentStore
 from .policy import FailurePolicy, RuntimePolicy
 from .sharding import ShardPlan, ShardedOutcome, merge_shard_values
 from .transport import AgentTransport, InProcessTransport, ScanRequest
@@ -73,6 +84,7 @@ class FederationRuntime:
         breaker: Optional[CircuitBreaker] = None,
         mode: str = "threaded",
         shard_plan: "ShardPlan | int | None" = None,
+        cache_path: "str | os.PathLike[str] | None" = None,
     ) -> None:
         if mode not in MODES:
             raise RuntimeFederationError(
@@ -99,7 +111,16 @@ class FederationRuntime:
         self.transport = transport
         self.policy = policy or RuntimePolicy()
         self.metrics = metrics or RuntimeMetrics()
-        self.cache = cache or ExtentCache()
+        if cache is None and cache_path is not None:
+            # the persistent tier: granules spill to disk on put and are
+            # reloaded here, so a restarted federation warms up scan-free
+            cache = ExtentCache(
+                store=PersistentExtentStore(cache_path), metrics=self.metrics
+            )
+            self.metrics.incr("cache_restores", cache.restored)
+        # explicit None test: an empty ExtentCache has len() == 0 and is
+        # falsy, so `cache or ExtentCache()` would drop a persistent one
+        self.cache = cache if cache is not None else ExtentCache()
         self.breaker = breaker or CircuitBreaker(
             self.policy.breaker_threshold, self.policy.breaker_reset
         )
@@ -316,7 +337,7 @@ class FederationRuntime:
         agent: Optional[str] = None,
         schema: Optional[str] = None,
         class_name: Optional[str] = None,
-        shard: Optional[Tuple[int, int]] = None,
+        shard: Optional[Tuple[Any, ...]] = None,
     ) -> int:
         """Explicitly drop cached extents (see :meth:`ExtentCache.invalidate`)."""
         return self.cache.invalidate(agent, schema, class_name, shard)
@@ -348,7 +369,9 @@ class FederationRuntime:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release executor resources (the async mode's loop thread)."""
+        """Release executor resources (the async mode's loop thread) and
+        the cache's persistent store, when one is attached."""
         closer = getattr(self.executor, "close", None)
         if closer is not None:
             closer()
+        self.cache.close()

@@ -47,7 +47,10 @@ PLAN_KINDS = ("hash", "range")
 DEFAULT_BAND = 32
 
 
-@functools.lru_cache(maxsize=None)  # one entry per distinct relation
+#: one entry per distinct relation coordinate; bounded so long-running
+#: traffic over ever-new relations (dynamic federations, test churn)
+#: cannot grow the memo without limit — eviction only costs a re-CRC
+@functools.lru_cache(maxsize=4096)
 def _relation_digest(agent: Any, system: Any, database: Any, relation: Any) -> int:
     return zlib.crc32(f"{agent}.{system}.{database}.{relation}".encode("utf-8"))
 

@@ -18,6 +18,7 @@ Two implementations ship:
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import random
 import threading
 import time
@@ -32,6 +33,23 @@ if TYPE_CHECKING:  # sharding imports ScanRequest; only the type flows back
 
 #: operations a transport can perform against one class of one schema
 _OPS = ("direct_extent", "extent", "value_set")
+
+#: most scripted-failure attempt counters a simulated network retains;
+#: the oldest are evicted past this, so long-running traffic over many
+#: distinct requests cannot grow the side table without bound
+MAX_SCRIPT_ENTRIES = 1024
+
+
+def _prune_scripts(attempts: Dict[Tuple[Any, ...], int], cap: int) -> None:
+    """Evict the oldest attempt counters once *attempts* exceeds *cap*.
+
+    Dicts iterate in insertion order, so the front of the table is the
+    least-recently-scripted request set.  Call with the owner's lock held.
+    """
+    if len(attempts) <= cap:
+        return
+    for key in list(itertools.islice(iter(attempts), len(attempts) - cap)):
+        del attempts[key]
 
 
 def _value_set_of(instances: Any, attribute: str) -> set:
@@ -86,14 +104,23 @@ class ScanRequest:
     @property
     def cache_key(self) -> Tuple[Any, ...]:
         """The cache granule: ``(agent, schema, class)`` for unsharded
-        scans, ``(agent, schema, class, (index, of))`` per shard."""
+        scans, ``(agent, schema, class, (index, of, kind, band))`` per
+        shard.
+
+        The shard coordinate carries the *whole* plan rule, not just the
+        slot: a hash plan and a range plan with equal ``index``/``of``
+        own different OID subsets, and two range plans differ again by
+        band width — collapsing the coordinate to ``(index, of)`` made
+        those distinct slices share one granule, so a runtime whose plan
+        changed kind or band served stale slices cut under the old plan.
+        """
         if self.shard is None:
             return (self.agent, self.schema, self.class_name)
         return (
             self.agent,
             self.schema,
             self.class_name,
-            (self.shard.index, self.shard.of),
+            (self.shard.index, self.shard.of, self.shard.kind, self.shard.band),
         )
 
     def describe(self) -> str:
@@ -268,9 +295,15 @@ class SimulatedNetworkTransport(AgentTransport):
         profile = self.profile_for(endpoint)
         with self._lock:
             self.calls[endpoint] += 1
-            key = dataclasses.astuple(request)
-            self._attempts[key] += 1
-            attempt = self._attempts[key]
+            if profile.fail_times > 0:
+                # only scripted endpoints need per-request attempt history;
+                # tracking every healthy request would grow without bound
+                key = dataclasses.astuple(request)
+                self._attempts[key] += 1
+                attempt = self._attempts[key]
+                _prune_scripts(self._attempts, MAX_SCRIPT_ENTRIES)
+            else:
+                attempt = 1
             jitter = self._rng.random() * profile.jitter if profile.jitter else 0.0
             dropped = (
                 profile.drop_rate > 0.0 and self._rng.random() < profile.drop_rate

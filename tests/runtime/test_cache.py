@@ -41,6 +41,33 @@ class TestCachePrimitives:
         cache.get(request).append(2)
         assert cache.get(request) == [1]
 
+    def test_mapping_results_are_copied(self):
+        """Regression: dict-shaped values used to be returned by
+        reference, letting callers mutate the cached entry in place."""
+        cache = ExtentCache()
+        request = ScanRequest("a1", "S1", "person")
+        cache.put(request, {"ann": 1})
+        returned = cache.get(request)
+        returned["bob"] = 2
+        returned["ann"] = 99
+        assert cache.get(request) == {"ann": 1}
+
+    def test_stale_eviction_prunes_empty_granules(self):
+        """Regression: evicting the last stale variant stranded the
+        emptied granule dict in ``_granules`` forever."""
+        cache = ExtentCache()
+        request = ScanRequest("a1", "S1", "person")
+        cache.put(request, [1], source_generation=1)
+        assert cache.get(request, source_generation=2) is MISS  # evicts
+        assert request.cache_key not in cache._granules
+        # a variant surviving next to the stale one keeps its granule
+        values = ScanRequest("a1", "S1", "person", "value_set", "ssn#")
+        cache.put(request, [1], source_generation=1)
+        cache.put(values, {"x"}, source_generation=1)
+        assert cache.get(request, source_generation=2) is MISS
+        assert cache.get(values, source_generation=1) == {"x"}
+        assert request.cache_key in cache._granules
+
     def test_variants_share_a_granule(self):
         cache = ExtentCache()
         direct = ScanRequest("a1", "S1", "person")
@@ -124,6 +151,37 @@ class TestShardGranules:
         assert cache.get(requests[1]) is MISS
         assert cache.get(requests[0]) == ["slice"]
         assert cache.get(requests[2]) == ["slice"]
+
+    def test_shard_key_carries_plan_kind_and_band(self):
+        """Regression: the cache key collapsed the shard coordinate to
+        ``(index, of)``, so hash and range plans with equal index/of
+        collided — a runtime whose plan changed kind or band served
+        stale slices cut under the old plan."""
+        logical = ScanRequest("a1", "S1", "person")
+        hash_request = ShardPlan(3, "hash").split(logical)[1]
+        range_request = ShardPlan(3, "range", band=4).split(logical)[1]
+        narrow_band = ShardPlan(3, "range", band=2).split(logical)[1]
+        assert len({r.cache_key for r in (hash_request, range_request, narrow_band)}) == 3
+        cache = ExtentCache()
+        cache.put(hash_request, ["hash slice"])
+        assert cache.get(range_request) is MISS
+        assert cache.get(narrow_band) is MISS
+        assert cache.get(hash_request) == ["hash slice"]
+
+    def test_full_shard_coordinate_narrows_to_one_plan(self):
+        """invalidate(shard=...) accepts the legacy ``(index, of)`` pair
+        (a prefix across every plan) or the full 4-tuple for one plan."""
+        logical = ScanRequest("a1", "S1", "person")
+        hash_request = ShardPlan(3, "hash").split(logical)[1]
+        range_request = ShardPlan(3, "range").split(logical)[1]
+        cache = ExtentCache()
+        cache.put(hash_request, ["hash"])
+        cache.put(range_request, ["range"])
+        assert cache.invalidate(shard=(1, 3, "range", 32)) == 1
+        assert cache.get(range_request) is MISS
+        assert cache.get(hash_request) == ["hash"]
+        cache.put(range_request, ["range"])
+        assert cache.invalidate(shard=(1, 3)) == 2  # prefix: both plans
 
     def test_runtime_generation_bump_forces_full_rescatter(self):
         schema = Schema("S1")

@@ -8,6 +8,7 @@ async modes) is exactly the unsharded baseline, cold, warm, and across
 ``bump_generation`` invalidation.
 """
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -131,6 +132,47 @@ class TestShardOwnership:
         assert plan.shard_of(token) == shard_of_oid(
             token, plan.shards, plan.kind, plan.band
         )
+
+
+class TestWarmRestartParity:
+    """A persisted-then-reopened cache answers the parity workload with
+    zero agent scans; a component write after reopen forces a rescan."""
+
+    @pytest.mark.parametrize("plan", [ShardPlan(1), ShardPlan(4), ShardPlan(7, "range", band=2)])
+    @pytest.mark.parametrize("mode", ["threaded", "async"])
+    def test_restarted_federation_answers_scan_free(self, tmp_path, plan, mode):
+        cache_path = tmp_path / "extents.db"
+        cold_fsm = _build_fsm(schemas=3, per_class=5, seed=11)
+        runtime = cold_fsm.use_runtime(
+            RuntimePolicy(), mode=mode, shard_plan=plan, cache_path=str(cache_path)
+        )
+        try:
+            expected = _answers(cold_fsm.query(QUERY))
+            assert expected
+            assert cold_fsm.last_query_stats.counter("agent_scans") > 0
+        finally:
+            runtime.close()
+
+        warm_fsm = _build_fsm(schemas=3, per_class=5, seed=11)  # "restart"
+        restarted = warm_fsm.use_runtime(
+            RuntimePolicy(), mode=mode, shard_plan=plan, cache_path=str(cache_path)
+        )
+        try:
+            assert restarted.stats().counter("cache_restores") > 0
+            assert _answers(warm_fsm.query(QUERY)) == expected
+            assert warm_fsm.last_query_stats.counter("agent_scans") == 0
+
+            # a component-database version bump after the reopen must
+            # force a rescan and surface the write
+            warm_fsm.database("S1").insert(
+                "person0", {"ssn#": "S1-post-restart", "name": "new", "grade": 1}
+            )
+            after = _answers(warm_fsm.query(QUERY))
+            assert warm_fsm.last_query_stats.counter("agent_scans") > 0
+            assert "S1-post-restart" in after
+            assert len(after) == len(expected) + 1
+        finally:
+            restarted.close()
 
 
 class TestValueSetParity:

@@ -126,3 +126,34 @@ class TestSimulatedNetworkTransport:
         simulated.perform(request)
         simulated.perform(request)
         assert simulated.calls["a1"] == 2
+
+
+class TestSideTableBounds:
+    """Regression: long-running traffic must not grow the simulator's
+    per-request attempt table (or sharding's relation-digest memo)
+    without bound."""
+
+    def test_healthy_traffic_records_no_attempt_history(self, agents):
+        simulated = SimulatedNetworkTransport(InProcessTransport(agents))
+        for index in range(50):
+            simulated.perform(
+                ScanRequest("a1", "S1", "person", "value_set", "ssn#")
+                if index % 2
+                else ScanRequest("a1", "S1", "person")
+            )
+        assert len(simulated._attempts) == 0
+
+    def test_scripted_attempt_history_is_bounded(self, agents):
+        from repro.runtime.transport import MAX_SCRIPT_ENTRIES, _prune_scripts
+
+        attempts = {("req", index): 1 for index in range(MAX_SCRIPT_ENTRIES + 100)}
+        _prune_scripts(attempts, MAX_SCRIPT_ENTRIES)
+        assert len(attempts) == MAX_SCRIPT_ENTRIES
+        # the oldest entries went first; the newest survive
+        assert ("req", MAX_SCRIPT_ENTRIES + 99) in attempts
+        assert ("req", 0) not in attempts
+
+    def test_relation_digest_memo_is_bounded(self):
+        from repro.runtime.sharding import _relation_digest
+
+        assert _relation_digest.cache_info().maxsize is not None

@@ -42,6 +42,14 @@ def _healthy():
                 "async_speedup_vs_1": 3.2,
             },
         ],
+        "restart": {
+            "cold_ms": 23.0,
+            "cold_agent_scans": 8,
+            "warm_restart_ms": 3.6,
+            "warm_restart_agent_scans": 0,
+            "cache_restores": 40,
+            "answers_match": True,
+        },
     }
 
 
@@ -102,6 +110,37 @@ class TestCheck:
         assert check_regression.check(doc, min_shard_speedup=3.0) == []
         problems = check_regression.check(doc, min_shard_speedup=4.0)
         assert len([p for p in problems if "below the 4.0 floor" in p]) == 2
+
+    def test_missing_restart_section_fails(self):
+        doc = _healthy()
+        del doc["restart"]
+        assert any(
+            "restart section is missing" in p for p in check_regression.check(doc)
+        )
+
+    def test_warm_restart_scans_must_be_zero(self):
+        doc = _healthy()
+        doc["restart"]["warm_restart_agent_scans"] = 4
+        problems = check_regression.check(doc)
+        assert any("warm_restart_agent_scans is 4" in p for p in problems)
+
+    def test_restart_answers_must_match_cold_run(self):
+        doc = _healthy()
+        doc["restart"]["answers_match"] = False
+        problems = check_regression.check(doc)
+        assert any("diverged from the cold run" in p for p in problems)
+
+    def test_warm_restart_must_beat_cold_start(self):
+        doc = _healthy()
+        doc["restart"]["warm_restart_ms"] = 25.0  # slower than cold 23.0
+        problems = check_regression.check(doc)
+        assert any("not below cold_ms" in p for p in problems)
+
+    def test_restart_must_restore_something(self):
+        doc = _healthy()
+        doc["restart"]["cache_restores"] = 0
+        problems = check_regression.check(doc)
+        assert any("restored nothing" in p for p in problems)
 
     def test_baseline_drift_fails_even_above_floors(self):
         fresh = _healthy()
