@@ -28,13 +28,24 @@ the first query after each restart is answered from the restored cache.
 The warm-restart run must touch zero agents and return byte-identical
 answers; a cold start pays every scan's round-trip again.
 
+**E-R5** (federation query service, 4-agent cluster tenant, 5ms
+injected per-call latency): the multi-tenant HTTP service under load —
+one cold request populating the tenant's extent cache, then 8
+concurrent keep-alive clients issuing 25 warm queries each against the
+bundled asyncio server.  Reports req/s and p50/p99 latency; the warm
+phase must serve every request from cache (zero agent scans) with zero
+HTTP errors — the service layering (routes → repository → shared-loop
+runtime) priced end to end.
+
 Runs standalone (``python benchmarks/bench_federation_runtime.py``)
 or under pytest; both emit ``BENCH_runtime.json``.
 """
 
+import http.client
 import json
 import statistics
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -65,6 +76,9 @@ SHARD_EXTENT = 2048
 SHARD_LATENCY = 0.002  # 2ms per shard call
 SHARD_PER_ITEM = 0.00005  # 50us of transfer per result item
 SHARD_ROUNDS = 3
+SERVICE_CLIENTS = 8
+SERVICE_REQUESTS = 25  # warm requests per client
+SERVICE_LATENCY_MS = 5.0  # injected per-agent-call latency for the tenant
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
 
 
@@ -320,11 +334,114 @@ def run_experiment():
     }
 
 
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[int(fraction * (len(ordered) - 1))]
+
+
+def run_service_load():
+    """E-R5: the HTTP service under 8 concurrent keep-alive clients."""
+    from repro.service import (
+        FederationRepository,
+        ServerThread,
+        TenantConfig,
+        create_app,
+    )
+
+    repository = FederationRepository(drain_timeout=10.0)
+    repository.add_tenant(
+        TenantConfig(
+            name="bench",
+            demo="cluster",
+            mode="async",
+            latency_ms=SERVICE_LATENCY_MS,
+            max_inflight=SERVICE_CLIENTS,
+        )
+    )
+    app = create_app(repository)
+    body = json.dumps({"query": QUERY})
+
+    def request(conn, method, path, payload=None):
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+
+    try:
+        with ServerThread(app, port=0) as server:
+            conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+            # cold: the one request that pays every agent round-trip
+            started = time.perf_counter()
+            status, answer = request(conn, "POST", "/tenants/bench/query", body)
+            cold_ms = (time.perf_counter() - started) * 1000.0
+            assert status == 200 and answer["count"] > 0
+            _, before = request(conn, "GET", "/tenants/bench/stats")
+            conn.close()
+
+            latencies = []
+            errors = []
+            barrier = threading.Barrier(SERVICE_CLIENTS)
+
+            def client():
+                try:
+                    barrier.wait(timeout=60)
+                    peer = http.client.HTTPConnection(
+                        server.host, server.port, timeout=60
+                    )
+                    for _ in range(SERVICE_REQUESTS):
+                        begin = time.perf_counter()
+                        status, answer = request(
+                            peer, "POST", "/tenants/bench/query", body
+                        )
+                        latencies.append(
+                            (time.perf_counter() - begin) * 1000.0
+                        )
+                        if status != 200 or answer["count"] == 0:
+                            errors.append(status)
+                    peer.close()
+                except Exception as error:  # noqa: BLE001 - recorded below
+                    errors.append(repr(error))
+
+            workers = [
+                threading.Thread(target=client) for _ in range(SERVICE_CLIENTS)
+            ]
+            wall_start = time.perf_counter()
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=300)
+            wall_s = time.perf_counter() - wall_start
+
+            conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+            _, after = request(conn, "GET", "/tenants/bench/stats")
+            conn.close()
+    finally:
+        repository.close()
+
+    def scans(doc):
+        return doc["stats"]["counters"].get("agent_scans", 0)
+
+    total = SERVICE_CLIENTS * SERVICE_REQUESTS
+    return {
+        "experiment": "E-R5 federation query service load",
+        "clients": SERVICE_CLIENTS,
+        "requests_per_client": SERVICE_REQUESTS,
+        "injected_latency_ms": SERVICE_LATENCY_MS,
+        "cold_ms": round(cold_ms, 3),
+        "req_per_s": round(total / wall_s, 1),
+        "p50_ms": round(_percentile(latencies, 0.50), 3),
+        "p99_ms": round(_percentile(latencies, 0.99), 3),
+        "warm_agent_scans": scans(after) - scans(before),
+        "status_errors": len(errors),
+        "completed": len(latencies),
+    }
+
+
 def run_all():
     results = run_experiment()
     results["fanout"] = run_fanout_scale()
     results["sharding"] = run_shard_scale()
     results["restart"] = run_restart()
+    results["service"] = run_service_load()
     return results
 
 
@@ -381,6 +498,19 @@ def test_runtime_latency(benchmark, report):
             ("answers byte-identical", restart["answers_match"]),
         ],
     )
+    service = results["service"]
+    report(
+        "E-R5  query service load, 8 keep-alive clients, 4 agents x 5ms",
+        ("metric", "value"),
+        [
+            ("cold request ms", service["cold_ms"]),
+            ("warm req/s", service["req_per_s"]),
+            ("warm p50 ms", service["p50_ms"]),
+            ("warm p99 ms", service["p99_ms"]),
+            ("warm agent scans", service["warm_agent_scans"]),
+            ("HTTP errors", service["status_errors"]),
+        ],
+    )
     assert results["concurrent_cold_ms"] < results["sequential_cold_ms"]
     assert results["warm_agent_scans"] == 0
     assert restart["warm_restart_agent_scans"] == 0
@@ -393,6 +523,10 @@ def test_runtime_latency(benchmark, report):
     eight_shards = next(s for s in results["sharding"] if s["shards"] == 8)
     assert eight_shards["threaded_ms"] < one_shard["threaded_ms"]
     assert eight_shards["async_ms"] < one_shard["async_ms"]
+    assert service["status_errors"] == 0
+    assert service["warm_agent_scans"] == 0
+    assert service["completed"] == service["clients"] * service["requests_per_client"]
+    assert service["p99_ms"] >= service["p50_ms"] > 0
 
 
 if __name__ == "__main__":

@@ -17,6 +17,10 @@ federation runtime's load-bearing numbers regress:
   restart slower than the cold start, or answers diverging from the
   cold run — the persistent extent cache stopped delivering scan-free
   byte-identical warm restarts;
+* in the E-R5 service section, fewer than 8 concurrent clients, any
+  HTTP error, any warm agent scan, throughput below the req/s floor
+  (default 20.0) or a p99 below the p50 — the multi-tenant query
+  service stopped serving concurrent warm load from cache;
 * optionally, drift against a committed baseline file: any gated metric
   worse than ``tolerance`` × baseline fails even above absolute floors.
 
@@ -24,7 +28,7 @@ Usage::
 
     python benchmarks/check_regression.py BENCH_runtime.json \
         --baseline BENCH_baseline.json --min-speedup 3.0 \
-        --min-shard-speedup 1.5 --tolerance 0.5
+        --min-shard-speedup 1.5 --min-service-rps 20.0 --tolerance 0.5
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ def check(
     min_speedup: float = 3.0,
     tolerance: float = 0.5,
     min_shard_speedup: float = 1.5,
+    min_service_rps: float = 20.0,
 ) -> List[str]:
     """Return the list of regression messages (empty = gate passes)."""
     problems: List[str] = []
@@ -124,6 +129,41 @@ def check(
                 "its numbers measure an ordinary cold run)"
             )
 
+    service = fresh.get("service", {})
+    if not service:
+        problems.append("service section is missing (E-R5 did not run)")
+    else:
+        clients = service.get("clients", 0)
+        if clients < 8:
+            problems.append(
+                f"service ran {clients} concurrent clients, expected >= 8 "
+                "(the load test no longer exercises concurrency)"
+            )
+        errors = service.get("status_errors", -1)
+        if errors != 0:
+            problems.append(
+                f"service status_errors is {errors}, expected 0 "
+                "(the query service failed requests under load)"
+            )
+        service_warm = service.get("warm_agent_scans", -1)
+        if service_warm != 0:
+            problems.append(
+                f"service warm_agent_scans is {service_warm}, expected 0 "
+                "(warm service load leaked scans to the tenant's agents)"
+            )
+        rps = service.get("req_per_s", 0.0)
+        if rps < min_service_rps:
+            problems.append(
+                f"service req_per_s {rps} is below the {min_service_rps} "
+                "floor (the HTTP path lost its throughput)"
+            )
+        p50 = service.get("p50_ms", 0.0)
+        p99 = service.get("p99_ms", 0.0)
+        if not 0 < p50 <= p99:
+            problems.append(
+                f"service latencies are inconsistent (p50={p50}, p99={p99})"
+            )
+
     if baseline is not None:
         base_speedup = baseline.get("concurrent_speedup", 0.0)
         if base_speedup > 0 and speedup < base_speedup * tolerance:
@@ -162,6 +202,14 @@ def check(
                         f"fell below {tolerance:.0%} of the committed "
                         f"baseline ({base_ratio})"
                     )
+        base_service = baseline.get("service", {})
+        base_rps = base_service.get("req_per_s", 0.0)
+        fresh_rps = service.get("req_per_s", 0.0) if service else 0.0
+        if base_rps > 0 and fresh_rps < base_rps * tolerance:
+            problems.append(
+                f"service req_per_s {fresh_rps} fell below {tolerance:.0%} of "
+                f"the committed baseline ({base_rps})"
+            )
     return problems
 
 
@@ -193,6 +241,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: 1.5)",
     )
     parser.add_argument(
+        "--min-service-rps",
+        type=float,
+        default=20.0,
+        help="absolute warm service throughput floor in req/s (default: 20.0)",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.5,
@@ -219,6 +273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         arguments.min_speedup,
         arguments.tolerance,
         arguments.min_shard_speedup,
+        arguments.min_service_rps,
     )
     if problems:
         print("regression gate FAILED:")
@@ -230,6 +285,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sharding = fresh.get("sharding", [])
     widest = max(sharding, key=lambda s: s.get("shards", 0)) if sharding else {}
     restart = fresh.get("restart", {})
+    service = fresh.get("service", {})
     print(
         "regression gate passed: "
         f"concurrent_speedup={fresh.get('concurrent_speedup')} "
@@ -240,7 +296,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{widest.get('threaded_speedup_vs_1', '?')}x/"
         f"{widest.get('async_speedup_vs_1', '?')}x "
         f"restart={restart.get('warm_restart_ms', '?')}ms/"
-        f"{restart.get('warm_restart_agent_scans', '?')} scans"
+        f"{restart.get('warm_restart_agent_scans', '?')} scans "
+        f"service={service.get('req_per_s', '?')} req/s "
+        f"p99={service.get('p99_ms', '?')}ms"
     )
     return 0
 

@@ -29,9 +29,20 @@ Subcommands:
     OID partitioning), ``--cache-path FILE`` persists the extent cache
     to a sqlite file (a re-run with the same path answers warm without
     touching one agent), ``--repeat N`` re-runs the query (showing the
-    extent cache), ``--appendix-b`` uses the top-down evaluator, and
+    extent cache), ``--appendix-b`` uses the top-down evaluator,
     ``--stats`` prints the per-query and cumulative
-    :class:`~repro.runtime.RuntimeStats`.
+    :class:`~repro.runtime.RuntimeStats`, and ``--json`` switches the
+    whole output (rows, warnings, stats) to one machine-readable JSON
+    document sharing its vocabulary with the HTTP service.
+
+``serve``
+    Host the multi-tenant federation query service
+    (:mod:`repro.service`) on stdlib asyncio HTTP.  ``--tenant`` adds
+    one isolated federation per flag (``key=value`` pairs:
+    ``name=t1,demo=cluster,mode=async,shards=4,...``); all async-mode
+    tenants multiplex their agent scans on one shared event loop.
+    ``--allow-remote-shutdown`` enables ``POST /admin/shutdown`` for
+    deterministic teardown in scripts and CI.
 """
 
 from __future__ import annotations
@@ -181,6 +192,47 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run the query N times (repeats hit the extent cache)",
     )
+    query.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit rows, warnings and stats as one JSON document "
+        "(same vocabulary as the HTTP service endpoints)",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="host the multi-tenant federation query service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8722,
+        help="bind port (0 picks a free one; the chosen port is printed)",
+    )
+    serve.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="add one tenant: comma-separated key=value pairs "
+        "(name=, demo=genealogy|cluster, mode=threaded|async, "
+        "schema= (repeatable via ';'), assertions=, data=, shards=, "
+        "shard-kind=, latency=MS, max-inflight=, workers=, cache-path=); "
+        "default: one async 'genealogy' tenant",
+    )
+    serve.add_argument(
+        "--allow-remote-shutdown",
+        action="store_true",
+        help="enable POST /admin/shutdown (off by default)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="seconds to wait for in-flight queries on shutdown",
+    )
     return parser
 
 
@@ -295,42 +347,162 @@ def _cmd_query(arguments, out) -> int:
 
     fsm = _build_query_fsm(arguments)
     runtime = _attach_query_runtime(fsm, arguments)
-    query = FederatedQuery.parse(arguments.query)
-    repeats = max(1, arguments.repeat)
-    rows = []
-    for run in range(repeats):
-        if arguments.appendix_b:
-            before = runtime.stats()
-            with runtime.timer("query"):
-                rows = query.run(fsm.appendix_b())
-            fsm.last_query_stats = runtime.stats() - before
-        else:
-            rows = fsm.query(query)
-        if arguments.stats and repeats > 1:
+    # From here on the runtime owns threads, loops and possibly a sqlite
+    # store — close() on every exit path (it is idempotent), so a failed
+    # query does not leak an event-loop thread or an open cache file.
+    try:
+        query = FederatedQuery.parse(arguments.query)
+        repeats = max(1, arguments.repeat)
+        rows = []
+        runs = []
+        for run in range(repeats):
+            if arguments.appendix_b:
+                before = runtime.stats()
+                with runtime.timer("query"):
+                    rows = query.run(fsm.appendix_b())
+                fsm.last_query_stats = runtime.stats() - before
+            else:
+                rows = fsm.query(query)
             delta = fsm.last_query_stats
             timer = delta.timers.get("query")
+            runs.append(
+                {
+                    "run": run + 1,
+                    "elapsed_ms": round(timer.total * 1000.0, 3),
+                    "agent_scans": delta.counter("agent_scans"),
+                    "cache_hits": delta.counter("cache_hits"),
+                }
+            )
+            if arguments.stats and not arguments.as_json and repeats > 1:
+                print(
+                    f"run {run + 1}: {timer.total * 1000:.2f}ms  "
+                    f"agent_scans={delta.counter('agent_scans')}  "
+                    f"cache_hits={delta.counter('cache_hits')}",
+                    file=out,
+                )
+        warnings = runtime.drain_warnings()
+        if arguments.as_json:
+            import json
+
+            from .service.serialization import rows_to_json, stats_to_dict
+
+            document = {
+                "query": str(query),
+                "evaluator": "appendix_b" if arguments.appendix_b else "bottom_up",
+                "rows": rows_to_json(rows),
+                "count": len(rows),
+                "warnings": list(warnings),
+            }
+            if arguments.stats:
+                document["runs"] = runs
+                document["stats"] = {
+                    "last_query": stats_to_dict(fsm.last_query_stats),
+                    "cumulative": stats_to_dict(runtime.stats()),
+                }
+            print(json.dumps(document, indent=2), file=out)
+            return 0
+        if not rows:
+            print("no answers", file=out)
+        for row in rows:
+            items = ", ".join(f"{k}={v!r}" for k, v in row.items())
+            print(f"  {items}", file=out)
+        for warning in warnings:
+            print(f"warning: {warning}", file=out)
+        if arguments.stats:
+            print(file=out)
+            print("last query:", file=out)
+            print(fsm.last_query_stats.describe(), file=out)
+            print(file=out)
+            print("cumulative:", file=out)
+            print(runtime.stats().describe(), file=out)
+        return 0
+    finally:
+        runtime.close()  # flush/release the persistent cache store, if any
+
+
+def _parse_tenant_spec(spec: str):
+    """``name=t1,demo=cluster,mode=async,...`` → :class:`TenantConfig`."""
+    from .errors import ServiceError
+    from .service import TenantConfig
+
+    values = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, eq, value = part.partition("=")
+        if not eq:
+            raise ServiceError(f"tenant spec part {part!r} is not key=value")
+        values[key.strip().lower().replace("-", "_")] = value.strip()
+    known = {
+        "name", "demo", "mode", "schema", "assertions", "data", "shards",
+        "shard_kind", "latency", "max_inflight", "scan_inflight", "workers",
+        "cache_path",
+    }
+    unknown = sorted(set(values) - known)
+    if unknown:
+        raise ServiceError(f"unknown tenant spec keys: {', '.join(unknown)}")
+    if "name" not in values:
+        raise ServiceError(f"tenant spec {spec!r} needs name=...")
+    schemas = tuple(
+        path for path in values.get("schema", "").split(";") if path
+    )
+    return TenantConfig(
+        name=values["name"],
+        demo=values.get("demo", "genealogy" if not schemas else None),
+        schemas=schemas,
+        assertions=values.get("assertions"),
+        data=values.get("data"),
+        mode=values.get("mode", "async"),
+        shards=int(values.get("shards", "0")),
+        shard_kind=values.get("shard_kind", "hash"),
+        latency_ms=float(values.get("latency", "0")),
+        max_inflight=int(values.get("max_inflight", "8")),
+        scan_inflight=int(values.get("scan_inflight", "64")),
+        max_workers=int(values.get("workers", "8")),
+        cache_path=values.get("cache_path"),
+    )
+
+
+def _cmd_serve(arguments, out) -> int:
+    import threading
+
+    from .service import FederationRepository, ServiceServer, create_app
+
+    repository = FederationRepository(drain_timeout=arguments.drain_timeout)
+    try:
+        specs = arguments.tenant or ["name=genealogy,demo=genealogy,mode=async"]
+        for spec in specs:
+            config = _parse_tenant_spec(spec)
+            tenant = repository.add_tenant(config)
             print(
-                f"run {run + 1}: {timer.total * 1000:.2f}ms  "
-                f"agent_scans={delta.counter('agent_scans')}  "
-                f"cache_hits={delta.counter('cache_hits')}",
+                f"tenant {tenant.name!r} ready "
+                f"({config.mode}, schemas={len(tenant.session.fsm.schema_names())})",
                 file=out,
             )
-    if not rows:
-        print("no answers", file=out)
-    for row in rows:
-        items = ", ".join(f"{k}={v!r}" for k, v in row.items())
-        print(f"  {items}", file=out)
-    for warning in runtime.drain_warnings():
-        print(f"warning: {warning}", file=out)
-    if arguments.stats:
-        print(file=out)
-        print("last query:", file=out)
-        print(fsm.last_query_stats.describe(), file=out)
-        print(file=out)
-        print("cumulative:", file=out)
-        print(runtime.stats().describe(), file=out)
-    runtime.close()  # flush/release the persistent cache store, if any
-    return 0
+        app = create_app(
+            repository, allow_shutdown=arguments.allow_remote_shutdown
+        )
+        server = ServiceServer(app, host=arguments.host, port=arguments.port)
+
+        def announce() -> None:
+            # the bound port is only known once the loop is up; announce
+            # from the side so `--port 0` scripts can parse the address
+            if server.ready.wait(timeout=30.0):
+                print(
+                    f"listening on http://{server.host}:{server.bound_port}",
+                    file=out,
+                    flush=True,
+                )
+
+        threading.Thread(target=announce, name="serve-announce", daemon=True).start()
+        try:
+            server.run()
+        except KeyboardInterrupt:
+            print("interrupt: draining in-flight queries", file=out)
+        return 0
+    finally:
+        repository.close()
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -350,6 +522,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return 0
         if arguments.command == "query":
             return _cmd_query(arguments, out)
+        if arguments.command == "serve":
+            return _cmd_serve(arguments, out)
         if arguments.command == "check":
             from .assertions.analysis import report as analysis_report
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.async_executor import EventLoopThread
     from ..runtime.metrics import RuntimeStats
     from ..runtime.policy import RuntimePolicy
     from ..runtime.runtime import FederationRuntime
@@ -115,17 +116,21 @@ class FederationSession:
         mode: str = "threaded",
         shard_plan: "ShardPlan | int | None" = None,
         cache_path: Optional[str] = None,
+        loop: Optional["EventLoopThread"] = None,
     ) -> "FederationRuntime":
         """Route agent access through a federation runtime (concurrent
         fan-out, retries, extent caching, metrics); *mode* picks the
         thread-pool (``"threaded"``) or event-loop (``"async"``)
         executor; *shard_plan* (a plan or a bare count) shards every
         extent scan; *cache_path* persists the extent cache to a sqlite
-        file so a restarted session warms up scan-free; see
+        file so a restarted session warms up scan-free; *loop* (async
+        mode) multiplexes this session's scans on a shared event-loop
+        thread owned by the caller — how the federation service runs
+        many tenant sessions over one loop; see
         :meth:`repro.federation.fsm.FSM.use_runtime`."""
         return self.fsm.use_runtime(
             policy=policy, runtime=runtime, mode=mode, shard_plan=shard_plan,
-            cache_path=cache_path,
+            cache_path=cache_path, loop=loop,
         )
 
     @property
@@ -140,6 +145,13 @@ class FederationSession:
     def last_query_stats(self) -> Optional["RuntimeStats"]:
         """The counter/timer delta of the most recent :meth:`query`."""
         return self.fsm.last_query_stats
+
+    def close(self) -> None:
+        """Release the attached runtime's resources (loop thread,
+        persistent cache store).  Idempotent; a no-op when no runtime
+        was ever enabled."""
+        if self.fsm.runtime is not None:
+            self.fsm.runtime.close()
 
     # ------------------------------------------------------------------
     def engine(self) -> FederationEngine:

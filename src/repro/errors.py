@@ -11,6 +11,8 @@ signals.  Subpackages refine the hierarchy:
   principles or running the integration algorithms.
 * :class:`FederationError` — agent registration, data-mapping and query
   evaluation failures.
+* :class:`ServiceError` — federation query service failures (unknown
+  tenants, malformed request payloads, shutdown refusals).
 """
 
 from __future__ import annotations
@@ -159,3 +161,23 @@ class PartialResultError(RuntimeFederationError):
     def __init__(self, message: str, failures=()) -> None:
         super().__init__(message)
         self.failures = tuple(failures)
+
+
+class ServiceError(ReproError):
+    """The federation query service could not satisfy a request."""
+
+
+class UnknownTenantError(ServiceError):
+    """A request named a tenant the service does not host."""
+
+    def __init__(self, tenant_id: str) -> None:
+        super().__init__(f"unknown tenant {tenant_id!r}")
+        self.tenant_id = tenant_id
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shutting down and no longer admits requests."""
+
+
+class PayloadError(ServiceError):
+    """An HTTP request body is not the JSON shape an endpoint expects."""

@@ -38,6 +38,7 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.async_executor import EventLoopThread
     from ..runtime.policy import RuntimePolicy
     from ..runtime.runtime import FederationRuntime
     from ..runtime.metrics import RuntimeStats
@@ -283,6 +284,7 @@ class FSM:
         mode: str = "threaded",
         shard_plan: "ShardPlan | int | None" = None,
         cache_path: Optional[str] = None,
+        loop: Optional["EventLoopThread"] = None,
     ) -> "FederationRuntime":
         """Attach a federation runtime to both evaluation paths.
 
@@ -298,6 +300,10 @@ class FSM:
         endpoints per agent.  *cache_path* spills the extent cache to a
         sqlite file and restores it on attach, so a restarted federation
         answers warm queries without re-scanning its components.
+        *loop* (async mode) is a shared
+        :class:`~repro.runtime.async_executor.EventLoopThread`: many
+        FSMs — the federation service's tenants — multiplex their scans
+        on one loop thread, and the loop's owner closes it.
         """
         if runtime is None:
             from ..runtime.async_transport import AsyncInProcessTransport
@@ -311,7 +317,7 @@ class FSM:
             )
             runtime = FederationRuntime(
                 transport=transport, policy=policy, mode=mode,
-                shard_plan=shard_plan, cache_path=cache_path,
+                shard_plan=shard_plan, cache_path=cache_path, loop=loop,
             )
         self.runtime = runtime
         return runtime

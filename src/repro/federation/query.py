@@ -53,6 +53,48 @@ class FederatedQuery:
         return cls(class_name, tuple((where or {}).items()), tuple(select))
 
     @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "FederatedQuery":
+        """Build a query from a JSON-shaped mapping (the service wire form).
+
+        Two shapes are accepted: ``{"query": "uncle(...) -> Ussn#"}``
+        (the textual DSL) or the structured
+        ``{"class": "uncle", "where": {...}, "select": [...]}``.
+        """
+        if not isinstance(payload, Mapping):
+            raise QueryError(
+                f"query payload must be a JSON object, got {type(payload).__name__}"
+            )
+        text = payload.get("query")
+        if text is not None:
+            if not isinstance(text, str):
+                raise QueryError("payload key 'query' must be a string")
+            return cls.parse(text)
+        class_name = payload.get("class") or payload.get("class_name")
+        if not isinstance(class_name, str) or not class_name:
+            raise QueryError(
+                "query payload needs a 'query' string or a 'class' name"
+            )
+        where = payload.get("where") or {}
+        if not isinstance(where, Mapping):
+            raise QueryError("payload key 'where' must be an object")
+        select = payload.get("select") or ()
+        if isinstance(select, str):
+            select = (select,)
+        if not isinstance(select, Sequence) or not all(
+            isinstance(s, str) for s in select
+        ):
+            raise QueryError("payload key 'select' must be a list of strings")
+        return cls.of(class_name, dict(where), tuple(select))
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The structured wire form :meth:`from_payload` round-trips."""
+        return {
+            "class": self.class_name,
+            "where": dict(self.where),
+            "select": list(self.select),
+        }
+
+    @classmethod
     def parse(cls, text: str) -> "FederatedQuery":
         """Parse ``cls(attr='v', ...) -> out1, out2`` (conditions optional)."""
         match = _QUERY_RE.match(text.strip().removeprefix("?-").strip())

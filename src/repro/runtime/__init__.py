@@ -33,7 +33,7 @@ query paths and the agents:
   the FSM attaches via :meth:`repro.federation.fsm.FSM.use_runtime`.
 """
 
-from .async_executor import AsyncFederationExecutor
+from .async_executor import AsyncFederationExecutor, EventLoopThread
 from .async_transport import (
     AsyncAgentTransport,
     AsyncInProcessTransport,
@@ -73,6 +73,7 @@ __all__ = [
     "AsyncTransportAdapter",
     "CLOSED",
     "CircuitBreaker",
+    "EventLoopThread",
     "ExtentCache",
     "FORMAT_VERSION",
     "FailurePolicy",

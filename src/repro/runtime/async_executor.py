@@ -62,7 +62,7 @@ async def _with_deadline(awaitable: Awaitable[Any], seconds: float) -> Any:
     return await asyncio.wait_for(awaitable, seconds)
 
 
-class _EventLoopThread:
+class EventLoopThread:
     """A lazily-started daemon thread running one event loop forever.
 
     The synchronous facade submits coroutines with
@@ -70,6 +70,13 @@ class _EventLoopThread:
     the standard sync-over-async bridge.  Restartable: if the thread
     died (interpreter teardown races in tests), the next submit starts
     a fresh loop.
+
+    One instance may be *shared* by many executors: the federation
+    service hands every tenant's :class:`AsyncFederationExecutor` the
+    same loop thread, so all tenants' in-flight scans multiplex on one
+    event loop instead of one loop thread per tenant.  Pass it as the
+    executor's ``runner``; a shared runner is closed by its owner, not
+    by the executors borrowing it.
     """
 
     def __init__(self, name: str = "fsm-async-loop") -> None:
@@ -104,6 +111,12 @@ class _EventLoopThread:
             coroutine, self._ensure()  # type: ignore[arg-type]
         ).result()
 
+    @property
+    def alive(self) -> bool:
+        """True while the loop thread is running (False before first use)."""
+        with self._lock:
+            return self._thread is not None and self._thread.is_alive()
+
     def close(self) -> None:
         with self._lock:
             loop, thread = self._loop, self._thread
@@ -113,6 +126,10 @@ class _EventLoopThread:
         loop.call_soon_threadsafe(loop.stop)
         thread.join(timeout=5.0)
         loop.close()
+
+
+#: historical private name, kept for older call sites
+_EventLoopThread = EventLoopThread
 
 
 class AsyncFederationExecutor:
@@ -125,6 +142,7 @@ class AsyncFederationExecutor:
         metrics: Optional[RuntimeMetrics] = None,
         breaker: Optional[CircuitBreaker] = None,
         sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+        runner: Optional[EventLoopThread] = None,
     ) -> None:
         self.transport = transport
         self.policy = policy or RuntimePolicy()
@@ -133,7 +151,10 @@ class AsyncFederationExecutor:
             self.policy.breaker_threshold, self.policy.breaker_reset
         )
         self._sleep = sleep
-        self._runner = _EventLoopThread()
+        # a caller-supplied runner is *borrowed* (many executors can
+        # multiplex on one loop thread); only a private one is closed here
+        self._runner = runner if runner is not None else EventLoopThread()
+        self._owns_runner = runner is None
 
     # ------------------------------------------------------------------
     # coroutine API
@@ -267,5 +288,9 @@ class AsyncFederationExecutor:
         return self._runner.submit(self.run_sharded_async(requests, plan, preloaded))
 
     def close(self) -> None:
-        """Stop the bridge's event-loop thread (idempotent)."""
-        self._runner.close()
+        """Stop the bridge's event-loop thread (idempotent).
+
+        A shared (caller-supplied) runner is left running — its owner
+        closes it."""
+        if self._owns_runner:
+            self._runner.close()

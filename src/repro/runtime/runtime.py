@@ -52,7 +52,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, 
 from ..errors import PartialResultError, RuntimeFederationError
 from ..federation.agent import FSMAgent
 from ..model.instances import ObjectInstance
-from .async_executor import AsyncFederationExecutor
+from .async_executor import AsyncFederationExecutor, EventLoopThread
 from .async_transport import (
     AsyncAgentTransport,
     AsyncInProcessTransport,
@@ -85,6 +85,7 @@ class FederationRuntime:
         mode: str = "threaded",
         shard_plan: "ShardPlan | int | None" = None,
         cache_path: "str | os.PathLike[str] | None" = None,
+        loop: Optional[EventLoopThread] = None,
     ) -> None:
         if mode not in MODES:
             raise RuntimeFederationError(
@@ -127,8 +128,11 @@ class FederationRuntime:
         self.executor: "FederationExecutor | AsyncFederationExecutor"
         if mode == "async":
             assert isinstance(transport, AsyncAgentTransport)
+            # *loop* lets many runtimes (one per service tenant) multiplex
+            # their scans on one shared event-loop thread; the loop's
+            # owner closes it, not this runtime
             self.executor = AsyncFederationExecutor(
-                transport, self.policy, self.metrics, self.breaker
+                transport, self.policy, self.metrics, self.breaker, runner=loop
             )
         else:
             assert isinstance(transport, AgentTransport)
@@ -139,6 +143,7 @@ class FederationRuntime:
         self.shard_plan: Optional[ShardPlan] = ShardPlan.coerce(shard_plan)
         #: warnings from the most recent degraded operation
         self.last_warnings: List[str] = []
+        self._closed = False
 
     # ------------------------------------------------------------------
     # request construction
@@ -368,9 +373,22 @@ class FederationRuntime:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
     def close(self) -> None:
         """Release executor resources (the async mode's loop thread) and
-        the cache's persistent store, when one is attached."""
+        the cache's persistent store, when one is attached.
+
+        Idempotent: every exit path (success, error, signal handler) may
+        call it, and double closes are no-ops — the CLI and the service
+        shutdown sequence both rely on that.
+        """
+        if self._closed:
+            return
+        self._closed = True
         closer = getattr(self.executor, "close", None)
         if closer is not None:
             closer()

@@ -1,0 +1,63 @@
+"""Federation query service: a multi-tenant HTTP surface for the FSM.
+
+The paper's FSM answers one user at a time from one process; this
+package makes the federation *a service*: N tenants — each a fully
+isolated federation (own component databases, integrated schema,
+extent cache, generation state) — served over HTTP, with every tenant's
+agent scans multiplexed on one shared event loop.
+
+Layers, outermost first:
+
+* :mod:`~repro.service.server` — a stdlib asyncio HTTP/1.1 host for the
+  app (no ASGI server dependency), plus :class:`ServerThread` for tests
+  and benchmarks;
+* :mod:`~repro.service.app` — the ASGI application: routing, error →
+  status mapping, thread-pool offload of blocking federation work;
+* :mod:`~repro.service.repository` — the domain layer: tenant registry,
+  shared scan loop, admission control and graceful shutdown;
+* :mod:`~repro.service.tenancy` — per-tenant federation construction
+  and the per-tenant in-flight fairness gate;
+* :mod:`~repro.service.asgi` / :mod:`~repro.service.serialization` —
+  ASGI framing primitives and the JSON vocabulary shared with the CLI's
+  ``query --json`` output.
+
+Typical embedding::
+
+    from repro.service import (
+        FederationRepository, TenantConfig, create_app, ServiceServer,
+    )
+
+    repository = FederationRepository()
+    repository.add_tenant(TenantConfig(name="genealogy"))
+    app = create_app(repository)        # any ASGI server can host this
+    ServiceServer(app, port=8722).run()  # ... or the bundled one
+"""
+
+from .app import FederationService, Router, create_app
+from .asgi import MAX_BODY_BYTES, Request, Response, read_body, send_response
+from .repository import FederationRepository
+from .serialization import json_safe, payload_to_query, rows_to_json, stats_to_dict
+from .server import IDLE_TIMEOUT, ServerThread, ServiceServer
+from .tenancy import DEMOS, Tenant, TenantConfig
+
+__all__ = [
+    "DEMOS",
+    "FederationRepository",
+    "FederationService",
+    "IDLE_TIMEOUT",
+    "MAX_BODY_BYTES",
+    "Request",
+    "Response",
+    "Router",
+    "ServerThread",
+    "ServiceServer",
+    "Tenant",
+    "TenantConfig",
+    "create_app",
+    "json_safe",
+    "payload_to_query",
+    "read_body",
+    "rows_to_json",
+    "send_response",
+    "stats_to_dict",
+]

@@ -1,0 +1,244 @@
+"""The federation query service: routes → repository → runtime.
+
+:class:`FederationService` is a plain ASGI 3 application.  Run it under
+any ASGI server, or under the bundled stdlib server via
+``python -m repro serve``::
+
+    app = create_app(repository)
+    # uvicorn path (if installed):  uvicorn.run(app)
+    # bundled path:                 ServiceServer(app).run()
+
+Endpoints::
+
+    GET  /healthz                            liveness + tenant census
+    GET  /tenants                            tenant ids
+    POST /tenants/{tenant}/query             run a federated query
+    GET  /tenants/{tenant}/stats             cumulative runtime stats
+    POST /tenants/{tenant}/cache/invalidate  drop cached extents
+    POST /tenants/{tenant}/cache/bump        advance the cache generation
+    POST /admin/shutdown                     graceful stop (when enabled)
+
+Route handlers stay thin: decode, call one
+:class:`~repro.service.repository.FederationRepository` method,
+serialize.  Blocking federation work runs on the server's default
+thread-pool executor so the HTTP loop keeps accepting connections while
+queries fan out on the shared scan loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Pattern, Tuple
+
+from ..errors import (
+    PayloadError,
+    QueryError,
+    PartialResultError,
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+    UnknownTenantError,
+)
+from .asgi import Receive, Request, Response, Scope, Send, read_body, send_response
+from .repository import FederationRepository
+
+Handler = Callable[["FederationService", Request, Dict[str, str]], Awaitable[Response]]
+
+_PARAM_RE = re.compile(r"\{(\w+)\}")
+
+
+def _compile(pattern: str) -> Pattern[str]:
+    """``/tenants/{tenant}/stats`` → anchored regex with named groups."""
+    regex = _PARAM_RE.sub(lambda m: f"(?P<{m.group(1)}>[^/]+)", pattern)
+    return re.compile(f"^{regex}$")
+
+
+class Router:
+    """A tiny method+path table with ``{param}`` captures."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, Pattern[str], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append((method.upper(), _compile(pattern), handler))
+
+    def match(
+        self, method: str, path: str
+    ) -> Tuple[Optional[Handler], Dict[str, str], List[str]]:
+        """Resolve to ``(handler, params, allowed_methods)``.
+
+        A ``(None, {}, [...])`` result with a non-empty method list is a
+        405; with an empty list it is a 404.
+        """
+        allowed: List[str] = []
+        for route_method, regex, handler in self._routes:
+            match = regex.match(path)
+            if not match:
+                continue
+            if route_method == method:
+                return handler, match.groupdict(), []
+            allowed.append(route_method)
+        return None, {}, sorted(set(allowed))
+
+
+# ----------------------------------------------------------------------
+# handlers — thin by design: decode, one repository call, serialize
+# ----------------------------------------------------------------------
+async def _healthz(
+    service: "FederationService", request: Request, params: Dict[str, str]
+) -> Response:
+    return Response.json(service.repository.health())
+
+
+async def _tenants(
+    service: "FederationService", request: Request, params: Dict[str, str]
+) -> Response:
+    return Response.json({"tenants": service.repository.tenant_ids()})
+
+
+async def _query(
+    service: "FederationService", request: Request, params: Dict[str, str]
+) -> Response:
+    payload = request.json()
+    result = await service.offload(
+        service.repository.query, params["tenant"], payload
+    )
+    return Response.json(result)
+
+
+async def _stats(
+    service: "FederationService", request: Request, params: Dict[str, str]
+) -> Response:
+    result = await service.offload(service.repository.stats, params["tenant"])
+    return Response.json(result)
+
+
+async def _invalidate(
+    service: "FederationService", request: Request, params: Dict[str, str]
+) -> Response:
+    payload = request.json()
+    result = await service.offload(
+        service.repository.invalidate, params["tenant"], payload
+    )
+    return Response.json(result)
+
+
+async def _bump(
+    service: "FederationService", request: Request, params: Dict[str, str]
+) -> Response:
+    result = await service.offload(service.repository.bump, params["tenant"])
+    return Response.json(result)
+
+
+async def _shutdown(
+    service: "FederationService", request: Request, params: Dict[str, str]
+) -> Response:
+    if not service.allow_shutdown:
+        return Response.error(403, "remote shutdown is disabled")
+    service.request_shutdown()
+    return Response.json({"status": "shutting down"}, status=202)
+
+
+class FederationService:
+    """The ASGI application over one :class:`FederationRepository`.
+
+    *allow_shutdown* gates ``POST /admin/shutdown`` (off by default; CI
+    and tests enable it for deterministic teardown).  *shutdown_callback*
+    is invoked — thread-safely, at most once per request — when a
+    permitted shutdown request arrives; the bundled server wires it to
+    its own stop event.
+    """
+
+    def __init__(
+        self,
+        repository: FederationRepository,
+        allow_shutdown: bool = False,
+        shutdown_callback: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.repository = repository
+        self.allow_shutdown = allow_shutdown
+        self.shutdown_callback = shutdown_callback
+        self.router = Router()
+        self.router.add("GET", "/healthz", _healthz)
+        self.router.add("GET", "/tenants", _tenants)
+        self.router.add("POST", "/tenants/{tenant}/query", _query)
+        self.router.add("GET", "/tenants/{tenant}/stats", _stats)
+        self.router.add("POST", "/tenants/{tenant}/cache/invalidate", _invalidate)
+        self.router.add("POST", "/tenants/{tenant}/cache/bump", _bump)
+        self.router.add("POST", "/admin/shutdown", _shutdown)
+
+    # ------------------------------------------------------------------
+    async def offload(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run blocking federation work off the HTTP event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn, *args)
+
+    def request_shutdown(self) -> None:
+        if self.shutdown_callback is not None:
+            self.shutdown_callback()
+
+    # ------------------------------------------------------------------
+    async def __call__(self, scope: Scope, receive: Receive, send: Send) -> None:
+        kind = scope.get("type")
+        if kind == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if kind != "http":  # pragma: no cover - websockets etc.
+            raise RuntimeError(f"unsupported ASGI scope type {kind!r}")
+        response = await self._dispatch(scope, receive)
+        await send_response(send, response)
+
+    async def _lifespan(self, receive: Receive, send: Send) -> None:
+        """The ASGI lifespan handshake: close the repository on shutdown."""
+        while True:
+            message = await receive()
+            kind = message.get("type")
+            if kind == "lifespan.startup":
+                await send({"type": "lifespan.startup.complete"})
+            elif kind == "lifespan.shutdown":
+                await self.offload(self.repository.close)
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    async def _dispatch(self, scope: Scope, receive: Receive) -> Response:
+        method = scope.get("method", "GET").upper()
+        path = scope.get("path", "/")
+        handler, params, allowed = self.router.match(method, path)
+        if handler is None:
+            if allowed:
+                return Response.error(
+                    405, f"method {method} not allowed for {path}", allowed=allowed
+                )
+            return Response.error(404, f"no route for {path}")
+        try:
+            body = await read_body(receive)
+            request = Request(scope, body)
+            return await handler(self, request, params)
+        except UnknownTenantError as error:
+            return Response.error(404, str(error), tenant=error.tenant_id)
+        except (PayloadError, QueryError) as error:
+            return Response.error(400, str(error))
+        except ServiceClosedError as error:
+            return Response.error(503, str(error))
+        except PartialResultError as error:
+            return Response.error(
+                502, str(error), failures=[str(f) for f in error.failures]
+            )
+        except (ServiceError, ReproError) as error:
+            return Response.error(500, f"{type(error).__name__}: {error}")
+        except Exception as error:  # pragma: no cover - defensive
+            return Response.error(500, f"internal error: {type(error).__name__}")
+
+
+def create_app(
+    repository: FederationRepository,
+    allow_shutdown: bool = False,
+    shutdown_callback: Optional[Callable[[], None]] = None,
+) -> FederationService:
+    """Build the federation query service over *repository*."""
+    return FederationService(
+        repository,
+        allow_shutdown=allow_shutdown,
+        shutdown_callback=shutdown_callback,
+    )

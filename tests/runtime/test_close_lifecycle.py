@@ -1,0 +1,170 @@
+"""Runtime close semantics: idempotent, error-safe, loop-ownership aware."""
+
+import threading
+
+import pytest
+
+from repro.core.session import FederationSession
+from repro.errors import PartialResultError
+from repro.runtime import (
+    AsyncFederationExecutor,
+    AsyncInProcessTransport,
+    EventLoopThread,
+    FaultProfile,
+    FederationRuntime,
+    RuntimePolicy,
+    SimulatedNetworkTransport,
+)
+from repro.workloads import genealogy
+
+QUERY = "uncle(niece_nephew='John') -> Ussn#"
+
+
+def _session() -> FederationSession:
+    _, _, text, databases = genealogy()
+    session = FederationSession()
+    for schema_name, database in databases.items():
+        session.add_database(database, agent_name=f"agent-{schema_name}")
+    session.declare(text)
+    session.integrate()
+    return session
+
+
+def _loop_threads():
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.name == "fsm-async-loop" and thread.is_alive()
+    ]
+
+
+class TestIdempotentClose:
+    @pytest.mark.parametrize("mode", ["threaded", "async"])
+    def test_double_close_is_a_no_op(self, mode):
+        session = _session()
+        runtime = session.enable_runtime(mode=mode)
+        assert session.query(QUERY)
+        assert not runtime.closed
+        runtime.close()
+        assert runtime.closed
+        runtime.close()  # must not raise, must stay closed
+        assert runtime.closed
+
+    def test_async_close_stops_the_owned_loop_thread(self):
+        before = len(_loop_threads())
+        session = _session()
+        session.enable_runtime(mode="async")
+        session.query(QUERY)
+        assert len(_loop_threads()) == before + 1
+        session.close()
+        assert len(_loop_threads()) == before
+
+    def test_session_close_without_runtime_is_safe(self):
+        _session().close()  # no runtime attached: nothing to do
+
+
+class TestCloseAfterError:
+    def test_close_after_failed_query(self):
+        """A query that dies mid-fan-out must not wedge close()."""
+        session = _session()
+        fsm = session.fsm
+        transport = SimulatedNetworkTransport(
+            InnerTransportFactory.build(fsm),
+            FaultProfile(drop_rate=1.0),  # every call is dropped
+        )
+        policy = RuntimePolicy(max_retries=0, failure_policy="error")
+        runtime = fsm.use_runtime(
+            runtime=FederationRuntime(transport=transport, policy=policy)
+        )
+        with pytest.raises(PartialResultError):
+            session.query(QUERY)
+        runtime.close()
+        assert runtime.closed
+        runtime.close()
+
+    def test_async_close_after_failed_query_stops_the_loop(self):
+        from repro.runtime import AsyncSimulatedNetworkTransport
+
+        before = len(_loop_threads())
+        session = _session()
+        fsm = session.fsm
+        transport = AsyncSimulatedNetworkTransport(
+            AsyncInProcessTransport(fsm._agents, fsm._schema_host),
+            FaultProfile(drop_rate=1.0),
+        )
+        policy = RuntimePolicy(max_retries=0, failure_policy="error")
+        runtime = fsm.use_runtime(
+            runtime=FederationRuntime(
+                transport=transport, policy=policy, mode="async"
+            )
+        )
+        with pytest.raises(PartialResultError):
+            session.query(QUERY)
+        runtime.close()
+        assert len(_loop_threads()) == before
+
+
+class InnerTransportFactory:
+    """Tiny helper keeping the threaded fault test readable."""
+
+    @staticmethod
+    def build(fsm):
+        from repro.runtime import InProcessTransport
+
+        return InProcessTransport(fsm._agents, fsm._schema_host)
+
+
+class TestLoopOwnership:
+    def test_borrowed_runner_survives_executor_close(self):
+        shared = EventLoopThread()
+        session = _session()
+        fsm = session.fsm
+        executor = AsyncFederationExecutor(
+            AsyncInProcessTransport(fsm._agents, fsm._schema_host),
+            RuntimePolicy(),
+            runner=shared,
+        )
+        assert not executor._owns_runner
+        shared.submit(_noop())  # spin the loop up
+        assert shared.alive
+        executor.close()
+        assert shared.alive  # borrowed: the owner closes it, not us
+        shared.close()
+        assert not shared.alive
+
+    def test_owned_runner_is_closed_with_the_executor(self):
+        session = _session()
+        fsm = session.fsm
+        executor = AsyncFederationExecutor(
+            AsyncInProcessTransport(fsm._agents, fsm._schema_host),
+            RuntimePolicy(),
+        )
+        assert executor._owns_runner
+        executor._runner.submit(_noop())
+        assert executor._runner.alive
+        executor.close()
+        assert not executor._runner.alive
+
+    def test_many_runtimes_one_loop(self):
+        """The service topology: N async runtimes sharing one loop."""
+        shared = EventLoopThread()
+        sessions = [_session() for _ in range(3)]
+        runtimes = [
+            session.enable_runtime(mode="async", loop=shared)
+            for session in sessions
+        ]
+        for session in sessions:
+            assert session.query(QUERY)
+        assert all(
+            runtime.executor._runner is shared for runtime in runtimes
+        )
+        assert len(_loop_threads()) >= 1
+        for session in sessions:
+            session.close()  # closes runtimes, must leave the loop alone
+        assert shared.alive
+        shared.close()
+        assert not shared.alive
+
+
+async def _noop() -> None:
+    return None

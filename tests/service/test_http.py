@@ -1,0 +1,228 @@
+"""The HTTP surface: routing, error mapping, keep-alive, concurrency."""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.service import (
+    FederationRepository,
+    ServerThread,
+    TenantConfig,
+    create_app,
+)
+
+QUERY_BODY = json.dumps({"query": "uncle(niece_nephew='John') -> Ussn#"})
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One server, two tenants, shared by every test in this module."""
+    repository = FederationRepository(drain_timeout=5.0)
+    repository.add_tenant(TenantConfig(name="gen", demo="genealogy", mode="async"))
+    repository.add_tenant(
+        TenantConfig(name="clu", demo="cluster", mode="threaded")
+    )
+    app = create_app(repository, allow_shutdown=False)
+    with ServerThread(app, port=0) as server:
+        yield server, repository
+    repository.close()
+
+
+def _request(server, method, path, body=None):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        server, _ = served
+        status, doc = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert set(doc["tenants"]) == {"gen", "clu"}
+
+    def test_tenants_listing(self, served):
+        server, _ = served
+        status, doc = _request(server, "GET", "/tenants")
+        assert status == 200
+        assert doc["tenants"] == ["clu", "gen"]
+
+    def test_query_round_trip(self, served):
+        server, _ = served
+        status, doc = _request(
+            server, "POST", "/tenants/gen/query", body=QUERY_BODY
+        )
+        assert status == 200
+        assert doc["count"] == 1
+        assert doc["rows"][0]["Ussn#"] == "B1"
+        assert doc["stats"]["counters"]["requests"] >= 1
+
+    def test_structured_query_payload(self, served):
+        server, _ = served
+        body = json.dumps(
+            {"class": "person0", "where": {}, "select": ["ssn#"]}
+        )
+        status, doc = _request(server, "POST", "/tenants/clu/query", body=body)
+        assert status == 200
+        assert doc["count"] == 32  # 4 schemas x 8 rows, deduplicated extent
+
+    def test_stats_endpoint(self, served):
+        server, _ = served
+        _request(server, "POST", "/tenants/gen/query", body=QUERY_BODY)
+        status, doc = _request(server, "GET", "/tenants/gen/stats")
+        assert status == 200
+        assert doc["tenant_info"]["queries"] >= 1
+        assert doc["stats"]["counters"]["agent_scans"] >= 1
+
+    def test_cache_endpoints(self, served):
+        server, _ = served
+        _request(server, "POST", "/tenants/gen/query", body=QUERY_BODY)
+        status, doc = _request(
+            server, "POST", "/tenants/gen/cache/invalidate", body=json.dumps({})
+        )
+        assert status == 200
+        assert doc["dropped"] >= 0
+        status, doc = _request(server, "POST", "/tenants/gen/cache/bump")
+        assert status == 200
+        assert doc["generation"] >= 1
+
+
+class TestErrorMapping:
+    def test_unknown_tenant_is_404(self, served):
+        server, _ = served
+        status, doc = _request(
+            server, "POST", "/tenants/ghost/query", body=QUERY_BODY
+        )
+        assert status == 404
+        assert doc["tenant"] == "ghost"
+
+    def test_unknown_path_is_404(self, served):
+        server, _ = served
+        status, _ = _request(server, "GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405_with_allowed_list(self, served):
+        server, _ = served
+        status, doc = _request(server, "GET", "/tenants/gen/query")
+        assert status == 405
+        assert doc["allowed"] == ["POST"]
+
+    def test_malformed_json_is_400(self, served):
+        server, _ = served
+        status, doc = _request(
+            server, "POST", "/tenants/gen/query", body="{not json"
+        )
+        assert status == 400
+        assert "JSON" in doc["error"]
+
+    def test_malformed_query_is_400(self, served):
+        server, _ = served
+        status, _ = _request(
+            server, "POST", "/tenants/gen/query", body=json.dumps({"where": {}})
+        )
+        assert status == 400
+
+    def test_unparseable_query_text_is_400(self, served):
+        server, _ = served
+        status, doc = _request(
+            server,
+            "POST",
+            "/tenants/gen/query",
+            body=json.dumps({"query": "uncle(bad"}),
+        )
+        assert status == 400
+        assert "malformed" in doc["error"]
+
+    def test_unknown_class_yields_no_answers(self, served):
+        # the bottom-up engine treats an unknown class as an empty
+        # extent, so this is a well-formed query with zero rows
+        server, _ = served
+        status, doc = _request(
+            server,
+            "POST",
+            "/tenants/gen/query",
+            body=json.dumps({"query": "no_such_class() -> x"}),
+        )
+        assert status == 200
+        assert doc["count"] == 0
+
+    def test_shutdown_disabled_is_403(self, served):
+        server, _ = served
+        status, _ = _request(server, "POST", "/admin/shutdown")
+        assert status == 403
+
+
+class TestProtocol:
+    def test_keep_alive_serves_many_requests_per_connection(self, served):
+        server, _ = served
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            for _ in range(5):
+                conn.request("POST", "/tenants/gen/query", body=QUERY_BODY)
+                response = conn.getresponse()
+                assert response.status == 200
+                json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_eight_concurrent_clients(self, served):
+        """The acceptance bar: >= 8 simultaneous clients, zero errors."""
+        server, _ = served
+        clients, per_client = 8, 5
+        results, errors = [], []
+        barrier = threading.Barrier(clients)
+
+        def client(index):
+            try:
+                barrier.wait(timeout=30)
+                conn = http.client.HTTPConnection(
+                    server.host, server.port, timeout=60
+                )
+                tenant = "gen" if index % 2 == 0 else "clu"
+                body = (
+                    QUERY_BODY
+                    if tenant == "gen"
+                    else json.dumps({"query": "person0() -> ssn#"})
+                )
+                for _ in range(per_client):
+                    conn.request("POST", f"/tenants/{tenant}/query", body=body)
+                    response = conn.getresponse()
+                    payload = json.loads(response.read())
+                    results.append((response.status, payload["count"]))
+                conn.close()
+            except Exception as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert len(results) == clients * per_client
+        assert all(status == 200 for status, _ in results)
+        assert {count for _, count in results} == {1, 32}
+
+
+class TestShutdownEndpoint:
+    def test_admin_shutdown_stops_the_server(self):
+        repository = FederationRepository(drain_timeout=5.0)
+        repository.add_tenant(TenantConfig(name="gen"))
+        app = create_app(repository, allow_shutdown=True)
+        server = ServerThread(app, port=0).start()
+        status, doc = _request(server, "POST", "/admin/shutdown")
+        assert status == 202
+        assert doc["status"] == "shutting down"
+        server.thread.join(timeout=15)
+        assert not server.thread.is_alive()
+        assert repository.closed  # lifespan shutdown drained the repository

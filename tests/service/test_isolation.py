@@ -1,0 +1,134 @@
+"""Multi-tenant isolation: one shared loop, zero cross-tenant effects.
+
+Two tenants with their own schemas and caches multiplex every agent
+scan on one executor loop.  Invalidation (``bump_generation``) and
+component-database writes in tenant A must never invalidate tenant B's
+cache — and must never let B serve granules that are stale for A.
+Both execution paths are covered: the threaded bridge and native async.
+"""
+
+import pytest
+
+from repro.service import FederationRepository, TenantConfig
+
+GEN_QUERY = {"query": "uncle(niece_nephew='John') -> Ussn#"}
+CLU_QUERY = {"query": "person0() -> ssn#"}
+
+
+def _scans(answer):
+    return answer["stats"]["counters"].get("agent_scans", 0)
+
+
+@pytest.fixture(params=["threaded", "async"])
+def pair(request):
+    """Two tenants (same mode) on one repository; params cover both paths."""
+    repository = FederationRepository(drain_timeout=5.0)
+    repository.add_tenant(
+        TenantConfig(name="a", demo="genealogy", mode=request.param)
+    )
+    repository.add_tenant(
+        TenantConfig(name="b", demo="cluster", mode=request.param)
+    )
+    yield repository
+    repository.close()
+
+
+class TestSharedLoop:
+    def test_async_tenants_borrow_one_runner(self):
+        repository = FederationRepository()
+        try:
+            a = repository.add_tenant(TenantConfig(name="a", mode="async"))
+            b = repository.add_tenant(
+                TenantConfig(name="b", demo="cluster", mode="async")
+            )
+            assert a.runtime.executor._runner is repository.loop
+            assert b.runtime.executor._runner is repository.loop
+            assert not a.runtime.executor._owns_runner
+            repository.query("a", GEN_QUERY)
+            repository.query("b", CLU_QUERY)
+            assert repository.loop.alive
+        finally:
+            repository.close()
+        assert not repository.loop.alive
+
+    def test_tenant_close_leaves_the_shared_loop_running(self):
+        repository = FederationRepository()
+        try:
+            a = repository.add_tenant(TenantConfig(name="a", mode="async"))
+            repository.add_tenant(
+                TenantConfig(name="b", demo="cluster", mode="async")
+            )
+            repository.query("a", GEN_QUERY)
+            a.close()  # one tenant going away must not stop the others
+            assert repository.loop.alive
+            answer = repository.query("b", CLU_QUERY)
+            assert answer["count"] == 32
+        finally:
+            repository.close()
+
+
+class TestCacheIsolation:
+    def test_warm_caches_are_per_tenant(self, pair):
+        cold_a = _scans(pair.query("a", GEN_QUERY))
+        cold_b = _scans(pair.query("b", CLU_QUERY))
+        assert cold_a >= 1 and cold_b >= 1
+        assert _scans(pair.query("a", GEN_QUERY)) == 0  # warm
+        assert _scans(pair.query("b", CLU_QUERY)) == 0  # warm
+
+    def test_bump_in_a_never_invalidates_b(self, pair):
+        pair.query("a", GEN_QUERY)
+        pair.query("b", CLU_QUERY)
+        generation = pair.bump("a")["generation"]
+        assert generation == 1
+        # A is stale: it must rescan its agents...
+        assert _scans(pair.query("a", GEN_QUERY)) >= 1
+        # ...while B's cache is untouched: zero scans, same answers
+        answer_b = pair.query("b", CLU_QUERY)
+        assert _scans(answer_b) == 0
+        assert answer_b["count"] == 32
+
+    def test_explicit_invalidate_in_a_never_drops_b(self, pair):
+        pair.query("a", GEN_QUERY)
+        pair.query("b", CLU_QUERY)
+        assert pair.invalidate("a", {})["dropped"] >= 1
+        assert _scans(pair.query("a", GEN_QUERY)) >= 1
+        assert _scans(pair.query("b", CLU_QUERY)) == 0
+
+    def test_component_write_in_a_is_seen_by_a_and_invisible_to_b(self, pair):
+        """The staleness fence: a write bumps only that tenant's sources."""
+        pair.query("a", GEN_QUERY)
+        first_b = pair.query("b", CLU_QUERY)
+        # write directly into tenant A's S2 component database: a second
+        # uncle row; the database version bump makes A's granules stale
+        tenant_a = pair.tenant("a")
+        tenant_a.session.fsm.database("S2").insert(
+            "uncle", {"Ussn#": "B9", "niece_nephew": {"John"}}
+        )
+        answer_a = pair.query("a", GEN_QUERY)
+        assert answer_a["count"] == 2  # the new row is visible immediately
+        assert {"B1", "B9"} == {row["Ussn#"] for row in answer_a["rows"]}
+        assert _scans(answer_a) >= 1  # served by rescan, not the stale cache
+        # tenant B: still warm, still the same answers, zero extra scans
+        answer_b = pair.query("b", CLU_QUERY)
+        assert _scans(answer_b) == 0
+        assert answer_b["rows"] == first_b["rows"]
+
+    def test_stats_are_per_tenant(self, pair):
+        pair.query("a", GEN_QUERY)
+        pair.query("a", GEN_QUERY)
+        pair.query("b", CLU_QUERY)
+        stats_a = pair.stats("a")
+        stats_b = pair.stats("b")
+        assert stats_a["tenant_info"]["queries"] == 2
+        assert stats_b["tenant_info"]["queries"] == 1
+        assert stats_a["stats"]["agent_scans"]
+        assert stats_b["stats"]["agent_scans"]
+        # forcing B to rescan must leave A's accounting untouched, even
+        # though both tenants name their agents after the same schemas
+        pair.bump("b")
+        pair.query("b", CLU_QUERY)
+        assert pair.stats("a")["stats"] == stats_a["stats"]
+        assert (
+            pair.stats("b")["stats"]["counters"]["agent_scans"]
+            > stats_b["stats"]["counters"]["agent_scans"]
+        )

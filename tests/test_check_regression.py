@@ -50,6 +50,17 @@ def _healthy():
             "cache_restores": 40,
             "answers_match": True,
         },
+        "service": {
+            "clients": 8,
+            "requests_per_client": 25,
+            "cold_ms": 45.0,
+            "req_per_s": 150.0,
+            "p50_ms": 40.0,
+            "p99_ms": 95.0,
+            "warm_agent_scans": 0,
+            "status_errors": 0,
+            "completed": 200,
+        },
     }
 
 
@@ -141,6 +152,54 @@ class TestCheck:
         doc["restart"]["cache_restores"] = 0
         problems = check_regression.check(doc)
         assert any("restored nothing" in p for p in problems)
+
+    def test_missing_service_section_fails(self):
+        doc = _healthy()
+        del doc["service"]
+        assert any(
+            "service section is missing" in p for p in check_regression.check(doc)
+        )
+
+    def test_service_needs_eight_clients(self):
+        doc = _healthy()
+        doc["service"]["clients"] = 4
+        problems = check_regression.check(doc)
+        assert any("expected >= 8" in p for p in problems)
+
+    def test_service_errors_fail_the_gate(self):
+        doc = _healthy()
+        doc["service"]["status_errors"] = 3
+        problems = check_regression.check(doc)
+        assert any("status_errors is 3" in p for p in problems)
+
+    def test_service_warm_scans_must_be_zero(self):
+        doc = _healthy()
+        doc["service"]["warm_agent_scans"] = 2
+        problems = check_regression.check(doc)
+        assert any("service warm_agent_scans is 2" in p for p in problems)
+
+    def test_service_throughput_floor(self):
+        doc = _healthy()
+        doc["service"]["req_per_s"] = 5.0
+        problems = check_regression.check(doc)
+        assert any("below the 20.0" in p for p in problems)
+        assert check_regression.check(_healthy(), min_service_rps=100.0) == []
+        problems = check_regression.check(_healthy(), min_service_rps=200.0)
+        assert any("below the 200.0" in p for p in problems)
+
+    def test_service_latency_consistency(self):
+        doc = _healthy()
+        doc["service"]["p99_ms"] = 10.0  # below the p50
+        problems = check_regression.check(doc)
+        assert any("latencies are inconsistent" in p for p in problems)
+
+    def test_service_throughput_drift_fails(self):
+        fresh = _healthy()
+        fresh["service"]["req_per_s"] = 60.0  # above floor, < 50% of 150
+        problems = check_regression.check(fresh, _healthy())
+        assert any(
+            "service req_per_s 60.0 fell below 50%" in p for p in problems
+        )
 
     def test_baseline_drift_fails_even_above_floors(self):
         fresh = _healthy()
