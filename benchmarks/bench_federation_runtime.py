@@ -1,4 +1,4 @@
-"""Experiments E-R1 – E-R4 — latency, fan-out, sharding, warm restart.
+"""Experiments E-R1 – E-R6 — latency, fan-out, sharding, restart, planning.
 
 **E-R1** (4 agents, 10ms injected per-call latency): the same global
 query answered sequentially with the cache off (the pre-runtime
@@ -37,6 +37,14 @@ phase must serve every request from cache (zero agent scans) with zero
 HTTP errors — the service layering (routes → repository → shared-loop
 runtime) priced end to end.
 
+**E-R6** (the genealogy 2-agent and cluster 4-agent federations, 10ms
+injected per-call latency): the same cold query answered with the query
+planner off (one round-trip per scan granule — the pre-planner traffic)
+and on (assertion-graph pruning + per-endpoint batch coalescing +
+pushdown hints).  The planned run must pay strictly fewer agent
+round-trips per query on **both** federations and return byte-identical
+answers — the planner's whole contract.
+
 Runs standalone (``python benchmarks/bench_federation_runtime.py``)
 or under pytest; both emit ``BENCH_runtime.json``.
 """
@@ -64,9 +72,11 @@ from repro.runtime import (
     ShardPlan,
     SimulatedNetworkTransport,
 )
-from repro.workloads import federated_cluster
+from repro.workloads import federated_cluster, genealogy
 
 QUERY = "person0() -> ssn#"
+GENEALOGY_QUERY = "uncle(niece_nephew='John') -> Ussn#"
+PLANNER_ROUNDS = 3
 LATENCY = 0.010  # 10ms per agent call
 ROUNDS = 5
 FLEET_SIZES = (4, 32, 256)
@@ -94,14 +104,28 @@ def _cluster_fsm():
     return fsm
 
 
-def _attach(fsm, policy, cache_path=None):
+def _genealogy_fsm():
+    _, _, text, databases = genealogy()
+    fsm = FSM()
+    for name, database in databases.items():
+        agent = FSMAgent(f"agent-{name}")
+        agent.host_object_database(database)
+        fsm.register_agent(agent)
+    fsm.declare(text)
+    names = list(fsm.schema_names())
+    fsm.integrate(names[0], names[1])
+    return fsm
+
+
+def _attach(fsm, policy, cache_path=None, plan=True):
     transport = SimulatedNetworkTransport(
         InProcessTransport(fsm._agents, fsm._schema_host),
         FaultProfile(latency=LATENCY),
     )
     return fsm.use_runtime(
         runtime=FederationRuntime(
-            transport=transport, policy=policy, cache_path=cache_path
+            transport=transport, policy=policy, cache_path=cache_path,
+            plan=plan,
         )
     )
 
@@ -113,11 +137,15 @@ def _timed_query(fsm):
 
 
 def _median_cold(policy):
-    """Median cold-query latency (fresh cache each round)."""
+    """Median cold-query latency (fresh cache each round).
+
+    Planner off: E-R1 prices the executor fan-out on the pre-planner
+    one-round-trip-per-granule traffic; E-R6 prices the planner.
+    """
     samples = []
     for _ in range(ROUNDS):
         fsm = _cluster_fsm()
-        _attach(fsm, policy)
+        _attach(fsm, policy, plan=False)
         elapsed, rows = _timed_query(fsm)
         samples.append(elapsed)
     return statistics.median(samples), len(rows)
@@ -436,12 +464,63 @@ def run_service_load():
     }
 
 
+def _planner_case(label, builder, query):
+    """One E-R6 entry: the same cold query, planner off vs on."""
+
+    def run(plan):
+        samples = []
+        trips = scans = pruned = 0
+        rows = []
+        for _ in range(PLANNER_ROUNDS):
+            fsm = builder()
+            runtime = _attach(fsm, RuntimePolicy(max_workers=8), plan=plan)
+            try:
+                started = time.perf_counter()
+                rows = fsm.query(query)
+                samples.append((time.perf_counter() - started) * 1000.0)
+                delta = fsm.last_query_stats
+                trips = delta.counter("round_trips")
+                scans = delta.counter("agent_scans")
+                query_plan = runtime.last_plan
+                pruned = len(query_plan.pruned) if query_plan is not None else 0
+            finally:
+                runtime.close()
+        return statistics.median(samples), trips, scans, pruned, rows
+
+    unplanned_ms, unplanned_trips, unplanned_scans, _, unplanned_rows = run(False)
+    planned_ms, planned_trips, planned_scans, pruned, planned_rows = run(True)
+    return {
+        "federation": label,
+        "answers": len(planned_rows),
+        "unplanned_round_trips": unplanned_trips,
+        "planned_round_trips": planned_trips,
+        "unplanned_agent_scans": unplanned_scans,
+        "planned_agent_scans": planned_scans,
+        "pruned_classes": pruned,
+        "unplanned_ms": round(unplanned_ms, 3),
+        "planned_ms": round(planned_ms, 3),
+        "round_trip_reduction": round(unplanned_trips / planned_trips, 2)
+        if planned_trips
+        else 0.0,
+        "answers_match": _rows_key(planned_rows) == _rows_key(unplanned_rows),
+    }
+
+
+def run_planner():
+    """E-R6: round-trips per query and latency, planned vs unplanned."""
+    return [
+        _planner_case("genealogy", _genealogy_fsm, GENEALOGY_QUERY),
+        _planner_case("cluster", _cluster_fsm, QUERY),
+    ]
+
+
 def run_all():
     results = run_experiment()
     results["fanout"] = run_fanout_scale()
     results["sharding"] = run_shard_scale()
     results["restart"] = run_restart()
     results["service"] = run_service_load()
+    results["planner"] = run_planner()
     return results
 
 
@@ -498,6 +577,28 @@ def test_runtime_latency(benchmark, report):
             ("answers byte-identical", restart["answers_match"]),
         ],
     )
+    report(
+        "E-R6  query planner, round-trips per cold query, 10ms per call",
+        (
+            "federation",
+            "unplanned trips",
+            "planned trips",
+            "pruned",
+            "unplanned ms",
+            "planned ms",
+        ),
+        [
+            (
+                entry["federation"],
+                entry["unplanned_round_trips"],
+                entry["planned_round_trips"],
+                entry["pruned_classes"],
+                entry["unplanned_ms"],
+                entry["planned_ms"],
+            )
+            for entry in results["planner"]
+        ],
+    )
     service = results["service"]
     report(
         "E-R5  query service load, 8 keep-alive clients, 4 agents x 5ms",
@@ -527,6 +628,14 @@ def test_runtime_latency(benchmark, report):
     assert service["warm_agent_scans"] == 0
     assert service["completed"] == service["clients"] * service["requests_per_client"]
     assert service["p99_ms"] >= service["p50_ms"] > 0
+    assert len(results["planner"]) == 2  # both example federations
+    for entry in results["planner"]:
+        assert entry["answers_match"], entry["federation"]
+        assert (
+            0
+            < entry["planned_round_trips"]
+            < entry["unplanned_round_trips"]
+        ), entry["federation"]
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ into n assertions and yields n rules).
 
 import pytest
 
-from repro.assertions import AssertionSet, parse
+from repro.assertions import parse
 from repro.integration import IntegratedSchema, apply_derivation
 from repro.workloads import bibliography, car_prices, genealogy
 

@@ -21,6 +21,9 @@ federation runtime's load-bearing numbers regress:
   HTTP error, any warm agent scan, throughput below the req/s floor
   (default 20.0) or a p99 below the p50 — the multi-tenant query
   service stopped serving concurrent warm load from cache;
+* in the E-R6 planner section, a missing example federation, planned
+  round-trips not strictly below unplanned, or answers diverging — the
+  query planner stopped reducing traffic or (worse) changed an answer;
 * optionally, drift against a committed baseline file: any gated metric
   worse than ``tolerance`` × baseline fails even above absolute floors.
 
@@ -164,6 +167,38 @@ def check(
                 f"service latencies are inconsistent (p50={p50}, p99={p99})"
             )
 
+    planner = fresh.get("planner", [])
+    planner_by_federation = {
+        entry.get("federation"): entry for entry in planner
+    }
+    expected_federations = ("genealogy", "cluster")
+    missing = [
+        name for name in expected_federations
+        if name not in planner_by_federation
+    ]
+    if missing:
+        problems.append(
+            f"planner section is missing {', '.join(missing)} "
+            "(E-R6 did not cover both example federations)"
+        )
+    for name in expected_federations:
+        entry = planner_by_federation.get(name)
+        if entry is None:
+            continue
+        planned = entry.get("planned_round_trips", 0)
+        unplanned = entry.get("unplanned_round_trips", 0)
+        if not 0 < planned < unplanned:
+            problems.append(
+                f"planner round-trips on {name} are {planned} planned vs "
+                f"{unplanned} unplanned, expected strictly fewer planned "
+                "(scan coalescing stopped reducing traffic)"
+            )
+        if not entry.get("answers_match", False):
+            problems.append(
+                f"planner answers_match on {name} is false "
+                "(the planned query diverged from the unplanned answers)"
+            )
+
     if baseline is not None:
         base_speedup = baseline.get("concurrent_speedup", 0.0)
         if base_speedup > 0 and speedup < base_speedup * tolerance:
@@ -210,6 +245,31 @@ def check(
                 f"service req_per_s {fresh_rps} fell below {tolerance:.0%} of "
                 f"the committed baseline ({base_rps})"
             )
+        base_planner = {
+            entry.get("federation"): entry
+            for entry in baseline.get("planner", [])
+        }
+        for entry in planner:
+            base = base_planner.get(entry.get("federation"))
+            if base is None:
+                continue
+            # round-trip counts are deterministic — any increase is drift
+            fresh_trips = entry.get("planned_round_trips", 0)
+            base_trips = base.get("planned_round_trips", 0)
+            if base_trips > 0 and fresh_trips > base_trips:
+                problems.append(
+                    f"planner round-trips on {entry.get('federation')} rose "
+                    f"to {fresh_trips} from the committed baseline "
+                    f"({base_trips}) — coalescing or pruning regressed"
+                )
+            fresh_ratio = entry.get("round_trip_reduction", 0.0)
+            base_ratio = base.get("round_trip_reduction", 0.0)
+            if base_ratio > 0 and fresh_ratio < base_ratio * tolerance:
+                problems.append(
+                    f"planner round_trip_reduction on "
+                    f"{entry.get('federation')} ({fresh_ratio}) fell below "
+                    f"{tolerance:.0%} of the committed baseline ({base_ratio})"
+                )
     return problems
 
 
@@ -286,6 +346,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     widest = max(sharding, key=lambda s: s.get("shards", 0)) if sharding else {}
     restart = fresh.get("restart", {})
     service = fresh.get("service", {})
+    planner = fresh.get("planner", [])
+    planner_summary = " ".join(
+        f"planner[{entry.get('federation', '?')}]="
+        f"{entry.get('planned_round_trips', '?')}/"
+        f"{entry.get('unplanned_round_trips', '?')} trips"
+        for entry in planner
+    )
     print(
         "regression gate passed: "
         f"concurrent_speedup={fresh.get('concurrent_speedup')} "
@@ -298,7 +365,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"restart={restart.get('warm_restart_ms', '?')}ms/"
         f"{restart.get('warm_restart_agent_scans', '?')} scans "
         f"service={service.get('req_per_s', '?')} req/s "
-        f"p99={service.get('p99_ms', '?')}ms"
+        f"p99={service.get('p99_ms', '?')}ms "
+        + planner_summary
     )
     return 0
 

@@ -13,7 +13,7 @@ name the new attribute.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Optional, Tuple
+from typing import Any, Optional
 
 from ..errors import AssertionSpecError
 from ..logic.atoms import ComparisonOp

@@ -17,13 +17,13 @@ paper's examples fill only some.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..errors import AssertionSpecError, PathError
 from ..model.schema import Schema
 from .aggregation_assertions import AggregationCorrespondence
 from .attribute_assertions import AttributeCorrespondence
-from .kinds import AttributeKind, ClassKind, flipped as flip_kind
+from .kinds import ClassKind, flipped as flip_kind
 from .paths import Path
 from .value_assertions import ValueCorrespondence
 

@@ -22,7 +22,7 @@ variable supply of an integration run.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Set, Tuple
 
 from ..logic.atoms import ComparisonOp
 from .attribute_assertions import WithCondition

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import re
 import shlex
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..errors import AssertionParseError
 from .aggregation_assertions import AggregationCorrespondence

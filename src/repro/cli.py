@@ -28,8 +28,11 @@ Subcommands:
     N shard endpoints per agent (``--shard-kind hash|range`` picks the
     OID partitioning), ``--cache-path FILE`` persists the extent cache
     to a sqlite file (a re-run with the same path answers warm without
-    touching one agent), ``--repeat N`` re-runs the query (showing the
-    extent cache), ``--appendix-b`` uses the top-down evaluator,
+    touching one agent), ``--plan`` / ``--no-plan`` toggles the query
+    planner (assertion-graph pruning, per-endpoint scan coalescing,
+    pushdown hints; on by default), ``--repeat N`` re-runs the query
+    (showing the extent cache), ``--appendix-b`` uses the top-down
+    evaluator,
     ``--stats`` prints the per-query and cumulative
     :class:`~repro.runtime.RuntimeStats`, and ``--json`` switches the
     whole output (rows, warnings, stats) to one machine-readable JSON
@@ -183,6 +186,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="one worker, no retries (the pre-runtime behaviour)",
     )
     query.add_argument(
+        "--plan",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the query planner: assertion-graph pruning, per-endpoint "
+        "scan coalescing and advisory pushdown hints (--no-plan restores "
+        "one round-trip per scan granule)",
+    )
+    query.add_argument(
         "--no-cache", action="store_true", help="disable the extent cache"
     )
     query.add_argument(
@@ -218,8 +229,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="add one tenant: comma-separated key=value pairs "
         "(name=, demo=genealogy|cluster, mode=threaded|async, "
         "schema= (repeatable via ';'), assertions=, data=, shards=, "
-        "shard-kind=, latency=MS, max-inflight=, workers=, cache-path=); "
-        "default: one async 'genealogy' tenant",
+        "shard-kind=, latency=MS, max-inflight=, workers=, cache-path=, "
+        "plan=true|false); default: one async 'genealogy' tenant",
     )
     serve.add_argument(
         "--allow-remote-shutdown",
@@ -337,7 +348,7 @@ def _attach_query_runtime(fsm, arguments):
     return fsm.use_runtime(
         runtime=FederationRuntime(
             transport=transport, policy=policy, mode=mode, shard_plan=shard_plan,
-            cache_path=arguments.cache_path,
+            cache_path=arguments.cache_path, plan=arguments.plan,
         )
     )
 
@@ -359,7 +370,7 @@ def _cmd_query(arguments, out) -> int:
             if arguments.appendix_b:
                 before = runtime.stats()
                 with runtime.timer("query"):
-                    rows = query.run(fsm.appendix_b())
+                    rows = query.run(fsm.appendix_b(prefetch=query))
                 fsm.last_query_stats = runtime.stats() - before
             else:
                 rows = fsm.query(query)
@@ -437,7 +448,7 @@ def _parse_tenant_spec(spec: str):
     known = {
         "name", "demo", "mode", "schema", "assertions", "data", "shards",
         "shard_kind", "latency", "max_inflight", "scan_inflight", "workers",
-        "cache_path",
+        "cache_path", "plan",
     }
     unknown = sorted(set(values) - known)
     if unknown:
@@ -461,6 +472,8 @@ def _parse_tenant_spec(spec: str):
         scan_inflight=int(values.get("scan_inflight", "64")),
         max_workers=int(values.get("workers", "8")),
         cache_path=values.get("cache_path"),
+        plan=values.get("plan", "true").strip().lower()
+        not in ("0", "false", "no", "off"),
     )
 
 

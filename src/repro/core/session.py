@@ -117,6 +117,7 @@ class FederationSession:
         shard_plan: "ShardPlan | int | None" = None,
         cache_path: Optional[str] = None,
         loop: Optional["EventLoopThread"] = None,
+        plan: bool = True,
     ) -> "FederationRuntime":
         """Route agent access through a federation runtime (concurrent
         fan-out, retries, extent caching, metrics); *mode* picks the
@@ -126,11 +127,13 @@ class FederationSession:
         file so a restarted session warms up scan-free; *loop* (async
         mode) multiplexes this session's scans on a shared event-loop
         thread owned by the caller — how the federation service runs
-        many tenant sessions over one loop; see
-        :meth:`repro.federation.fsm.FSM.use_runtime`."""
+        many tenant sessions over one loop; *plan* (default on) runs the
+        query planner before dispatch — assertion-graph pruning, scan
+        coalescing into per-endpoint batches, and advisory hint
+        pushdown; see :meth:`repro.federation.fsm.FSM.use_runtime`."""
         return self.fsm.use_runtime(
             policy=policy, runtime=runtime, mode=mode, shard_plan=shard_plan,
-            cache_path=cache_path, loop=loop,
+            cache_path=cache_path, loop=loop, plan=plan,
         )
 
     @property

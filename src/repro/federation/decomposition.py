@@ -21,7 +21,7 @@ exactly Appendix B's division of labour.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..errors import QueryError
 from ..integration.result import IntegratedSchema

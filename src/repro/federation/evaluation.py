@@ -23,7 +23,6 @@ from typing import (
     TYPE_CHECKING,
     Any,
     Dict,
-    Iterable,
     List,
     Mapping,
     Optional,
@@ -33,10 +32,11 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.planner import QueryPlan
     from ..runtime.runtime import FederationRuntime
 
 from ..integration.result import IntegratedSchema
-from ..logic.atoms import Atom, Literal
+from ..logic.atoms import Atom
 from ..logic.engine import FactStore, FactTuple, QueryEngine, iter_value_elements
 from ..logic.labelled import LabelledProgram, SchemaSource
 from ..logic.oterms import att_predicate, inst_predicate, parse_predicate
@@ -80,6 +80,7 @@ def lift_facts(
     mappings: Optional[MappingRegistry] = None,
     same_specs: Sequence[SameObjectSpec] = (),
     runtime: Optional["FederationRuntime"] = None,
+    plan: Optional["QueryPlan"] = None,
 ) -> FactStore:
     """Compile all component extents into integrated-name facts.
 
@@ -95,6 +96,12 @@ def lift_facts(
     concurrent fan-out (cached, retried, circuit-broken); the lifting
     loop then runs over the prefetched scans.  Extents the runtime could
     not serve (failed agents under the ``PARTIAL`` policy) lift as empty.
+
+    A *plan* (:class:`~repro.runtime.planner.QueryPlan`) restricts both
+    the prefetch and the lifting loop to the integrated classes that can
+    contribute to its query — the §6 pruning closure guarantees skipped
+    classes cannot change the answer — and threads the pushdown hint
+    into every prefetch scan.
     """
     mappings = mappings or MappingRegistry()
     store = FactStore()
@@ -105,13 +112,18 @@ def lift_facts(
             (schema_name, class_name)
             for integrated_class in integrated
             if not integrated_class.virtual
+            and (plan is None or plan.allows(integrated_class.name))
             for schema_name, class_name in integrated_class.origins
             if schema_name in databases
         ]
-        prefetched = runtime.scan_extents(pairs, op="direct_extent")
+        prefetched = runtime.scan_extents(
+            pairs, op="direct_extent", hint=plan.hint if plan is not None else None
+        )
 
     for integrated_class in integrated:
         if integrated_class.virtual:
+            continue
+        if plan is not None and not plan.allows(integrated_class.name):
             continue
         for schema_name, class_name in integrated_class.origins:
             database = databases.get(schema_name)
@@ -237,16 +249,20 @@ class FederationEngine:
         mappings: Optional[MappingRegistry] = None,
         same_specs: Sequence[SameObjectSpec] = (),
         runtime: Optional["FederationRuntime"] = None,
+        plan: Optional["QueryPlan"] = None,
     ) -> None:
         self.integrated = integrated
         self.runtime = runtime
+        self.plan = plan
         if runtime is not None:
             with runtime.timer("lift_facts"):
                 base = lift_facts(
-                    integrated, databases, mappings, same_specs, runtime
+                    integrated, databases, mappings, same_specs, runtime, plan
                 )
         else:
-            base = lift_facts(integrated, databases, mappings, same_specs)
+            base = lift_facts(
+                integrated, databases, mappings, same_specs, plan=plan
+            )
         rules = integrated.evaluable_rules() + inheritance_rules(integrated)
         self._engine = QueryEngine(rules, base)
 

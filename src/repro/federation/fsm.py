@@ -30,7 +30,6 @@ from typing import (
     Dict,
     Iterable,
     List,
-    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -285,6 +284,7 @@ class FSM:
         shard_plan: "ShardPlan | int | None" = None,
         cache_path: Optional[str] = None,
         loop: Optional["EventLoopThread"] = None,
+        plan: bool = True,
     ) -> "FederationRuntime":
         """Attach a federation runtime to both evaluation paths.
 
@@ -303,7 +303,11 @@ class FSM:
         *loop* (async mode) is a shared
         :class:`~repro.runtime.async_executor.EventLoopThread`: many
         FSMs — the federation service's tenants — multiplex their scans
-        on one loop thread, and the loop's owner closes it.
+        on one loop thread, and the loop's owner closes it.  *plan*
+        (default on) runs every query through the federation query
+        planner — assertion-graph pruning, per-endpoint scan
+        coalescing, pushdown hints; ``plan=False`` reproduces the
+        pre-planner one-round-trip-per-granule traffic.
         """
         if runtime is None:
             from ..runtime.async_transport import AsyncInProcessTransport
@@ -318,6 +322,7 @@ class FSM:
             runtime = FederationRuntime(
                 transport=transport, policy=policy, mode=mode,
                 shard_plan=shard_plan, cache_path=cache_path, loop=loop,
+                plan=plan,
             )
         self.runtime = runtime
         return runtime
@@ -333,8 +338,13 @@ class FSM:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
-    def engine(self) -> FederationEngine:
-        """A bottom-up federated engine over the last integration."""
+    def engine(self, plan: Optional[Any] = None) -> FederationEngine:
+        """A bottom-up federated engine over the last integration.
+
+        *plan* — a :class:`~repro.runtime.planner.QueryPlan` — restricts
+        fact lifting to the classes that can contribute to one query and
+        threads the pushdown hint into the prefetch fan-out.
+        """
         if self.integrated is None:
             raise QueryError("integrate schemas before querying")
         return FederationEngine(
@@ -343,7 +353,33 @@ class FSM:
             self.mappings,
             self.same_specs,
             runtime=self.runtime,
+            plan=plan,
         )
+
+    def plan_query(self, query: Union[str, FederatedQuery]) -> Optional[Any]:
+        """Plan *query* through the runtime's planner, or None when the
+        runtime is absent, planning is disabled, or nothing is integrated.
+
+        The plan lands on ``runtime.last_plan`` and ticks the
+        ``planned_queries`` / ``pruned_classes`` counters.
+        """
+        runtime = self.runtime
+        if (
+            runtime is None
+            or not getattr(runtime, "plan_enabled", False)
+            or self.integrated is None
+        ):
+            return None
+        from ..runtime.planner import plan_query as build_plan
+
+        if isinstance(query, str):
+            query = FederatedQuery.parse(query)
+        plan = build_plan(self.integrated, query, schemas=set(self._schema_host))
+        runtime.last_plan = plan
+        runtime.metrics.incr("planned_queries")
+        if plan.pruned:
+            runtime.metrics.incr("pruned_classes", len(plan.pruned))
+        return plan
 
     def query(self, query: Union[str, FederatedQuery]) -> List[Dict[str, Any]]:
         """Run a federated query (textual form accepted).
@@ -351,25 +387,46 @@ class FSM:
         With a runtime attached, the per-query counter/timer delta lands
         in :attr:`last_query_stats` — the autonomy property (how many
         scans each agent served for *this* query) made observable.
+        When the runtime has planning enabled, the query goes through
+        :meth:`plan_query` first: pruned classes are never scanned or
+        lifted, the remaining granules coalesce per endpoint, and the
+        projection/predicate hint rides along.
         """
         if isinstance(query, str):
             query = FederatedQuery.parse(query)
         if self.runtime is None:
             return query.run(self.engine())
+        plan = self.plan_query(query)
         before = self.runtime.stats()
         with self.runtime.timer("query"):
-            rows = query.run(self.engine())
+            rows = query.run(self.engine(plan=plan))
         self.last_query_stats = self.runtime.stats() - before
         return rows
 
-    def appendix_b(self) -> LabelledProgram:
-        """The faithful Appendix B top-down evaluator."""
+    def appendix_b(
+        self, prefetch: Union[str, FederatedQuery, None] = None
+    ) -> LabelledProgram:
+        """The faithful Appendix B top-down evaluator.
+
+        *prefetch* — the query about to run — lets the planner warm the
+        extent cache in one coalesced fan-out over exactly the class
+        extensions that can contribute, so the program's per-predicate
+        fetches become cache hits instead of one round-trip each.  The
+        evaluator itself is unchanged; autonomy (one concept extension
+        per fetch) is preserved at the source layer.
+        """
         if self.integrated is None:
             raise QueryError("integrate schemas before querying")
         agents = {
             schema_name: self._host_of(schema_name)
             for schema_name in self._schema_host
         }
+        if prefetch is not None and self.runtime is not None:
+            plan = self.plan_query(prefetch)
+            if plan is not None and plan.pairs:
+                # AgentSource fetches full extents (op="extent"); warm
+                # those granules so its per-predicate pulls hit the cache
+                self.runtime.scan_extents(plan.pairs, op="extent", hint=plan.hint)
         return appendix_b_program(
             self.integrated,
             agents,

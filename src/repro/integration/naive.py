@@ -24,7 +24,7 @@ the baseline for the link-redundancy benchmark (E-L).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from ..assertions.assertion_set import AssertionSet
 from ..model.schema import Schema, VIRTUAL_ROOT

@@ -38,7 +38,7 @@ from ..assertions.class_assertions import ClassAssertion
 from ..assertions.kinds import AggregationKind, AttributeKind, ClassKind
 from ..errors import IntegrationError
 from ..model.schema import Schema
-from .base import copy_local_class, local_range_token, member_kind_lookup
+from .base import local_range_token, member_kind_lookup
 from .lattice import lcs
 from .result import (
     IntegratedAggregation,

@@ -19,7 +19,7 @@ gaps force the `*`-marking/backtracking machinery — is
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Sequence, Tuple
 
 from ..assertions.assertion_set import AssertionSet
 from ..assertions.class_assertions import ClassAssertion

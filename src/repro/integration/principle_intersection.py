@@ -30,7 +30,7 @@ defining them":
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..assertions.assertion_set import AssertionSet
 from ..assertions.class_assertions import ClassAssertion

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 from .result import IntegratedSchema
 from .stats import IntegrationStats

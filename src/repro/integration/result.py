@@ -25,11 +25,9 @@ import enum
 from typing import (
     Any,
     Dict,
-    Iterable,
     Iterator,
     List,
     Optional,
-    Sequence,
     Set,
     Tuple,
 )

@@ -29,11 +29,9 @@ from collections import defaultdict
 from typing import (
     Any,
     Dict,
-    FrozenSet,
     Iterable,
     Iterator,
     List,
-    Mapping,
     Optional,
     Sequence,
     Set,

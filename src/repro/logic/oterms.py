@@ -29,7 +29,7 @@ assertions of Figs 9-10.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple, Union
 
 from ..errors import LogicError
 from .atoms import Atom, Literal

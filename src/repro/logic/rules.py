@@ -15,7 +15,7 @@ flatten via :meth:`~repro.logic.oterms.OTerm.compile`.
 from __future__ import annotations
 
 import dataclasses
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, Iterable, List, Sequence, Tuple, Union
 
 from ..errors import LogicError
 from .atoms import Atom, Comparison, Literal, Skolem
@@ -221,22 +221,22 @@ class DatalogRule:
 
     def positive_body(self) -> Tuple[Literal, ...]:
         return tuple(
-            l for l in self.body if l.positive and isinstance(l.atom, Atom)
+            lit for lit in self.body if lit.positive and isinstance(lit.atom, Atom)
         )
 
     def negative_body(self) -> Tuple[Literal, ...]:
-        return tuple(l for l in self.body if not l.positive)
+        return tuple(lit for lit in self.body if not lit.positive)
 
     def comparisons(self) -> Tuple[Literal, ...]:
-        return tuple(l for l in self.body if l.is_comparison)
+        return tuple(lit for lit in self.body if lit.is_comparison)
 
     def skolems(self) -> Tuple[Literal, ...]:
-        return tuple(l for l in self.body if isinstance(l.atom, Skolem))
+        return tuple(lit for lit in self.body if isinstance(lit.atom, Skolem))
 
     def __str__(self) -> str:
         if not self.body:
             return f"{self.head}."
-        return f"{self.head} ⇐ {', '.join(str(l) for l in self.body)}"
+        return f"{self.head} ⇐ {', '.join(str(lit) for lit in self.body)}"
 
 
 def compile_rules(rules: Iterable[Rule]) -> List[DatalogRule]:

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import FrozenSet, Iterable, List, Set
 
 from ..errors import SafetyError
-from .atoms import Comparison, ComparisonOp, Literal
+from .atoms import Comparison, ComparisonOp
 from .rules import DatalogRule, Rule
 from .terms import Variable
 

@@ -29,6 +29,10 @@ query paths and the agents:
   federation restarted with the same cache path warms up scan-free;
 * :mod:`~repro.runtime.metrics` — counters, phase timers and per-agent
   access histograms behind :class:`RuntimeStats` snapshots;
+* :mod:`~repro.runtime.planner` — the query planner: §6 assertion-graph
+  pruning applied at query time, scan coalescing into per-endpoint
+  :class:`BatchScanRequest` round-trips, and autonomy-preserving
+  :class:`ScanHint` pushdown;
 * :mod:`~repro.runtime.runtime` — the :class:`FederationRuntime` facade
   the FSM attaches via :meth:`repro.federation.fsm.FSM.use_runtime`.
 """
@@ -42,9 +46,16 @@ from .async_transport import (
 )
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .cache import MISS, ExtentCache
-from .executor import FederationExecutor, ScanFailure, ScanOutcome
+from .executor import (
+    FederationExecutor,
+    ScanFailure,
+    ScanOutcome,
+    coalesce_by_endpoint,
+    expand_outcome,
+)
 from .metrics import RuntimeMetrics, RuntimeStats, TimerStats
 from .persistence import FORMAT_VERSION, PersistentExtentStore
+from .planner import QueryPlan, contributing_classes, plan_query
 from .policy import FailurePolicy, RuntimePolicy
 from .runtime import MODES, FederationRuntime
 from .sharding import (
@@ -58,14 +69,19 @@ from .sharding import (
 )
 from .transport import (
     AgentTransport,
+    BatchScanRequest,
+    BatchScanResult,
     FaultProfile,
     InProcessTransport,
+    ScanHint,
     ScanRequest,
     SimulatedNetworkTransport,
 )
 
 __all__ = [
     "AgentTransport",
+    "BatchScanRequest",
+    "BatchScanResult",
     "AsyncAgentTransport",
     "AsyncFederationExecutor",
     "AsyncInProcessTransport",
@@ -87,10 +103,12 @@ __all__ = [
     "OPEN",
     "PLAN_KINDS",
     "PersistentExtentStore",
+    "QueryPlan",
     "RuntimeMetrics",
     "RuntimePolicy",
     "RuntimeStats",
     "ScanFailure",
+    "ScanHint",
     "ScanOutcome",
     "ScanRequest",
     "ShardPlan",
@@ -98,7 +116,11 @@ __all__ = [
     "ShardedOutcome",
     "SimulatedNetworkTransport",
     "TimerStats",
+    "coalesce_by_endpoint",
+    "contributing_classes",
+    "expand_outcome",
     "merge_shard_values",
+    "plan_query",
     "shard_of_oid",
     "split_requests",
 ]

@@ -44,12 +44,17 @@ from ..errors import (
     TransportError,
 )
 from .breaker import CLOSED, CircuitBreaker
-from .executor import ScanFailure, ScanOutcome
+from .executor import (
+    ScanFailure,
+    ScanOutcome,
+    coalesce_by_endpoint,
+    expand_outcome,
+)
 from .metrics import RuntimeMetrics
 from .policy import RuntimePolicy
 from .async_transport import AsyncAgentTransport
 from .sharding import ShardPlan, ShardedOutcome, merge_outcome, split_requests
-from .transport import ScanRequest
+from .transport import Scannable, ScanRequest
 
 #: asyncio.timeout landed in 3.11; 3.10 falls back to wait_for
 _TIMEOUT_FACTORY = getattr(asyncio, "timeout", None)
@@ -159,11 +164,12 @@ class AsyncFederationExecutor:
     # ------------------------------------------------------------------
     # coroutine API
     # ------------------------------------------------------------------
-    async def run_one_async(self, request: ScanRequest) -> Any:
-        """One scan through the retry / breaker / deadline machinery.
+    async def run_one_async(self, request: Scannable) -> Any:
+        """One dispatch through the retry / breaker / deadline machinery.
 
         As in the threaded executor, the failure domain is
-        :attr:`ScanRequest.endpoint` — per-shard circuits and histograms.
+        :attr:`ScanRequest.endpoint` — per-shard circuits and histograms
+        — and a batch records one round-trip but N agent scans.
         """
         policy = self.policy
         agent = request.endpoint
@@ -176,7 +182,8 @@ class AsyncFederationExecutor:
             if not self.breaker.allow(agent):
                 self.metrics.incr("circuit_rejections")
                 raise CircuitOpenError(agent)
-            self.metrics.record_agent_scan(agent)
+            self.metrics.record_round_trip(agent)
+            self.metrics.record_agent_scan(agent, count=len(request.granules))
             try:
                 if policy.timeout is None:
                     value = await self.transport.perform(request)
@@ -208,16 +215,16 @@ class AsyncFederationExecutor:
         assert last_error is not None
         raise last_error
 
-    async def run_async(self, requests: Iterable[ScanRequest]) -> ScanOutcome:
+    async def run_async(self, requests: Iterable[Scannable]) -> ScanOutcome:
         """Fan *requests* out concurrently; never raises per-scan failures."""
         pending = list(requests)
-        results: Dict[ScanRequest, Any] = {}
+        results: Dict[Scannable, Any] = {}
         failures: List[ScanFailure] = []
         if not pending:
             return ScanOutcome(results)
         gate = asyncio.Semaphore(self.policy.max_inflight)
 
-        async def guarded(request: ScanRequest) -> None:
+        async def guarded(request: Scannable) -> None:
             try:
                 async with gate:
                     value = await self.run_one_async(request)
@@ -247,11 +254,20 @@ class AsyncFederationExecutor:
             self.metrics.incr("scan_failures", len(failures))
         return ScanOutcome(results, failures)
 
+    async def run_coalesced_async(
+        self, requests: Iterable[ScanRequest]
+    ) -> ScanOutcome:
+        """Coalesced fan-out: one batched round-trip per endpoint, outcome
+        expanded back to per-granule shape (see the threaded twin)."""
+        outcome = await self.run_async(coalesce_by_endpoint(requests))
+        return expand_outcome(outcome, self.metrics)
+
     async def run_sharded_async(
         self,
         requests: Iterable[ScanRequest],
         plan: ShardPlan,
         preloaded: Optional[Dict[ScanRequest, Any]] = None,
+        coalesce: bool = False,
     ) -> ShardedOutcome:
         """Scatter/merge as coroutines — semantics identical to
         :meth:`FederationExecutor.run_sharded` (shared merge helpers)."""
@@ -263,7 +279,12 @@ class AsyncFederationExecutor:
             for shard_request in shard_requests
             if shard_request not in known
         ]
-        outcome = await self.run_async(pending)
+        if coalesce:
+            outcome = expand_outcome(
+                await self.run_async(coalesce_by_endpoint(pending)), self.metrics
+            )
+        else:
+            outcome = await self.run_async(pending)
         known.update(outcome.results)
         merged = merge_outcome(groups, known, outcome.failures)
         for endpoint in merged.missing_endpoints:
@@ -273,19 +294,25 @@ class AsyncFederationExecutor:
     # ------------------------------------------------------------------
     # synchronous bridge (what FederationRuntime calls in async mode)
     # ------------------------------------------------------------------
-    def run_one(self, request: ScanRequest) -> Any:
+    def run_one(self, request: Scannable) -> Any:
         return self._runner.submit(self.run_one_async(request))
 
-    def run(self, requests: Iterable[ScanRequest]) -> ScanOutcome:
+    def run(self, requests: Iterable[Scannable]) -> ScanOutcome:
         return self._runner.submit(self.run_async(requests))
+
+    def run_coalesced(self, requests: Iterable[ScanRequest]) -> ScanOutcome:
+        return self._runner.submit(self.run_coalesced_async(requests))
 
     def run_sharded(
         self,
         requests: Iterable[ScanRequest],
         plan: ShardPlan,
         preloaded: Optional[Dict[ScanRequest, Any]] = None,
+        coalesce: bool = False,
     ) -> ShardedOutcome:
-        return self._runner.submit(self.run_sharded_async(requests, plan, preloaded))
+        return self._runner.submit(
+            self.run_sharded_async(requests, plan, preloaded, coalesce)
+        )
 
     def close(self) -> None:
         """Stop the bridge's event-loop thread (idempotent).

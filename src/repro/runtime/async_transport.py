@@ -40,6 +40,7 @@ from .transport import (
     AgentTransport,
     FaultProfile,
     InProcessTransport,
+    Scannable,
     ScanRequest,
     _prune_scripts,
 )
@@ -59,8 +60,8 @@ class AsyncAgentTransport:
         """Backing-store version for *request*, or None when unobservable."""
         return None
 
-    async def perform(self, request: ScanRequest) -> Any:
-        """Execute the scan and return its raw value."""
+    async def perform(self, request: Scannable) -> Any:
+        """Execute the scan (or coalesced batch) and return its raw value."""
         raise NotImplementedError
 
 
@@ -86,7 +87,7 @@ class AsyncTransportAdapter(AsyncAgentTransport):
     def generation(self, request: ScanRequest) -> Optional[int]:
         return self.inner.generation(request)
 
-    async def perform(self, request: ScanRequest) -> Any:
+    async def perform(self, request: Scannable) -> Any:
         return self.inner.perform(request)
 
 
@@ -136,6 +137,8 @@ class AsyncSimulatedNetworkTransport(AsyncAgentTransport):
         #: calls that ran to a successful return (faulted calls are the
         #: remainder: ``calls - completed - cancelled``)
         self.completed: Dict[str, int] = defaultdict(int)
+        #: granules that arrived carrying a planner pushdown hint
+        self.hints: Dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------
     def set_profile(self, agent: str, profile: FaultProfile) -> FaultProfile:
@@ -166,11 +169,14 @@ class AsyncSimulatedNetworkTransport(AsyncAgentTransport):
     def generation(self, request: ScanRequest) -> Optional[int]:
         return self._inner.generation(request)
 
-    async def perform(self, request: ScanRequest) -> Any:
+    async def perform(self, request: Scannable) -> Any:
         endpoint = request.endpoint
         profile = self.profile_for(endpoint)
         with self._lock:
             self.calls[endpoint] += 1
+            for granule in request.granules:
+                if granule.hint is not None:
+                    self.hints[endpoint] += 1
             if profile.fail_times > 0:
                 # mirror the threaded simulator: attempt history only for
                 # scripted endpoints, bounded so it cannot grow forever

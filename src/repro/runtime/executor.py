@@ -33,14 +33,20 @@ from .breaker import CircuitBreaker
 from .metrics import RuntimeMetrics
 from .policy import RuntimePolicy
 from .sharding import ShardPlan, ShardedOutcome, merge_outcome, split_requests
-from .transport import AgentTransport, ScanRequest
+from .transport import (
+    AgentTransport,
+    BatchScanRequest,
+    BatchScanResult,
+    Scannable,
+    ScanRequest,
+)
 
 
 @dataclasses.dataclass(frozen=True)
 class ScanFailure:
     """One scan that failed past all retries (or was fast-failed)."""
 
-    request: ScanRequest
+    request: Scannable
     error: str
     kind: str  # "transport" | "timeout" | "circuit_open" | "error"
     attempts: int
@@ -54,7 +60,7 @@ class ScanOutcome:
 
     def __init__(
         self,
-        results: Dict[ScanRequest, Any],
+        results: Dict[Scannable, Any],
         failures: Sequence[ScanFailure] = (),
     ) -> None:
         self.results = results
@@ -66,6 +72,59 @@ class ScanOutcome:
 
     def warnings(self) -> List[str]:
         return [failure.describe() for failure in self.failures]
+
+
+def coalesce_by_endpoint(requests: Iterable[ScanRequest]) -> List[Scannable]:
+    """Group granules by endpoint: N granules for one endpoint become one
+    :class:`BatchScanRequest` (one round-trip); singletons stay plain.
+
+    Order is preserved — endpoints appear in first-seen order and each
+    batch keeps its granules in request order, so results re-key
+    deterministically.
+    """
+    groups: Dict[str, List[ScanRequest]] = {}
+    for request in requests:
+        groups.setdefault(request.endpoint, []).append(request)
+    dispatches: List[Scannable] = []
+    for members in groups.values():
+        if len(members) == 1:
+            dispatches.append(members[0])
+        else:
+            dispatches.append(BatchScanRequest(tuple(members)))
+    return dispatches
+
+
+def expand_outcome(
+    outcome: ScanOutcome, metrics: Optional[RuntimeMetrics] = None
+) -> ScanOutcome:
+    """Re-key a coalesced fan-out back to per-granule results.
+
+    Batch values are zipped against their granules in batch order; a
+    failed batch expands to one :class:`ScanFailure` per granule — the
+    exact account of what was lost.  Every lost granule (batched or a
+    singleton dispatch) is recorded in the metrics so
+    :attr:`RuntimeStats.lost_granules` names them uniformly.
+    """
+    results: Dict[Scannable, Any] = {}
+    failures: List[ScanFailure] = []
+    for request, value in outcome.results.items():
+        if isinstance(request, BatchScanRequest):
+            assert isinstance(value, BatchScanResult)
+            for granule, granule_value in zip(request.requests, value.values):
+                results[granule] = granule_value
+        else:
+            results[request] = value
+    for failure in outcome.failures:
+        if isinstance(failure.request, BatchScanRequest):
+            for granule in failure.request.requests:
+                failures.append(dataclasses.replace(failure, request=granule))
+                if metrics is not None:
+                    metrics.record_lost_granule(granule.describe())
+        else:
+            failures.append(failure)
+            if metrics is not None:
+                metrics.record_lost_granule(failure.request.describe())
+    return ScanOutcome(results, failures)
 
 
 def _call_with_timeout(fn: Callable[[], Any], timeout: float, agent: str) -> Any:
@@ -115,12 +174,15 @@ class FederationExecutor:
         self._sleep = sleep
 
     # ------------------------------------------------------------------
-    def run_one(self, request: ScanRequest) -> Any:
-        """One scan through the retry / breaker / timeout machinery.
+    def run_one(self, request: Scannable) -> Any:
+        """One dispatch through the retry / breaker / timeout machinery.
 
         The failure domain is :attr:`ScanRequest.endpoint` — for sharded
         requests that is ``agent#index/of``, so each shard has its own
-        circuit and scan histogram.
+        circuit and scan histogram.  A :class:`BatchScanRequest` is one
+        dispatch (one round-trip, one retry budget) carrying N granules:
+        it records one ``round_trips`` tick but N ``agent_scans``, so the
+        scan histogram stays comparable across planned and unplanned runs.
         """
         policy = self.policy
         agent = request.endpoint
@@ -132,7 +194,8 @@ class FederationExecutor:
             if not self.breaker.allow(agent):
                 self.metrics.incr("circuit_rejections")
                 raise CircuitOpenError(agent)
-            self.metrics.record_agent_scan(agent)
+            self.metrics.record_round_trip(agent)
+            self.metrics.record_agent_scan(agent, count=len(request.granules))
             try:
                 if policy.timeout is None:
                     value = self.transport.perform(request)
@@ -160,15 +223,15 @@ class FederationExecutor:
         raise last_error
 
     # ------------------------------------------------------------------
-    def run(self, requests: Iterable[ScanRequest]) -> ScanOutcome:
+    def run(self, requests: Iterable[Scannable]) -> ScanOutcome:
         """Fan *requests* out; never raises for per-scan failures."""
         pending = list(requests)
-        results: Dict[ScanRequest, Any] = {}
+        results: Dict[Scannable, Any] = {}
         failures: List[ScanFailure] = []
         if not pending:
             return ScanOutcome(results)
 
-        def guarded(request: ScanRequest) -> None:
+        def guarded(request: Scannable) -> None:
             try:
                 value = self.run_one(request)
             except CircuitOpenError as error:
@@ -206,17 +269,30 @@ class FederationExecutor:
         return ScanOutcome(results, failures)
 
     # ------------------------------------------------------------------
+    def run_coalesced(self, requests: Iterable[ScanRequest]) -> ScanOutcome:
+        """Fan *requests* out with scan coalescing: all granules bound for
+        one endpoint ride a single batched round-trip, and the outcome is
+        expanded back to per-granule results/failures — callers (cache
+        fills, failure policies) see exactly the shape :meth:`run` gives.
+        """
+        outcome = self.run(coalesce_by_endpoint(requests))
+        return expand_outcome(outcome, self.metrics)
+
+    # ------------------------------------------------------------------
     def run_sharded(
         self,
         requests: Iterable[ScanRequest],
         plan: ShardPlan,
         preloaded: Optional[Dict[ScanRequest, Any]] = None,
+        coalesce: bool = False,
     ) -> ShardedOutcome:
         """Scatter each logical request across *plan*'s shards and merge.
 
         *preloaded* carries per-shard values already known (warm cache
         entries); only the rest are fanned out — through the same retry
-        / breaker / timeout machinery as any scan.  The merge dedups by
+        / breaker / timeout machinery as any scan.  With *coalesce*, the
+        pending shard requests are batched per shard endpoint first (all
+        of one shard's granules in one round-trip).  The merge dedups by
         OID, and absent slices are reported per logical request and
         recorded in the metrics' missing-shard histogram.
         """
@@ -228,7 +304,12 @@ class FederationExecutor:
             for shard_request in shard_requests
             if shard_request not in known
         ]
-        outcome = self.run(pending)
+        if coalesce:
+            outcome = expand_outcome(
+                self.run(coalesce_by_endpoint(pending)), self.metrics
+            )
+        else:
+            outcome = self.run(pending)
         known.update(outcome.results)
         merged = merge_outcome(groups, known, outcome.failures)
         for endpoint in merged.missing_endpoints:

@@ -12,7 +12,10 @@ Counter vocabulary (all monotonic):
 
 ``requests``            scans asked of the runtime
 ``cache_hits`` / ``cache_misses``   extent-cache outcomes
-``agent_scans``         attempts that reached the transport
+``agent_scans``         granules that reached the transport
+``round_trips``         dispatches on the wire (a coalesced batch of N
+                        granules is N ``agent_scans`` but 1 round-trip;
+                        unplanned traffic has the two counters equal)
 ``retries``             re-attempts after a failure
 ``transport_failures`` / ``timeouts``   failed attempts by kind
 ``breaker_trips``       circuits opened
@@ -22,6 +25,9 @@ Counter vocabulary (all monotonic):
 ``sharded_scans``       logical scans answered by scatter/merge
 ``missing_shards``      shard slices absent from a merged answer
 ``cache_restores``      entries reloaded from a persistent extent store
+``planned_queries``     queries the planner pruned/coalesced
+``pruned_classes``      integrated classes skipped by query-time pruning
+``lost_granules``       granules lost when their batch's dispatch failed
 
 Timer vocabulary includes the ``persistence`` phase: every persistent
 extent-store interaction (the warm-restart reload, spills on fill,
@@ -63,12 +69,20 @@ class RuntimeStats:
         agent_scans: Mapping[str, int],
         timers: Mapping[str, TimerStats],
         missing_shards: Optional[Mapping[str, int]] = None,
+        agent_round_trips: Optional[Mapping[str, int]] = None,
+        lost_granules: Optional[Mapping[str, int]] = None,
     ) -> None:
         self.counters: Dict[str, int] = dict(counters)
         self.agent_scans: Dict[str, int] = dict(agent_scans)
         self.timers: Dict[str, TimerStats] = dict(timers)
         #: shard endpoints absent from merged answers -> occurrence count
         self.missing_shards: Dict[str, int] = dict(missing_shards or {})
+        #: wire dispatches per endpoint — the planner's coalescing win
+        #: shows as this histogram dropping below :attr:`agent_scans`
+        self.agent_round_trips: Dict[str, int] = dict(agent_round_trips or {})
+        #: granule descriptions lost to failed batch dispatches -> count,
+        #: the exact account a degraded planned fan-out owes the caller
+        self.lost_granules: Dict[str, int] = dict(lost_granules or {})
 
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -86,6 +100,14 @@ class RuntimeStats:
             endpoint: value - earlier.missing_shards.get(endpoint, 0)
             for endpoint, value in self.missing_shards.items()
         }
+        trips = {
+            endpoint: value - earlier.agent_round_trips.get(endpoint, 0)
+            for endpoint, value in self.agent_round_trips.items()
+        }
+        lost = {
+            granule: value - earlier.lost_granules.get(granule, 0)
+            for granule, value in self.lost_granules.items()
+        }
         timers = {}
         for phase, stats in self.timers.items():
             prior = earlier.timers.get(phase, TimerStats(0, 0.0, 0.0))
@@ -100,6 +122,8 @@ class RuntimeStats:
             {k: v for k, v in scans.items() if v},
             {k: v for k, v in timers.items() if v.count},
             {k: v for k, v in missing.items() if v},
+            {k: v for k, v in trips.items() if v},
+            {k: v for k, v in lost.items() if v},
         )
 
     def describe(self) -> str:
@@ -111,6 +135,16 @@ class RuntimeStats:
             lines.append("  agent scans:")
             for agent in sorted(self.agent_scans):
                 lines.append(f"    {agent:<20} {self.agent_scans[agent]}")
+        if self.agent_round_trips:
+            lines.append("  agent round-trips:")
+            for endpoint in sorted(self.agent_round_trips):
+                lines.append(
+                    f"    {endpoint:<20} {self.agent_round_trips[endpoint]}"
+                )
+        if self.lost_granules:
+            lines.append("  lost granules:")
+            for granule in sorted(self.lost_granules):
+                lines.append(f"    {granule:<20} {self.lost_granules[granule]}")
         if self.missing_shards:
             lines.append("  missing shards:")
             for endpoint in sorted(self.missing_shards):
@@ -141,16 +175,41 @@ class RuntimeMetrics:
         self._agent_scans: Dict[str, int] = {}
         self._timers: Dict[str, TimerStats] = {}
         self._missing_shards: Dict[str, int] = {}
+        self._agent_round_trips: Dict[str, int] = {}
+        self._lost_granules: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
 
-    def record_agent_scan(self, agent: str) -> None:
+    def record_agent_scan(self, agent: str, count: int = 1) -> None:
+        """*count* granules reached the transport for *agent* (a batch of
+        N granules records N, keeping this histogram dispatch-shape
+        independent — planned and unplanned runs scan the same granules)."""
         with self._lock:
-            self._counters["agent_scans"] = self._counters.get("agent_scans", 0) + 1
-            self._agent_scans[agent] = self._agent_scans.get(agent, 0) + 1
+            self._counters["agent_scans"] = (
+                self._counters.get("agent_scans", 0) + count
+            )
+            self._agent_scans[agent] = self._agent_scans.get(agent, 0) + count
+
+    def record_round_trip(self, endpoint: str) -> None:
+        """One dispatch went on the wire to *endpoint* — batch or single."""
+        with self._lock:
+            self._counters["round_trips"] = self._counters.get("round_trips", 0) + 1
+            self._agent_round_trips[endpoint] = (
+                self._agent_round_trips.get(endpoint, 0) + 1
+            )
+
+    def record_lost_granule(self, description: str) -> None:
+        """One granule of a failed batch dispatch could not be answered."""
+        with self._lock:
+            self._counters["lost_granules"] = (
+                self._counters.get("lost_granules", 0) + 1
+            )
+            self._lost_granules[description] = (
+                self._lost_granules.get(description, 0) + 1
+            )
 
     def record_missing_shard(self, endpoint: str) -> None:
         """One shard endpoint's slice was absent from a merged answer."""
@@ -180,7 +239,12 @@ class RuntimeMetrics:
     def snapshot(self) -> RuntimeStats:
         with self._lock:
             return RuntimeStats(
-                self._counters, self._agent_scans, self._timers, self._missing_shards
+                self._counters,
+                self._agent_scans,
+                self._timers,
+                self._missing_shards,
+                self._agent_round_trips,
+                self._lost_granules,
             )
 
     def reset(self) -> None:
@@ -189,3 +253,5 @@ class RuntimeMetrics:
             self._agent_scans.clear()
             self._timers.clear()
             self._missing_shards.clear()
+            self._agent_round_trips.clear()
+            self._lost_granules.clear()

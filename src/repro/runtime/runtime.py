@@ -42,6 +42,14 @@ granules, and the merge dedups by OID.  Partial shard failure follows
 the same policy split — ``ERROR`` refuses, ``PARTIAL`` serves the
 merged slice set and reports exactly the missing shard endpoints in
 :attr:`RuntimeStats.missing_shards <repro.runtime.metrics.RuntimeStats>`.
+
+With *plan* enabled (the default), the fan-out paths coalesce: every
+granule bound for one endpoint rides a single batched round-trip, and
+the results are re-keyed per granule before they reach the cache — so
+cache keys, warm behaviour and the ``agent_scans`` histogram are
+byte-identical to unplanned runs while ``round_trips`` drops.  The FSM
+additionally hands :meth:`scan_extents` a pushdown hint and prunes the
+pair list through the query planner (:mod:`repro.runtime.planner`).
 """
 
 from __future__ import annotations
@@ -65,7 +73,7 @@ from .metrics import RuntimeMetrics, RuntimeStats
 from .persistence import PersistentExtentStore
 from .policy import FailurePolicy, RuntimePolicy
 from .sharding import ShardPlan, ShardedOutcome, merge_shard_values
-from .transport import AgentTransport, InProcessTransport, ScanRequest
+from .transport import AgentTransport, InProcessTransport, ScanHint, ScanRequest
 
 #: accepted FederationRuntime execution modes
 MODES = ("threaded", "async")
@@ -86,6 +94,7 @@ class FederationRuntime:
         shard_plan: "ShardPlan | int | None" = None,
         cache_path: "str | os.PathLike[str] | None" = None,
         loop: Optional[EventLoopThread] = None,
+        plan: bool = True,
     ) -> None:
         if mode not in MODES:
             raise RuntimeFederationError(
@@ -141,6 +150,11 @@ class FederationRuntime:
             )
         #: scatter/merge plan; None means classic one-scan-per-extent
         self.shard_plan: Optional[ShardPlan] = ShardPlan.coerce(shard_plan)
+        #: query planning: coalesce fan-outs into batched round-trips and
+        #: let the FSM prune/push down; off reproduces pre-planner traffic
+        self.plan_enabled = bool(plan)
+        #: the most recent QueryPlan the FSM ran through this runtime
+        self.last_plan: Optional[Any] = None
         #: warnings from the most recent degraded operation
         self.last_warnings: List[str] = []
         self._closed = False
@@ -154,9 +168,10 @@ class FederationRuntime:
         class_name: str,
         op: str = "direct_extent",
         attribute: Optional[str] = None,
+        hint: Optional[ScanHint] = None,
     ) -> ScanRequest:
         agent = self.transport.agent_for_schema(schema_name)
-        return ScanRequest(agent, schema_name, class_name, op, attribute)
+        return ScanRequest(agent, schema_name, class_name, op, attribute, hint=hint)
 
     # ------------------------------------------------------------------
     # single scans
@@ -225,15 +240,20 @@ class FederationRuntime:
         self,
         pairs: Iterable[Tuple[str, str]],
         op: str = "direct_extent",
+        hint: Optional[ScanHint] = None,
     ) -> Dict[Tuple[str, str], List[ObjectInstance]]:
         """Concurrently fetch the extents of many ``(schema, class)`` pairs.
 
         Cached granules are served without touching their agents; only
-        the misses fan out.  Failed scans are absent from the mapping
-        under the ``PARTIAL`` policy (callers treat them as empty).
+        the misses fan out — with planning enabled, coalesced into one
+        batched round-trip per endpoint (results are still cached per
+        granule under their usual keys, so warm behaviour is unchanged).
+        A *hint* rides on every request as the planner's advisory
+        pushdown.  Failed scans are absent from the mapping under the
+        ``PARTIAL`` policy (callers treat them as empty).
         """
         requests = [
-            self.request(schema_name, class_name, op)
+            self.request(schema_name, class_name, op, hint=hint)
             for schema_name, class_name in dict.fromkeys(pairs)
         ]
         self.metrics.incr("requests", len(requests))
@@ -249,7 +269,10 @@ class FederationRuntime:
                 extents[(request.schema, request.class_name)] = cached
         if to_fetch:
             with self.metrics.timer("fan_out"):
-                outcome = self.executor.run(to_fetch)
+                if self.plan_enabled:
+                    outcome = self.executor.run_coalesced(to_fetch)
+                else:
+                    outcome = self.executor.run(to_fetch)
             self._apply_failure_policy(outcome)
             for request, value in outcome.results.items():
                 self._cache_put(request, value)
@@ -289,7 +312,9 @@ class FederationRuntime:
         if to_fetch:
             self.metrics.incr("sharded_scans", len(to_fetch))
             with self.metrics.timer("fan_out"):
-                outcome = self.executor.run_sharded(to_fetch, plan, preloaded)
+                outcome = self.executor.run_sharded(
+                    to_fetch, plan, preloaded, coalesce=self.plan_enabled
+                )
             self._cache_shard_results(outcome, preloaded)
             self._apply_sharded_failure_policy(outcome)
             for request, value in outcome.results.items():

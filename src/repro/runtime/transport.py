@@ -13,6 +13,19 @@ Two implementations ship:
   per-agent latency, drop probability and scripted failures, so the
   executor's retry / circuit-breaker / partial-result machinery is
   testable without a real network.
+
+A :class:`BatchScanRequest` groups many granules bound for **one**
+endpoint into a single round-trip (the query planner's scan
+coalescing).  Transports unpack it granule by granule and return a
+:class:`BatchScanResult` whose per-granule values align with the batch
+order; the fault model of the simulated network applies once per batch
+— one latency, one drop roll, one scripted-failure attempt — because a
+batch *is* one call on the wire, while the transfer cost still scales
+with the total items carried.  A :class:`ScanHint` rides along as an
+autonomy-preserving pushdown: agents may use the projected attributes
+and equality predicates to narrow their work, but are never required
+to — hints are excluded from request equality and cache keys, so a
+hinted and an unhinted scan share one cache granule.
 """
 
 from __future__ import annotations
@@ -23,7 +36,7 @@ import random
 import threading
 import time
 from collections import defaultdict
-from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple, Union
 
 from ..errors import RegistrationError, TransportError
 from ..federation.agent import FSMAgent
@@ -68,12 +81,39 @@ def _value_set_of(instances: Any, attribute: str) -> set:
 
 
 @dataclasses.dataclass(frozen=True)
+class ScanHint:
+    """Autonomy-preserving pushdown attached to a scan by the planner.
+
+    *attributes* are the projections the query will read; *equalities*
+    are its simple ``attribute = constant`` predicates.  Both are
+    **advisory**: an agent may use them to narrow its work, but the
+    runtime never relies on the narrowing — per-attribute data mappings
+    (fuzzy, conversion functions) translate values between local and
+    global vocabularies, so a constant from the global query cannot be
+    compared against local values at the agent without breaking
+    correctness, and rule bodies may touch attributes the query does
+    not name.  Hints therefore never change what a transport returns;
+    they only tell the component system what the federation is after.
+    """
+
+    attributes: Tuple[str, ...] = ()
+    equalities: Tuple[Tuple[str, Any], ...] = ()
+
+    def describe(self) -> str:
+        parts = list(self.attributes)
+        parts.extend(f"{name}={value!r}" for name, value in self.equalities)
+        return f"hint({', '.join(parts)})"
+
+
+@dataclasses.dataclass(frozen=True)
 class ScanRequest:
     """One agent scan: the unit the executor schedules and the cache keys.
 
     A *shard* coordinate (see :mod:`repro.runtime.sharding`) narrows the
     scan to the slice of the extent that shard owns; unsharded requests
-    leave it None and behave exactly as before.
+    leave it None and behave exactly as before.  The *hint* carries the
+    planner's pushdown and is excluded from equality/hashing so hinted
+    and unhinted scans of one granule share cache entries and dedup.
     """
 
     agent: str
@@ -82,6 +122,7 @@ class ScanRequest:
     op: str = "direct_extent"
     attribute: Optional[str] = None
     shard: Optional["ShardSpec"] = None
+    hint: Optional[ScanHint] = dataclasses.field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.op not in _OPS:
@@ -127,6 +168,90 @@ class ScanRequest:
         suffix = f".{self.attribute}" if self.attribute else ""
         return f"{self.op}({self.endpoint}:{self.schema}.{self.class_name}{suffix})"
 
+    @property
+    def granules(self) -> Tuple["ScanRequest", ...]:
+        """The cacheable units this dispatch carries (itself)."""
+        return (self,)
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchScanRequest:
+    """Many granules for **one** endpoint, shipped as one round-trip.
+
+    The planner coalesces every :class:`ScanRequest` bound for the same
+    endpoint into one of these; the executor schedules it like any
+    other request (one dispatch, one retry budget, one breaker entry),
+    and transports unpack it granule by granule.  Results come back as
+    a :class:`BatchScanResult` aligned with :attr:`requests`, and the
+    caller re-keys them per granule — the cache never sees the batch.
+    """
+
+    requests: Tuple[ScanRequest, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise TransportError("a batch scan needs at least one granule")
+        endpoints = {request.endpoint for request in self.requests}
+        if len(endpoints) > 1:
+            raise TransportError(
+                "a batch scan targets one endpoint; got "
+                + ", ".join(sorted(endpoints))
+            )
+
+    @property
+    def agent(self) -> str:
+        return self.requests[0].agent
+
+    @property
+    def endpoint(self) -> str:
+        return self.requests[0].endpoint
+
+    @property
+    def shard(self) -> Optional["ShardSpec"]:
+        return self.requests[0].shard
+
+    @property
+    def granules(self) -> Tuple[ScanRequest, ...]:
+        """The cacheable units this dispatch carries."""
+        return self.requests
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def describe(self) -> str:
+        ops = ", ".join(
+            f"{request.op}:{request.schema}.{request.class_name}"
+            + (f".{request.attribute}" if request.attribute else "")
+            for request in self.requests
+        )
+        return f"batch[{len(self.requests)}]({self.endpoint}: {ops})"
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchScanResult:
+    """Per-granule values of a batch, aligned with the batch order.
+
+    ``len()`` is the **total item count across granules**, so the
+    simulated network's ``per_item`` transfer cost stays honest: a
+    batch moves the same data as its granules would separately, it just
+    pays latency once.
+    """
+
+    values: Tuple[Any, ...]
+
+    def __len__(self) -> int:
+        total = 0
+        for value in self.values:
+            try:
+                total += len(value)
+            except TypeError:
+                total += 1
+        return total
+
+
+#: anything the executor can dispatch: one granule or a coalesced batch
+Scannable = Union[ScanRequest, BatchScanRequest]
+
 
 class AgentTransport:
     """Protocol: route :class:`ScanRequest`\\ s to component systems."""
@@ -146,8 +271,8 @@ class AgentTransport:
         """
         return None
 
-    def perform(self, request: ScanRequest) -> Any:
-        """Execute the scan and return its raw value."""
+    def perform(self, request: Scannable) -> Any:
+        """Execute the scan (or coalesced batch) and return its raw value."""
         raise NotImplementedError
 
 
@@ -190,7 +315,12 @@ class InProcessTransport(AgentTransport):
         except RegistrationError:
             return None
 
-    def perform(self, request: ScanRequest) -> Any:
+    def perform(self, request: Scannable) -> Any:
+        if isinstance(request, BatchScanRequest):
+            # one round-trip on the wire; granule semantics are untouched
+            return BatchScanResult(
+                tuple(self.perform(granule) for granule in request.requests)
+            )
         agent = self._agent(request.agent)
         if request.op == "direct_extent":
             extent = agent.fetch_direct_extent(request.schema, request.class_name)
@@ -260,6 +390,9 @@ class SimulatedNetworkTransport(AgentTransport):
         #: calls that reached this transport, per agent (injected faults
         #: included) — the "network side" view of the access histogram
         self.calls: Dict[str, int] = defaultdict(int)
+        #: granules that arrived carrying a planner pushdown hint, per
+        #: endpoint — proves hints reach the wire without changing results
+        self.hints: Dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------
     def set_profile(self, agent: str, profile: FaultProfile) -> FaultProfile:
@@ -290,11 +423,14 @@ class SimulatedNetworkTransport(AgentTransport):
     def generation(self, request: ScanRequest) -> Optional[int]:
         return self._inner.generation(request)
 
-    def perform(self, request: ScanRequest) -> Any:
+    def perform(self, request: Scannable) -> Any:
         endpoint = request.endpoint
         profile = self.profile_for(endpoint)
         with self._lock:
             self.calls[endpoint] += 1
+            for granule in request.granules:
+                if granule.hint is not None:
+                    self.hints[endpoint] += 1
             if profile.fail_times > 0:
                 # only scripted endpoints need per-request attempt history;
                 # tracking every healthy request would grow without bound

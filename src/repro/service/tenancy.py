@@ -72,6 +72,8 @@ class TenantConfig:
     cache_path: Optional[str] = None
     #: simulated per-agent-call latency in milliseconds (demos, benchmarks)
     latency_ms: float = 0.0
+    #: run the query planner (prune + coalesce + hint pushdown) per query
+    plan: bool = True
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -175,8 +177,9 @@ def attach_runtime(
         shard_plan=shard_plan,
         cache_path=config.cache_path,
         loop=loop if config.mode == "async" else None,
+        plan=config.plan,
     )
-    return fsm.use_runtime(runtime=runtime)
+    return fsm.use_runtime(runtime=runtime, plan=config.plan)
 
 
 class Tenant:
@@ -230,7 +233,7 @@ class Tenant:
                 if appendix_b:
                     before = self.runtime.stats()
                     with self.runtime.timer("query"):
-                        rows = query.run(fsm.appendix_b())
+                        rows = query.run(fsm.appendix_b(prefetch=query))
                     fsm.last_query_stats = self.runtime.stats() - before
                     delta: Optional[RuntimeStats] = fsm.last_query_stats
                 else:

@@ -30,14 +30,14 @@ def _answers(rows):
     return sorted(row["ssn#"] for row in rows)
 
 
-def _simulated_runtime(fsm, policy, profile=None, per_agent=()):
+def _simulated_runtime(fsm, policy, profile=None, per_agent=(), plan=True):
     transport = SimulatedNetworkTransport(
         InProcessTransport(fsm._agents, fsm._schema_host), profile
     )
     for agent_name, agent_profile in per_agent:
         transport.set_profile(agent_name, agent_profile)
     return fsm.use_runtime(
-        runtime=FederationRuntime(transport=transport, policy=policy)
+        runtime=FederationRuntime(transport=transport, policy=policy, plan=plan)
     )
 
 
@@ -46,9 +46,11 @@ class TestConcurrencySpeedup:
         """4 agents x 10ms per call: concurrent must win clearly."""
         latency = FaultProfile(latency=0.010)
 
+        # plan=False keeps one round-trip per scan granule — this test
+        # measures executor fan-out, not the planner's coalescing win
         def timed_cold_query(policy):
             fsm = cluster_builder()
-            _simulated_runtime(fsm, policy, latency)
+            _simulated_runtime(fsm, policy, latency, plan=False)
             started = time.perf_counter()
             rows = fsm.query(QUERY)
             return time.perf_counter() - started, rows
@@ -159,6 +161,8 @@ class TestFaultTolerance:
 
     def test_breaker_trip_is_counted_across_queries(self, cluster_builder):
         fsm = cluster_builder()
+        # plan=False: the threshold below is sized for one failure per
+        # scan granule; coalescing would halve agent1's dispatch count
         _simulated_runtime(
             fsm,
             RuntimePolicy(
@@ -169,6 +173,7 @@ class TestFaultTolerance:
                 cache_enabled=False,
             ),
             per_agent=[("agent1", FaultProfile(drop_rate=1.0))],
+            plan=False,
         )
         fsm.query(QUERY)
         fsm.query(QUERY)

@@ -61,6 +61,22 @@ def _healthy():
             "status_errors": 0,
             "completed": 200,
         },
+        "planner": [
+            {
+                "federation": "genealogy",
+                "unplanned_round_trips": 3,
+                "planned_round_trips": 2,
+                "round_trip_reduction": 1.5,
+                "answers_match": True,
+            },
+            {
+                "federation": "cluster",
+                "unplanned_round_trips": 8,
+                "planned_round_trips": 4,
+                "round_trip_reduction": 2.0,
+                "answers_match": True,
+            },
+        ],
     }
 
 
@@ -192,6 +208,57 @@ class TestCheck:
         doc["service"]["p99_ms"] = 10.0  # below the p50
         problems = check_regression.check(doc)
         assert any("latencies are inconsistent" in p for p in problems)
+
+    def test_missing_planner_section_fails(self):
+        doc = _healthy()
+        del doc["planner"]
+        problems = check_regression.check(doc)
+        assert any("genealogy, cluster" in p for p in problems)
+
+    def test_planner_must_cover_both_federations(self):
+        doc = _healthy()
+        doc["planner"] = doc["planner"][:1]  # only genealogy ran
+        problems = check_regression.check(doc)
+        assert any("missing cluster" in p for p in problems)
+
+    def test_planned_round_trips_must_be_strictly_fewer(self):
+        doc = _healthy()
+        doc["planner"][1]["planned_round_trips"] = 8  # equal, not fewer
+        problems = check_regression.check(doc)
+        assert any(
+            "8 planned vs 8 unplanned" in p and "cluster" in p
+            for p in problems
+        )
+        doc["planner"][1]["planned_round_trips"] = 0  # no traffic at all
+        problems = check_regression.check(doc)
+        assert any("0 planned" in p for p in problems)
+
+    def test_planner_answers_must_match(self):
+        doc = _healthy()
+        doc["planner"][0]["answers_match"] = False
+        problems = check_regression.check(doc)
+        assert any(
+            "answers_match on genealogy" in p for p in problems
+        )
+
+    def test_planner_round_trip_drift_fails(self):
+        fresh = _healthy()
+        # still strictly fewer than unplanned, but more than the baseline
+        fresh["planner"][1]["planned_round_trips"] = 6
+        problems = check_regression.check(fresh, _healthy())
+        assert any(
+            "rose to 6 from the committed baseline (4)" in p
+            for p in problems
+        )
+
+    def test_planner_reduction_ratio_drift_fails(self):
+        fresh = _healthy()
+        fresh["planner"][1]["round_trip_reduction"] = 0.9
+        problems = check_regression.check(fresh, _healthy())
+        assert any(
+            "round_trip_reduction on cluster (0.9) fell below 50%" in p
+            for p in problems
+        )
 
     def test_service_throughput_drift_fails(self):
         fresh = _healthy()
