@@ -24,6 +24,10 @@ federation runtime's load-bearing numbers regress:
 * in the E-R6 planner section, a missing example federation, planned
   round-trips not strictly below unplanned, or answers diverging — the
   query planner stopped reducing traffic or (worse) changed an answer;
+* in the E-R7 sources section, fewer than 100 000 instances, any warm
+  agent scan, a scan-free cold run, zero answers, or answers diverging
+  from the in-memory federation — the source-adapter layer stopped
+  being a transparent ComponentStore over disk-backed components;
 * optionally, drift against a committed baseline file: any gated metric
   worse than ``tolerance`` × baseline fails even above absolute floors.
 
@@ -199,6 +203,37 @@ def check(
                 "(the planned query diverged from the unplanned answers)"
             )
 
+    sources = fresh.get("sources", {})
+    if not sources:
+        problems.append("sources section is missing (E-R7 did not run)")
+    else:
+        total = sources.get("total_instances", 0)
+        if total < 100_000:
+            problems.append(
+                f"sources total_instances is {total}, expected >= 100000 "
+                "(E-R7 no longer exercises a large-extent federation)"
+            )
+        sources_warm = sources.get("warm_agent_scans", -1)
+        if sources_warm != 0:
+            problems.append(
+                f"sources warm_agent_scans is {sources_warm}, expected 0 "
+                "(warm queries leak scans to the disk-backed adapters)"
+            )
+        if sources.get("cold_agent_scans", 0) <= 0:
+            problems.append(
+                "sources cold_agent_scans is 0 (the cold run scanned no "
+                "adapter, so E-R7 measured nothing)"
+            )
+        if sources.get("answers", 0) <= 0:
+            problems.append(
+                "sources answers is 0 (the benchmark query selected nothing)"
+            )
+        if not sources.get("answers_match_memory", False):
+            problems.append(
+                "sources answers_match_memory is false (the sqlite-backed "
+                "federation diverged from the in-memory baseline)"
+            )
+
     if baseline is not None:
         base_speedup = baseline.get("concurrent_speedup", 0.0)
         if base_speedup > 0 and speedup < base_speedup * tolerance:
@@ -244,6 +279,15 @@ def check(
             problems.append(
                 f"service req_per_s {fresh_rps} fell below {tolerance:.0%} of "
                 f"the committed baseline ({base_rps})"
+            )
+        base_sources = baseline.get("sources", {})
+        base_scan = base_sources.get("scan_instances_per_s", 0.0)
+        fresh_scan = sources.get("scan_instances_per_s", 0.0) if sources else 0.0
+        if base_scan > 0 and fresh_scan < base_scan * tolerance:
+            problems.append(
+                f"sources scan_instances_per_s {fresh_scan} fell below "
+                f"{tolerance:.0%} of the committed baseline ({base_scan}) "
+                "— the adapter scan path lost its throughput"
             )
         base_planner = {
             entry.get("federation"): entry
@@ -347,6 +391,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     restart = fresh.get("restart", {})
     service = fresh.get("service", {})
     planner = fresh.get("planner", [])
+    sources = fresh.get("sources", {})
     planner_summary = " ".join(
         f"planner[{entry.get('federation', '?')}]="
         f"{entry.get('planned_round_trips', '?')}/"
@@ -366,6 +411,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{restart.get('warm_restart_agent_scans', '?')} scans "
         f"service={service.get('req_per_s', '?')} req/s "
         f"p99={service.get('p99_ms', '?')}ms "
+        f"sources={sources.get('total_instances', '?')} instances/"
+        f"{sources.get('scan_instances_per_s', '?')} scan-rows/s "
         + planner_summary
     )
     return 0

@@ -126,6 +126,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="JSON instance file: {schema: {class: [attribute maps]}}",
     )
     query.add_argument(
+        "--source-dir",
+        metavar="DIR",
+        help="load a disk-backed federation from DIR: a federation.json "
+        "manifest naming sqlite/CSV/JSON component sources plus an "
+        "assertion file (exclusive with --demo/--schema)",
+    )
+    query.add_argument(
         "--appendix-b",
         action="store_true",
         help="evaluate top-down (Appendix B) instead of bottom-up",
@@ -228,9 +235,10 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="add one tenant: comma-separated key=value pairs "
         "(name=, demo=genealogy|cluster, mode=threaded|async, "
-        "schema= (repeatable via ';'), assertions=, data=, shards=, "
-        "shard-kind=, latency=MS, max-inflight=, workers=, cache-path=, "
-        "plan=true|false); default: one async 'genealogy' tenant",
+        "schema= (repeatable via ';'), assertions=, data=, source-dir=, "
+        "shards=, shard-kind=, latency=MS, max-inflight=, workers=, "
+        "cache-path=, plan=true|false); default: one async 'genealogy' "
+        "tenant",
     )
     serve.add_argument(
         "--allow-remote-shutdown",
@@ -262,7 +270,15 @@ def _build_query_fsm(arguments):
     from .federation.fsm import FSM
     from .model.database import ObjectDatabase
 
-    if arguments.demo:
+    if arguments.source_dir:
+        if arguments.demo or arguments.schema or arguments.assertions or arguments.data:
+            raise QueryError(
+                "--source-dir and --demo/--schema/--assertions/--data are exclusive"
+            )
+        from .sources import load_source_federation
+
+        text, databases = load_source_federation(arguments.source_dir)
+    elif arguments.demo:
         if arguments.schema or arguments.assertions or arguments.data:
             raise QueryError("--demo and --schema/--assertions/--data are exclusive")
         if arguments.demo == "genealogy":
@@ -298,7 +314,9 @@ def _build_query_fsm(arguments):
     fsm = FSM()
     for schema_name, database in databases.items():
         agent = FSMAgent(f"agent-{schema_name}")
-        agent.host_object_database(database)
+        # host_source takes any component store — in-memory databases and
+        # disk-backed source adapters host identically
+        agent.host_source(database)
         fsm.register_agent(agent)
     fsm.declare(text)
     names = list(fsm.schema_names())
@@ -448,7 +466,7 @@ def _parse_tenant_spec(spec: str):
     known = {
         "name", "demo", "mode", "schema", "assertions", "data", "shards",
         "shard_kind", "latency", "max_inflight", "scan_inflight", "workers",
-        "cache_path", "plan",
+        "cache_path", "plan", "source_dir",
     }
     unknown = sorted(set(values) - known)
     if unknown:
@@ -458,10 +476,12 @@ def _parse_tenant_spec(spec: str):
     schemas = tuple(
         path for path in values.get("schema", "").split(";") if path
     )
+    source_dir = values.get("source_dir")
     return TenantConfig(
         name=values["name"],
-        demo=values.get("demo", "genealogy" if not schemas else None),
+        demo=values.get("demo", "genealogy" if not (schemas or source_dir) else None),
         schemas=schemas,
+        source_dir=source_dir,
         assertions=values.get("assertions"),
         data=values.get("data"),
         mode=values.get("mode", "async"),

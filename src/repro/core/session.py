@@ -37,6 +37,7 @@ from ..federation.relational import RelationalDatabase
 from ..integration.naming import NamePolicy
 from ..integration.result import IntegratedSchema
 from ..model.database import ObjectDatabase
+from ..model.store import ComponentStore
 
 
 class FederationSession:
@@ -60,6 +61,14 @@ class FederationSession:
         """Register a relational database (transformed to OO on the way in)."""
         agent = FSMAgent(agent_name or self._next_agent_name(), system=database.system)
         agent.host_relational_database(database, schema_name)
+        self.fsm.register_agent(agent)
+        return agent
+
+    def add_source(self, store: "ComponentStore", agent_name: str = "") -> FSMAgent:
+        """Register any component store — e.g. a disk-backed
+        :class:`~repro.sources.SourceDatabase` — under a fresh agent."""
+        agent = FSMAgent(agent_name or self._next_agent_name())
+        agent.host_source(store)
         self.fsm.register_agent(agent)
         return agent
 

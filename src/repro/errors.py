@@ -147,6 +147,34 @@ class AgentTimeoutError(TransportError):
         self.timeout = timeout
 
 
+class SourceError(TransportError):
+    """A disk-backed component source failed while serving a scan.
+
+    Subclassing :class:`TransportError` deliberately puts source faults
+    on the executor's retry / circuit-breaker / lost-granule path: a
+    locked sqlite file or a truncated CSV row degrades exactly like a
+    dropped network reply — per granule, typed, never silent.
+    """
+
+
+class SourceUnavailableError(SourceError):
+    """The source container cannot be opened (missing, locked, corrupt)."""
+
+
+class SourceFormatError(SourceError):
+    """A row or record inside the source does not match its declared shape."""
+
+    def __init__(self, source: str, relation: str, detail: str) -> None:
+        super().__init__(f"source {source!r}, relation {relation!r}: {detail}")
+        self.source = source
+        self.relation = relation
+        self.detail = detail
+
+
+class SourceConfigError(FederationError):
+    """A source manifest or adapter specification is invalid."""
+
+
 class CircuitOpenError(RuntimeFederationError):
     """An agent's circuit breaker is open; calls fast-fail until reset."""
 

@@ -23,6 +23,7 @@ from ..errors import RegistrationError
 from ..model.database import ObjectDatabase
 from ..model.instances import ObjectInstance
 from ..model.schema import Schema
+from ..model.store import ComponentStore
 from .relational import RelationalDatabase
 from .transform import materialize_view
 
@@ -35,7 +36,7 @@ class FSMAgent:
             raise RegistrationError("agent name must be non-empty")
         self.name = name
         self.system = system
-        self._databases: Dict[str, ObjectDatabase] = {}
+        self._databases: Dict[str, ComponentStore] = {}
         self.access_count = 0
         self.accessed_classes: Set[Tuple[str, str]] = set()
         # the federation runtime scans agents from a thread pool; the
@@ -62,6 +63,18 @@ class FSMAgent:
         _, view = materialize_view(database, schema_name or database.name)
         return self.host_object_database(view)
 
+    def host_source(self, store: ComponentStore) -> ComponentStore:
+        """Install any component store — e.g. a disk-backed source
+        adapter's :class:`~repro.sources.SourceDatabase` — behind the
+        same narrow FSM-facing interface as a native object database."""
+        schema_name = store.schema.name
+        if schema_name in self._databases:
+            raise RegistrationError(
+                f"agent {self.name!r} already hosts schema {schema_name!r}"
+            )
+        self._databases[schema_name] = store
+        return store
+
     # ------------------------------------------------------------------
     # exports (the FSM-facing interface)
     # ------------------------------------------------------------------
@@ -71,7 +84,7 @@ class FSMAgent:
     def export_schema(self, schema_name: str) -> Schema:
         return self._database(schema_name).schema
 
-    def database(self, schema_name: str) -> ObjectDatabase:
+    def database(self, schema_name: str) -> ComponentStore:
         """Direct access for in-process tooling (examples, tests)."""
         return self._database(schema_name)
 
@@ -93,7 +106,7 @@ class FSMAgent:
         return self._database(schema_name).value_set(class_name, attribute)
 
     # ------------------------------------------------------------------
-    def _database(self, schema_name: str) -> ObjectDatabase:
+    def _database(self, schema_name: str) -> ComponentStore:
         try:
             return self._databases[schema_name]
         except KeyError:

@@ -41,7 +41,7 @@ from ..logic.engine import FactStore, FactTuple, QueryEngine, iter_value_element
 from ..logic.labelled import LabelledProgram, SchemaSource
 from ..logic.oterms import att_predicate, inst_predicate, parse_predicate
 from ..logic.rules import DatalogRule, Rule, compile_rules
-from ..model.database import ObjectDatabase
+from ..model.store import ComponentStore
 from .agent import FSMAgent
 from .mappings import MappingRegistry, SameObjectSpec, same_object_facts
 
@@ -76,7 +76,7 @@ def _ancestor_chain(integrated: IntegratedSchema, name: str) -> List[str]:
 
 def lift_facts(
     integrated: IntegratedSchema,
-    databases: Mapping[str, ObjectDatabase],
+    databases: Mapping[str, ComponentStore],
     mappings: Optional[MappingRegistry] = None,
     same_specs: Sequence[SameObjectSpec] = (),
     runtime: Optional["FederationRuntime"] = None,
@@ -193,7 +193,7 @@ class FederationContext:
 
     def __init__(
         self,
-        databases: Mapping[str, ObjectDatabase],
+        databases: Mapping[str, ComponentStore],
         same_specs: Sequence[SameObjectSpec] = (),
     ) -> None:
         self._databases = databases
@@ -245,7 +245,7 @@ class FederationEngine:
     def __init__(
         self,
         integrated: IntegratedSchema,
-        databases: Mapping[str, ObjectDatabase],
+        databases: Mapping[str, ComponentStore],
         mappings: Optional[MappingRegistry] = None,
         same_specs: Sequence[SameObjectSpec] = (),
         runtime: Optional["FederationRuntime"] = None,
@@ -287,7 +287,7 @@ def evaluate_value_set(
     integrated: IntegratedSchema,
     class_name: str,
     attribute: str,
-    databases: Mapping[str, ObjectDatabase],
+    databases: Mapping[str, ComponentStore],
     same_specs: Sequence[SameObjectSpec] = (),
 ) -> Set[Any]:
     """Compute ``value_set(IS_attr)`` of one integrated attribute.
@@ -431,7 +431,7 @@ def appendix_b_program(
     agents: Mapping[str, FSMAgent],
     mappings: Optional[MappingRegistry] = None,
     same_specs: Sequence[SameObjectSpec] = (),
-    databases: Optional[Mapping[str, ObjectDatabase]] = None,
+    databases: Optional[Mapping[str, ComponentStore]] = None,
     runtime: Optional["FederationRuntime"] = None,
 ) -> LabelledProgram:
     """Build the Appendix B labelled program for an integrated schema.

@@ -57,8 +57,8 @@ from ..integration.optimized import schema_integration
 from ..integration.result import IntegratedSchema
 from ..integration.stats import IntegrationStats
 from ..logic.labelled import LabelledProgram
-from ..model.database import ObjectDatabase
 from ..model.schema import Schema
+from ..model.store import ComponentStore
 from .agent import FSMAgent
 from .evaluation import FederationEngine, appendix_b_program
 from .mappings import MappingRegistry, SameObjectSpec
@@ -115,10 +115,10 @@ class FSM:
     def schema_names(self) -> Tuple[str, ...]:
         return tuple(self._schema_host)
 
-    def database(self, schema_name: str) -> ObjectDatabase:
+    def database(self, schema_name: str) -> ComponentStore:
         return self._host_of(schema_name).database(schema_name)
 
-    def databases(self) -> Dict[str, ObjectDatabase]:
+    def databases(self) -> Dict[str, ComponentStore]:
         return {name: self.database(name) for name in self._schema_host}
 
     def _host_of(self, schema_name: str) -> FSMAgent:

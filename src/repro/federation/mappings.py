@@ -28,7 +28,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Set, 
 from ..errors import MappingError
 from ..integration.principle_intersection import SAME_OBJECT
 from ..logic.engine import FactStore
-from ..model.database import ObjectDatabase
+from ..model.store import ComponentStore
 
 
 class DataMapping:
@@ -163,7 +163,7 @@ class SameObjectSpec:
 
 def same_object_facts(
     specs: Iterable[SameObjectSpec],
-    databases: Mapping[str, ObjectDatabase],
+    databases: Mapping[str, ComponentStore],
     store: Optional[FactStore] = None,
 ) -> FactStore:
     """Compute ``same_object(oid1, oid2)`` facts from live extents.

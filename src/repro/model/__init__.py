@@ -14,6 +14,7 @@ from .datatypes import DataType, conforms, default_value
 from .instances import ObjectInstance
 from .oids import OID, OIDGenerator
 from .schema import Schema, VIRTUAL_ROOT, build_hierarchy
+from .store import ComponentStore
 from .textio import (
     parse_schema,
     parse_schema_file,
@@ -28,6 +29,7 @@ __all__ = [
     "Cardinality",
     "ClassDef",
     "ClassType",
+    "ComponentStore",
     "DataType",
     "OID",
     "OIDGenerator",

@@ -1,0 +1,38 @@
+"""The component-store interface FSM-agents host (§3).
+
+An FSM-agent does not care how a component database stores its data —
+an in-memory :class:`~repro.model.database.ObjectDatabase`, a
+materialized relational view, or a disk-backed source adapter from
+:mod:`repro.sources`.  It only ever asks the narrow set of questions the
+federation layer is allowed to ask (autonomy, Appendix B): the exported
+schema, class extents, value sets, and a *version* the extent cache can
+key freshness to.  :class:`ComponentStore` is that structural contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Protocol, Set
+
+from .instances import ObjectInstance
+from .schema import Schema
+
+
+class ComponentStore(Protocol):
+    """What a hosted component database must answer.
+
+    ``version`` identifies the current state of the underlying data; the
+    extent cache compares versions by equality, so any value that changes
+    when the data changes (a mutation counter, a file fingerprint) works.
+    """
+
+    @property
+    def schema(self) -> Schema: ...
+
+    @property
+    def version(self) -> int: ...
+
+    def direct_extent(self, class_name: str) -> List[ObjectInstance]: ...
+
+    def extent(self, class_name: str) -> List[ObjectInstance]: ...
+
+    def value_set(self, class_name: str, attribute: str) -> Set[Any]: ...

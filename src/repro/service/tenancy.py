@@ -63,6 +63,9 @@ class TenantConfig:
     assertions: Optional[str] = None
     #: JSON instance file: ``{schema: {class: [attribute maps]}}``
     data: Optional[str] = None
+    #: a disk-backed federation: a directory with a ``federation.json``
+    #: manifest naming sqlite/CSV/JSON sources (alternative to *demo*)
+    source_dir: Optional[str] = None
     mode: str = "async"
     max_inflight: int = 8
     scan_inflight: int = 64
@@ -78,12 +81,16 @@ class TenantConfig:
     def __post_init__(self) -> None:
         if not self.name:
             raise ServiceError("a tenant needs a non-empty name")
-        if self.schemas and self.demo in DEMOS:
+        if (self.schemas or self.source_dir) and self.demo in DEMOS:
             self.demo = None
-        if not self.schemas and self.demo not in DEMOS:
+        if self.schemas and self.source_dir:
             raise ServiceError(
-                f"tenant {self.name!r} needs demo in {DEMOS} or schema files, "
-                f"got demo={self.demo!r}"
+                f"tenant {self.name!r}: schema files and source_dir are exclusive"
+            )
+        if not self.schemas and not self.source_dir and self.demo not in DEMOS:
+            raise ServiceError(
+                f"tenant {self.name!r} needs demo in {DEMOS}, schema files or "
+                f"a source_dir, got demo={self.demo!r}"
             )
         if self.schemas and not self.assertions:
             raise ServiceError(
@@ -129,12 +136,17 @@ def _file_databases(config: TenantConfig) -> Tuple[str, Dict[str, ObjectDatabase
 
 def build_session(config: TenantConfig) -> FederationSession:
     """Build and integrate one tenant's federation from its config."""
-    text, databases = (
-        _file_databases(config) if config.schemas else _demo_databases(config)
-    )
+    if config.source_dir:
+        from ..sources import load_source_federation
+
+        text, databases = load_source_federation(config.source_dir)
+    elif config.schemas:
+        text, databases = _file_databases(config)  # type: ignore[assignment]
+    else:
+        text, databases = _demo_databases(config)  # type: ignore[assignment]
     session = FederationSession()
     for schema_name, database in databases.items():
-        session.add_database(database, agent_name=f"agent-{schema_name}")
+        session.add_source(database, agent_name=f"agent-{schema_name}")
     session.declare(text)
     session.integrate()
     return session

@@ -1,0 +1,162 @@
+"""A JSON-directory component source.
+
+One ``<relation>.json`` per relation, each holding a JSON array of flat
+record objects.  JSON is semi-structured: discovery unions the keys seen
+across records and infers each column's primitive type from its first
+non-null value (bool → boolean, int → integer, float → real, str →
+string); declared :class:`~repro.sources.base.RelationSpec`\\ s override
+that, as with CSV.  Nested values (arrays, objects) have no place in the
+§3 relational transformation and are rejected per record with a typed
+:class:`~repro.errors.SourceFormatError`; an unparseable file is a
+:class:`~repro.errors.SourceUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import SourceConfigError, SourceFormatError, SourceUnavailableError
+from ..federation.relational import Column
+from ..model.datatypes import DataType
+from .base import ColumnMapping, RelationSpec, SourceAdapter
+
+SUFFIX = ".json"
+
+
+def _infer_type(value: Any) -> DataType:
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.REAL
+    return DataType.STRING
+
+
+class JsonSourceAdapter(SourceAdapter):
+    """Serve the §3 OO view of a directory of JSON record arrays."""
+
+    kind = "json"
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        name: str = "",
+        agent: str = "agent1",
+        system: str = "",
+        relations: Optional[Sequence[RelationSpec]] = None,
+        mappings: Optional[Mapping[str, Sequence[ColumnMapping]]] = None,
+        encoding: str = "utf-8",
+    ) -> None:
+        self.directory = Path(directory)
+        self.encoding = encoding
+        super().__init__(
+            name or self.directory.name,
+            agent=agent,
+            system=system,
+            relations=relations,
+            mappings=mappings,
+        )
+
+    # ------------------------------------------------------------------
+    def _files(self) -> List[Path]:
+        if not self.directory.is_dir():
+            raise SourceUnavailableError(
+                f"json source {self.name!r}: no such directory "
+                f"{str(self.directory)!r}"
+            )
+        return sorted(self.directory.glob(f"*{SUFFIX}"))
+
+    def _load(self, relation_name: str) -> List[Any]:
+        path = self.directory / f"{relation_name}{SUFFIX}"
+        try:
+            text = path.read_text(encoding=self.encoding)
+        except OSError as error:
+            raise SourceUnavailableError(
+                f"json source {self.name!r}: cannot read {path.name!r}: {error}"
+            ) from error
+        try:
+            records = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SourceUnavailableError(
+                f"json source {self.name!r}: {path.name!r} is not valid JSON: "
+                f"{error}"
+            ) from error
+        if not isinstance(records, list):
+            raise SourceFormatError(
+                self.name, relation_name, "top-level JSON value must be an array"
+            )
+        return records
+
+    # ------------------------------------------------------------------
+    def discover(self) -> Tuple[RelationSpec, ...]:
+        files = self._files()
+        if not files:
+            raise SourceConfigError(
+                f"json source {self.name!r}: {str(self.directory)!r} holds no "
+                f"*{SUFFIX} files"
+            )
+        specs: List[RelationSpec] = []
+        for path in files:
+            records = self._load(path.stem)
+            columns: Dict[str, Optional[DataType]] = {}
+            for number, record in enumerate(records, start=1):
+                if not isinstance(record, dict):
+                    raise SourceFormatError(
+                        self.name, path.stem, f"record {number} is not an object"
+                    )
+                for key, value in record.items():
+                    if columns.get(key) is None:
+                        columns[key] = None if value is None else _infer_type(value)
+            if not columns:
+                raise SourceFormatError(
+                    self.name, path.stem, "no records to infer columns from"
+                )
+            specs.append(
+                RelationSpec(
+                    path.stem,
+                    tuple(
+                        Column(key, data_type or DataType.STRING)
+                        for key, data_type in columns.items()
+                    ),
+                )
+            )
+        return tuple(specs)
+
+    def fetch_rows(self, relation: RelationSpec) -> Iterator[Mapping[str, Any]]:
+        for number, record in enumerate(self._load(relation.name), start=1):
+            if not isinstance(record, dict):
+                raise SourceFormatError(
+                    self.name,
+                    relation.name,
+                    f"record {number} is not an object: {record!r}",
+                )
+            for key, value in record.items():
+                if isinstance(value, (list, dict)):
+                    raise SourceFormatError(
+                        self.name,
+                        relation.name,
+                        f"record {number}, field {key!r}: nested values are "
+                        f"not relational",
+                    )
+            yield {column: record.get(column) for column in relation.column_names}
+
+    def source_version(self) -> int:
+        digest = 0
+        for path in self._files():
+            try:
+                stat = os.stat(path)
+            except OSError as error:
+                raise SourceUnavailableError(
+                    f"json source {self.name!r}: cannot stat {path.name!r}: "
+                    f"{error}"
+                ) from error
+            digest = zlib.crc32(
+                f"{path.name}:{stat.st_mtime_ns}:{stat.st_size};".encode("utf-8"),
+                digest,
+            )
+        return digest

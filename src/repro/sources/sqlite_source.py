@@ -1,0 +1,188 @@
+"""A sqlite-backed component source.
+
+The closest stand-in for the paper's Informix component systems: a
+self-describing relational file whose catalog (``sqlite_master`` plus
+the ``table_info`` / ``foreign_key_list`` pragmas) lets the adapter
+discover relations, primary keys and foreign keys without declarations.
+
+Connections are opened read-only (URI ``mode=ro``) per operation with a
+short busy timeout: component autonomy means the source may be written
+or exclusively locked by its owner at any moment, and a locked or
+corrupt file must surface as a typed
+:class:`~repro.errors.SourceUnavailableError` for the executor's retry /
+circuit-breaker machinery — never hang a scan thread.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import sqlite3
+import zlib
+from pathlib import Path
+from typing import Any, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import SourceConfigError, SourceUnavailableError
+from ..federation.relational import Column, ForeignKey
+from ..model.datatypes import DataType
+from .base import ColumnMapping, RelationSpec, SourceAdapter
+
+#: seconds sqlite waits on a locked database before giving up; kept tiny
+#: so a locked component fails fast into the retry path instead of
+#: serializing the whole fan-out behind one writer.
+LOCK_TIMEOUT = 0.2
+
+#: sqlite declared-type affinity → primitive data type.
+_AFFINITY = {
+    "INT": DataType.INTEGER,
+    "INTEGER": DataType.INTEGER,
+    "BIGINT": DataType.INTEGER,
+    "SMALLINT": DataType.INTEGER,
+    "TINYINT": DataType.INTEGER,
+    "REAL": DataType.REAL,
+    "FLOAT": DataType.REAL,
+    "DOUBLE": DataType.REAL,
+    "NUMERIC": DataType.REAL,
+    "DECIMAL": DataType.REAL,
+    "BOOLEAN": DataType.BOOLEAN,
+    "BOOL": DataType.BOOLEAN,
+    "DATE": DataType.DATE,
+    "TEXT": DataType.STRING,
+    "VARCHAR": DataType.STRING,
+    "CHAR": DataType.STRING,
+    "STRING": DataType.STRING,
+}
+
+
+def _column_type(declared: str) -> DataType:
+    token = declared.split("(")[0].strip().upper() if declared else ""
+    return _AFFINITY.get(token, DataType.STRING)
+
+
+def _quote(identifier: str) -> str:
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+class SqliteSourceAdapter(SourceAdapter):
+    """Serve the §3 OO view of a sqlite database file."""
+
+    kind = "sqlite"
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        name: str = "",
+        agent: str = "agent1",
+        system: str = "",
+        relations: Optional[Sequence[RelationSpec]] = None,
+        mappings: Optional[Mapping[str, Sequence[ColumnMapping]]] = None,
+    ) -> None:
+        self.path = Path(path)
+        super().__init__(
+            name or self.path.stem,
+            agent=agent,
+            system=system,
+            relations=relations,
+            mappings=mappings,
+        )
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        if not self.path.exists():
+            raise SourceUnavailableError(
+                f"sqlite source {self.name!r}: no such file {str(self.path)!r}"
+            )
+        try:
+            connection = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True, timeout=LOCK_TIMEOUT
+            )
+        except sqlite3.Error as error:
+            raise SourceUnavailableError(
+                f"sqlite source {self.name!r}: cannot open {str(self.path)!r}: {error}"
+            ) from error
+        try:
+            yield connection
+        except sqlite3.DatabaseError as error:
+            raise SourceUnavailableError(
+                f"sqlite source {self.name!r}: {error}"
+            ) from error
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    def discover(self) -> Tuple[RelationSpec, ...]:
+        specs: List[RelationSpec] = []
+        with self._connect() as connection:
+            tables = [
+                row[0]
+                for row in connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table' "
+                    "AND name NOT LIKE 'sqlite_%' ORDER BY name"
+                )
+            ]
+            for table in tables:
+                info = connection.execute(
+                    f"PRAGMA table_info({_quote(table)})"
+                ).fetchall()
+                if not info:  # pragma: no cover - catalog/table race
+                    continue
+                columns = tuple(
+                    Column(row[1], _column_type(row[2])) for row in info
+                )
+                pk_columns = [row[1] for row in info if row[5]]
+                foreign_keys = tuple(
+                    ForeignKey(row[3], row[2], row[4] or row[3])
+                    for row in connection.execute(
+                        f"PRAGMA foreign_key_list({_quote(table)})"
+                    )
+                )
+                specs.append(
+                    RelationSpec(
+                        table,
+                        columns,
+                        primary_key=pk_columns[0] if pk_columns else "",
+                        foreign_keys=foreign_keys,
+                    )
+                )
+        if not specs:
+            raise SourceConfigError(
+                f"sqlite source {self.name!r}: {str(self.path)!r} defines no tables"
+            )
+        return tuple(specs)
+
+    def fetch_rows(self, relation: RelationSpec) -> Iterator[Mapping[str, Any]]:
+        names = relation.column_names
+        select = ", ".join(_quote(name) for name in names)
+        with self._connect() as connection:
+            cursor = connection.execute(
+                f"SELECT {select} FROM {_quote(relation.name)} ORDER BY rowid"
+            )
+            for row in cursor:
+                yield dict(zip(names, row))
+
+    def count_rows(self, relation_name: str) -> int:
+        spec = self.relation(relation_name)
+        with self._connect() as connection:
+            (count,) = connection.execute(
+                f"SELECT COUNT(*) FROM {_quote(spec.name)}"
+            ).fetchone()
+        return int(count)
+
+    def source_version(self) -> int:
+        """Fingerprint the file's (mtime, size); deterministic across
+        processes so a spilled extent cache can restore warm."""
+        try:
+            stat = os.stat(self.path)
+        except OSError as error:
+            raise SourceUnavailableError(
+                f"sqlite source {self.name!r}: cannot stat {str(self.path)!r}: {error}"
+            ) from error
+        return _fingerprint((self.path.name, stat.st_mtime_ns, stat.st_size))
+
+
+def _fingerprint(parts: Tuple[Any, ...]) -> int:
+    digest = 0
+    for part in parts:
+        digest = zlib.crc32(repr(part).encode("utf-8"), digest)
+    return digest

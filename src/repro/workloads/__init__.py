@@ -16,18 +16,36 @@ from .scenarios import (
     genealogy,
     stock_market,
 )
+from .source_scenarios import (
+    SourceFederation,
+    build_memory_databases,
+    generate_source_federation,
+    source_fsm,
+    write_csv,
+    write_json,
+    write_source_directory,
+    write_sqlite,
+)
 
 __all__ = [
+    "SourceFederation",
     "appendix_a",
     "bibliography",
+    "build_memory_databases",
     "car_prices",
     "federated_cluster",
     "fig4_suite",
+    "generate_source_federation",
     "genealogy",
     "inclusion_chain",
     "match_at_depth",
     "mirrored_pair",
     "populate",
     "random_tree_schema",
+    "source_fsm",
     "stock_market",
+    "write_csv",
+    "write_json",
+    "write_source_directory",
+    "write_sqlite",
 ]

@@ -44,9 +44,15 @@ def random_tree_schema(
     seed: int = 7,
     class_prefix: str = "C",
     attributes_per_class: int = 2,
+    rng: Optional[random.Random] = None,
 ) -> Schema:
-    """A tree-shaped schema of *size* classes with branching ≈ *degree*."""
-    rng = random.Random(seed)
+    """A tree-shaped schema of *size* classes with branching ≈ *degree*.
+
+    All draws come from one :class:`random.Random` — the explicit *rng*
+    when given, else one seeded with *seed* — so equal seeds produce
+    identical schemas, run to run and process to process.
+    """
+    rng = rng if rng is not None else random.Random(seed)
     schema = Schema(name)
     for index in range(size):
         class_def = ClassDef(f"{class_prefix}{index}")
@@ -70,6 +76,7 @@ def mirrored_pair(
     inclusion_fraction: float = 0.0,
     intersection_fraction: float = 0.0,
     exclusion_fraction: float = 0.0,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[Schema, Schema, AssertionSet]:
     """S1 plus a mirrored S2 and the assertion set between them.
 
@@ -90,7 +97,9 @@ def mirrored_pair(
         + intersection_fraction
         + exclusion_fraction,
     ]
-    rng = random.Random(seed + 1)
+    # The two trees intentionally share *seed* (mirrored structure); only
+    # the assertion-kind rolls take the explicit rng when one is given.
+    rng = rng if rng is not None else random.Random(seed + 1)
     for index in range(size):
         c = Path("S1", f"C{index}")
         d = Path("S2", f"D{index}")
@@ -180,6 +189,7 @@ def federated_cluster(
     per_class: int = 8,
     classes_per_schema: int = 2,
     seed: int = 13,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[List[Schema], str, Dict[str, "object"]]:
     """*schemas* mirrored component schemas, chained ≡ assertions, data.
 
@@ -194,7 +204,7 @@ def federated_cluster(
     """
     from ..model.database import ObjectDatabase
 
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     names = [f"S{index + 1}" for index in range(schemas)]
     built: List[Schema] = []
     for name in names:
@@ -238,11 +248,16 @@ def federated_cluster(
     return built, "\n".join(blocks), databases
 
 
-def populate(schema: Schema, per_class: int, seed: int = 11) -> "object":
+def populate(
+    schema: Schema,
+    per_class: int,
+    seed: int = 11,
+    rng: Optional[random.Random] = None,
+) -> "object":
     """An :class:`ObjectDatabase` with *per_class* instances per class."""
     from ..model.database import ObjectDatabase
 
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     database = ObjectDatabase(schema, agent="bench")
     for class_def in schema:
         effective = schema.effective_class(class_def.name)

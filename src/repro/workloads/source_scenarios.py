@@ -1,0 +1,463 @@
+"""Disk-backed federation scenarios: universities × hospitals × markets.
+
+The source-adapter benchmarks need federations that are (a) large —
+10⁵–10⁶ instances, far past the in-memory workloads' ceiling — and (b)
+heterogeneous in the §3 sense: the same real-world concept stored under
+different column names, value encodings and units per component, so the
+per-attribute data mappings actually do work on every scan.
+
+:func:`generate_source_federation` builds such a federation
+deterministically from one seed: every component schema has a ``person``
+class (after mapping: ``ssn``, ``name``, ``level``), a small lookup
+relation it references, and a bulk fact relation referencing the people.
+The *level* attribute is deliberately stored three different ways:
+
+* ``university`` — an INTEGER column, the paper's ``"default"`` mapping;
+* ``hospital`` — a STRING column ``lvl`` (``"L1"``…``"L5"``) mapped
+  through a fuzzy triple set ``(i, "Li"; 1.0)``;
+* ``market`` — an INTEGER basis-point column ``level_bp`` (100…500)
+  through the conversion function ``y = 0.01·x``.
+
+After mapping, all three agree — which is what the cross-backend parity
+suite and the E-R7 answers-match gate pin down.  Writers materialize the
+same dataset as sqlite files, CSV directories or JSON directories plus a
+``federation.json`` manifest, and :func:`build_memory_databases` serves
+it straight from memory as the parity baseline.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import random
+import sqlite3
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import SourceConfigError
+from ..federation.mappings import TripleMapping
+from ..federation.relational import Column, ForeignKey
+from ..model.datatypes import DataType
+from ..sources.base import (
+    ColumnMapping,
+    LinearMapping,
+    MemorySourceAdapter,
+    RelationSpec,
+    SourceDatabase,
+)
+from ..sources.manifest import mapping_to_json, relation_to_json, write_manifest
+
+DEFAULT_SCHEMAS = ("university", "hospital", "market")
+
+#: OID components shared by every backend: the same logical federation
+#: materialized as sqlite, CSV, JSON or memory must issue identical OIDs.
+SOURCE_SYSTEM = "component"
+
+_LEVELS = (1, 2, 3, 4, 5)
+
+
+@dataclasses.dataclass
+class SourceFederation:
+    """A generated federation: specs, rows, mappings and assertions."""
+
+    seed: int
+    people_per_schema: int
+    records_per_person: int
+    schemas: Tuple[str, ...]
+    relations: Dict[str, Tuple[RelationSpec, ...]]
+    rows: Dict[str, Dict[str, List[Dict[str, Any]]]]
+    mappings: Dict[str, Dict[str, Tuple[ColumnMapping, ...]]]
+    assertions: str
+
+    @property
+    def total_instances(self) -> int:
+        """Total tuples across every schema — each becomes one OID."""
+        return sum(
+            len(relation_rows)
+            for schema_rows in self.rows.values()
+            for relation_rows in schema_rows.values()
+        )
+
+    def agent_name(self, schema: str) -> str:
+        return f"agent-{schema}"
+
+
+def _string(name: str) -> Column:
+    return Column(name, DataType.STRING)
+
+
+def _integer(name: str) -> Column:
+    return Column(name, DataType.INTEGER)
+
+
+def _template(
+    schema: str, people: int, records: int, rng: random.Random
+) -> Tuple[
+    Tuple[RelationSpec, ...],
+    Dict[str, List[Dict[str, Any]]],
+    Dict[str, Tuple[ColumnMapping, ...]],
+]:
+    """Relations, rows and mappings of one component schema."""
+    lookups = max(3, people // 200)
+    lookup_name, bulk_name, person_extra, bulk_extra = {
+        "university": ("department", "enrollment", "dept", ("course", "mark")),
+        "hospital": ("ward", "visit", "ward", ("day", "cost")),
+        "market": ("sector", "trade", "sector", ("symbol", "qty")),
+    }.get(schema, ("category", "record", "category", ("label", "amount")))
+
+    lookup_spec = RelationSpec(
+        lookup_name, (_string("code"), _string("title")), primary_key="code"
+    )
+    level_column, person_mappings = _level_storage(schema)
+    person_spec = RelationSpec(
+        "person",
+        (
+            _string("ssn"),
+            _string("name"),
+            level_column,
+            _string(person_extra),
+        ),
+        primary_key="ssn",
+        foreign_keys=(ForeignKey(person_extra, lookup_name, "code"),),
+    )
+    bulk_spec = RelationSpec(
+        bulk_name,
+        (
+            _integer("id"),
+            _string("person_ssn"),
+            _string(bulk_extra[0]),
+            _integer(bulk_extra[1]),
+        ),
+        primary_key="id",
+        foreign_keys=(ForeignKey("person_ssn", "person", "ssn"),),
+    )
+
+    lookup_rows = [
+        {"code": f"{lookup_name[0]}{index}", "title": f"{lookup_name}-{index}"}
+        for index in range(lookups)
+    ]
+    person_rows: List[Dict[str, Any]] = []
+    bulk_rows: List[Dict[str, Any]] = []
+    for index in range(people):
+        level = rng.choice(_LEVELS)
+        # a few NULL names per schema exercise the default-value fill
+        name = None if rng.random() < 0.02 else f"{schema[:3]}-name-{index}"
+        person_rows.append(
+            {
+                "ssn": f"{schema}-{index}",
+                "name": name,
+                level_column.name: _encode_level(schema, level),
+                person_extra: lookup_rows[rng.randrange(lookups)]["code"],
+            }
+        )
+        for record in range(records):
+            bulk_rows.append(
+                {
+                    "id": index * records + record + 1,
+                    "person_ssn": f"{schema}-{index}",
+                    bulk_extra[0]: f"{bulk_extra[0]}{rng.randrange(64)}",
+                    bulk_extra[1]: rng.randint(0, 500),
+                }
+            )
+
+    specs = (lookup_spec, person_spec, bulk_spec)
+    rows = {
+        lookup_name: lookup_rows,
+        "person": person_rows,
+        bulk_name: bulk_rows,
+    }
+    mappings: Dict[str, Tuple[ColumnMapping, ...]] = {}
+    if person_mappings:
+        mappings["person"] = person_mappings
+    return specs, rows, mappings
+
+
+def _level_storage(schema: str) -> Tuple[Column, Tuple[ColumnMapping, ...]]:
+    """How one schema stores the person level, and the mapping back.
+
+    The three storage conventions cover the paper's three data-mapping
+    forms; every schema also declares a default fill for NULL names.
+    """
+    name_default = (
+        ColumnMapping("name", default="unknown"),
+    )
+    if schema == "hospital":
+        return (
+            _string("lvl"),
+            name_default
+            + (
+                ColumnMapping(
+                    "lvl",
+                    attribute="level",
+                    mapping=TripleMapping(
+                        tuple((level, f"L{level}", 1.0) for level in _LEVELS),
+                        threshold=0.5,
+                    ),
+                    data_type=DataType.INTEGER,
+                ),
+            ),
+        )
+    if schema == "market":
+        return (
+            _integer("level_bp"),
+            name_default
+            + (
+                ColumnMapping(
+                    "level_bp",
+                    attribute="level",
+                    mapping=LinearMapping(a=0.01, as_int=True),
+                    data_type=DataType.INTEGER,
+                ),
+            ),
+        )
+    return _integer("level"), name_default
+
+
+def _encode_level(schema: str, level: int) -> Any:
+    if schema == "hospital":
+        return f"L{level}"
+    if schema == "market":
+        return level * 100
+    return level
+
+
+def generate_source_federation(
+    people_per_schema: int = 50,
+    records_per_person: int = 2,
+    schemas: Sequence[str] = DEFAULT_SCHEMAS,
+    seed: int = 29,
+    rng: Optional[random.Random] = None,
+) -> SourceFederation:
+    """Generate one deterministic N-schema federation.
+
+    Same *seed* (or an equally-seeded explicit *rng*) → an identical
+    federation, row for row — the property the reproducibility
+    regression test asserts, and what makes committed benchmark numbers
+    comparable across machines.
+    """
+    if not schemas:
+        raise SourceConfigError("a federation needs at least one schema")
+    rng = rng if rng is not None else random.Random(seed)
+    relations: Dict[str, Tuple[RelationSpec, ...]] = {}
+    rows: Dict[str, Dict[str, List[Dict[str, Any]]]] = {}
+    mappings: Dict[str, Dict[str, Tuple[ColumnMapping, ...]]] = {}
+    for schema in schemas:
+        specs, schema_rows, schema_mappings = _template(
+            schema, people_per_schema, records_per_person, rng
+        )
+        relations[schema] = specs
+        rows[schema] = schema_rows
+        mappings[schema] = schema_mappings
+    blocks: List[str] = []
+    for left, right in zip(schemas, list(schemas)[1:]):
+        blocks.append(
+            f"""
+            assertion {left}.person == {right}.person
+              attr {left}.person.ssn == {right}.person.ssn
+              attr {left}.person.name == {right}.person.name
+              attr {left}.person.level == {right}.person.level
+            end
+            """
+        )
+    return SourceFederation(
+        seed=seed,
+        people_per_schema=people_per_schema,
+        records_per_person=records_per_person,
+        schemas=tuple(schemas),
+        relations=relations,
+        rows=rows,
+        mappings=mappings,
+        assertions="\n".join(blocks),
+    )
+
+
+# ----------------------------------------------------------------------
+# materializers
+# ----------------------------------------------------------------------
+_SQLITE_TYPES = {
+    DataType.STRING: "TEXT",
+    DataType.CHARACTER: "CHAR",
+    DataType.INTEGER: "INTEGER",
+    DataType.REAL: "REAL",
+    DataType.BOOLEAN: "BOOLEAN",
+    DataType.DATE: "DATE",
+}
+
+
+def write_sqlite(dataset: SourceFederation, directory: Union[str, Path]) -> Dict[str, Path]:
+    """One ``<schema>.db`` per schema; rows inserted in generation order
+    so rowids — and therefore OID numbers — match every other backend."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    paths: Dict[str, Path] = {}
+    for schema in dataset.schemas:
+        path = root / f"{schema}.db"
+        if path.exists():
+            path.unlink()
+        connection = sqlite3.connect(path)
+        try:
+            for spec in dataset.relations[schema]:
+                columns = []
+                for column in spec.columns:
+                    decl = f'"{column.name}" {_SQLITE_TYPES[column.data_type]}'
+                    if column.name == spec.primary_key:
+                        decl += " PRIMARY KEY"
+                    columns.append(decl)
+                for foreign_key in spec.foreign_keys:
+                    columns.append(
+                        f'FOREIGN KEY ("{foreign_key.column}") REFERENCES '
+                        f'"{foreign_key.target_relation}" '
+                        f'("{foreign_key.target_column}")'
+                    )
+                connection.execute(
+                    f'CREATE TABLE "{spec.name}" ({", ".join(columns)})'
+                )
+                placeholders = ", ".join("?" for _ in spec.columns)
+                connection.executemany(
+                    f'INSERT INTO "{spec.name}" VALUES ({placeholders})',
+                    (
+                        tuple(row.get(name) for name in spec.column_names)
+                        for row in dataset.rows[schema][spec.name]
+                    ),
+                )
+            connection.commit()
+        finally:
+            connection.close()
+        paths[schema] = path
+    return paths
+
+
+def write_csv(dataset: SourceFederation, directory: Union[str, Path]) -> Dict[str, Path]:
+    """One directory of ``<relation>.csv`` files per schema (None → empty cell)."""
+    root = Path(directory)
+    paths: Dict[str, Path] = {}
+    for schema in dataset.schemas:
+        schema_dir = root / schema
+        schema_dir.mkdir(parents=True, exist_ok=True)
+        for spec in dataset.relations[schema]:
+            with (schema_dir / f"{spec.name}.csv").open(
+                "w", newline="", encoding="utf-8"
+            ) as handle:
+                writer = csv.writer(handle)
+                writer.writerow(spec.column_names)
+                for row in dataset.rows[schema][spec.name]:
+                    writer.writerow(
+                        [
+                            "" if row.get(name) is None else row.get(name)
+                            for name in spec.column_names
+                        ]
+                    )
+        paths[schema] = schema_dir
+    return paths
+
+
+def write_json(dataset: SourceFederation, directory: Union[str, Path]) -> Dict[str, Path]:
+    """One directory of ``<relation>.json`` record arrays per schema."""
+    root = Path(directory)
+    paths: Dict[str, Path] = {}
+    for schema in dataset.schemas:
+        schema_dir = root / schema
+        schema_dir.mkdir(parents=True, exist_ok=True)
+        for spec in dataset.relations[schema]:
+            records = [
+                {name: row.get(name) for name in spec.column_names}
+                for row in dataset.rows[schema][spec.name]
+            ]
+            (schema_dir / f"{spec.name}.json").write_text(
+                json.dumps(records, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        paths[schema] = schema_dir
+    return paths
+
+
+_WRITERS = {"sqlite": write_sqlite, "csv": write_csv, "json": write_json}
+
+
+def write_source_directory(
+    dataset: SourceFederation,
+    directory: Union[str, Path],
+    kinds: Union[str, Mapping[str, str]] = "sqlite",
+) -> Path:
+    """Materialize *dataset* plus its ``federation.json`` manifest.
+
+    *kinds* is one backend for every schema, or a per-schema mapping —
+    a genuinely heterogeneous federation stores each component in a
+    different format.  Returns the directory, ready for
+    :func:`repro.sources.load_source_federation` / ``--source-dir``.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    per_schema = (
+        {schema: kinds for schema in dataset.schemas}
+        if isinstance(kinds, str)
+        else dict(kinds)
+    )
+    entries: List[Dict[str, Any]] = []
+    for schema in dataset.schemas:
+        kind = per_schema.get(schema, "sqlite")
+        writer = _WRITERS.get(kind)
+        if writer is None:
+            raise SourceConfigError(
+                f"unknown backend kind {kind!r}; expected one of {sorted(_WRITERS)}"
+            )
+        single = SourceFederation(
+            seed=dataset.seed,
+            people_per_schema=dataset.people_per_schema,
+            records_per_person=dataset.records_per_person,
+            schemas=(schema,),
+            relations={schema: dataset.relations[schema]},
+            rows={schema: dataset.rows[schema]},
+            mappings={schema: dataset.mappings[schema]},
+            assertions="",
+        )
+        writer(single, root)
+        entry: Dict[str, Any] = {
+            "schema": schema,
+            "kind": kind,
+            "path": f"{schema}.db" if kind == "sqlite" else schema,
+            "agent": dataset.agent_name(schema),
+            "system": SOURCE_SYSTEM,
+            "relations": [
+                relation_to_json(spec) for spec in dataset.relations[schema]
+            ],
+        }
+        if dataset.mappings[schema]:
+            entry["mappings"] = {
+                relation: [mapping_to_json(mapping) for mapping in mapping_list]
+                for relation, mapping_list in dataset.mappings[schema].items()
+            }
+        entries.append(entry)
+    write_manifest(root, entries, assertions=dataset.assertions)
+    return root
+
+
+def build_memory_databases(dataset: SourceFederation) -> Dict[str, SourceDatabase]:
+    """Serve the dataset straight from memory — the parity baseline."""
+    databases: Dict[str, SourceDatabase] = {}
+    for schema in dataset.schemas:
+        adapter = MemorySourceAdapter(
+            schema,
+            dataset.rows[schema],
+            dataset.relations[schema],
+            mappings=dataset.mappings[schema] or None,
+            agent=dataset.agent_name(schema),
+            system=SOURCE_SYSTEM,
+        )
+        databases[schema] = adapter.database()
+    return databases
+
+
+def source_fsm(databases: Mapping[str, SourceDatabase], assertions: str) -> "object":
+    """An FSM with one agent per source store, assertions declared."""
+    from ..federation.agent import FSMAgent
+    from ..federation.fsm import FSM
+
+    fsm = FSM()
+    for schema_name, store in databases.items():
+        agent = FSMAgent(f"agent-{schema_name}", system=SOURCE_SYSTEM)
+        agent.host_source(store)
+        fsm.register_agent(agent)
+    if assertions.strip():
+        fsm.declare(assertions)
+    return fsm

@@ -1,0 +1,50 @@
+"""Shared helpers for the source-adapter suites.
+
+Every suite needs the same move: generate a deterministic federation,
+materialize it through one (or several) disk backends, load it back via
+the manifest, and stand up an integrated FSM over the resulting stores.
+"""
+
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+import pytest
+
+from repro.sources import SourceDatabase, load_source_federation
+from repro.workloads import (
+    build_memory_databases,
+    generate_source_federation,
+    source_fsm,
+    write_source_directory,
+)
+
+DISK_KINDS = ("sqlite", "csv", "json")
+
+
+def disk_databases(
+    dataset, directory: Union[str, Path], kinds: Union[str, Mapping[str, str]]
+) -> Dict[str, SourceDatabase]:
+    """Materialize *dataset* under *directory* and load it back."""
+    write_source_directory(dataset, directory, kinds=kinds)
+    _, databases = load_source_federation(directory)
+    return databases
+
+
+def integrated_fsm(databases: Mapping[str, SourceDatabase], assertions: str):
+    fsm = source_fsm(databases, assertions)
+    fsm.integrate_all()
+    return fsm
+
+
+@pytest.fixture
+def small_dataset():
+    return generate_source_federation(
+        people_per_schema=20, records_per_person=1, seed=17
+    )
+
+
+@pytest.fixture
+def memory_fsm(small_dataset):
+    return integrated_fsm(
+        build_memory_databases(small_dataset), small_dataset.assertions
+    )

@@ -1,0 +1,261 @@
+"""Adapter mechanics: discovery, OIDs, aggregations, versioning.
+
+The §3 transformation each adapter applies — relation → class, non-FK
+column → attribute, FK → aggregation function with the ``fk = pk``
+cardinality refinement — plus the OID numbering and the file-fingerprint
+version the extent cache keys freshness on.
+"""
+
+import os
+import sqlite3
+
+import pytest
+
+from repro.errors import UnknownClassError
+from repro.model.aggregations import Cardinality
+from repro.model.datatypes import DataType
+from repro.runtime import RuntimePolicy
+from repro.sources import (
+    CsvSourceAdapter,
+    JsonSourceAdapter,
+    MemorySourceAdapter,
+    RelationSpec,
+    SqliteSourceAdapter,
+)
+from repro.federation.relational import Column, ForeignKey
+from repro.workloads import (
+    build_memory_databases,
+    generate_source_federation,
+    write_csv,
+    write_json,
+    write_sqlite,
+)
+
+from .conftest import integrated_fsm
+
+
+def _university(tmp_path, writer=write_sqlite):
+    dataset = generate_source_federation(
+        people_per_schema=10, records_per_person=2, seed=3,
+        schemas=("university",),
+    )
+    paths = writer(dataset, tmp_path)
+    return dataset, paths["university"]
+
+
+class TestSqliteDiscovery:
+    def test_tables_columns_keys_are_reflected(self, tmp_path):
+        _, path = _university(tmp_path)
+        adapter = SqliteSourceAdapter(path)
+        specs = {spec.name: spec for spec in adapter.relations()}
+        assert set(specs) == {"department", "person", "enrollment"}
+        person = specs["person"]
+        assert person.primary_key == "ssn"
+        assert person.column("ssn").data_type is DataType.STRING
+        assert [
+            (fk.column, fk.target_relation, fk.target_column)
+            for fk in person.foreign_keys
+        ] == [("dept", "department", "code")]
+        assert specs["enrollment"].column("id").data_type is DataType.INTEGER
+
+    def test_unknown_relation_is_an_unknown_class(self, tmp_path):
+        _, path = _university(tmp_path)
+        with pytest.raises(UnknownClassError):
+            SqliteSourceAdapter(path).scan("no_such_table")
+
+
+class TestWeaklyTypedDiscovery:
+    def test_csv_headers_discover_string_columns(self, tmp_path):
+        _, _ = _university(tmp_path / "u", writer=write_csv)
+        adapter = CsvSourceAdapter(tmp_path / "u" / "university")
+        person = {spec.name: spec for spec in adapter.relations()}["person"]
+        assert all(
+            column.data_type is DataType.STRING for column in person.columns
+        )
+
+    def test_json_infers_types_from_first_non_null(self, tmp_path):
+        _, _ = _university(tmp_path / "u", writer=write_json)
+        adapter = JsonSourceAdapter(tmp_path / "u" / "university")
+        specs = {spec.name: spec for spec in adapter.relations()}
+        assert specs["person"].column("ssn").data_type is DataType.STRING
+        assert specs["person"].column("level").data_type is DataType.INTEGER
+        assert specs["enrollment"].column("id").data_type is DataType.INTEGER
+
+
+class TestTransformation:
+    def test_fk_becomes_aggregation_not_attribute(self, tmp_path):
+        _, path = _university(tmp_path)
+        schema = SqliteSourceAdapter(path).schema()
+        person = schema.effective_class("person")
+        assert {a.name for a in person.attributes} == {"ssn", "name", "level"}
+        (aggregation,) = person.aggregations
+        assert aggregation.name == "dept"
+        assert aggregation.range_class == "department"
+        assert aggregation.cardinality is Cardinality.M_TO_ONE
+
+    def test_fk_on_primary_key_refines_to_one_to_one(self, tmp_path):
+        path = tmp_path / "badge.db"
+        connection = sqlite3.connect(path)
+        connection.executescript(
+            """
+            CREATE TABLE person (ssn TEXT PRIMARY KEY, name TEXT);
+            CREATE TABLE badge (
+                person_ssn TEXT PRIMARY KEY REFERENCES person (ssn),
+                colour TEXT
+            );
+            INSERT INTO person VALUES ('s1', 'a');
+            INSERT INTO badge VALUES ('s1', 'red');
+            """
+        )
+        connection.commit()
+        connection.close()
+        schema = SqliteSourceAdapter(path).schema()
+        (aggregation,) = schema.effective_class("badge").aggregations
+        assert aggregation.cardinality is Cardinality.ONE_TO_ONE
+
+    def test_oids_number_rows_from_one_in_storage_order(self, tmp_path):
+        dataset, path = _university(tmp_path)
+        adapter = SqliteSourceAdapter(
+            path, agent="agent-university", system="component"
+        )
+        instances = adapter.scan("person")
+        assert [instance.oid.number for instance in instances] == list(
+            range(1, len(dataset.rows["university"]["person"]) + 1)
+        )
+        oid = instances[0].oid
+        assert (oid.agent, oid.system, oid.database, oid.relation) == (
+            "agent-university", "component", "university", "person"
+        )
+
+    def test_fk_values_resolve_to_target_oids(self, tmp_path):
+        _, path = _university(tmp_path)
+        adapter = SqliteSourceAdapter(path)
+        departments = {i.oid: i for i in adapter.scan("department")}
+        for person in adapter.scan("person"):
+            target = person.aggregations["dept"]
+            assert target in departments
+            assert target.relation == "department"
+
+    def test_dangling_fk_stays_unresolved_without_error(self):
+        adapter = MemorySourceAdapter(
+            "m",
+            {
+                "department": [{"code": "d0", "title": "x"}],
+                "person": [
+                    {"ssn": "1", "dept": "d0"},
+                    {"ssn": "2", "dept": "d-missing"},
+                ],
+            },
+            (
+                RelationSpec(
+                    "department",
+                    (Column("code", DataType.STRING), Column("title", DataType.STRING)),
+                ),
+                RelationSpec(
+                    "person",
+                    (Column("ssn", DataType.STRING), Column("dept", DataType.STRING)),
+                    foreign_keys=(ForeignKey("dept", "department", "code"),),
+                ),
+            ),
+        )
+        first, second = adapter.scan("person")
+        assert "dept" in first.aggregations
+        assert "dept" not in second.aggregations  # autonomy: kept, not rejected
+
+
+class TestVersioning:
+    def test_version_is_stable_while_files_are(self, tmp_path):
+        _, path = _university(tmp_path)
+        adapter = SqliteSourceAdapter(path)
+        assert adapter.source_version() == adapter.source_version()
+        assert (
+            SqliteSourceAdapter(path).source_version()
+            == adapter.source_version()
+        )  # deterministic across adapter instances (warm restarts)
+
+    def test_file_change_bumps_the_version(self, tmp_path):
+        _, path = _university(tmp_path)
+        adapter = SqliteSourceAdapter(path)
+        before = adapter.source_version()
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        assert adapter.source_version() != before
+
+    def test_component_write_invalidates_the_warm_cache(self, tmp_path):
+        from .conftest import disk_databases
+
+        dataset = generate_source_federation(
+            people_per_schema=8, records_per_person=1, seed=6,
+            schemas=("university", "hospital"),
+        )
+        databases = disk_databases(dataset, tmp_path, kinds="sqlite")
+        path = tmp_path / "university.db"
+        fsm = integrated_fsm(databases, dataset.assertions)
+        runtime = fsm.use_runtime(RuntimePolicy())
+        try:
+            query = "person() -> ssn"
+            before = {row["ssn"] for row in fsm.query(query)}
+            assert fsm.query(query) and (
+                fsm.last_query_stats.counter("agent_scans") == 0
+            )
+            connection = sqlite3.connect(path)
+            connection.execute(
+                "INSERT INTO person VALUES ('new-ssn', 'new', 3, 'd0')"
+            )
+            connection.commit()
+            connection.close()
+            stat = path.stat()
+            os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+            after = {row["ssn"] for row in fsm.query(query)}
+            assert after == before | {"new-ssn"}
+            assert fsm.last_query_stats.counter("agent_scans") > 0
+        finally:
+            runtime.close()
+
+    def test_memory_bump_invalidates_the_warm_cache(self):
+        dataset = generate_source_federation(
+            people_per_schema=6, records_per_person=1, seed=2
+        )
+        databases = build_memory_databases(dataset)
+        fsm = integrated_fsm(databases, dataset.assertions)
+        runtime = fsm.use_runtime(RuntimePolicy())
+        try:
+            query = "person() -> ssn"
+            fsm.query(query)
+            fsm.query(query)
+            assert fsm.last_query_stats.counter("agent_scans") == 0
+            databases["market"].adapter.insert(
+                "person",
+                {"ssn": "market-new", "name": "n", "level_bp": 300,
+                 "sector": "s0"},
+            )
+            answers = {row["ssn"] for row in fsm.query(query)}
+            assert "market-new" in answers
+            assert fsm.last_query_stats.counter("agent_scans") > 0
+        finally:
+            runtime.close()
+
+
+class TestSourceDatabaseStore:
+    """The ComponentStore facade: what FSM agents actually call."""
+
+    def test_extents_counts_and_lookup(self, tmp_path):
+        dataset, path = _university(tmp_path)
+        store = SqliteSourceAdapter(path).database()
+        person_rows = dataset.rows["university"]["person"]
+        assert len(store.extent("person")) == len(person_rows)
+        assert store.counts()["enrollment"] == len(
+            dataset.rows["university"]["enrollment"]
+        )
+        instance = store.extent("person")[0]
+        assert store.by_oid(instance.oid).attributes == instance.attributes
+        assert store.get(instance.oid) is not None
+
+    def test_value_set_applies_the_data_mappings(self):
+        dataset = generate_source_federation(
+            people_per_schema=12, records_per_person=1, seed=4
+        )
+        databases = build_memory_databases(dataset)
+        # hospital stores "L3"-style strings; the value set is mapped ints
+        levels = databases["hospital"].value_set("person", "level")
+        assert levels and levels <= {1, 2, 3, 4, 5}

@@ -1,0 +1,221 @@
+"""Golden-file tests for the §3 data mappings ``F^A_{DB_i,B}``.
+
+One hand-written source exercises every mapping form the paper names —
+identity with a default fill, fuzzy triple matching (an unmatched value
+"becomes Null" and is then filled), and a conversion function — plus the
+NULL-row and type-coercion edges the weakly-typed storage formats force.
+The committed ``golden/mappings.json`` pins the exact translated
+instances; any drift in coercion, translation order or default filling
+fails the comparison.
+"""
+
+import datetime
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SourceFormatError
+from repro.federation.mappings import TripleMapping
+from repro.federation.relational import Column
+from repro.model.datatypes import DataType
+from repro.sources import (
+    ColumnMapping,
+    CsvSourceAdapter,
+    JsonSourceAdapter,
+    LinearMapping,
+    RelationSpec,
+    coerce_value,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "mappings.json"
+
+RELATIONS = (
+    RelationSpec(
+        "reading",
+        (
+            Column("id", DataType.INTEGER),
+            Column("label", DataType.STRING),
+            Column("grade", DataType.STRING),
+            Column("inches", DataType.REAL),
+            Column("flag", DataType.BOOLEAN),
+            Column("taken", DataType.DATE),
+        ),
+        primary_key="id",
+    ),
+)
+
+MAPPINGS = {
+    "reading": (
+        # identity mapping, NULL filled with a default value
+        ColumnMapping("label", default="n/a"),
+        # fuzzy match: STRING storage -> INTEGER attribute; an unmatched
+        # value becomes Null (paper §3) and is then default-filled
+        ColumnMapping(
+            "grade",
+            attribute="score",
+            mapping=TripleMapping(
+                ((1, "poor", 1.0), (2, "fair", 0.9), (3, "good", 1.0)),
+                threshold=0.5,
+            ),
+            default=0,
+            data_type=DataType.INTEGER,
+        ),
+        # conversion function: inches -> centimetres (y = 2.54 * x)
+        ColumnMapping("inches", attribute="cm", mapping=LinearMapping(a=2.54)),
+    ),
+}
+
+CSV_TEXT = """id,label,grade,inches,flag,taken
+1,,good,2.0,true,2024-01-02
+2,ok,mystery,,0,
+3,x,fair,1.0,f,2023-12-31
+4,  spaced  ,poor,  3.5  ,yes,2024-06-30
+"""
+
+JSON_RECORDS = [
+    {"id": 1, "label": None, "grade": "good", "inches": 2.0, "flag": True,
+     "taken": "2024-01-02"},
+    {"id": 2, "label": "ok", "grade": "mystery", "inches": None, "flag": False,
+     "taken": None},
+    {"id": 3, "label": "x", "grade": "fair", "inches": 1.0, "flag": False,
+     "taken": "2023-12-31"},
+    {"id": 4, "label": "  spaced  ", "grade": "poor", "inches": 3.5,
+     "flag": True, "taken": "2024-06-30"},
+]
+
+
+def _dump(instances):
+    out = []
+    for instance in instances:
+        attributes = {
+            name: value.isoformat() if isinstance(value, datetime.date) else value
+            for name, value in sorted(instance.attributes.items())
+        }
+        out.append({"oid": str(instance.oid), "attributes": attributes})
+    return out
+
+
+def _csv_adapter(tmp_path, text=CSV_TEXT):
+    (tmp_path / "reading.csv").write_text(text, encoding="utf-8")
+    return CsvSourceAdapter(
+        tmp_path, name="golden", agent="agent-golden", system="component",
+        relations=RELATIONS, mappings=MAPPINGS,
+    )
+
+
+def _json_adapter(tmp_path, records=JSON_RECORDS):
+    (tmp_path / "reading.json").write_text(json.dumps(records), encoding="utf-8")
+    return JsonSourceAdapter(
+        tmp_path, name="golden", agent="agent-golden", system="component",
+        relations=RELATIONS, mappings=MAPPINGS,
+    )
+
+
+class TestGoldenMappings:
+    def test_csv_scan_matches_golden(self, tmp_path):
+        golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert _dump(_csv_adapter(tmp_path).scan("reading")) == golden["reading"]
+
+    def test_json_scan_matches_golden(self, tmp_path):
+        """Native-typed JSON storage lands on the same golden instances."""
+        golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert _dump(_json_adapter(tmp_path).scan("reading")) == golden["reading"]
+
+    def test_mapped_schema_reflects_attribute_renames_and_types(self, tmp_path):
+        schema = _csv_adapter(tmp_path).schema()
+        reading = schema.effective_class("reading")
+        names = {attribute.name for attribute in reading.attributes}
+        assert names == {"id", "label", "score", "cm", "flag", "taken"}
+        by_name = {a.name: a.value_type for a in reading.attributes}
+        assert by_name["score"] is DataType.INTEGER  # STRING storage, mapped
+        assert by_name["cm"] is DataType.REAL
+
+
+class TestMappingEdges:
+    def test_unmatched_fuzzy_value_becomes_default(self, tmp_path):
+        rows = _dump(_csv_adapter(tmp_path).scan("reading"))
+        assert rows[1]["attributes"]["score"] == 0  # "mystery" matched nothing
+
+    def test_null_row_survives_every_mapping(self, tmp_path):
+        rows = _dump(_json_adapter(tmp_path).scan("reading"))
+        assert rows[1]["attributes"]["cm"] is None
+        assert rows[1]["attributes"]["taken"] is None
+
+    def test_mapped_value_must_conform_to_target_type(self, tmp_path):
+        """A translation violating the declared attribute type is typed."""
+        bad = {
+            "reading": (
+                ColumnMapping(
+                    "inches",
+                    attribute="cm",
+                    mapping=LinearMapping(a=2.54),  # REAL result...
+                    data_type=DataType.DATE,  # ...cannot be a DATE
+                ),
+            )
+        }
+        (tmp_path / "reading.csv").write_text(CSV_TEXT, encoding="utf-8")
+        adapter = CsvSourceAdapter(
+            tmp_path, name="golden", relations=RELATIONS, mappings=bad
+        )
+        with pytest.raises(SourceFormatError, match="does not conform"):
+            adapter.scan("reading")
+
+    def test_missing_declared_column_is_a_format_error(self, tmp_path):
+        (tmp_path / "reading.csv").write_text(
+            "id,label\n1,ok\n", encoding="utf-8"
+        )
+        adapter = CsvSourceAdapter(
+            tmp_path, name="golden", relations=RELATIONS, mappings=MAPPINGS
+        )
+        with pytest.raises(SourceFormatError, match="grade"):
+            adapter.scan("reading")
+
+    def test_mapping_for_unknown_column_is_a_config_error(self, tmp_path):
+        from repro.errors import SourceConfigError
+
+        adapter = _csv_adapter(tmp_path)
+        adapter._mappings["reading"] = (ColumnMapping("nonexistent"),)
+        with pytest.raises(SourceConfigError, match="nonexistent"):
+            adapter.scan("reading")
+
+
+class TestCoercionEdges:
+    def test_integer_edges(self):
+        kw = dict(source="s", relation="r", column="c")
+        assert coerce_value("  7 ", DataType.INTEGER, **kw) == 7
+        assert coerce_value(3.0, DataType.INTEGER, **kw) == 3
+        with pytest.raises(SourceFormatError):
+            coerce_value(3.5, DataType.INTEGER, **kw)
+        with pytest.raises(SourceFormatError):
+            coerce_value(True, DataType.INTEGER, **kw)  # bool is not an int
+
+    def test_boolean_edges(self):
+        kw = dict(source="s", relation="r", column="c")
+        assert coerce_value("YES", DataType.BOOLEAN, **kw) is True
+        assert coerce_value(0, DataType.BOOLEAN, **kw) is False
+        with pytest.raises(SourceFormatError):
+            coerce_value(2, DataType.BOOLEAN, **kw)
+        with pytest.raises(SourceFormatError):
+            coerce_value("maybe", DataType.BOOLEAN, **kw)
+
+    def test_string_and_character_edges(self):
+        kw = dict(source="s", relation="r", column="c")
+        assert coerce_value(12, DataType.STRING, **kw) == "12"
+        assert coerce_value(True, DataType.STRING, **kw) == "true"
+        assert coerce_value("x", DataType.CHARACTER, **kw) == "x"
+        with pytest.raises(SourceFormatError):
+            coerce_value("xy", DataType.CHARACTER, **kw)
+
+    def test_date_edges(self):
+        kw = dict(source="s", relation="r", column="c")
+        assert coerce_value(
+            "2024-02-29", DataType.DATE, **kw
+        ) == datetime.date(2024, 2, 29)
+        with pytest.raises(SourceFormatError):
+            coerce_value("not-a-date", DataType.DATE, **kw)
+
+    def test_none_passes_through_every_type(self):
+        kw = dict(source="s", relation="r", column="c")
+        for data_type in DataType:
+            assert coerce_value(None, data_type, **kw) is None

@@ -61,6 +61,23 @@ def _healthy():
             "status_errors": 0,
             "completed": 200,
         },
+        "sources": {
+            "experiment": "E-R7 heterogeneous source adapters at 1e5 instances",
+            "backend": "sqlite",
+            "seed": 41,
+            "schemas": 3,
+            "total_instances": 108060,
+            "write_ms": 400.0,
+            "load_integrate_ms": 2.0,
+            "cold_ms": 950.0,
+            "warm_ms": 850.0,
+            "cold_agent_scans": 3,
+            "warm_agent_scans": 0,
+            "answers": 2354,
+            "answers_match_memory": True,
+            "scan_extent": 32000,
+            "scan_instances_per_s": 80000.0,
+        },
         "planner": [
             {
                 "federation": "genealogy",
@@ -239,6 +256,54 @@ class TestCheck:
         problems = check_regression.check(doc)
         assert any(
             "answers_match on genealogy" in p for p in problems
+        )
+
+    def test_missing_sources_section_fails(self):
+        doc = _healthy()
+        del doc["sources"]
+        assert any(
+            "sources section is missing" in p for p in check_regression.check(doc)
+        )
+
+    def test_sources_need_a_large_extent(self):
+        doc = _healthy()
+        doc["sources"]["total_instances"] = 9000
+        problems = check_regression.check(doc)
+        assert any("expected >= 100000" in p for p in problems)
+
+    def test_sources_warm_scans_must_be_zero(self):
+        doc = _healthy()
+        doc["sources"]["warm_agent_scans"] = 3
+        problems = check_regression.check(doc)
+        assert any("sources warm_agent_scans is 3" in p for p in problems)
+
+    def test_sources_cold_run_must_scan(self):
+        doc = _healthy()
+        doc["sources"]["cold_agent_scans"] = 0
+        problems = check_regression.check(doc)
+        assert any("cold run scanned no adapter" in p for p in problems)
+
+    def test_sources_query_must_select_something(self):
+        doc = _healthy()
+        doc["sources"]["answers"] = 0
+        problems = check_regression.check(doc)
+        assert any("selected nothing" in p for p in problems)
+
+    def test_sources_answers_must_match_memory(self):
+        doc = _healthy()
+        doc["sources"]["answers_match_memory"] = False
+        problems = check_regression.check(doc)
+        assert any(
+            "diverged from the in-memory baseline" in p for p in problems
+        )
+
+    def test_sources_scan_throughput_drift_fails(self):
+        fresh = _healthy()
+        fresh["sources"]["scan_instances_per_s"] = 30000.0  # < 50% of 80000
+        problems = check_regression.check(fresh, _healthy())
+        assert any(
+            "scan_instances_per_s 30000.0 fell below 50%" in p
+            for p in problems
         )
 
     def test_planner_round_trip_drift_fails(self):
