@@ -1,4 +1,4 @@
-"""Experiments E-R1 – E-R7 — latency, fan-out, sharding, restart, planning, sources.
+"""Experiments E-R1 – E-R8 — latency, fan-out, sharding, restart, planning, sources, deltas.
 
 **E-R1** (4 agents, 10ms injected per-call latency): the same global
 query answered sequentially with the cache off (the pre-runtime
@@ -55,6 +55,16 @@ agent scans).  The answers must match an in-memory federation built
 from the identical dataset, and the largest relation's raw scan
 throughput (rows → instances per second, FK resolution included) is
 reported as the adapter layer's unit price.
+
+**E-R8** (3 heterogeneous component schemas, memory-backed, 5ms
+injected per-call latency): a 90/10 read/write mixed load — every
+tenth operation inserts a fresh person into one component store, the
+rest re-issue the same global query — answered by two runtimes sharing
+the component stores: one patching stale granules in place from the
+delta feed (``deltas=True``), one on the version-mismatch full-rescan
+baseline (``deltas=False``).  The patched side must pay strictly fewer
+agent scans per query than the baseline while returning byte-identical
+answers — the incremental-invalidation subsystem's whole contract.
 
 Runs standalone (``python benchmarks/bench_federation_runtime.py``)
 or under pytest; both emit ``BENCH_runtime.json``.
@@ -113,7 +123,31 @@ SOURCE_RECORDS = 8
 SOURCE_SEED = 41
 SOURCE_QUERY = "person(level=3) -> ssn"
 SOURCE_WARM_ROUNDS = 3
+DELTA_QUERY = "person() -> ssn"
+DELTA_OPS = 200  # total operations in the mixed load
+DELTA_WRITE_EVERY = 10  # every 10th operation writes: a 90/10 mix
+DELTA_LATENCY = 0.005  # 5ms per agent call
+DELTA_PEOPLE = 50  # per schema
+DELTA_SEED = 23
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+#: fresh component rows for E-R8 — the level column differs per schema
+#: (plain, triple-mapped, linearly-mapped) so patched instances must
+#: come out of the data mappings identically to rescanned ones
+DELTA_ROW_OF = {
+    "university": lambda i: {
+        "ssn": f"d8-u{i}", "name": f"du{i}",
+        "level": i % 5 + 1, "dept": "d0",
+    },
+    "hospital": lambda i: {
+        "ssn": f"d8-h{i}", "name": f"dh{i}",
+        "lvl": f"L{i % 5 + 1}", "ward": "w0",
+    },
+    "market": lambda i: {
+        "ssn": f"d8-m{i}", "name": f"dm{i}",
+        "level_bp": (i % 5 + 1) * 100, "sector": "s0",
+    },
+}
 
 
 def _cluster_fsm():
@@ -605,6 +639,89 @@ def run_sources():
     }
 
 
+def run_deltas():
+    """E-R8: 90/10 mixed load — delta patching vs generation bumps."""
+    dataset = generate_source_federation(
+        people_per_schema=DELTA_PEOPLE, records_per_person=2, seed=DELTA_SEED
+    )
+    databases = build_memory_databases(dataset)
+    schemas = sorted(databases)
+
+    def attach(deltas):
+        fsm = source_fsm(databases, dataset.assertions)
+        fsm.integrate_all()
+        transport = SimulatedNetworkTransport(
+            InProcessTransport(fsm._agents, fsm._schema_host),
+            FaultProfile(latency=DELTA_LATENCY),
+        )
+        runtime = FederationRuntime(
+            transport=transport,
+            policy=RuntimePolicy(max_workers=8),
+            deltas=deltas,
+        )
+        fsm.use_runtime(runtime=runtime)
+        return fsm, runtime
+
+    fsm_on, runtime_on = attach(True)
+    fsm_off, runtime_off = attach(False)
+    try:
+        # both sides pay the same cold scans; price only the mixed load
+        fsm_on.query(DELTA_QUERY)
+        fsm_off.query(DELTA_QUERY)
+        base_on = runtime_on.stats().counter("agent_scans")
+        base_off = runtime_off.stats().counter("agent_scans")
+
+        reads = writes = 0
+        on_ms = off_ms = 0.0
+        for step in range(DELTA_OPS):
+            if step % DELTA_WRITE_EVERY == DELTA_WRITE_EVERY - 1:
+                schema = schemas[writes % len(schemas)]
+                databases[schema].adapter.insert(
+                    "person", DELTA_ROW_OF[schema](writes)
+                )
+                writes += 1
+            else:
+                reads += 1
+                started = time.perf_counter()
+                fsm_on.query(DELTA_QUERY)
+                on_ms += (time.perf_counter() - started) * 1000.0
+                started = time.perf_counter()
+                fsm_off.query(DELTA_QUERY)
+                off_ms += (time.perf_counter() - started) * 1000.0
+
+        stats_on = runtime_on.stats()
+        stats_off = runtime_off.stats()
+        patched_scans = stats_on.counter("agent_scans") - base_on
+        bump_scans = stats_off.counter("agent_scans") - base_off
+
+        # final convergence check, outside the priced window
+        rows_on = fsm_on.query(DELTA_QUERY)
+        rows_off = fsm_off.query(DELTA_QUERY)
+    finally:
+        runtime_on.close()
+        runtime_off.close()
+
+    return {
+        "experiment": "E-R8 incremental invalidation under mixed load",
+        "operations": DELTA_OPS,
+        "reads": reads,
+        "writes": writes,
+        "injected_latency_ms": DELTA_LATENCY * 1000.0,
+        "patched_agent_scans": patched_scans,
+        "bump_agent_scans": bump_scans,
+        "patched_scans_per_query": round(patched_scans / reads, 4),
+        "bump_scans_per_query": round(bump_scans / reads, 4),
+        "granules_patched": stats_on.counter("granules_patched"),
+        "deltas_applied": stats_on.counter("deltas_applied"),
+        "fallback_invalidations": stats_on.counter("fallback_invalidations"),
+        "baseline_granules_patched": stats_off.counter("granules_patched"),
+        "patched_read_ms": round(on_ms / reads, 3),
+        "bump_read_ms": round(off_ms / reads, 3),
+        "answers": len(rows_on),
+        "answers_match": _rows_key(rows_on) == _rows_key(rows_off),
+    }
+
+
 def run_all():
     results = run_experiment()
     results["fanout"] = run_fanout_scale()
@@ -613,6 +730,7 @@ def run_all():
     results["service"] = run_service_load()
     results["planner"] = run_planner()
     results["sources"] = run_sources()
+    results["deltas"] = run_deltas()
     return results
 
 
@@ -706,6 +824,31 @@ def test_runtime_latency(benchmark, report):
             ("answers match memory", sources["answers_match_memory"]),
         ],
     )
+    deltas = results["deltas"]
+    report(
+        "E-R8  incremental invalidation, 90/10 mixed load, 3 schemas x 5ms",
+        ("metric", "patched (deltas on)", "bump baseline"),
+        [
+            ("reads / writes", deltas["reads"], deltas["writes"]),
+            (
+                "agent scans (warm window)",
+                deltas["patched_agent_scans"],
+                deltas["bump_agent_scans"],
+            ),
+            (
+                "scans per query",
+                deltas["patched_scans_per_query"],
+                deltas["bump_scans_per_query"],
+            ),
+            (
+                "mean read ms",
+                deltas["patched_read_ms"],
+                deltas["bump_read_ms"],
+            ),
+            ("granules patched", deltas["granules_patched"], 0),
+            ("answers byte-identical", deltas["answers_match"], ""),
+        ],
+    )
     service = results["service"]
     report(
         "E-R5  query service load, 8 keep-alive clients, 4 agents x 5ms",
@@ -740,6 +883,10 @@ def test_runtime_latency(benchmark, report):
     assert sources["cold_agent_scans"] > 0
     assert sources["answers"] > 0
     assert sources["answers_match_memory"]
+    assert deltas["answers_match"]
+    assert deltas["patched_agent_scans"] < deltas["bump_agent_scans"]
+    assert deltas["granules_patched"] > 0
+    assert deltas["baseline_granules_patched"] == 0
     assert len(results["planner"]) == 2  # both example federations
     for entry in results["planner"]:
         assert entry["answers_match"], entry["federation"]

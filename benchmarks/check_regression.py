@@ -28,6 +28,11 @@ federation runtime's load-bearing numbers regress:
   agent scan, a scan-free cold run, zero answers, or answers diverging
   from the in-memory federation — the source-adapter layer stopped
   being a transparent ComponentStore over disk-backed components;
+* in the E-R8 deltas section, no writes in the mixed load, patched
+  agent scans not strictly below the generation-bump baseline's, any
+  granule patched on the baseline side, zero granules patched on the
+  delta side, or answers diverging — incremental invalidation stopped
+  beating rescans or (worse) stopped matching them;
 * optionally, drift against a committed baseline file: any gated metric
   worse than ``tolerance`` × baseline fails even above absolute floors.
 
@@ -234,6 +239,40 @@ def check(
                 "federation diverged from the in-memory baseline)"
             )
 
+    deltas = fresh.get("deltas", {})
+    if not deltas:
+        problems.append("deltas section is missing (E-R8 did not run)")
+    else:
+        if deltas.get("writes", 0) <= 0:
+            problems.append(
+                "deltas writes is 0 (the mixed load never wrote, so E-R8 "
+                "measured an ordinary warm-cache run)"
+            )
+        patched = deltas.get("patched_agent_scans", -1)
+        bump = deltas.get("bump_agent_scans", 0)
+        if not 0 <= patched < bump:
+            problems.append(
+                f"deltas agent scans are {patched} patched vs {bump} bumped, "
+                "expected strictly fewer patched "
+                "(delta patching no longer beats rescan-on-write)"
+            )
+        if deltas.get("granules_patched", 0) <= 0:
+            problems.append(
+                "deltas granules_patched is 0 (the delta side patched "
+                "nothing, so E-R8 compared two rescan baselines)"
+            )
+        if deltas.get("baseline_granules_patched", 0) != 0:
+            problems.append(
+                "deltas baseline_granules_patched is nonzero "
+                "(the deltas=false baseline patched granules, so the "
+                "comparison no longer isolates the feature)"
+            )
+        if not deltas.get("answers_match", False):
+            problems.append(
+                "deltas answers_match is false (the patched run diverged "
+                "from the rescan baseline's answers)"
+            )
+
     if baseline is not None:
         base_speedup = baseline.get("concurrent_speedup", 0.0)
         if base_speedup > 0 and speedup < base_speedup * tolerance:
@@ -392,6 +431,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     service = fresh.get("service", {})
     planner = fresh.get("planner", [])
     sources = fresh.get("sources", {})
+    deltas = fresh.get("deltas", {})
     planner_summary = " ".join(
         f"planner[{entry.get('federation', '?')}]="
         f"{entry.get('planned_round_trips', '?')}/"
@@ -413,6 +453,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"p99={service.get('p99_ms', '?')}ms "
         f"sources={sources.get('total_instances', '?')} instances/"
         f"{sources.get('scan_instances_per_s', '?')} scan-rows/s "
+        f"deltas={deltas.get('patched_agent_scans', '?')}/"
+        f"{deltas.get('bump_agent_scans', '?')} scans "
         + planner_summary
     )
     return 0

@@ -30,7 +30,9 @@ Subcommands:
     to a sqlite file (a re-run with the same path answers warm without
     touching one agent), ``--plan`` / ``--no-plan`` toggles the query
     planner (assertion-graph pruning, per-endpoint scan coalescing,
-    pushdown hints; on by default), ``--repeat N`` re-runs the query
+    pushdown hints; on by default), ``--deltas`` / ``--no-deltas``
+    toggles patching stale cached extents from component delta feeds
+    (on by default), ``--repeat N`` re-runs the query
     (showing the extent cache), ``--appendix-b`` uses the top-down
     evaluator,
     ``--stats`` prints the per-query and cumulative
@@ -201,6 +203,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "one round-trip per scan granule)",
     )
     query.add_argument(
+        "--deltas",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="patch stale cached extents from component delta feeds "
+        "instead of rescanning them (--no-deltas restores the "
+        "rescan-on-any-write baseline)",
+    )
+    query.add_argument(
         "--no-cache", action="store_true", help="disable the extent cache"
     )
     query.add_argument(
@@ -237,8 +247,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "(name=, demo=genealogy|cluster, mode=threaded|async, "
         "schema= (repeatable via ';'), assertions=, data=, source-dir=, "
         "shards=, shard-kind=, latency=MS, max-inflight=, workers=, "
-        "cache-path=, plan=true|false); default: one async 'genealogy' "
-        "tenant",
+        "cache-path=, plan=true|false, deltas=true|false); default: one "
+        "async 'genealogy' tenant",
     )
     serve.add_argument(
         "--allow-remote-shutdown",
@@ -367,6 +377,7 @@ def _attach_query_runtime(fsm, arguments):
         runtime=FederationRuntime(
             transport=transport, policy=policy, mode=mode, shard_plan=shard_plan,
             cache_path=arguments.cache_path, plan=arguments.plan,
+            deltas=arguments.deltas,
         )
     )
 
@@ -466,7 +477,7 @@ def _parse_tenant_spec(spec: str):
     known = {
         "name", "demo", "mode", "schema", "assertions", "data", "shards",
         "shard_kind", "latency", "max_inflight", "scan_inflight", "workers",
-        "cache_path", "plan", "source_dir",
+        "cache_path", "plan", "deltas", "source_dir",
     }
     unknown = sorted(set(values) - known)
     if unknown:
@@ -493,6 +504,8 @@ def _parse_tenant_spec(spec: str):
         max_workers=int(values.get("workers", "8")),
         cache_path=values.get("cache_path"),
         plan=values.get("plan", "true").strip().lower()
+        not in ("0", "false", "no", "off"),
+        deltas=values.get("deltas", "true").strip().lower()
         not in ("0", "false", "no", "off"),
     )
 

@@ -127,6 +127,7 @@ class FederationSession:
         cache_path: Optional[str] = None,
         loop: Optional["EventLoopThread"] = None,
         plan: bool = True,
+        deltas: bool = True,
     ) -> "FederationRuntime":
         """Route agent access through a federation runtime (concurrent
         fan-out, retries, extent caching, metrics); *mode* picks the
@@ -139,10 +140,12 @@ class FederationSession:
         many tenant sessions over one loop; *plan* (default on) runs the
         query planner before dispatch — assertion-graph pruning, scan
         coalescing into per-endpoint batches, and advisory hint
-        pushdown; see :meth:`repro.federation.fsm.FSM.use_runtime`."""
+        pushdown; *deltas* (default on) patches stale cached extents
+        from component delta feeds instead of rescanning them; see
+        :meth:`repro.federation.fsm.FSM.use_runtime`."""
         return self.fsm.use_runtime(
             policy=policy, runtime=runtime, mode=mode, shard_plan=shard_plan,
-            cache_path=cache_path, loop=loop, plan=plan,
+            cache_path=cache_path, loop=loop, plan=plan, deltas=deltas,
         )
 
     @property

@@ -39,6 +39,8 @@ class FSMAgent:
         self._databases: Dict[str, ComponentStore] = {}
         self.access_count = 0
         self.accessed_classes: Set[Tuple[str, str]] = set()
+        #: delta-feed lookups served (not extent scans; see fetch_changes)
+        self.delta_fetches = 0
         # the federation runtime scans agents from a thread pool; the
         # autonomy counters must stay exact under concurrent access
         self._access_lock = threading.Lock()
@@ -104,6 +106,26 @@ class FSMAgent:
     ) -> Set[Any]:
         self._record(schema_name, class_name)
         return self._database(schema_name).value_set(class_name, attribute)
+
+    def fetch_changes(self, schema_name: str, since: int) -> Any:
+        """The store's delta chain from version *since*, or ``None`` when
+        it keeps no feed (plain object databases).
+
+        This is control-plane metadata, not a rule evaluation or an
+        extent scan, so it is *not* counted in :attr:`access_count` —
+        the autonomy property measures extent traffic; it is tallied
+        separately in :attr:`delta_fetches`.
+        """
+        store = self._database(schema_name)
+        changes_since = getattr(store, "changes_since", None)
+        if changes_since is None:
+            return None
+        with self._access_lock:
+            self.delta_fetches += 1
+        from ..runtime.deltas import DeltaReply  # lazy: runtime imports agents
+
+        chain = changes_since(since)
+        return DeltaReply(chain if chain is None else tuple(chain))
 
     # ------------------------------------------------------------------
     def _database(self, schema_name: str) -> ComponentStore:

@@ -285,6 +285,7 @@ class FSM:
         cache_path: Optional[str] = None,
         loop: Optional["EventLoopThread"] = None,
         plan: bool = True,
+        deltas: bool = True,
     ) -> "FederationRuntime":
         """Attach a federation runtime to both evaluation paths.
 
@@ -307,7 +308,11 @@ class FSM:
         (default on) runs every query through the federation query
         planner — assertion-graph pruning, per-endpoint scan
         coalescing, pushdown hints; ``plan=False`` reproduces the
-        pre-planner one-round-trip-per-granule traffic.
+        pre-planner one-round-trip-per-granule traffic.  *deltas*
+        (default on) replays component delta feeds onto stale cached
+        extents — single-row writes patch granules in place instead of
+        forcing full rescans; ``deltas=False`` reproduces the
+        rescan-on-any-write baseline.
         """
         if runtime is None:
             from ..runtime.async_transport import AsyncInProcessTransport
@@ -322,7 +327,7 @@ class FSM:
             runtime = FederationRuntime(
                 transport=transport, policy=policy, mode=mode,
                 shard_plan=shard_plan, cache_path=cache_path, loop=loop,
-                plan=plan,
+                plan=plan, deltas=deltas,
             )
         self.runtime = runtime
         return runtime

@@ -46,6 +46,16 @@ from .async_transport import (
 )
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .cache import MISS, ExtentCache
+from .deltas import (
+    DELTA_OPS,
+    DeltaLog,
+    DeltaOutcome,
+    DeltaRecord,
+    DeltaReply,
+    DeltaUnpatchable,
+    SourceDelta,
+    describe_granule,
+)
 from .executor import (
     FederationExecutor,
     ScanFailure,
@@ -89,6 +99,12 @@ __all__ = [
     "AsyncTransportAdapter",
     "CLOSED",
     "CircuitBreaker",
+    "DELTA_OPS",
+    "DeltaLog",
+    "DeltaOutcome",
+    "DeltaRecord",
+    "DeltaReply",
+    "DeltaUnpatchable",
     "EventLoopThread",
     "ExtentCache",
     "FORMAT_VERSION",
@@ -115,9 +131,11 @@ __all__ = [
     "ShardSpec",
     "ShardedOutcome",
     "SimulatedNetworkTransport",
+    "SourceDelta",
     "TimerStats",
     "coalesce_by_endpoint",
     "contributing_classes",
+    "describe_granule",
     "expand_outcome",
     "merge_shard_values",
     "plan_query",

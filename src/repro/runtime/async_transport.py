@@ -60,6 +60,10 @@ class AsyncAgentTransport:
         """Backing-store version for *request*, or None when unobservable."""
         return None
 
+    def changes(self, request: ScanRequest, since: int) -> Optional[Any]:
+        """Delta chain from *since* (synchronous control-plane lookup)."""
+        return None
+
     async def perform(self, request: Scannable) -> Any:
         """Execute the scan (or coalesced batch) and return its raw value."""
         raise NotImplementedError
@@ -86,6 +90,9 @@ class AsyncTransportAdapter(AsyncAgentTransport):
 
     def generation(self, request: ScanRequest) -> Optional[int]:
         return self.inner.generation(request)
+
+    def changes(self, request: ScanRequest, since: int) -> Optional[Any]:
+        return self.inner.changes(request, since)
 
     async def perform(self, request: Scannable) -> Any:
         return self.inner.perform(request)
@@ -168,6 +175,10 @@ class AsyncSimulatedNetworkTransport(AsyncAgentTransport):
 
     def generation(self, request: ScanRequest) -> Optional[int]:
         return self._inner.generation(request)
+
+    def changes(self, request: ScanRequest, since: int) -> Optional[Any]:
+        # control-plane, like generation(): no latency or fault injection
+        return self._inner.changes(request, since)
 
     async def perform(self, request: Scannable) -> Any:
         endpoint = request.endpoint

@@ -33,6 +33,14 @@ import threading
 from contextlib import nullcontext
 from typing import TYPE_CHECKING, Any, ContextManager, Dict, Mapping, Optional, Tuple
 
+from .deltas import (
+    ChainFetcher,
+    DeltaOutcome,
+    DeltaUnpatchable,
+    chain_is_contiguous,
+    describe_granule,
+    patch_variant,
+)
 from .transport import ScanRequest
 
 if TYPE_CHECKING:
@@ -168,6 +176,114 @@ class ExtentCache:
                     self._store.put(
                         key, variant, value, self._generation, source_generation
                     )
+
+    # ------------------------------------------------------------------
+    # delta feeds (incremental invalidation)
+    # ------------------------------------------------------------------
+    def apply_deltas(
+        self,
+        agent: str,
+        schema: str,
+        target_version: int,
+        fetch: ChainFetcher,
+    ) -> DeltaOutcome:
+        """Patch every stale granule of ``(agent, schema)`` toward
+        *target_version* by replaying delta chains, instead of letting
+        version-mismatch eviction force full rescans.
+
+        *fetch* is called at most once per distinct stale entry version
+        and answers with a :class:`~repro.runtime.deltas.DeltaReply`
+        (or ``None`` when the store keeps no feed, which aborts the
+        sync untouched).  Variants the chain cannot patch — a sequence
+        gap, a rescan marker, a value-set delete — are **individually
+        evicted** (memory and persistent tier), never the whole cache:
+        the promised fallback is targeted granule invalidation, not a
+        generation bump.  Patched entries are written through to the
+        persistent store at the new version, so deltas survive a
+        restart without an agent scan.
+        """
+        outcome = DeltaOutcome()
+        chains: Dict[int, Any] = {}
+        used: set = set()
+        with self._lock:
+            for key in [
+                key
+                for key in self._granules
+                if key[0] == agent and key[1] == schema
+            ]:
+                granule = self._granules.get(key)
+                if granule is None:
+                    continue
+                shard_coord = key[3] if len(key) > 3 else None
+                for variant in list(granule):
+                    entry = granule[variant]
+                    if entry.cache_generation != self._generation:
+                        continue  # condemned already; get() evicts lazily
+                    since = entry.source_generation
+                    if since is None or since == target_version:
+                        continue
+                    if since not in chains:
+                        reply = fetch(since)
+                        if reply is None:
+                            outcome.feed_missing = True
+                            return outcome
+                        chain = reply.chain
+                        if chain is not None and not chain_is_contiguous(
+                            chain, since, target_version
+                        ):
+                            # the chain cannot certify freshness: an
+                            # unlogged write slipped past the feed head,
+                            # or entries were dropped, duplicated or
+                            # reordered on the way here
+                            chain = None
+                        chains[since] = chain
+                    chain = chains[since]
+                    description = describe_granule(key, variant)
+                    if chain is None:
+                        self._evict_variant(key, granule, variant)
+                        outcome.fallbacks.append((description, "sequence gap"))
+                        continue
+                    relevant = [
+                        record
+                        for delta in chain
+                        for record in delta.records
+                        if record.relation == key[2]
+                    ]
+                    try:
+                        patch_variant(entry.value, variant, relevant, shard_coord)
+                    except DeltaUnpatchable as reason:
+                        self._evict_variant(key, granule, variant)
+                        outcome.fallbacks.append((description, str(reason)))
+                        continue
+                    entry.source_generation = target_version
+                    outcome.granules_patched += 1
+                    if since not in used:
+                        used.add(since)
+                        outcome.deltas_applied += len(chain)
+                    if self._store is not None:
+                        with self._persistence_timer():
+                            self._store.put(
+                                key,
+                                variant,
+                                entry.value,
+                                self._generation,
+                                target_version,
+                            )
+        return outcome
+
+    def _evict_variant(
+        self,
+        key: Tuple[Any, ...],
+        granule: Dict[Tuple[str, Optional[str]], _Entry],
+        variant: Tuple[str, Optional[str]],
+    ) -> None:
+        """Drop one variant (both tiers); the caller holds the lock."""
+        granule.pop(variant, None)
+        if not granule:
+            self._granules.pop(key, None)
+        if self._store is not None:
+            with self._persistence_timer():
+                self._store.delete(key, variant)
 
     # ------------------------------------------------------------------
     def invalidate(

@@ -28,6 +28,11 @@ Counter vocabulary (all monotonic):
 ``planned_queries``     queries the planner pruned/coalesced
 ``pruned_classes``      integrated classes skipped by query-time pruning
 ``lost_granules``       granules lost when their batch's dispatch failed
+``deltas_applied``      delta-feed version steps replayed into the cache
+``granules_patched``    cache variants patched in place by delta chains
+``fallback_invalidations``  variants evicted because a delta chain could
+                        not patch them (gap / rescan marker / value-set
+                        delete) — targeted eviction, never a full bump
 
 Timer vocabulary includes the ``persistence`` phase: every persistent
 extent-store interaction (the warm-restart reload, spills on fill,
@@ -71,6 +76,7 @@ class RuntimeStats:
         missing_shards: Optional[Mapping[str, int]] = None,
         agent_round_trips: Optional[Mapping[str, int]] = None,
         lost_granules: Optional[Mapping[str, int]] = None,
+        fallback_invalidations: Optional[Mapping[str, int]] = None,
     ) -> None:
         self.counters: Dict[str, int] = dict(counters)
         self.agent_scans: Dict[str, int] = dict(agent_scans)
@@ -83,6 +89,11 @@ class RuntimeStats:
         #: granule descriptions lost to failed batch dispatches -> count,
         #: the exact account a degraded planned fan-out owes the caller
         self.lost_granules: Dict[str, int] = dict(lost_granules or {})
+        #: granule descriptions evicted by the delta fallback -> count —
+        #: names exactly which variants a broken feed forced to rescan
+        self.fallback_invalidations: Dict[str, int] = dict(
+            fallback_invalidations or {}
+        )
 
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -108,6 +119,10 @@ class RuntimeStats:
             granule: value - earlier.lost_granules.get(granule, 0)
             for granule, value in self.lost_granules.items()
         }
+        fallbacks = {
+            granule: value - earlier.fallback_invalidations.get(granule, 0)
+            for granule, value in self.fallback_invalidations.items()
+        }
         timers = {}
         for phase, stats in self.timers.items():
             prior = earlier.timers.get(phase, TimerStats(0, 0.0, 0.0))
@@ -124,6 +139,7 @@ class RuntimeStats:
             {k: v for k, v in missing.items() if v},
             {k: v for k, v in trips.items() if v},
             {k: v for k, v in lost.items() if v},
+            {k: v for k, v in fallbacks.items() if v},
         )
 
     def describe(self) -> str:
@@ -145,6 +161,12 @@ class RuntimeStats:
             lines.append("  lost granules:")
             for granule in sorted(self.lost_granules):
                 lines.append(f"    {granule:<20} {self.lost_granules[granule]}")
+        if self.fallback_invalidations:
+            lines.append("  fallback invalidations:")
+            for granule in sorted(self.fallback_invalidations):
+                lines.append(
+                    f"    {granule:<20} {self.fallback_invalidations[granule]}"
+                )
         if self.missing_shards:
             lines.append("  missing shards:")
             for endpoint in sorted(self.missing_shards):
@@ -177,6 +199,7 @@ class RuntimeMetrics:
         self._missing_shards: Dict[str, int] = {}
         self._agent_round_trips: Dict[str, int] = {}
         self._lost_granules: Dict[str, int] = {}
+        self._fallback_invalidations: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
@@ -209,6 +232,17 @@ class RuntimeMetrics:
             )
             self._lost_granules[description] = (
                 self._lost_granules.get(description, 0) + 1
+            )
+
+    def record_fallback_invalidation(self, description: str) -> None:
+        """One cache variant was evicted because its delta chain could
+        not patch it — the targeted fallback the delta path promises."""
+        with self._lock:
+            self._counters["fallback_invalidations"] = (
+                self._counters.get("fallback_invalidations", 0) + 1
+            )
+            self._fallback_invalidations[description] = (
+                self._fallback_invalidations.get(description, 0) + 1
             )
 
     def record_missing_shard(self, endpoint: str) -> None:
@@ -245,6 +279,7 @@ class RuntimeMetrics:
                 self._missing_shards,
                 self._agent_round_trips,
                 self._lost_granules,
+                self._fallback_invalidations,
             )
 
     def reset(self) -> None:
@@ -255,3 +290,4 @@ class RuntimeMetrics:
             self._missing_shards.clear()
             self._agent_round_trips.clear()
             self._lost_granules.clear()
+            self._fallback_invalidations.clear()

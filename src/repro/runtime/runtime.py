@@ -95,6 +95,7 @@ class FederationRuntime:
         cache_path: "str | os.PathLike[str] | None" = None,
         loop: Optional[EventLoopThread] = None,
         plan: bool = True,
+        deltas: bool = True,
     ) -> None:
         if mode not in MODES:
             raise RuntimeFederationError(
@@ -153,6 +154,10 @@ class FederationRuntime:
         #: query planning: coalesce fan-outs into batched round-trips and
         #: let the FSM prune/push down; off reproduces pre-planner traffic
         self.plan_enabled = bool(plan)
+        #: incremental invalidation: replay component delta feeds onto
+        #: stale cache granules before each freshness check; off
+        #: reproduces the full-rescan-on-any-write baseline
+        self.deltas_enabled = bool(deltas)
         #: the most recent QueryPlan the FSM ran through this runtime
         self.last_plan: Optional[Any] = None
         #: warnings from the most recent degraded operation
@@ -354,9 +359,31 @@ class FederationRuntime:
     def _cache_get(self, request: ScanRequest) -> Any:
         if not self.policy.cache_enabled:
             return MISS
-        value = self.cache.get(request, self.transport.generation(request))
+        current = self.transport.generation(request)
+        if self.deltas_enabled and current is not None:
+            self._sync_deltas(request, current)
+        value = self.cache.get(request, current)
         self.metrics.incr("cache_hits" if value is not MISS else "cache_misses")
         return value
+
+    def _sync_deltas(self, request: ScanRequest, current: int) -> None:
+        """Replay the component's delta feed onto stale cached granules
+        of this request's ``(agent, schema)`` before the freshness
+        check, so a single-row write patches instead of forcing rescans.
+        Un-patchable variants are individually evicted and accounted in
+        ``fallback_invalidations`` — never a full generation bump."""
+        outcome = self.cache.apply_deltas(
+            request.agent,
+            request.schema,
+            current,
+            lambda since: self.transport.changes(request, since),
+        )
+        if outcome.deltas_applied:
+            self.metrics.incr("deltas_applied", outcome.deltas_applied)
+        if outcome.granules_patched:
+            self.metrics.incr("granules_patched", outcome.granules_patched)
+        for description, _reason in outcome.fallbacks:
+            self.metrics.record_fallback_invalidation(description)
 
     def _cache_put(self, request: ScanRequest, value: Any) -> None:
         if self.policy.cache_enabled:

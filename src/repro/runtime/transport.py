@@ -271,6 +271,18 @@ class AgentTransport:
         """
         return None
 
+    def changes(self, request: ScanRequest, since: int) -> Optional[Any]:
+        """The delta chain from *since* to the store's current version.
+
+        A control-plane lookup like :meth:`generation` — cheap, local,
+        no fault injection.  Returns ``None`` when the store keeps no
+        delta feed at all (the cache then relies on ordinary version-
+        mismatch eviction), or a
+        :class:`~repro.runtime.deltas.DeltaReply` whose ``chain`` is
+        ``None`` when a feed exists but cannot cover the span.
+        """
+        return None
+
     def perform(self, request: Scannable) -> Any:
         """Execute the scan (or coalesced batch) and return its raw value."""
         raise NotImplementedError
@@ -312,6 +324,12 @@ class InProcessTransport(AgentTransport):
     def generation(self, request: ScanRequest) -> Optional[int]:
         try:
             return self._agent(request.agent).database(request.schema).version
+        except RegistrationError:
+            return None
+
+    def changes(self, request: ScanRequest, since: int) -> Optional[Any]:
+        try:
+            return self._agent(request.agent).fetch_changes(request.schema, since)
         except RegistrationError:
             return None
 
@@ -422,6 +440,10 @@ class SimulatedNetworkTransport(AgentTransport):
 
     def generation(self, request: ScanRequest) -> Optional[int]:
         return self._inner.generation(request)
+
+    def changes(self, request: ScanRequest, since: int) -> Optional[Any]:
+        # control-plane, like generation(): no latency or fault injection
+        return self._inner.changes(request, since)
 
     def perform(self, request: Scannable) -> Any:
         endpoint = request.endpoint

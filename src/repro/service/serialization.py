@@ -49,13 +49,18 @@ def stats_to_dict(stats: RuntimeStats) -> Dict[str, Any]:
     """A :class:`RuntimeStats` snapshot (or delta) as a JSON document.
 
     The shape mirrors :meth:`RuntimeStats.describe` — counters, the
-    per-agent scan histogram, missing shard endpoints and phase timers
-    (milliseconds) — with keys sorted for stable output.
+    per-agent scan histogram, the granules evicted by delta-feed
+    fallbacks, missing shard endpoints and phase timers (milliseconds)
+    — with keys sorted for stable output.
     """
     return {
         "counters": {name: stats.counters[name] for name in sorted(stats.counters)},
         "agent_scans": {
             agent: stats.agent_scans[agent] for agent in sorted(stats.agent_scans)
+        },
+        "fallback_invalidations": {
+            granule: stats.fallback_invalidations[granule]
+            for granule in sorted(stats.fallback_invalidations)
         },
         "missing_shards": {
             endpoint: stats.missing_shards[endpoint]

@@ -77,6 +77,9 @@ class TenantConfig:
     latency_ms: float = 0.0
     #: run the query planner (prune + coalesce + hint pushdown) per query
     plan: bool = True
+    #: patch stale cached extents from component delta feeds instead of
+    #: rescanning them (``deltas=false`` restores the bump baseline)
+    deltas: bool = True
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -190,6 +193,7 @@ def attach_runtime(
         cache_path=config.cache_path,
         loop=loop if config.mode == "async" else None,
         plan=config.plan,
+        deltas=config.deltas,
     )
     return fsm.use_runtime(runtime=runtime, plan=config.plan)
 

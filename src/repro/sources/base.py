@@ -63,6 +63,7 @@ from ..model.datatypes import DataType, conforms
 from ..model.instances import ObjectInstance
 from ..model.oids import OID
 from ..model.schema import Schema
+from ..runtime.deltas import DeltaLog, DeltaRecord, SourceDelta
 
 
 @dataclasses.dataclass(frozen=True)
@@ -303,6 +304,10 @@ class SourceAdapter:
         # cached per source version so one bulk scan does not re-read its
         # target relation once per FK column.
         self._pk_cache: Dict[str, Tuple[int, Dict[Any, OID]]] = {}
+        # writes performed *through* the adapter append their mapped
+        # records here; external modifications skip the log, so readers
+        # behind an unlogged version step hit the chain-gap fallback
+        self._delta_log = DeltaLog()
 
     # ------------------------------------------------------------------
     # the storage interface (subclass responsibility)
@@ -318,6 +323,74 @@ class SourceAdapter:
     def source_version(self) -> int:
         """A fingerprint of the current on-disk state (cache freshness)."""
         raise NotImplementedError
+
+    def fetch_numbered_rows(
+        self, relation: RelationSpec
+    ) -> Iterator[Tuple[int, Mapping[str, Any]]]:
+        """Yield ``(tuple number, raw row)`` pairs in storage order.
+
+        The default numbers rows positionally 1..n, reproducing the §3
+        "OIDs assigned in the normal way" scheme.  Backends whose write
+        path can keep numbers stable across deletes (tombstones, rowids)
+        override this so a delete patches instead of renumbering.
+        """
+        return enumerate(self.fetch_rows(relation), start=1)
+
+    # ------------------------------------------------------------------
+    # the delta feed (incremental invalidation)
+    # ------------------------------------------------------------------
+    def changes_since(
+        self, version: int
+    ) -> Optional[Tuple[SourceDelta, ...]]:
+        """The contiguous delta chain from *version*, or ``None`` (gap).
+
+        Only writes made through the adapter's own helpers are logged;
+        a version step the adapter did not observe (an external file
+        edit, a :meth:`MemorySourceAdapter.bump`) breaks the chain and
+        sends readers to the targeted-rescan fallback.
+        """
+        return self._delta_log.changes_since(version)
+
+    def _oid(self, relation_name: str, number: int) -> OID:
+        return OID(self.agent, self.system, self.name, relation_name, number)
+
+    def _referrers(self, relation_name: str) -> Tuple[str, ...]:
+        """Relations whose FK resolution a write to *relation_name* can
+        change — their extents embed OIDs looked up in its pk index."""
+        return tuple(
+            spec.name
+            for spec in self.relations()
+            if any(
+                fk.target_relation == relation_name for fk in spec.foreign_keys
+            )
+        )
+
+    def _lift_row(
+        self, spec: RelationSpec, number: int, row: Mapping[str, Any]
+    ) -> ObjectInstance:
+        """Run the §3 pipeline on one written row (mapped delta payload)."""
+        plans = self._attribute_plans(spec)
+        fk_by_column = {fk.column: fk for fk in spec.foreign_keys}
+        pk_indexes = {
+            fk.target_relation: self._pk_index(fk.target_relation)
+            for fk in spec.foreign_keys
+        }
+        return self._materialize_row(
+            spec, number, row, plans, fk_by_column, pk_indexes
+        )
+
+    def _log_delta(
+        self,
+        base_version: int,
+        new_version: int,
+        records: Sequence[DeltaRecord],
+    ) -> int:
+        """Append one observed version step to the feed (no-ops skipped)."""
+        if new_version != base_version:
+            self._delta_log.record(
+                SourceDelta(base_version, new_version, tuple(records))
+            )
+        return new_version
 
     # ------------------------------------------------------------------
     # §3: relational schema → OO schema
@@ -393,33 +466,47 @@ class SourceAdapter:
             fk.target_relation: self._pk_index(fk.target_relation)
             for fk in spec.foreign_keys
         }
-        instances: List[ObjectInstance] = []
-        for number, row in enumerate(self.fetch_rows(spec), start=1):
-            oid = OID(self.agent, self.system, self.name, spec.name, number)
-            attributes: Dict[str, Any] = {}
-            for plan in plans:
-                attributes[plan.target] = self._translate(
-                    row.get(plan.column), plan, spec.name, number
-                )
-            aggregations: Dict[str, OID] = {}
-            for column, foreign_key in fk_by_column.items():
-                raw = row.get(column)
-                if raw is None:
-                    continue
-                key = coerce_value(
-                    raw,
-                    spec.column(column).data_type,
-                    source=self.name,
-                    relation=spec.name,
-                    column=column,
-                )
-                target_oid = pk_indexes[foreign_key.target_relation].get(key)
-                if target_oid is not None:
-                    # dangling references stay unresolved — autonomy: a
-                    # federation must not reject a component's data
-                    aggregations[column] = target_oid
-            instances.append(ObjectInstance(oid, spec.name, attributes, aggregations))
-        return instances
+        return [
+            self._materialize_row(
+                spec, number, row, plans, fk_by_column, pk_indexes
+            )
+            for number, row in self.fetch_numbered_rows(spec)
+        ]
+
+    def _materialize_row(
+        self,
+        spec: RelationSpec,
+        number: int,
+        row: Mapping[str, Any],
+        plans: Tuple[_AttributePlan, ...],
+        fk_by_column: Mapping[str, ForeignKey],
+        pk_indexes: Mapping[str, Mapping[Any, OID]],
+    ) -> ObjectInstance:
+        """One raw row → one mapped O-term (the body of :meth:`scan`)."""
+        oid = OID(self.agent, self.system, self.name, spec.name, number)
+        attributes: Dict[str, Any] = {}
+        for plan in plans:
+            attributes[plan.target] = self._translate(
+                row.get(plan.column), plan, spec.name, number
+            )
+        aggregations: Dict[str, OID] = {}
+        for column, foreign_key in fk_by_column.items():
+            raw = row.get(column)
+            if raw is None:
+                continue
+            key = coerce_value(
+                raw,
+                spec.column(column).data_type,
+                source=self.name,
+                relation=spec.name,
+                column=column,
+            )
+            target_oid = pk_indexes[foreign_key.target_relation].get(key)
+            if target_oid is not None:
+                # dangling references stay unresolved — autonomy: a
+                # federation must not reject a component's data
+                aggregations[column] = target_oid
+        return ObjectInstance(oid, spec.name, attributes, aggregations)
 
     def count_rows(self, relation_name: str) -> int:
         """Row count of one relation; backends may override with a fast path."""
@@ -518,7 +605,7 @@ class SourceAdapter:
         spec = self.relation(relation_name)
         pk_type = spec.column(spec.primary_key).data_type
         index: Dict[Any, OID] = {}
-        for number, row in enumerate(self.fetch_rows(spec), start=1):
+        for number, row in self.fetch_numbered_rows(spec):
             key = coerce_value(
                 row.get(spec.primary_key),
                 pk_type,
@@ -540,7 +627,12 @@ class MemorySourceAdapter(SourceAdapter):
     """Rows held in memory — the parity baseline and unit-test backend.
 
     The same declared relations and mappings as the disk backends, with
-    an explicit :meth:`bump` standing in for a file modification.
+    an explicit :meth:`bump` standing in for an *unobserved* file
+    modification (no delta is logged, so caches hit the gap fallback).
+    The write helpers (:meth:`insert`, :meth:`update_row`,
+    :meth:`delete_row`) log mapped delta records; deleted slots become
+    tombstones so surviving rows keep their tuple numbers — and their
+    OIDs — which is what makes a delete patchable at all.
     """
 
     kind = "memory"
@@ -557,7 +649,8 @@ class MemorySourceAdapter(SourceAdapter):
         super().__init__(
             name, agent=agent, system=system, relations=relations, mappings=mappings
         )
-        self._rows: Dict[str, List[Dict[str, Any]]] = {
+        # a slot holds the raw row dict, or None once deleted (tombstone)
+        self._rows: Dict[str, List[Optional[Dict[str, Any]]]] = {
             relation: [dict(row) for row in relation_rows]
             for relation, relation_rows in rows.items()
         }
@@ -568,21 +661,107 @@ class MemorySourceAdapter(SourceAdapter):
         return self._declared
 
     def fetch_rows(self, relation: RelationSpec) -> Iterator[Mapping[str, Any]]:
-        yield from self._rows.get(relation.name, [])
+        for row in self._rows.get(relation.name, []):
+            if row is not None:
+                yield row
+
+    def fetch_numbered_rows(
+        self, relation: RelationSpec
+    ) -> Iterator[Tuple[int, Mapping[str, Any]]]:
+        # tombstones keep their slot, so numbering (and OIDs) survive
+        # deletes; live rows simply skip the dead slots
+        for number, row in enumerate(self._rows.get(relation.name, []), start=1):
+            if row is not None:
+                yield number, row
 
     def source_version(self) -> int:
         return self._version
 
     def bump(self) -> int:
-        """Simulate a component-side write (invalidates cached extents)."""
+        """Simulate an *unobserved* component-side write: the version
+        moves but no delta is logged, so cached extents can only be
+        refreshed by the gap fallback (targeted eviction + rescan)."""
         self._version += 1
         return self._version
 
+    def _slot(self, relation_name: str, number: int) -> Dict[str, Any]:
+        rows = self._rows.get(relation_name, [])
+        if not 1 <= number <= len(rows):
+            raise SourceConfigError(
+                f"source {self.name!r}, relation {relation_name!r}: "
+                f"no row numbered {number}"
+            )
+        row = rows[number - 1]
+        if row is None:
+            raise SourceConfigError(
+                f"source {self.name!r}, relation {relation_name!r}: "
+                f"row {number} was deleted"
+            )
+        return row
+
     def insert(self, relation_name: str, row: Mapping[str, Any]) -> int:
-        """Append one raw row and bump the version — a component write."""
-        self.relation(relation_name)  # validates the name
-        self._rows.setdefault(relation_name, []).append(dict(row))
-        return self.bump()
+        """Append one raw row, bump the version and log the delta."""
+        spec = self.relation(relation_name)
+        rows = self._rows.setdefault(relation_name, [])
+        rows.append(dict(row))
+        base, self._version = self._version, self._version + 1
+        records = [
+            DeltaRecord(
+                "insert",
+                spec.name,
+                self._oid(spec.name, len(rows)),
+                self._lift_row(spec, len(rows), rows[-1]),
+            )
+        ]
+        # a new pk value may resolve previously-dangling references in
+        # relations that point here; their extents need a rescan
+        records.extend(
+            DeltaRecord("rescan", referrer)
+            for referrer in self._referrers(spec.name)
+        )
+        return self._log_delta(base, self._version, records)
+
+    def update_row(
+        self, relation_name: str, number: int, changes: Mapping[str, Any]
+    ) -> int:
+        """Merge *changes* into row *number* and log the update delta."""
+        spec = self.relation(relation_name)
+        row = self._slot(relation_name, number)
+        pk_moved = (
+            spec.primary_key in changes
+            and changes[spec.primary_key] != row.get(spec.primary_key)
+        )
+        row.update(changes)
+        base, self._version = self._version, self._version + 1
+        records = [
+            DeltaRecord(
+                "update",
+                spec.name,
+                self._oid(spec.name, number),
+                self._lift_row(spec, number, row),
+            )
+        ]
+        if pk_moved:
+            records.extend(
+                DeltaRecord("rescan", referrer)
+                for referrer in self._referrers(spec.name)
+            )
+        return self._log_delta(base, self._version, records)
+
+    def delete_row(self, relation_name: str, number: int) -> int:
+        """Tombstone row *number* and log the delete delta."""
+        spec = self.relation(relation_name)
+        self._slot(relation_name, number)  # validates it exists, undeleted
+        self._rows[relation_name][number - 1] = None
+        base, self._version = self._version, self._version + 1
+        records = [DeltaRecord("delete", spec.name, self._oid(spec.name, number))]
+        # references into the deleted row dangle on rescan; referrer
+        # extents must not keep serving the resolved OID
+        records.extend(
+            DeltaRecord("rescan", referrer)
+            for referrer in self._referrers(spec.name)
+        )
+        return self._log_delta(base, self._version, records)
 
 
 class SourceDatabase:
@@ -602,6 +781,12 @@ class SourceDatabase:
     @property
     def version(self) -> int:
         return self.adapter.source_version()
+
+    def changes_since(self, version: int) -> Optional[Tuple[SourceDelta, ...]]:
+        """The adapter's delta chain from *version* (None on a gap) —
+        the hook :meth:`FSMAgent.fetch_changes
+        <repro.federation.agent.FSMAgent.fetch_changes>` discovers."""
+        return self.adapter.changes_since(version)
 
     # ------------------------------------------------------------------
     def direct_extent(self, class_name: str) -> List[ObjectInstance]:

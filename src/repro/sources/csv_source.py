@@ -16,14 +16,14 @@ truncated or over-long record — a typed, row-numbered
 from __future__ import annotations
 
 import csv
-import os
-import zlib
 from pathlib import Path
 from typing import Any, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import SourceConfigError, SourceFormatError, SourceUnavailableError
 from ..federation.relational import Column
+from ..runtime.deltas import DeltaRecord
 from .base import ColumnMapping, RelationSpec, SourceAdapter
+from .fingerprint import FileFingerprinter
 
 SUFFIX = ".csv"
 
@@ -45,6 +45,7 @@ class CsvSourceAdapter(SourceAdapter):
     ) -> None:
         self.directory = Path(directory)
         self.encoding = encoding
+        self._fingerprinter = FileFingerprinter()
         super().__init__(
             name or self.directory.name,
             agent=agent,
@@ -129,16 +130,50 @@ class CsvSourceAdapter(SourceAdapter):
                 }
 
     def source_version(self) -> int:
-        digest = 0
-        for path in self._files():
-            try:
-                stat = os.stat(path)
-            except OSError as error:
-                raise SourceUnavailableError(
-                    f"csv source {self.name!r}: cannot stat {path.name!r}: {error}"
-                ) from error
-            digest = zlib.crc32(
-                f"{path.name}:{stat.st_mtime_ns}:{stat.st_size};".encode("utf-8"),
-                digest,
+        """Fingerprint the files' *contents* (stat-memoized), so rapid
+        same-mtime rewrites cannot alias to the pre-write version."""
+        try:
+            return self._fingerprinter.version(self._files())
+        except OSError as error:
+            raise SourceUnavailableError(
+                f"csv source {self.name!r}: cannot read its files: {error}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # the write path (observed writes feed the delta log)
+    # ------------------------------------------------------------------
+    def append_row(self, relation_name: str, row: Mapping[str, Any]) -> int:
+        """Append one record to the relation's file and log the delta.
+
+        Appends preserve positional numbering (the new row is last), so
+        the write is patchable; any other CSV edit happens outside the
+        adapter and reaches caches through the chain-gap fallback.
+        """
+        spec = self.relation(relation_name)
+        path = self._file_for(relation_name)
+        header = self._read_header(path)
+        base = self.source_version()
+        try:
+            with path.open("a", newline="", encoding=self.encoding) as handle:
+                csv.writer(handle).writerow(
+                    "" if row.get(column) is None else row[column]
+                    for column in header
+                )
+        except OSError as error:
+            raise SourceUnavailableError(
+                f"csv source {self.name!r}: cannot write {path.name!r}: {error}"
+            ) from error
+        number = self.count_rows(relation_name)
+        records = [
+            DeltaRecord(
+                "insert",
+                spec.name,
+                self._oid(spec.name, number),
+                self._lift_row(spec, number, dict(row)),
             )
-        return digest
+        ]
+        records.extend(
+            DeltaRecord("rescan", referrer)
+            for referrer in self._referrers(spec.name)
+        )
+        return self._log_delta(base, self.source_version(), records)

@@ -14,15 +14,15 @@ that, as with CSV.  Nested values (arrays, objects) have no place in the
 from __future__ import annotations
 
 import json
-import os
-import zlib
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import SourceConfigError, SourceFormatError, SourceUnavailableError
 from ..federation.relational import Column
 from ..model.datatypes import DataType
+from ..runtime.deltas import DeltaRecord
 from .base import ColumnMapping, RelationSpec, SourceAdapter
+from .fingerprint import FileFingerprinter
 
 SUFFIX = ".json"
 
@@ -54,6 +54,7 @@ class JsonSourceAdapter(SourceAdapter):
     ) -> None:
         self.directory = Path(directory)
         self.encoding = encoding
+        self._fingerprinter = FileFingerprinter()
         super().__init__(
             name or self.directory.name,
             agent=agent,
@@ -146,17 +147,82 @@ class JsonSourceAdapter(SourceAdapter):
             yield {column: record.get(column) for column in relation.column_names}
 
     def source_version(self) -> int:
-        digest = 0
-        for path in self._files():
-            try:
-                stat = os.stat(path)
-            except OSError as error:
-                raise SourceUnavailableError(
-                    f"json source {self.name!r}: cannot stat {path.name!r}: "
-                    f"{error}"
-                ) from error
-            digest = zlib.crc32(
-                f"{path.name}:{stat.st_mtime_ns}:{stat.st_size};".encode("utf-8"),
-                digest,
+        """Fingerprint the files' *contents* (stat-memoized), so rapid
+        same-mtime rewrites cannot alias to the pre-write version."""
+        try:
+            return self._fingerprinter.version(self._files())
+        except OSError as error:
+            raise SourceUnavailableError(
+                f"json source {self.name!r}: cannot read its files: {error}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # the write path (observed writes feed the delta log)
+    # ------------------------------------------------------------------
+    def _dump(self, relation_name: str, records: List[Any]) -> None:
+        path = self.directory / f"{relation_name}{SUFFIX}"
+        try:
+            path.write_text(
+                json.dumps(records, indent=1), encoding=self.encoding
             )
-        return digest
+        except OSError as error:
+            raise SourceUnavailableError(
+                f"json source {self.name!r}: cannot write {path.name!r}: "
+                f"{error}"
+            ) from error
+
+    def append_row(self, relation_name: str, row: Mapping[str, Any]) -> int:
+        """Append one record to the relation's array and log the delta."""
+        spec = self.relation(relation_name)
+        stored = self._load(relation_name)
+        base = self.source_version()
+        stored.append(dict(row))
+        self._dump(relation_name, stored)
+        deltas = [
+            DeltaRecord(
+                "insert",
+                spec.name,
+                self._oid(spec.name, len(stored)),
+                self._lift_row(spec, len(stored), dict(row)),
+            )
+        ]
+        deltas.extend(
+            DeltaRecord("rescan", referrer)
+            for referrer in self._referrers(spec.name)
+        )
+        return self._log_delta(base, self.source_version(), deltas)
+
+    def update_row(
+        self, relation_name: str, number: int, changes: Mapping[str, Any]
+    ) -> int:
+        """Merge *changes* into record *number* and log the update delta."""
+        spec = self.relation(relation_name)
+        stored = self._load(relation_name)
+        if not 1 <= number <= len(stored):
+            raise SourceConfigError(
+                f"json source {self.name!r}, relation {relation_name!r}: "
+                f"no record numbered {number}"
+            )
+        base = self.source_version()
+        record = dict(stored[number - 1])
+        pk_moved = (
+            spec.primary_key in changes
+            and changes[spec.primary_key] != record.get(spec.primary_key)
+        )
+        record.update(changes)
+        stored[number - 1] = record
+        self._dump(relation_name, stored)
+        deltas = [
+            DeltaRecord(
+                "update",
+                spec.name,
+                self._oid(spec.name, number),
+                self._lift_row(spec, number, record),
+            )
+        ]
+        if pk_moved:
+            deltas.extend(
+                DeltaRecord("rescan", referrer)
+                for referrer in self._referrers(spec.name)
+            )
+        return self._log_delta(base, self.source_version(), deltas)

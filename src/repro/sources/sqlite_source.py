@@ -16,16 +16,16 @@ circuit-breaker machinery — never hang a scan thread.
 from __future__ import annotations
 
 import contextlib
-import os
 import sqlite3
-import zlib
 from pathlib import Path
 from typing import Any, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import SourceConfigError, SourceUnavailableError
 from ..federation.relational import Column, ForeignKey
 from ..model.datatypes import DataType
+from ..runtime.deltas import DeltaRecord
 from .base import ColumnMapping, RelationSpec, SourceAdapter
+from .fingerprint import FileFingerprinter
 
 #: seconds sqlite waits on a locked database before giving up; kept tiny
 #: so a locked component fails fast into the retry path instead of
@@ -78,6 +78,7 @@ class SqliteSourceAdapter(SourceAdapter):
         mappings: Optional[Mapping[str, Sequence[ColumnMapping]]] = None,
     ) -> None:
         self.path = Path(path)
+        self._fingerprinter = FileFingerprinter()
         super().__init__(
             name or self.path.stem,
             agent=agent,
@@ -170,19 +171,140 @@ class SqliteSourceAdapter(SourceAdapter):
         return int(count)
 
     def source_version(self) -> int:
-        """Fingerprint the file's (mtime, size); deterministic across
-        processes so a spilled extent cache can restore warm."""
+        """Fingerprint the file's *contents* (stat-memoized); rapid
+        same-mtime writes cannot alias, and the value is deterministic
+        across processes so a spilled extent cache can restore warm."""
         try:
-            stat = os.stat(self.path)
+            return self._fingerprinter.version([self.path])
         except OSError as error:
             raise SourceUnavailableError(
-                f"sqlite source {self.name!r}: cannot stat {str(self.path)!r}: {error}"
+                f"sqlite source {self.name!r}: cannot read {str(self.path)!r}: "
+                f"{error}"
             ) from error
-        return _fingerprint((self.path.name, stat.st_mtime_ns, stat.st_size))
 
+    # ------------------------------------------------------------------
+    # the write path (observed writes feed the delta log)
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _connect_rw(self) -> Iterator[sqlite3.Connection]:
+        if not self.path.exists():
+            raise SourceUnavailableError(
+                f"sqlite source {self.name!r}: no such file {str(self.path)!r}"
+            )
+        try:
+            connection = sqlite3.connect(self.path, timeout=LOCK_TIMEOUT)
+        except sqlite3.Error as error:
+            raise SourceUnavailableError(
+                f"sqlite source {self.name!r}: cannot open {str(self.path)!r}: "
+                f"{error}"
+            ) from error
+        try:
+            yield connection
+            connection.commit()
+        except sqlite3.DatabaseError as error:
+            raise SourceUnavailableError(
+                f"sqlite source {self.name!r}: {error}"
+            ) from error
+        finally:
+            connection.close()
 
-def _fingerprint(parts: Tuple[Any, ...]) -> int:
-    digest = 0
-    for part in parts:
-        digest = zlib.crc32(repr(part).encode("utf-8"), digest)
-    return digest
+    def _rowid_of(self, connection: sqlite3.Connection, spec, number: int) -> int:
+        row = connection.execute(
+            f"SELECT rowid FROM {_quote(spec.name)} ORDER BY rowid "
+            f"LIMIT 1 OFFSET ?",
+            (number - 1,),
+        ).fetchone()
+        if row is None:
+            raise SourceConfigError(
+                f"sqlite source {self.name!r}, relation {spec.name!r}: "
+                f"no row numbered {number}"
+            )
+        return int(row[0])
+
+    def insert_row(self, relation_name: str, row: Mapping[str, Any]) -> int:
+        """Insert one row and log the delta (new rows land at the tail,
+        so the insert is patchable — positional numbering is preserved)."""
+        spec = self.relation(relation_name)
+        base = self.source_version()
+        columns = [name for name in spec.column_names if name in row]
+        with self._connect_rw() as connection:
+            connection.execute(
+                f"INSERT INTO {_quote(spec.name)} "
+                f"({', '.join(_quote(name) for name in columns)}) "
+                f"VALUES ({', '.join('?' for _ in columns)})",
+                [row[name] for name in columns],
+            )
+        number = self.count_rows(relation_name)
+        records = [
+            DeltaRecord(
+                "insert",
+                spec.name,
+                self._oid(spec.name, number),
+                self._lift_row(spec, number, dict(row)),
+            )
+        ]
+        records.extend(
+            DeltaRecord("rescan", referrer)
+            for referrer in self._referrers(spec.name)
+        )
+        return self._log_delta(base, self.source_version(), records)
+
+    def update_row(
+        self, relation_name: str, number: int, changes: Mapping[str, Any]
+    ) -> int:
+        """Update row *number* (1-based storage order) and log the delta."""
+        spec = self.relation(relation_name)
+        base = self.source_version()
+        pk_moved = False
+        with self._connect_rw() as connection:
+            rowid = self._rowid_of(connection, spec, number)
+            current = connection.execute(
+                f"SELECT {', '.join(_quote(name) for name in spec.column_names)} "
+                f"FROM {_quote(spec.name)} WHERE rowid = ?",
+                (rowid,),
+            ).fetchone()
+            stored = dict(zip(spec.column_names, current))
+            pk_moved = (
+                spec.primary_key in changes
+                and changes[spec.primary_key] != stored.get(spec.primary_key)
+            )
+            stored.update(changes)
+            assignments = ", ".join(
+                f"{_quote(name)} = ?" for name in changes
+            )
+            connection.execute(
+                f"UPDATE {_quote(spec.name)} SET {assignments} WHERE rowid = ?",
+                [*changes.values(), rowid],
+            )
+        records = [
+            DeltaRecord(
+                "update",
+                spec.name,
+                self._oid(spec.name, number),
+                self._lift_row(spec, number, stored),
+            )
+        ]
+        if pk_moved:
+            records.extend(
+                DeltaRecord("rescan", referrer)
+                for referrer in self._referrers(spec.name)
+            )
+        return self._log_delta(base, self.source_version(), records)
+
+    def delete_row(self, relation_name: str, number: int) -> int:
+        """Delete row *number* — **un-patchable by design**: a physical
+        delete renumbers every later row under positional OIDs, so the
+        delta is a rescan marker and caches take the targeted fallback."""
+        spec = self.relation(relation_name)
+        base = self.source_version()
+        with self._connect_rw() as connection:
+            rowid = self._rowid_of(connection, spec, number)
+            connection.execute(
+                f"DELETE FROM {_quote(spec.name)} WHERE rowid = ?", (rowid,)
+            )
+        records = [DeltaRecord("rescan", spec.name)]
+        records.extend(
+            DeltaRecord("rescan", referrer)
+            for referrer in self._referrers(spec.name)
+        )
+        return self._log_delta(base, self.source_version(), records)

@@ -1,0 +1,168 @@
+"""Fault injection on the delta feed: corruption must never go stale.
+
+A transport that drops, duplicates or reorders feed entries hands the
+cache a chain that cannot certify freshness.  The required behaviour is
+always the targeted-rescan fallback — evict exactly the affected
+granules, name them in the stats, rescan on the next query — and
+**never** a silently stale answer or a full generation bump.
+"""
+
+import pytest
+
+from repro.runtime import (
+    FederationRuntime,
+    InProcessTransport,
+    RuntimePolicy,
+)
+from repro.runtime.deltas import DeltaReply
+from repro.runtime.transport import AgentTransport
+from repro.workloads import (
+    build_memory_databases,
+    generate_source_federation,
+    source_fsm,
+)
+
+FAULTS = ("dropped", "duplicated", "reordered")
+
+
+class CorruptingTransport(AgentTransport):
+    """Delegate everything; mangle multi-link ``changes`` chains."""
+
+    def __init__(self, inner, fault=None):
+        self._inner = inner
+        self.fault = fault
+        self.corrupted = 0
+
+    def agent_names(self):
+        return self._inner.agent_names()
+
+    def agent_for_schema(self, schema_name):
+        return self._inner.agent_for_schema(schema_name)
+
+    def generation(self, request):
+        return self._inner.generation(request)
+
+    def perform(self, request):
+        return self._inner.perform(request)
+
+    def changes(self, request, since):
+        reply = self._inner.changes(request, since)
+        if (
+            self.fault is None
+            or reply is None
+            or reply.chain is None
+            or len(reply.chain) < 2
+        ):
+            return reply
+        chain = list(reply.chain)
+        if self.fault == "dropped":
+            del chain[0]
+        elif self.fault == "duplicated":
+            chain.insert(1, chain[0])
+        elif self.fault == "reordered":
+            chain[0], chain[1] = chain[1], chain[0]
+        self.corrupted += 1
+        return DeltaReply(tuple(chain))
+
+
+def _federation(fault):
+    dataset = generate_source_federation(
+        people_per_schema=5, records_per_person=1, seed=13,
+        schemas=("university", "market"),
+    )
+    databases = build_memory_databases(dataset)
+    fsm = source_fsm(databases, dataset.assertions)
+    fsm.integrate_all()
+    transport = CorruptingTransport(
+        InProcessTransport(fsm._agents, fsm._schema_host), fault
+    )
+    runtime = FederationRuntime(transport=transport, policy=RuntimePolicy())
+    fsm.use_runtime(runtime=runtime)
+    return dataset, databases, fsm, transport, runtime
+
+
+def _two_inserts(databases):
+    """Two observed writes → the pending chain holds two version steps."""
+    databases["market"].adapter.insert(
+        "person",
+        {"ssn": "flt-a", "name": "fa", "level_bp": 100, "sector": "s0"},
+    )
+    databases["market"].adapter.insert(
+        "person",
+        {"ssn": "flt-b", "name": "fb", "level_bp": 200, "sector": "s1"},
+    )
+
+
+class TestCorruptedChains:
+    @pytest.mark.parametrize("fault", FAULTS)
+    def test_corruption_falls_back_and_never_serves_stale(self, fault):
+        _, databases, fsm, transport, runtime = _federation(fault)
+        try:
+            query = "person() -> ssn"
+            before = {row["ssn"] for row in fsm.query(query)}
+            _two_inserts(databases)
+            after = {row["ssn"] for row in fsm.query(query)}
+            # the corrupted chain was seen and rejected: answers are
+            # fresh because the granule was rescanned, not patched
+            assert transport.corrupted > 0
+            assert after == before | {"flt-a", "flt-b"}
+            stats = fsm.last_query_stats
+            assert stats.counter("granules_patched") == 0
+            assert stats.counter("agent_scans") > 0
+            assert stats.counter("fallback_invalidations") > 0
+        finally:
+            runtime.close()
+
+    @pytest.mark.parametrize("fault", FAULTS)
+    def test_fallback_names_the_exact_granules(self, fault):
+        _, databases, fsm, transport, runtime = _federation(fault)
+        try:
+            query = "person() -> ssn"
+            fsm.query(query)
+            _two_inserts(databases)
+            fsm.query(query)
+            evicted = fsm.last_query_stats.fallback_invalidations
+            assert evicted  # the histogram, not just the counter
+            # only the written component's granules were touched, and
+            # they are named in ScanRequest.describe vocabulary
+            assert all("agent-market:market." in name for name in evicted)
+            assert any(name.endswith(":market.person)") for name in evicted)
+        finally:
+            runtime.close()
+
+    def test_intact_chains_still_patch_through_the_wrapper(self):
+        _, databases, fsm, transport, runtime = _federation(None)
+        try:
+            query = "person() -> ssn"
+            fsm.query(query)
+            _two_inserts(databases)
+            after = {row["ssn"] for row in fsm.query(query)}
+            assert {"flt-a", "flt-b"} <= after
+            stats = fsm.last_query_stats
+            assert stats.counter("granules_patched") > 0
+            assert stats.counter("agent_scans") == 0
+            assert stats.counter("fallback_invalidations") == 0
+        finally:
+            runtime.close()
+
+    @pytest.mark.parametrize("fault", FAULTS)
+    def test_recovery_after_the_fault_clears(self, fault):
+        # one corrupted sync must not poison the feed: once the
+        # transport heals, later writes patch again
+        _, databases, fsm, transport, runtime = _federation(fault)
+        try:
+            query = "person() -> ssn"
+            fsm.query(query)
+            _two_inserts(databases)
+            fsm.query(query)  # fallback path
+            transport.fault = None
+            databases["market"].adapter.insert(
+                "person",
+                {"ssn": "flt-c", "name": "fc", "level_bp": 300, "sector": "s2"},
+            )
+            healed = {row["ssn"] for row in fsm.query(query)}
+            assert "flt-c" in healed
+            assert fsm.last_query_stats.counter("granules_patched") > 0
+            assert fsm.last_query_stats.counter("agent_scans") == 0
+        finally:
+            runtime.close()

@@ -1,0 +1,369 @@
+"""Delta primitives: the log, chain validation, variant patching.
+
+The contracts every delta consumer leans on: a :class:`DeltaLog` only
+serves contiguous suffixes that actually reach its head; chains that
+dropped, duplicated or reordered links never validate;
+:func:`patch_variant` either replays records exactly or raises
+:class:`DeltaUnpatchable` (no partial best-effort); and
+:meth:`ExtentCache.apply_deltas` patches in place, falls back to
+targeted per-variant eviction — never a generation bump — and leaves
+feedless stores untouched.
+"""
+
+import pytest
+
+from repro.federation import FSMAgent
+from repro.model import ClassDef, ObjectDatabase, Schema
+from repro.model.oids import OID
+from repro.runtime import MISS, ExtentCache, ScanRequest
+from repro.runtime.deltas import (
+    DeltaLog,
+    DeltaRecord,
+    DeltaReply,
+    DeltaUnpatchable,
+    SourceDelta,
+    chain_is_contiguous,
+    describe_granule,
+    patch_variant,
+)
+from repro.runtime.sharding import DEFAULT_BAND, shard_of_oid
+from repro.runtime.transport import InProcessTransport
+
+
+def _oid(number):
+    return OID("a1", "sys", "S1", "person", number)
+
+
+class FakeInstance:
+    """The slice of the instance protocol patching touches: oid + get."""
+
+    def __init__(self, number, **attributes):
+        self.oid = _oid(number)
+        self.attributes = attributes
+
+    def get(self, name):
+        return self.attributes.get(name)
+
+    def __repr__(self):
+        return f"FakeInstance({self.oid.number}, {self.attributes})"
+
+
+def _step(base, new, *records):
+    return SourceDelta(base, new, tuple(records))
+
+
+class TestDeltaRecord:
+    def test_unknown_op_is_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaRecord("truncate", "person")
+
+    def test_rescan_needs_no_oid_or_instance(self):
+        record = DeltaRecord("rescan", "person")
+        assert record.oid is None and record.instance is None
+
+
+class TestDeltaLog:
+    def test_empty_log_serves_nothing(self):
+        log = DeltaLog()
+        assert log.head_version is None
+        assert log.changes_since(0) is None
+
+    def test_reader_at_head_gets_the_empty_chain(self):
+        log = DeltaLog()
+        log.record(_step(1, 2))
+        assert log.changes_since(2) == ()
+
+    def test_contiguous_suffix_reaches_the_head(self):
+        log = DeltaLog()
+        first, second, third = _step(1, 2), _step(2, 3), _step(3, 4)
+        for delta in (first, second, third):
+            log.record(delta)
+        assert log.changes_since(1) == (first, second, third)
+        assert log.changes_since(3) == (third,)
+        assert log.changes_since(0) is None  # before the ring's reach
+
+    def test_capacity_evicts_the_oldest(self):
+        log = DeltaLog(capacity=2)
+        for delta in (_step(1, 2), _step(2, 3), _step(3, 4)):
+            log.record(delta)
+        assert len(log) == 2
+        assert log.changes_since(1) is None  # fell off the ring
+        assert log.changes_since(2) == (_step(2, 3), _step(3, 4))
+
+    def test_broken_link_blocks_older_suffixes(self):
+        log = DeltaLog()
+        log.record(_step(1, 2))
+        log.record(_step(5, 6))  # an unlogged span sits between
+        assert log.changes_since(5) == (_step(5, 6),)
+        assert log.changes_since(1) is None
+
+    def test_recurring_version_serves_the_latest_occurrence(self):
+        # content fingerprints may revisit a value (write, revert); only
+        # the suffix that reaches the head is replayable
+        log = DeltaLog()
+        early = _step(1, 2, DeltaRecord("rescan", "person"))
+        log.record(early)
+        log.record(_step(2, 1))
+        late = _step(1, 2)
+        log.record(late)
+        assert log.changes_since(1) == (late,)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DeltaLog(capacity=0)
+
+
+class TestChainContiguity:
+    def test_gapless_walk_validates(self):
+        assert chain_is_contiguous((_step(1, 2), _step(2, 3)), 1, 3)
+
+    def test_empty_chain_needs_matching_endpoints(self):
+        assert chain_is_contiguous((), 3, 3)
+        assert not chain_is_contiguous((), 2, 3)
+
+    def test_dropped_link_fails(self):
+        assert not chain_is_contiguous((_step(2, 3),), 1, 3)
+
+    def test_duplicated_link_fails(self):
+        assert not chain_is_contiguous(
+            (_step(1, 2), _step(1, 2), _step(2, 3)), 1, 3
+        )
+
+    def test_reordered_links_fail(self):
+        assert not chain_is_contiguous((_step(2, 3), _step(1, 2)), 1, 3)
+
+    def test_short_head_fails(self):
+        # the feed's head predates the observed version: unlogged write
+        assert not chain_is_contiguous((_step(1, 2),), 1, 3)
+
+
+class TestPatchExtent:
+    VARIANT = ("extent", None)
+
+    def test_insert_appends_at_the_tail(self):
+        value = [FakeInstance(1)]
+        new = FakeInstance(2)
+        patch_variant(value, self.VARIANT, [DeltaRecord("insert", "person", new.oid, new)])
+        assert [i.oid.number for i in value] == [1, 2]
+
+    def test_update_replaces_in_position(self):
+        old, other = FakeInstance(1, name="a"), FakeInstance(2)
+        value = [old, other]
+        new = FakeInstance(1, name="b")
+        patch_variant(value, self.VARIANT, [DeltaRecord("update", "person", new.oid, new)])
+        assert value[0] is new and value[1] is other
+
+    def test_delete_splices_and_tolerates_absence(self):
+        value = [FakeInstance(1), FakeInstance(2)]
+        patch_variant(
+            value,
+            self.VARIANT,
+            [
+                DeltaRecord("delete", "person", _oid(1)),
+                DeltaRecord("delete", "person", _oid(7)),  # already gone
+            ],
+        )
+        assert [i.oid.number for i in value] == [2]
+
+    def test_rescan_marker_is_unpatchable(self):
+        with pytest.raises(DeltaUnpatchable):
+            patch_variant([], self.VARIANT, [DeltaRecord("rescan", "person")])
+
+    def test_insert_without_instance_is_unpatchable(self):
+        with pytest.raises(DeltaUnpatchable):
+            patch_variant(
+                [], self.VARIANT, [DeltaRecord("insert", "person", _oid(1))]
+            )
+
+    def test_record_without_oid_is_unpatchable(self):
+        with pytest.raises(DeltaUnpatchable):
+            patch_variant(
+                [], self.VARIANT, [DeltaRecord("insert", "person")]
+            )
+
+    def test_shard_coordinate_filters_ownership(self):
+        new = FakeInstance(9)
+        of = 4
+        owner = shard_of_oid(new.oid, of, "hash", DEFAULT_BAND)
+        stranger = (owner + 1) % of
+        mine, not_mine = [], []
+        record = DeltaRecord("insert", "person", new.oid, new)
+        patch_variant(mine, self.VARIANT, [record], (owner, of, "hash", DEFAULT_BAND))
+        patch_variant(
+            not_mine, self.VARIANT, [record], (stranger, of, "hash", DEFAULT_BAND)
+        )
+        assert mine == [new] and not_mine == []
+
+    def test_unknown_variant_is_unpatchable(self):
+        with pytest.raises(DeltaUnpatchable):
+            patch_variant([], ("counts", None), [])
+
+
+class TestPatchValueSet:
+    VARIANT = ("value_set", "name")
+
+    def test_insert_adds_the_mapped_value(self):
+        value = {"a"}
+        new = FakeInstance(2, name="b")
+        patch_variant(value, self.VARIANT, [DeltaRecord("insert", "person", new.oid, new)])
+        assert value == {"a", "b"}
+
+    def test_multivalued_insert_flattens_and_skips_nulls(self):
+        value = set()
+        new = FakeInstance(2, name=frozenset({"x", None, "y"}))
+        null = FakeInstance(3)
+        patch_variant(
+            value,
+            self.VARIANT,
+            [
+                DeltaRecord("insert", "person", new.oid, new),
+                DeltaRecord("insert", "person", null.oid, null),
+            ],
+        )
+        assert value == {"x", "y"}
+
+    def test_delete_has_no_multiplicity_and_is_unpatchable(self):
+        with pytest.raises(DeltaUnpatchable):
+            patch_variant({"a"}, self.VARIANT, [DeltaRecord("delete", "person", _oid(1))])
+
+    def test_update_is_unpatchable(self):
+        new = FakeInstance(1, name="b")
+        with pytest.raises(DeltaUnpatchable):
+            patch_variant(
+                {"a"}, self.VARIANT, [DeltaRecord("update", "person", new.oid, new)]
+            )
+
+
+class TestDescribeGranule:
+    def test_unsharded_and_attribute_forms(self):
+        assert (
+            describe_granule(("a1", "S1", "person"), ("extent", None))
+            == "extent(a1:S1.person)"
+        )
+        assert (
+            describe_granule(("a1", "S1", "person"), ("value_set", "name"))
+            == "value_set(a1:S1.person.name)"
+        )
+
+    def test_sharded_form_names_the_endpoint(self):
+        key = ("a1", "S1", "person", (2, 4, "hash", DEFAULT_BAND))
+        assert (
+            describe_granule(key, ("direct_extent", None))
+            == "direct_extent(a1#2/4:S1.person)"
+        )
+
+
+class TestApplyDeltas:
+    REQUEST = ScanRequest("a1", "S1", "person", op="extent")
+
+    def _cache_with(self, instances, version=1):
+        cache = ExtentCache()
+        cache.put(self.REQUEST, list(instances), source_generation=version)
+        return cache
+
+    def test_contiguous_chain_patches_in_place(self):
+        cache = self._cache_with([FakeInstance(1)])
+        new = FakeInstance(2)
+        reply = DeltaReply(
+            (_step(1, 2, DeltaRecord("insert", "person", new.oid, new)),)
+        )
+        outcome = cache.apply_deltas("a1", "S1", 2, lambda since: reply)
+        assert outcome.granules_patched == 1
+        assert outcome.deltas_applied == 1
+        assert outcome.fallbacks == [] and not outcome.feed_missing
+        patched = cache.get(self.REQUEST, source_generation=2)
+        assert [i.oid.number for i in patched] == [1, 2]
+
+    def test_other_relations_records_are_filtered_out(self):
+        # a write elsewhere in the schema advances the version; this
+        # granule absorbs the step with zero content change
+        cache = self._cache_with([FakeInstance(1)])
+        new = FakeInstance(2)
+        reply = DeltaReply(
+            (_step(1, 2, DeltaRecord("insert", "department", new.oid, new)),)
+        )
+        outcome = cache.apply_deltas("a1", "S1", 2, lambda since: reply)
+        assert outcome.granules_patched == 1
+        assert [i.oid.number for i in cache.get(self.REQUEST, 2)] == [1]
+
+    def test_gap_takes_the_targeted_fallback(self):
+        cache = self._cache_with([FakeInstance(1)])
+        outcome = cache.apply_deltas(
+            "a1", "S1", 2, lambda since: DeltaReply(None)
+        )
+        assert outcome.granules_patched == 0
+        assert outcome.fallbacks == [("extent(a1:S1.person)", "sequence gap")]
+        assert cache.get(self.REQUEST, 2) is MISS
+
+    def test_non_contiguous_chain_is_a_gap(self):
+        cache = self._cache_with([FakeInstance(1)])
+        reply = DeltaReply((_step(5, 6),))  # does not link 1 → 2
+        outcome = cache.apply_deltas("a1", "S1", 2, lambda since: reply)
+        assert outcome.fallbacks == [("extent(a1:S1.person)", "sequence gap")]
+
+    def test_missing_feed_leaves_the_cache_untouched(self):
+        cache = self._cache_with([FakeInstance(1)])
+        outcome = cache.apply_deltas("a1", "S1", 2, lambda since: None)
+        assert outcome.feed_missing
+        assert outcome.granules_patched == 0 and outcome.fallbacks == []
+        # the entry is left to ordinary version-mismatch eviction
+        assert cache.get(self.REQUEST, source_generation=1) is not MISS
+
+    def test_unpatchable_variant_is_evicted_alone(self):
+        cache = self._cache_with([FakeInstance(1)])
+        sibling = ScanRequest("a1", "S1", "person", op="value_set", attribute="name")
+        cache.put(sibling, {"a"}, source_generation=1)
+        gone = FakeInstance(1)
+        reply = DeltaReply(
+            (_step(1, 2, DeltaRecord("delete", "person", gone.oid)),)
+        )
+        outcome = cache.apply_deltas("a1", "S1", 2, lambda since: reply)
+        # the extent absorbed the delete; the value set cannot (a set
+        # has no multiplicity) and was evicted — alone
+        assert outcome.granules_patched == 1
+        assert [desc for desc, _ in outcome.fallbacks] == [
+            "value_set(a1:S1.person.name)"
+        ]
+        assert cache.get(self.REQUEST, 2) == []
+        assert cache.get(sibling, 2) is MISS
+
+    def test_fetch_is_memoized_per_since_version(self):
+        cache = self._cache_with([FakeInstance(1)])
+        sibling = ScanRequest("a1", "S1", "city", op="extent")
+        cache.put(sibling, [FakeInstance(3)], source_generation=1)
+        calls = []
+
+        def fetch(since):
+            calls.append(since)
+            return DeltaReply((_step(1, 2),))
+
+        outcome = cache.apply_deltas("a1", "S1", 2, fetch)
+        assert outcome.granules_patched == 2
+        assert outcome.deltas_applied == 1  # one distinct chain replayed
+        assert calls == [1]
+
+    def test_fresh_and_unobservable_entries_are_skipped(self):
+        cache = ExtentCache()
+        cache.put(self.REQUEST, [FakeInstance(1)], source_generation=2)
+        unobservable = ScanRequest("a1", "S1", "city", op="extent")
+        cache.put(unobservable, [FakeInstance(2)], source_generation=None)
+
+        def fetch(since):  # pragma: no cover - must never be consulted
+            raise AssertionError("nothing stale to sync")
+
+        outcome = cache.apply_deltas("a1", "S1", 2, fetch)
+        assert outcome.granules_patched == 0 and outcome.fallbacks == []
+
+
+class TestTransportChanges:
+    def test_feedless_object_database_returns_none(self):
+        schema = Schema("S1")
+        schema.add_class(ClassDef("person").attr("ssn#"))
+        agent = FSMAgent("a1")
+        agent.host_object_database(ObjectDatabase(schema, agent="h1"))
+        transport = InProcessTransport({"a1": agent})
+        assert transport.changes(ScanRequest("a1", "S1", "person"), 1) is None
+
+    def test_unknown_agent_reads_as_feedless(self):
+        transport = InProcessTransport({})
+        assert transport.changes(ScanRequest("a1", "S1", "person"), 1) is None

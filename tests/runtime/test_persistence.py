@@ -307,6 +307,63 @@ class TestRuntimeWarmRestart:
         restarted.close()
 
 
+class TestDeltaWarmRestart:
+    """Patched granules write through at their new version, so deltas
+    applied before a shutdown are visible after recovery — with zero
+    agent scans, because content-derived source versions are
+    process-deterministic."""
+
+    @staticmethod
+    def _disk_fsm(data_dir):
+        from repro.runtime import RuntimePolicy
+        from repro.sources import load_source_federation
+        from repro.workloads import source_fsm
+
+        text, databases = load_source_federation(data_dir)
+        fsm = source_fsm(databases, text)
+        fsm.integrate_all()
+        return fsm, databases, RuntimePolicy()
+
+    def test_deltas_applied_before_shutdown_survive_with_zero_scans(
+        self, tmp_path, cache_path
+    ):
+        from repro.workloads import generate_source_federation, write_source_directory
+
+        dataset = generate_source_federation(
+            people_per_schema=5, records_per_person=1, seed=9,
+            schemas=("university", "hospital"),
+        )
+        data_dir = tmp_path / "federation"
+        write_source_directory(dataset, data_dir, kinds="sqlite")
+
+        fsm, databases, policy = self._disk_fsm(data_dir)
+        runtime = fsm.use_runtime(policy, cache_path=str(cache_path))
+        query = "person() -> ssn"
+        cold = {row["ssn"] for row in fsm.query(query)}
+        databases["university"].adapter.insert_row(
+            "person",
+            {"ssn": "restart-new", "name": "rn", "level": 2, "dept": "d0"},
+        )
+        patched = {row["ssn"] for row in fsm.query(query)}
+        assert patched == cold | {"restart-new"}
+        assert fsm.last_query_stats.counter("agent_scans") == 0
+        assert fsm.last_query_stats.counter("granules_patched") > 0
+        runtime.close()
+
+        # "another process": fresh adapters, empty delta logs, same
+        # files — the restored granules already carry the post-write
+        # content version, so nothing is stale and nothing rescans
+        restarted_fsm, _, restarted_policy = self._disk_fsm(data_dir)
+        restarted = restarted_fsm.use_runtime(
+            restarted_policy, cache_path=str(cache_path)
+        )
+        warm = {row["ssn"] for row in restarted_fsm.query(query)}
+        assert warm == patched
+        assert restarted_fsm.last_query_stats.counter("agent_scans") == 0
+        assert restarted.stats().counter("cache_restores") > 0
+        restarted.close()
+
+
 class TestSessionAndFsmWiring:
     @staticmethod
     def _populated_session():

@@ -48,7 +48,8 @@ class TestQueryJson:
         for section in ("last_query", "cumulative"):
             stats = document["stats"][section]
             assert set(stats) == {
-                "counters", "agent_scans", "missing_shards", "timers",
+                "counters", "agent_scans", "fallback_invalidations",
+                "missing_shards", "timers",
             }
 
     def test_json_without_stats_is_lean(self):

@@ -49,10 +49,17 @@ class TestStatsToDict:
         metrics.record_agent_scan("agent-S1")  # also counts one agent_scan
         with metrics.timer("query"):
             pass
+        metrics.record_fallback_invalidation("extent(agent-S1:S1.person)")
         doc = stats_to_dict(metrics.snapshot())
-        assert set(doc) == {"counters", "agent_scans", "missing_shards", "timers"}
+        assert set(doc) == {
+            "counters", "agent_scans", "fallback_invalidations",
+            "missing_shards", "timers",
+        }
         assert doc["counters"]["agent_scans"] == 1
         assert doc["agent_scans"] == {"agent-S1": 1}
+        assert doc["fallback_invalidations"] == {
+            "extent(agent-S1:S1.person)": 1
+        }
         timer = doc["timers"]["query"]
         assert timer["count"] == 1
         assert timer["total_ms"] >= 0

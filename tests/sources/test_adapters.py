@@ -179,6 +179,32 @@ class TestVersioning:
         before = adapter.source_version()
         stat = path.stat()
         os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        # versions are content-derived: an mtime-only touch leaves the
+        # bytes (and therefore the extents) unchanged
+        assert adapter.source_version() == before
+        connection = sqlite3.connect(path)
+        connection.execute("INSERT INTO person VALUES ('v-ssn', 'v', 1, 'd0')")
+        connection.commit()
+        connection.close()
+        assert adapter.source_version() != before
+
+    def test_same_mtime_same_size_rewrite_changes_the_version(self, tmp_path):
+        """The (name, mtime, size) stat fingerprint aliased when a rapid
+        rewrite landed in the same mtime granule with the same byte
+        count; the content hash must see through exactly that."""
+        directory = tmp_path / "csv"
+        directory.mkdir()
+        record = directory / "person.csv"
+        record.write_text("ssn,name\n100,aa\n")
+        adapter = CsvSourceAdapter(directory)
+        before = adapter.source_version()
+        stat = record.stat()
+        # same size, and the mtime pinned back to the old granule — the
+        # worst case the stat triple cannot distinguish
+        record.write_text("ssn,name\n100,ab\n")
+        os.utime(record, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        assert record.stat().st_mtime_ns == stat.st_mtime_ns
+        assert record.stat().st_size == stat.st_size
         assert adapter.source_version() != before
 
     def test_component_write_invalidates_the_warm_cache(self, tmp_path):
@@ -231,7 +257,17 @@ class TestVersioning:
             )
             answers = {row["ssn"] for row in fsm.query(query)}
             assert "market-new" in answers
+            # the observed insert rode the delta feed: the warm cache was
+            # patched in place, no extent was rescanned
+            assert fsm.last_query_stats.counter("agent_scans") == 0
+            assert fsm.last_query_stats.counter("granules_patched") > 0
+            # an *unobserved* write (bump logs no delta) still invalidates,
+            # via the targeted gap fallback — answers stay fresh, scans return
+            databases["market"].adapter.bump()
+            rescanned = {row["ssn"] for row in fsm.query(query)}
+            assert rescanned == answers
             assert fsm.last_query_stats.counter("agent_scans") > 0
+            assert fsm.last_query_stats.counter("fallback_invalidations") > 0
         finally:
             runtime.close()
 

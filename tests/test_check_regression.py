@@ -78,6 +78,25 @@ def _healthy():
             "scan_extent": 32000,
             "scan_instances_per_s": 80000.0,
         },
+        "deltas": {
+            "experiment": "E-R8 incremental invalidation under mixed load",
+            "operations": 200,
+            "reads": 180,
+            "writes": 20,
+            "injected_latency_ms": 5.0,
+            "patched_agent_scans": 0,
+            "bump_agent_scans": 19,
+            "patched_scans_per_query": 0.0,
+            "bump_scans_per_query": 0.1056,
+            "granules_patched": 19,
+            "deltas_applied": 19,
+            "fallback_invalidations": 0,
+            "baseline_granules_patched": 0,
+            "patched_read_ms": 8.4,
+            "bump_read_ms": 8.8,
+            "answers": 170,
+            "answers_match": True,
+        },
         "planner": [
             {
                 "federation": "genealogy",
@@ -295,6 +314,52 @@ class TestCheck:
         problems = check_regression.check(doc)
         assert any(
             "diverged from the in-memory baseline" in p for p in problems
+        )
+
+    def test_missing_deltas_section_fails(self):
+        doc = _healthy()
+        del doc["deltas"]
+        assert any(
+            "deltas section is missing" in p for p in check_regression.check(doc)
+        )
+
+    def test_deltas_mixed_load_must_write(self):
+        doc = _healthy()
+        doc["deltas"]["writes"] = 0
+        problems = check_regression.check(doc)
+        assert any("mixed load never wrote" in p for p in problems)
+
+    def test_patched_scans_must_be_strictly_fewer(self):
+        doc = _healthy()
+        doc["deltas"]["patched_agent_scans"] = 19  # equal, not fewer
+        problems = check_regression.check(doc)
+        assert any(
+            "19 patched vs 19 bumped" in p for p in problems
+        )
+        doc["deltas"]["patched_agent_scans"] = -1  # section malformed
+        problems = check_regression.check(doc)
+        assert any("expected strictly fewer patched" in p for p in problems)
+
+    def test_delta_side_must_patch_something(self):
+        doc = _healthy()
+        doc["deltas"]["granules_patched"] = 0
+        problems = check_regression.check(doc)
+        assert any("patched nothing" in p for p in problems)
+
+    def test_baseline_side_must_not_patch(self):
+        doc = _healthy()
+        doc["deltas"]["baseline_granules_patched"] = 3
+        problems = check_regression.check(doc)
+        assert any(
+            "baseline_granules_patched is nonzero" in p for p in problems
+        )
+
+    def test_deltas_answers_must_match(self):
+        doc = _healthy()
+        doc["deltas"]["answers_match"] = False
+        problems = check_regression.check(doc)
+        assert any(
+            "diverged from the rescan baseline" in p for p in problems
         )
 
     def test_sources_scan_throughput_drift_fails(self):
