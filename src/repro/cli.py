@@ -22,9 +22,12 @@ Subcommands:
     populated scenarios) or ``--schema`` files plus ``--assertions`` and
     an optional ``--data`` JSON file (``{"S1": {"class": [{...}]}}``).
     ``--latency MS`` simulates per-call network latency, ``--workers`` /
-    ``--sequential`` size the fan-out pool, ``--async`` switches the
-    runtime to the asyncio executor (``--max-inflight`` bounds its
-    in-flight window), ``--shards N`` scatters every extent scan across
+    ``--sequential`` size the fan-out pool, ``--mode
+    threaded|async|multiprocess`` picks the execution engine (``--async``
+    is shorthand for ``--mode async``; ``--max-inflight`` bounds the
+    async in-flight window; multiprocess runs shard scans in spawned
+    worker processes exchanging columnar extents), ``--shards N``
+    scatters every extent scan across
     N shard endpoints per agent (``--shard-kind hash|range`` picks the
     OID partitioning), ``--cache-path FILE`` persists the extent cache
     to a sqlite file (a re-run with the same path answers warm without
@@ -155,11 +158,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=8, help="fan-out thread pool size"
     )
     query.add_argument(
+        "--mode",
+        choices=("threaded", "async", "multiprocess"),
+        default=None,
+        help="execution engine: thread-pool fan-out (default), one asyncio "
+        "event loop, or spawn-based worker processes exchanging columnar "
+        "extents (--workers sizes the pool in every mode)",
+    )
+    query.add_argument(
         "--async",
         dest="use_async",
         action="store_true",
-        help="multiplex agent scans on one asyncio event loop instead of "
-        "a thread pool (same answers, same cache, same stats)",
+        help="alias for --mode async: multiplex agent scans on one asyncio "
+        "event loop instead of a thread pool (same answers, same cache, "
+        "same stats)",
     )
     query.add_argument(
         "--max-inflight",
@@ -244,7 +256,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="SPEC",
         help="add one tenant: comma-separated key=value pairs "
-        "(name=, demo=genealogy|cluster, mode=threaded|async, "
+        "(name=, demo=genealogy|cluster, mode=threaded|async|multiprocess, "
         "schema= (repeatable via ';'), assertions=, data=, source-dir=, "
         "shards=, shard-kind=, latency=MS, max-inflight=, workers=, "
         "cache-path=, plan=true|false, deltas=true|false); default: one "
@@ -358,16 +370,17 @@ def _attach_query_runtime(fsm, arguments):
             cache_enabled=not arguments.no_cache,
         )
     profile = FaultProfile(latency=arguments.latency / 1000.0)
-    if arguments.use_async:
+    mode = arguments.mode or ("async" if arguments.use_async else "threaded")
+    if mode == "async":
         transport = AsyncInProcessTransport(fsm._agents, fsm._schema_host)
         if arguments.latency > 0:
             transport = AsyncSimulatedNetworkTransport(transport, profile)
-        mode = "async"
     else:
+        # threaded and multiprocess share the synchronous transport; the
+        # runtime splices the process-pool hop in for multiprocess mode
         transport = InProcessTransport(fsm._agents, fsm._schema_host)
         if arguments.latency > 0:
             transport = SimulatedNetworkTransport(transport, profile)
-        mode = "threaded"
     shard_plan = (
         ShardPlan(arguments.shards, arguments.shard_kind)
         if arguments.shards > 0

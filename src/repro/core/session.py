@@ -131,8 +131,10 @@ class FederationSession:
     ) -> "FederationRuntime":
         """Route agent access through a federation runtime (concurrent
         fan-out, retries, extent caching, metrics); *mode* picks the
-        thread-pool (``"threaded"``) or event-loop (``"async"``)
-        executor; *shard_plan* (a plan or a bare count) shards every
+        thread-pool (``"threaded"``), event-loop (``"async"``) or
+        process-pool (``"multiprocess"``, columnar extents over
+        ``spawn``-ed workers) executor; *shard_plan* (a plan or a bare
+        count) shards every
         extent scan; *cache_path* persists the extent cache to a sqlite
         file so a restarted session warms up scan-free; *loop* (async
         mode) multiplexes this session's scans on a shared event-loop

@@ -183,6 +183,26 @@ class CircuitOpenError(RuntimeFederationError):
         self.agent = agent
 
 
+class ShardMergeError(RuntimeFederationError):
+    """A shard slice carried a value its merge cannot key by OID.
+
+    The shard merge deduplicates overlapping granules on each
+    instance's ``.oid``; a value without one cannot be keyed, and
+    falling back to hashing the object itself would silently drop
+    distinct-but-equal facts (or crash on unhashable values), so the
+    merge refuses it loudly instead.
+    """
+
+    def __init__(self, op: str, value: object) -> None:
+        super().__init__(
+            f"cannot merge shard slices for op {op!r}: "
+            f"value {value!r} of type {type(value).__name__} has no .oid "
+            f"to deduplicate on"
+        )
+        self.op = op
+        self.value = value
+
+
 class PartialResultError(RuntimeFederationError):
     """A fan-out failed and the runtime policy forbids partial answers."""
 

@@ -294,8 +294,10 @@ class FSM:
         in-process runtime over its live agent registry (agents
         registered later are picked up automatically).  *mode* selects
         the execution engine for the built runtime: ``"threaded"``
-        (thread-pool fan-out) or ``"async"`` (one event loop multiplexes
-        every in-flight scan).  *shard_plan* — a
+        (thread-pool fan-out), ``"async"`` (one event loop multiplexes
+        every in-flight scan) or ``"multiprocess"`` (shard scans run in
+        ``spawn``-ed worker processes exchanging columnar extents, so
+        CPU-bound per-item work escapes the GIL).  *shard_plan* — a
         :class:`~repro.runtime.sharding.ShardPlan` or a bare shard
         count — makes every extent scan a scatter/merge across N shard
         endpoints per agent.  *cache_path* spills the extent cache to a

@@ -17,6 +17,13 @@ query paths and the agents:
   event-loop executor with ``asyncio.timeout`` deadlines and a
   semaphore-bounded in-flight window, sharing the same policy, breaker
   and metrics objects as the threaded path;
+* :mod:`~repro.runtime.columnar` / :mod:`~repro.runtime.mp_executor`
+  — the multiprocess data plane: :class:`ColumnarExtent` encodes
+  O-term extents as tuples-of-arrays (cheap to pickle, lossless), and
+  :class:`MultiprocessFederationExecutor` runs shard scans in
+  ``spawn``-ed worker processes that rehydrate the federation's
+  source adapters from manifest-vocabulary specs, so CPU-bound
+  per-item work escapes the GIL;
 * :mod:`~repro.runtime.sharding` — :class:`ShardPlan` /
   :class:`ShardSpec`: split one schema's extent across N shard
   endpoints (hash or range over global OIDs) and merge the slices back
@@ -46,6 +53,7 @@ from .async_transport import (
 )
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .cache import MISS, ExtentCache
+from .columnar import ColumnarExtent, merge_columnar
 from .deltas import (
     DELTA_OPS,
     DeltaLog,
@@ -64,6 +72,12 @@ from .executor import (
     expand_outcome,
 )
 from .metrics import RuntimeMetrics, RuntimeStats, TimerStats
+from .mp_executor import (
+    MultiprocessFederationExecutor,
+    ProcessPoolTransport,
+    build_worker_spec,
+    wrap_multiprocess,
+)
 from .persistence import FORMAT_VERSION, PersistentExtentStore
 from .planner import QueryPlan, contributing_classes, plan_query
 from .policy import FailurePolicy, RuntimePolicy
@@ -86,6 +100,7 @@ from .transport import (
     ScanHint,
     ScanRequest,
     SimulatedNetworkTransport,
+    transfer_item_count,
 )
 
 __all__ = [
@@ -99,6 +114,7 @@ __all__ = [
     "AsyncTransportAdapter",
     "CLOSED",
     "CircuitBreaker",
+    "ColumnarExtent",
     "DELTA_OPS",
     "DeltaLog",
     "DeltaOutcome",
@@ -116,8 +132,10 @@ __all__ = [
     "InProcessTransport",
     "MISS",
     "MODES",
+    "MultiprocessFederationExecutor",
     "OPEN",
     "PLAN_KINDS",
+    "ProcessPoolTransport",
     "PersistentExtentStore",
     "QueryPlan",
     "RuntimeMetrics",
@@ -133,12 +151,16 @@ __all__ = [
     "SimulatedNetworkTransport",
     "SourceDelta",
     "TimerStats",
+    "build_worker_spec",
     "coalesce_by_endpoint",
     "contributing_classes",
     "describe_granule",
     "expand_outcome",
+    "merge_columnar",
     "merge_shard_values",
     "plan_query",
     "shard_of_oid",
     "split_requests",
+    "transfer_item_count",
+    "wrap_multiprocess",
 ]

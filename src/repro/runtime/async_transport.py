@@ -43,6 +43,7 @@ from .transport import (
     Scannable,
     ScanRequest,
     _prune_scripts,
+    transfer_item_count,
 )
 
 
@@ -217,10 +218,7 @@ class AsyncSimulatedNetworkTransport(AsyncAgentTransport):
                 )
             value = await self._inner.perform(request)
             if profile.per_item > 0.0:
-                try:
-                    transfer = len(value) * profile.per_item
-                except TypeError:
-                    transfer = profile.per_item
+                transfer = transfer_item_count(value) * profile.per_item
                 if transfer > 0.0:
                     await asyncio.sleep(transfer)
         except asyncio.CancelledError:

@@ -1,0 +1,391 @@
+"""Columnar extent encoding: O-term extents as tuples-of-arrays.
+
+The multiprocess data plane moves §3 extent scans into worker
+processes, so every scan result crosses a process boundary.  Pickling a
+list of :class:`~repro.model.instances.ObjectInstance` objects is
+dominated by per-object overhead — each instance carries its own OID
+object, attribute dict and aggregation dict.  :class:`ColumnarExtent`
+re-shapes one extent into parallel arrays:
+
+* an interned **relation-coordinate table** — the distinct
+  ``(agent, system, database, relation)`` 4-tuples of the extent's
+  OIDs — plus two parallel arrays ``(coordinate index, tuple number)``
+  standing in for the OID objects themselves;
+* one column per **attribute name** over the union of the extent's
+  attributes, and separately one column per **aggregation function**
+  (the model keeps the two namespaces apart);
+* per-cell **tags** for the non-primitive values the data mappings and
+  FK resolution produce: OID references, multivalued ``frozenset``
+  fills, nested instances and explicit NULLs vs. absent attributes.
+
+The encoding is lossless — ``to_instances(from_instances(extent))``
+reproduces the extent instance-for-instance, including ``None`` fills
+for unmatched fuzzy triples and values produced by
+``TripleMapping``/``LinearMapping`` — and cheap to pickle, because the
+arrays hold almost entirely primitives.  :func:`merge_columnar` folds
+shard slices at the array level (OID-dedup on the coordinate/number
+arrays, no per-instance object churn), which is what
+:func:`~repro.runtime.sharding.merge_shard_values` uses to reassemble a
+sharded extent out of worker replies before a single instance object is
+built.
+
+Cell tagging relies on one model invariant: an instance attribute value
+is never a plain ``tuple`` (:meth:`ObjectInstance.set_attribute
+<repro.model.instances.ObjectInstance.set_attribute>` coerces every
+non-string sequence to a ``frozenset``), so tuples are free to carry
+the tag vocabulary and every untagged cell is stored verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..model.instances import ObjectInstance
+from ..model.oids import OID
+
+__all__ = ["ColumnarExtent", "merge_columnar"]
+
+# cell tags (tuples cannot collide with stored values; see module doc)
+_ABSENT = ("_",)  # attribute not present on this instance (≠ NULL)
+_TAG_OID = "o"  # ("o", coordinate index, tuple number)
+_TAG_SET = "f"  # ("f", (encoded element, ...))
+_TAG_NESTED = "i"  # ("i", encoded nested instance)
+
+
+def _encode_cell(value: Any, interner: Dict[Tuple[str, str, str, str], int],
+                 coords: List[Tuple[str, str, str, str]]) -> Any:
+    if isinstance(value, OID):
+        return (_TAG_OID, _intern(value, interner, coords), value.number)
+    if isinstance(value, frozenset):
+        return (
+            _TAG_SET,
+            tuple(
+                sorted(
+                    (_encode_cell(element, interner, coords) for element in value),
+                    key=repr,
+                )
+            ),
+        )
+    if isinstance(value, ObjectInstance):
+        return (_TAG_NESTED, _encode_instance(value, interner, coords))
+    return value
+
+
+def _decode_cell(cell: Any, coords: Sequence[Tuple[str, str, str, str]]) -> Any:
+    if type(cell) is not tuple:
+        return cell
+    tag = cell[0]
+    if tag == _TAG_OID:
+        return OID(*coords[cell[1]], cell[2])
+    if tag == _TAG_SET:
+        return frozenset(_decode_cell(element, coords) for element in cell[1])
+    if tag == _TAG_NESTED:
+        return _decode_instance(cell[1], coords)
+    raise ValueError(f"unknown columnar cell tag {tag!r}")
+
+
+def _intern(
+    oid: OID,
+    interner: Dict[Tuple[str, str, str, str], int],
+    coords: List[Tuple[str, str, str, str]],
+) -> int:
+    coordinate = (oid.agent, oid.system, oid.database, oid.relation)
+    index = interner.get(coordinate)
+    if index is None:
+        index = len(coords)
+        interner[coordinate] = index
+        coords.append(coordinate)
+    return index
+
+
+def _encode_instance(
+    instance: ObjectInstance,
+    interner: Dict[Tuple[str, str, str, str], int],
+    coords: List[Tuple[str, str, str, str]],
+) -> Tuple[Any, ...]:
+    """A nested instance cell: rare, so it keeps the row-wise shape."""
+    return (
+        instance.class_name,
+        _intern(instance.oid, interner, coords),
+        instance.oid.number,
+        tuple(
+            (name, _encode_cell(value, interner, coords))
+            for name, value in instance.attributes.items()
+        ),
+        tuple(
+            (name, _encode_cell(value, interner, coords))
+            for name, value in instance.aggregations.items()
+        ),
+    )
+
+
+def _decode_instance(
+    payload: Tuple[Any, ...], coords: Sequence[Tuple[str, str, str, str]]
+) -> ObjectInstance:
+    class_name, coordinate_index, number, attributes, aggregations = payload
+    return _build_instance(
+        OID(*coords[coordinate_index], number),
+        class_name,
+        {name: _decode_cell(cell, coords) for name, cell in attributes},
+        {name: _decode_cell(cell, coords) for name, cell in aggregations},
+    )
+
+
+def _build_instance(
+    oid: OID,
+    class_name: str,
+    attributes: Dict[str, Any],
+    aggregations: Dict[str, Any],
+) -> ObjectInstance:
+    # decoded values are already in stored form (frozensets stay
+    # frozensets, NULLs stay None), so the constructor's coercion and
+    # validation passes are pure overhead on the decode hot path
+    instance = ObjectInstance.__new__(ObjectInstance)
+    object.__setattr__(instance, "oid", oid)
+    object.__setattr__(instance, "class_name", class_name)
+    object.__setattr__(instance, "_attributes", attributes)
+    object.__setattr__(instance, "_aggregations", aggregations)
+    return instance
+
+
+class ColumnarExtent:
+    """One extent as parallel arrays — the multiprocess wire format."""
+
+    __slots__ = (
+        "coords",
+        "oid_coords",
+        "oid_numbers",
+        "class_names",
+        "attribute_names",
+        "attribute_columns",
+        "aggregation_names",
+        "aggregation_columns",
+        "_decoded",
+    )
+
+    def __init__(
+        self,
+        coords: Tuple[Tuple[str, str, str, str], ...],
+        oid_coords: Tuple[int, ...],
+        oid_numbers: Tuple[int, ...],
+        class_names: Tuple[str, ...],
+        attribute_names: Tuple[str, ...],
+        attribute_columns: Tuple[Tuple[Any, ...], ...],
+        aggregation_names: Tuple[str, ...],
+        aggregation_columns: Tuple[Tuple[Any, ...], ...],
+    ) -> None:
+        self.coords = coords
+        self.oid_coords = oid_coords
+        self.oid_numbers = oid_numbers
+        self.class_names = class_names
+        self.attribute_names = attribute_names
+        self.attribute_columns = attribute_columns
+        self.aggregation_names = aggregation_names
+        self.aggregation_columns = aggregation_columns
+        self._decoded: Optional[List[ObjectInstance]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_instances(cls, instances: Iterable[ObjectInstance]) -> "ColumnarExtent":
+        """Encode an instance list into the tuples-of-arrays form."""
+        interner: Dict[Tuple[str, str, str, str], int] = {}
+        coords: List[Tuple[str, str, str, str]] = []
+        oid_coords: List[int] = []
+        oid_numbers: List[int] = []
+        class_names: List[str] = []
+        attribute_columns: Dict[str, List[Any]] = {}
+        aggregation_columns: Dict[str, List[Any]] = {}
+        count = 0
+        for instance in instances:
+            oid_coords.append(_intern(instance.oid, interner, coords))
+            oid_numbers.append(instance.oid.number)
+            class_names.append(instance.class_name)
+            for name, value in instance.attributes.items():
+                column = attribute_columns.get(name)
+                if column is None:
+                    column = attribute_columns[name] = [_ABSENT] * count
+                column.append(_encode_cell(value, interner, coords))
+            for name, value in instance.aggregations.items():
+                column = aggregation_columns.get(name)
+                if column is None:
+                    column = aggregation_columns[name] = [_ABSENT] * count
+                column.append(_encode_cell(value, interner, coords))
+            count += 1
+            for column in attribute_columns.values():
+                if len(column) < count:
+                    column.append(_ABSENT)
+            for column in aggregation_columns.values():
+                if len(column) < count:
+                    column.append(_ABSENT)
+        return cls(
+            tuple(coords),
+            tuple(oid_coords),
+            tuple(oid_numbers),
+            tuple(class_names),
+            tuple(attribute_columns),
+            tuple(tuple(column) for column in attribute_columns.values()),
+            tuple(aggregation_columns),
+            tuple(tuple(column) for column in aggregation_columns.values()),
+        )
+
+    def to_instances(self) -> List[ObjectInstance]:
+        """Decode back to an instance list (memoized; returns a copy)."""
+        if self._decoded is None:
+            coords = self.coords
+            decoded: List[ObjectInstance] = []
+            for row in range(len(self.oid_numbers)):
+                attributes: Dict[str, Any] = {}
+                for name, column in zip(self.attribute_names, self.attribute_columns):
+                    cell = column[row]
+                    if cell != _ABSENT:
+                        attributes[name] = _decode_cell(cell, coords)
+                aggregations: Dict[str, Any] = {}
+                for name, column in zip(
+                    self.aggregation_names, self.aggregation_columns
+                ):
+                    cell = column[row]
+                    if cell != _ABSENT:
+                        aggregations[name] = _decode_cell(cell, coords)
+                decoded.append(
+                    _build_instance(
+                        OID(*coords[self.oid_coords[row]], self.oid_numbers[row]),
+                        self.class_names[row],
+                        attributes,
+                        aggregations,
+                    )
+                )
+            self._decoded = decoded
+        return list(self._decoded)
+
+    # ------------------------------------------------------------------
+    def oid_keys(self) -> Iterable[Tuple[Tuple[str, str, str, str], int]]:
+        """The extent's OIDs as hashable keys, without building OIDs."""
+        coords = self.coords
+        for coordinate_index, number in zip(self.oid_coords, self.oid_numbers):
+            yield coords[coordinate_index], number
+
+    @property
+    def item_count(self) -> int:
+        """Rows carried — what per-item transfer pricing charges for."""
+        return len(self.oid_numbers)
+
+    def __len__(self) -> int:
+        return len(self.oid_numbers)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnarExtent):
+            return NotImplemented
+        return self.to_instances() == other.to_instances()
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarExtent({len(self)} rows, {len(self.coords)} relations, "
+            f"{len(self.attribute_names)} attribute columns)"
+        )
+
+    # memoized decode state must not cross a pickle boundary
+    def __getstate__(self) -> Tuple[Any, ...]:
+        return (
+            self.coords,
+            self.oid_coords,
+            self.oid_numbers,
+            self.class_names,
+            self.attribute_names,
+            self.attribute_columns,
+            self.aggregation_names,
+            self.aggregation_columns,
+        )
+
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:
+        self.__init__(*state)  # type: ignore[misc]
+
+
+def _remap_cell(cell: Any, remap: Sequence[int]) -> Any:
+    """Rewrite slice-local coordinate indexes to the merged table."""
+    if type(cell) is not tuple:
+        return cell
+    tag = cell[0]
+    if tag == _TAG_OID:
+        return (_TAG_OID, remap[cell[1]], cell[2])
+    if tag == _TAG_SET:
+        return (_TAG_SET, tuple(_remap_cell(element, remap) for element in cell[1]))
+    if tag == _TAG_NESTED:
+        class_name, coordinate_index, number, attributes, aggregations = cell[1]
+        return (
+            _TAG_NESTED,
+            (
+                class_name,
+                remap[coordinate_index],
+                number,
+                tuple((n, _remap_cell(c, remap)) for n, c in attributes),
+                tuple((n, _remap_cell(c, remap)) for n, c in aggregations),
+            ),
+        )
+    return cell  # _ABSENT
+
+
+def merge_columnar(slices: Sequence[ColumnarExtent]) -> ColumnarExtent:
+    """Fold shard slices into one extent, deduping OIDs on the arrays.
+
+    A shard plan can hand the same object to more than one granule
+    (range plans overlap at the band edges), so the fold keeps the
+    first occurrence of each ``(coordinate, number)`` key — matching
+    the per-instance merge order — while touching only the arrays:
+    no :class:`~repro.model.instances.ObjectInstance` is constructed.
+    """
+    interner: Dict[Tuple[str, str, str, str], int] = {}
+    coords: List[Tuple[str, str, str, str]] = []
+    oid_coords: List[int] = []
+    oid_numbers: List[int] = []
+    class_names: List[str] = []
+    attribute_columns: Dict[str, List[Any]] = {}
+    aggregation_columns: Dict[str, List[Any]] = {}
+    seen: set = set()
+    count = 0
+    for piece in slices:
+        remap: List[int] = []
+        for coordinate in piece.coords:
+            index = interner.get(coordinate)
+            if index is None:
+                index = len(coords)
+                interner[coordinate] = index
+                coords.append(coordinate)
+            remap.append(index)
+        keep: List[int] = []
+        for row, (local_index, number) in enumerate(
+            zip(piece.oid_coords, piece.oid_numbers)
+        ):
+            key = (remap[local_index], number)
+            if key in seen:
+                continue
+            seen.add(key)
+            keep.append(row)
+            oid_coords.append(remap[local_index])
+            oid_numbers.append(number)
+            class_names.append(piece.class_names[row])
+        if not keep:
+            continue
+        for names, source_columns, merged in (
+            (piece.attribute_names, piece.attribute_columns, attribute_columns),
+            (piece.aggregation_names, piece.aggregation_columns, aggregation_columns),
+        ):
+            for name, column in zip(names, source_columns):
+                target = merged.get(name)
+                if target is None:
+                    target = merged[name] = [_ABSENT] * count
+                target.extend(_remap_cell(column[row], remap) for row in keep)
+        count += len(keep)
+        for merged in (attribute_columns, aggregation_columns):
+            for column in merged.values():
+                if len(column) < count:
+                    column.extend([_ABSENT] * (count - len(column)))
+    return ColumnarExtent(
+        tuple(coords),
+        tuple(oid_coords),
+        tuple(oid_numbers),
+        tuple(class_names),
+        tuple(attribute_columns),
+        tuple(tuple(column) for column in attribute_columns.values()),
+        tuple(aggregation_columns),
+        tuple(tuple(column) for column in aggregation_columns.values()),
+    )

@@ -36,6 +36,7 @@ resolve — and always routes to the targeted-eviction fallback.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 #: operations a delta record can describe.  ``rescan`` is the explicit
@@ -112,20 +113,28 @@ class DeltaLog:
             raise ValueError("delta log capacity must be positive")
         self._capacity = capacity
         self._deltas: List[SourceDelta] = []
+        # a capacity eviction that lands mid-walk shifts every index the
+        # cursor has already verified, so an unverified broken link can
+        # end up inside the returned "contiguous" suffix; readers walk a
+        # snapshot taken under this lock instead of the live list
+        self._lock = threading.Lock()
 
     def record(self, delta: SourceDelta) -> None:
         """Append one version step, evicting the oldest past capacity."""
-        self._deltas.append(delta)
-        if len(self._deltas) > self._capacity:
-            del self._deltas[: len(self._deltas) - self._capacity]
+        with self._lock:
+            self._deltas.append(delta)
+            if len(self._deltas) > self._capacity:
+                del self._deltas[: len(self._deltas) - self._capacity]
 
     def __len__(self) -> int:
-        return len(self._deltas)
+        with self._lock:
+            return len(self._deltas)
 
     @property
     def head_version(self) -> Optional[int]:
         """The newest version the log can replay to (None when empty)."""
-        return self._deltas[-1].new_version if self._deltas else None
+        with self._lock:
+            return self._deltas[-1].new_version if self._deltas else None
 
     def changes_since(self, version: int) -> Optional[Tuple[SourceDelta, ...]]:
         """The contiguous chain from *version* to the head, or ``None``.
@@ -136,7 +145,8 @@ class DeltaLog:
         *latest* occurrence wins — only suffixes that actually reach the
         head are valid replay material.
         """
-        deltas = self._deltas
+        with self._lock:
+            deltas = tuple(self._deltas)
         if deltas and version == deltas[-1].new_version:
             return ()
         for start in range(len(deltas) - 1, -1, -1):

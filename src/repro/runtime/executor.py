@@ -174,8 +174,23 @@ class FederationExecutor:
         self._sleep = sleep
 
     # ------------------------------------------------------------------
+    def _decode(self, value: Any) -> Any:
+        """Hook: translate a transport payload to its caller-facing form.
+
+        The threaded transport already answers in instance lists, so the
+        base executor passes values through; the multiprocess executor
+        overrides this to decode the columnar wire format exactly once,
+        at the caller/cache boundary.
+        """
+        return value
+
     def run_one(self, request: Scannable) -> Any:
-        """One dispatch through the retry / breaker / timeout machinery.
+        """One dispatch through the retry / breaker / timeout machinery,
+        decoded to caller-facing form."""
+        return self._decode(self._run_one_raw(request))
+
+    def _run_one_raw(self, request: Scannable) -> Any:
+        """One dispatch, left in the transport's wire form.
 
         The failure domain is :attr:`ScanRequest.endpoint` — for sharded
         requests that is ``agent#index/of``, so each shard has its own
@@ -223,8 +238,18 @@ class FederationExecutor:
         raise last_error
 
     # ------------------------------------------------------------------
-    def run(self, requests: Iterable[Scannable]) -> ScanOutcome:
-        """Fan *requests* out; never raises for per-scan failures."""
+    def run(
+        self,
+        requests: Iterable[Scannable],
+        _run_one: Optional[Callable[[Scannable], Any]] = None,
+    ) -> ScanOutcome:
+        """Fan *requests* out; never raises for per-scan failures.
+
+        *_run_one* is internal: :meth:`run_sharded` dispatches through
+        :meth:`_run_one_raw` so shard slices stay in wire form for the
+        array-level merge, decoding once after the fold.
+        """
+        dispatch = _run_one if _run_one is not None else self.run_one
         pending = list(requests)
         results: Dict[Scannable, Any] = {}
         failures: List[ScanFailure] = []
@@ -233,7 +258,7 @@ class FederationExecutor:
 
         def guarded(request: Scannable) -> None:
             try:
-                value = self.run_one(request)
+                value = dispatch(request)
             except CircuitOpenError as error:
                 failures.append(
                     ScanFailure(request, str(error), "circuit_open", attempts=0)
@@ -306,12 +331,19 @@ class FederationExecutor:
         ]
         if coalesce:
             outcome = expand_outcome(
-                self.run(coalesce_by_endpoint(pending)), self.metrics
+                self.run(coalesce_by_endpoint(pending), _run_one=self._run_one_raw),
+                self.metrics,
             )
         else:
-            outcome = self.run(pending)
+            outcome = self.run(pending, _run_one=self._run_one_raw)
         known.update(outcome.results)
         merged = merge_outcome(groups, known, outcome.failures)
+        # slices were merged in wire form (columnar folds stay on the
+        # arrays); decode once here so callers and caches see instances
+        for logical, value in list(merged.results.items()):
+            merged.results[logical] = self._decode(value)
+        for shard_request, value in list(merged.shard_results.items()):
+            merged.shard_results[shard_request] = self._decode(value)
         for endpoint in merged.missing_endpoints:
             self.metrics.record_missing_shard(endpoint)
         return merged

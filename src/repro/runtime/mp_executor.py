@@ -1,0 +1,511 @@
+"""The multiprocess data plane: shard scans in worker processes.
+
+The threaded executor fans scans out over a thread pool, but the §3
+per-item work — deserializing rows, coercing types, running the data
+mappings, filtering shard ownership — is pure Python and serializes on
+the GIL: E-R1/E-R4 show throughput flatlining as workers are added.
+``mode="multiprocess"`` moves that work into
+:class:`concurrent.futures.ProcessPoolExecutor` workers:
+
+* :func:`build_worker_spec` captures a picklable description of every
+  hosted component store — native object databases ship by value, disk
+  source adapters ship as their **manifest** description (kind, path,
+  declared relations and §3 data mappings in the ``federation.json``
+  vocabulary), memory source adapters ship a row snapshot — and each
+  worker's initializer rebuilds the agents from that spec, exactly the
+  way :func:`repro.sources.manifest.build_adapter` does from a
+  manifest entry;
+* :class:`ProcessPoolTransport` replaces the innermost
+  :class:`~repro.runtime.transport.InProcessTransport` hop of a
+  transport chain, dispatching each :class:`Scannable` (a shard
+  granule, or one shard's whole coalesced batch) to the pool; extents
+  come back as :class:`~repro.runtime.columnar.ColumnarExtent` arrays,
+  cheap to pickle across the process boundary.  Control-plane calls —
+  ``generation``, ``changes``, agent lookup — stay parent-side, so the
+  cache, persistence and delta-feed paths are byte-for-byte the ones
+  the threaded runtime uses;
+* :class:`MultiprocessFederationExecutor` inherits the retry, backoff,
+  deadline (:func:`~repro.runtime.executor._call_with_timeout`) and
+  circuit-breaker machinery from the threaded twin unchanged, and
+  decodes columnar payloads exactly once at the caller/cache boundary
+  (shard merges fold the arrays first, see
+  :func:`~repro.runtime.sharding.merge_shard_values`).
+
+Worker snapshots are guarded by **generation staleness**: the spec
+records each store's version at build time, and a ``perform`` that
+observes a newer parent-side version rebuilds the pool before
+dispatching, so a component write is never answered from a stale
+worker snapshot.  The pool uses the ``spawn`` start method
+unconditionally — the fork-unsafe-by-default semantics of macOS and
+Windows — so CI exercises the portable path everywhere.
+
+Worker exceptions are re-raised as plain, single-argument
+:class:`~repro.errors.TransportError`\\ s: richer exception types with
+multi-argument constructors do not survive the pickle round-trip, and
+a worker fault should land on the executor's retry / breaker / lost
+granule path exactly like a dropped reply.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..errors import RuntimeFederationError, TransportError
+from ..federation.agent import FSMAgent
+from .breaker import CircuitBreaker
+from .columnar import ColumnarExtent
+from .executor import FederationExecutor
+from .metrics import RuntimeMetrics
+from .policy import RuntimePolicy
+from .transport import (
+    AgentTransport,
+    BatchScanRequest,
+    BatchScanResult,
+    InProcessTransport,
+    Scannable,
+)
+
+__all__ = [
+    "MultiprocessFederationExecutor",
+    "ProcessPoolTransport",
+    "build_worker_spec",
+    "wrap_multiprocess",
+]
+
+
+# ----------------------------------------------------------------------
+# worker bootstrap specs (everything here must pickle under spawn)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ObjectStoreSpec:
+    """A native object database, shipped by value (it pickles whole)."""
+
+    schema: str
+    database: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class DiskSourceSpec:
+    """A disk-backed source adapter as its manifest entry: the worker
+    re-opens the same container and re-declares the same relation specs
+    and data mappings, in the ``federation.json`` JSON vocabulary."""
+
+    kind: str
+    path: str
+    name: str
+    agent: str
+    system: str
+    schema: str
+    relations: Optional[Tuple[Any, ...]]
+    mappings: Optional[Tuple[Tuple[str, Tuple[Any, ...]], ...]]
+
+
+@dataclasses.dataclass(frozen=True)
+class MemorySourceSpec:
+    """A memory source adapter: manifest vocabulary plus a row snapshot
+    (tombstones included, so tuple numbering — and OIDs — survive)."""
+
+    name: str
+    agent: str
+    system: str
+    schema: str
+    relations: Tuple[Any, ...]
+    mappings: Optional[Tuple[Tuple[str, Tuple[Any, ...]], ...]]
+    rows: Tuple[Tuple[str, Tuple[Optional[Dict[str, Any]], ...]], ...]
+    version: int
+
+
+@dataclasses.dataclass(frozen=True)
+class AgentSpec:
+    name: str
+    system: str
+    stores: Tuple[Any, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerSpec:
+    agents: Tuple[AgentSpec, ...]
+    schema_host: Optional[Tuple[Tuple[str, str], ...]]
+
+
+def _mappings_payload(adapter: Any) -> Optional[Tuple[Tuple[str, Tuple[Any, ...]], ...]]:
+    from ..sources.manifest import mapping_to_json
+
+    declared: Mapping[str, Tuple[Any, ...]] = adapter._mappings
+    if not declared:
+        return None
+    return tuple(
+        (relation, tuple(mapping_to_json(mapping) for mapping in mappings))
+        for relation, mappings in declared.items()
+    )
+
+
+def _store_spec(agent_name: str, schema: str, store: Any) -> Any:
+    from ..sources.manifest import relation_to_json
+
+    adapter = getattr(store, "adapter", None)
+    if adapter is None:
+        return ObjectStoreSpec(schema, store)
+    common = dict(
+        name=adapter.name,
+        agent=adapter.agent,
+        system=adapter.system,
+        schema=schema,
+        mappings=_mappings_payload(adapter),
+    )
+    if adapter.kind == "memory":
+        return MemorySourceSpec(
+            relations=tuple(relation_to_json(spec) for spec in adapter.relations()),
+            rows=tuple(
+                (
+                    relation,
+                    tuple(
+                        dict(row) if row is not None else None for row in slots
+                    ),
+                )
+                for relation, slots in adapter._rows.items()
+            ),
+            version=adapter.source_version(),
+            **common,
+        )
+    path = getattr(adapter, "path", None) or getattr(adapter, "directory", None)
+    if path is None:
+        raise RuntimeFederationError(
+            f"source adapter {adapter.name!r} (kind {adapter.kind!r}) exposes "
+            f"no path/directory; it cannot be rehydrated inside a worker"
+        )
+    declared = adapter._declared
+    return DiskSourceSpec(
+        kind=adapter.kind,
+        path=str(path),
+        relations=(
+            tuple(relation_to_json(spec) for spec in declared)
+            if declared is not None
+            else None
+        ),
+        **common,
+    )
+
+
+def build_worker_spec(
+    agents: Mapping[str, FSMAgent],
+    schema_host: Optional[Mapping[str, str]] = None,
+) -> Tuple[WorkerSpec, Dict[Tuple[str, str], Optional[int]]]:
+    """Snapshot the agent registry into a picklable worker spec.
+
+    Returns the spec plus the ``(agent, schema) → version`` map observed
+    at snapshot time — the staleness fingerprint
+    :class:`ProcessPoolTransport` compares before every dispatch.
+    """
+    agent_specs = []
+    versions: Dict[Tuple[str, str], Optional[int]] = {}
+    for name, agent in dict(agents).items():
+        stores = []
+        for schema in agent.schema_names():
+            store = agent.database(schema)
+            stores.append(_store_spec(name, schema, store))
+            versions[(name, schema)] = getattr(store, "version", None)
+        agent_specs.append(AgentSpec(name, agent.system, tuple(stores)))
+    host = tuple(schema_host.items()) if schema_host is not None else None
+    return WorkerSpec(tuple(agent_specs), host), versions
+
+
+# ----------------------------------------------------------------------
+# worker side (module-level: spawn pickles these by qualified name)
+# ----------------------------------------------------------------------
+_WORKER_TRANSPORT: Optional[InProcessTransport] = None
+
+
+def _rebuild_store(spec: Any) -> Any:
+    from ..sources.base import MemorySourceAdapter
+    from ..sources.manifest import (
+        ADAPTER_KINDS,
+        mapping_from_json,
+        relation_from_json,
+    )
+
+    mappings = (
+        {
+            relation: [mapping_from_json(payload) for payload in payloads]
+            for relation, payloads in spec.mappings
+        }
+        if spec.mappings is not None
+        else None
+    )
+    if isinstance(spec, MemorySourceSpec):
+        adapter = MemorySourceAdapter(
+            spec.name,
+            {},
+            [relation_from_json(payload) for payload in spec.relations],
+            mappings=mappings,
+            agent=spec.agent,
+            system=spec.system,
+        )
+        adapter._rows = {
+            relation: [dict(row) if row is not None else None for row in slots]
+            for relation, slots in spec.rows
+        }
+        adapter._version = spec.version
+        return adapter.database(spec.schema)
+    adapter_type = ADAPTER_KINDS[spec.kind]
+    adapter = adapter_type(
+        Path(spec.path),
+        name=spec.name,
+        agent=spec.agent,
+        system=spec.system,
+        relations=(
+            [relation_from_json(payload) for payload in spec.relations]
+            if spec.relations is not None
+            else None
+        ),
+        mappings=mappings,
+    )
+    return adapter.database(spec.schema)
+
+
+def _worker_initialize(spec: WorkerSpec) -> None:
+    """Per-process bootstrap: rebuild the agents behind a local transport."""
+    global _WORKER_TRANSPORT
+    agents: Dict[str, FSMAgent] = {}
+    for agent_spec in spec.agents:
+        agent = FSMAgent(agent_spec.name, system=agent_spec.system)
+        for store_spec in agent_spec.stores:
+            if isinstance(store_spec, ObjectStoreSpec):
+                agent.host_object_database(store_spec.database)
+            else:
+                agent.host_source(_rebuild_store(store_spec))
+        agents[agent_spec.name] = agent
+    schema_host = dict(spec.schema_host) if spec.schema_host is not None else None
+    _WORKER_TRANSPORT = InProcessTransport(agents, schema_host)
+
+
+def _encode_payload(request: Scannable, value: Any) -> Any:
+    if isinstance(request, BatchScanRequest):
+        assert isinstance(value, BatchScanResult)
+        return BatchScanResult(
+            tuple(
+                _encode_payload(granule, granule_value)
+                for granule, granule_value in zip(request.requests, value.values)
+            )
+        )
+    if request.op in ("extent", "direct_extent"):
+        return ColumnarExtent.from_instances(value)
+    return value
+
+
+def _worker_scan(request: Scannable) -> Any:
+    """One scan inside a worker: perform, then encode columnar."""
+    transport = _WORKER_TRANSPORT
+    if transport is None:  # pragma: no cover - initializer always ran
+        raise TransportError("worker process was never initialized")
+    try:
+        return _encode_payload(request, transport.perform(request))
+    except BaseException as error:  # noqa: BLE001 - must cross pickle boundary
+        raise TransportError(
+            f"worker scan failed ({request.describe()}): "
+            f"{type(error).__name__}: {error}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class ProcessPoolTransport(AgentTransport):
+    """Dispatch scans to a spawn-based worker pool; control plane stays local.
+
+    Wraps an :class:`InProcessTransport` (or a chain ending in one):
+    ``perform`` ships the :class:`Scannable` to a worker — a coalesced
+    :class:`BatchScanRequest` keeps one shard's granules in one task,
+    so task batching follows the shard plan — while ``generation`` /
+    ``changes`` / agent lookup answer from the parent's live registry.
+    """
+
+    def __init__(
+        self,
+        inner: AgentTransport,
+        workers: int = 8,
+        mp_context: Optional[multiprocessing.context.BaseContext] = None,
+    ) -> None:
+        self._inner = inner
+        self._registry = _find_in_process(inner)
+        self._workers = max(1, int(workers))
+        # spawn unconditionally: matches macOS/Windows semantics and
+        # never inherits the parent's locks mid-flight
+        self._context = mp_context or multiprocessing.get_context("spawn")
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._versions: Dict[Tuple[str, str], Optional[int]] = {}
+        self._closed = False
+        #: pool (re)builds — 1 on first dispatch, +1 per staleness refresh
+        self.rebuilds = 0
+
+    # -------------------------------------------------- control plane
+    def agent_names(self) -> Tuple[str, ...]:
+        return self._inner.agent_names()
+
+    def agent_for_schema(self, schema_name: str) -> str:
+        return self._inner.agent_for_schema(schema_name)
+
+    def generation(self, request: Any) -> Optional[int]:
+        return self._inner.generation(request)
+
+    def changes(self, request: Any, since: int) -> Optional[Any]:
+        return self._inner.changes(request, since)
+
+    # -------------------------------------------------- pool lifecycle
+    def _build_pool(self) -> None:
+        """(Re)create the pool from a fresh registry snapshot (locked)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        spec, versions = build_worker_spec(
+            self._registry._agents, self._registry._schema_host
+        )
+        self._pool = ProcessPoolExecutor(
+            max_workers=self._workers,
+            mp_context=self._context,
+            initializer=_worker_initialize,
+            initargs=(spec,),
+        )
+        self._versions = versions
+        self.rebuilds += 1
+
+    def _stale(self, request: Scannable) -> bool:
+        """Did any granule's store move past the worker snapshot?"""
+        for granule in request.granules:
+            key = (granule.agent, granule.schema)
+            current = self._inner.generation(granule)
+            if key not in self._versions:
+                if current is not None:
+                    return True  # registered after the snapshot
+                continue
+            if self._versions[key] != current:
+                return True
+        return False
+
+    def perform(self, request: Scannable) -> Any:
+        with self._lock:
+            if self._closed:
+                raise TransportError("multiprocess transport is closed")
+            if self._pool is None or self._stale(request):
+                self._build_pool()
+            pool = self._pool
+        assert pool is not None
+        try:
+            return pool.submit(_worker_scan, request).result()
+        except TransportError:
+            raise
+        except BrokenProcessPool as error:
+            raise TransportError(
+                f"multiprocess worker pool broke ({request.describe()}): {error}"
+            ) from error
+        except RuntimeError as error:
+            raise TransportError(
+                f"multiprocess dispatch failed ({request.describe()}): {error}"
+            ) from error
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+
+
+def _find_in_process(transport: Any) -> InProcessTransport:
+    """The innermost in-process registry of a transport chain."""
+    hop = transport
+    while hop is not None:
+        if isinstance(hop, InProcessTransport):
+            return hop
+        hop = getattr(hop, "_inner", None)
+    raise RuntimeFederationError(
+        "multiprocess mode needs an in-process agent registry at the "
+        "bottom of the transport chain to bootstrap its workers"
+    )
+
+
+def wrap_multiprocess(
+    transport: AgentTransport, workers: int = 8
+) -> AgentTransport:
+    """Splice a :class:`ProcessPoolTransport` into *transport*'s chain.
+
+    The innermost :class:`InProcessTransport` hop is replaced, so
+    parent-side wrappers (e.g. a
+    :class:`~repro.runtime.transport.SimulatedNetworkTransport` pricing
+    latency and per-item transfer) keep observing every dispatch.
+    Idempotent: a chain that already dispatches to a pool is returned
+    unchanged.
+    """
+    hop: Any = transport
+    while hop is not None:
+        if isinstance(hop, ProcessPoolTransport):
+            return transport
+        hop = getattr(hop, "_inner", None)
+    if isinstance(transport, InProcessTransport):
+        return ProcessPoolTransport(transport, workers=workers)
+    hop = transport
+    while True:
+        inner = getattr(hop, "_inner", None)
+        if inner is None:
+            raise RuntimeFederationError(
+                "multiprocess mode needs an in-process agent registry at "
+                "the bottom of the transport chain to bootstrap its workers"
+            )
+        if isinstance(inner, InProcessTransport):
+            hop._inner = ProcessPoolTransport(inner, workers=workers)
+            return transport
+        hop = inner
+
+
+def _find_pool(transport: Any) -> ProcessPoolTransport:
+    hop = transport
+    while hop is not None:
+        if isinstance(hop, ProcessPoolTransport):
+            return hop
+        hop = getattr(hop, "_inner", None)
+    raise RuntimeFederationError(
+        "no ProcessPoolTransport in the transport chain; wrap it with "
+        "wrap_multiprocess() first"
+    )
+
+
+class MultiprocessFederationExecutor(FederationExecutor):
+    """The threaded executor's failure model over a worker-process pool.
+
+    Retries, backoff, per-call deadlines and the circuit breaker are
+    inherited unchanged — the pool hop raises the same
+    :class:`~repro.errors.TransportError` taxonomy the simulated
+    network does.  The only override is the decode boundary: columnar
+    payloads become instance lists exactly once, after shard merges
+    have folded the arrays.
+    """
+
+    def __init__(
+        self,
+        transport: AgentTransport,
+        policy: Optional[RuntimePolicy] = None,
+        metrics: Optional[RuntimeMetrics] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        super().__init__(transport, policy, metrics, breaker, sleep)
+        self._pool_transport = _find_pool(transport)
+
+    def _decode(self, value: Any) -> Any:
+        if isinstance(value, ColumnarExtent):
+            return value.to_instances()
+        if isinstance(value, BatchScanResult):
+            return BatchScanResult(
+                tuple(self._decode(granule_value) for granule_value in value.values)
+            )
+        return value
+
+    def close(self) -> None:
+        self._pool_transport.close()

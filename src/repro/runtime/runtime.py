@@ -13,14 +13,20 @@ exposes the scan API the evaluation paths need —
 * :meth:`invalidate` / :meth:`bump_generation` for cache control;
 * :meth:`stats` for the observable autonomy / performance counters.
 
-Two execution modes share this facade.  ``mode="threaded"`` (default)
+Three execution modes share this facade.  ``mode="threaded"`` (default)
 fans scans across a thread pool; ``mode="async"`` multiplexes them as
 coroutines on one event loop via
 :class:`~repro.runtime.async_executor.AsyncFederationExecutor`, so
-thousands of slow agents cost timers instead of threads.  Both modes
-feed the same :class:`~repro.runtime.metrics.RuntimeMetrics` and
-:class:`~repro.runtime.cache.ExtentCache`, so ``--stats`` output and
-cache behaviour are identical across modes.
+thousands of slow agents cost timers instead of threads;
+``mode="multiprocess"`` ships shard scans to ``spawn``-ed worker
+processes via
+:class:`~repro.runtime.mp_executor.MultiprocessFederationExecutor`,
+exchanging :class:`~repro.runtime.columnar.ColumnarExtent` payloads so
+CPU-bound per-item work escapes the GIL.  All modes feed the same
+:class:`~repro.runtime.metrics.RuntimeMetrics` and
+:class:`~repro.runtime.cache.ExtentCache` (multiprocess granules are
+decoded before they are cached, under unchanged keys), so ``--stats``
+output and cache behaviour are identical across modes.
 
 Failure policy: ``PARTIAL`` serves what survived (missing extents come
 back empty) and records a warning per failure; ``ERROR`` raises
@@ -70,13 +76,14 @@ from .breaker import CircuitBreaker
 from .cache import MISS, ExtentCache
 from .executor import FederationExecutor, ScanOutcome
 from .metrics import RuntimeMetrics, RuntimeStats
+from .mp_executor import MultiprocessFederationExecutor, wrap_multiprocess
 from .persistence import PersistentExtentStore
 from .policy import FailurePolicy, RuntimePolicy
 from .sharding import ShardPlan, ShardedOutcome, merge_shard_values
 from .transport import AgentTransport, InProcessTransport, ScanHint, ScanRequest
 
 #: accepted FederationRuntime execution modes
-MODES = ("threaded", "async")
+MODES = ("threaded", "async", "multiprocess")
 
 
 class FederationRuntime:
@@ -114,10 +121,12 @@ class FederationRuntime:
             )
         if mode == "async" and isinstance(transport, AgentTransport):
             transport = AsyncTransportAdapter(transport)
-        if mode == "threaded" and isinstance(transport, AsyncAgentTransport):
+        if mode in ("threaded", "multiprocess") and isinstance(
+            transport, AsyncAgentTransport
+        ):
             raise RuntimeFederationError(
-                "async transports need mode='async' (threaded executors "
-                "cannot await coroutines)"
+                f"async transports need mode='async' ({mode} executors "
+                f"cannot await coroutines)"
             )
         self.transport = transport
         self.policy = policy or RuntimePolicy()
@@ -143,6 +152,18 @@ class FederationRuntime:
             # owner closes it, not this runtime
             self.executor = AsyncFederationExecutor(
                 transport, self.policy, self.metrics, self.breaker, runner=loop
+            )
+        elif mode == "multiprocess":
+            assert isinstance(transport, AgentTransport)
+            # splice the worker pool under any parent-side wrappers
+            # (fault simulators keep observing every dispatch), then
+            # decode columnar payloads at the executor boundary
+            transport = wrap_multiprocess(
+                transport, workers=self.policy.max_workers
+            )
+            self.transport = transport
+            self.executor = MultiprocessFederationExecutor(
+                transport, self.policy, self.metrics, self.breaker
             )
         else:
             assert isinstance(transport, AgentTransport)

@@ -37,7 +37,8 @@ import functools
 import zlib
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..errors import RuntimeFederationError
+from ..errors import RuntimeFederationError, ShardMergeError
+from .columnar import ColumnarExtent, merge_columnar
 from .transport import ScanRequest
 
 #: plan kinds understood by :func:`shard_of_oid`
@@ -231,24 +232,42 @@ def split_requests(
     return {request: plan.split(request) for request in dict.fromkeys(requests)}
 
 
+_NO_OID = object()
+
+
 def merge_shard_values(op: str, slices: Sequence[Any]) -> Any:
     """Fold per-shard scan results back into one logical result.
 
     Extent slices concatenate in the given (shard) order with OID-level
     dedup — the first occurrence wins, so a shard that answered twice
     (retry races, overlapping plans) can never duplicate a fact.
-    Value-set slices union.
+    Value-set slices union.  An instance without an ``.oid`` cannot be
+    keyed and raises :class:`~repro.errors.ShardMergeError` — hashing
+    the object itself would silently collapse distinct-but-equal facts.
+
+    When every slice is a :class:`~repro.runtime.columnar.ColumnarExtent`
+    (the multiprocess wire format) the fold happens at the array level
+    and the merged value stays columnar; the caller decodes once at the
+    end.  A mix of columnar and instance-list slices (warm cache next
+    to cold worker replies) decodes the columnar slices and merges
+    per-instance.
     """
     if op == "value_set":
         merged: set = set()
         for piece in slices:
             merged.update(piece)
         return merged
+    if slices and all(isinstance(piece, ColumnarExtent) for piece in slices):
+        return merge_columnar(slices)
     seen: set = set()
     result: List[Any] = []
     for piece in slices:
+        if isinstance(piece, ColumnarExtent):
+            piece = piece.to_instances()
         for instance in piece:
-            oid = getattr(instance, "oid", instance)
+            oid = getattr(instance, "oid", _NO_OID)
+            if oid is _NO_OID:
+                raise ShardMergeError(op, instance)
             if oid in seen:
                 continue
             seen.add(oid)

@@ -240,17 +240,38 @@ class BatchScanResult:
     values: Tuple[Any, ...]
 
     def __len__(self) -> int:
-        total = 0
-        for value in self.values:
-            try:
-                total += len(value)
-            except TypeError:
-                total += 1
-        return total
+        return transfer_item_count(self)
 
 
 #: anything the executor can dispatch: one granule or a coalesced batch
 Scannable = Union[ScanRequest, BatchScanRequest]
+
+
+def transfer_item_count(result: Any) -> int:
+    """Data items a transport reply carries, for ``per_item`` pricing.
+
+    Counts what actually crosses the wire: a batch is the sum of its
+    granule payloads (a coalesced round-trip moves the same data as its
+    granules would separately — it only pays latency once); ``None``
+    carries nothing; a payload advertising ``item_count`` (e.g. a
+    :class:`~repro.runtime.columnar.ColumnarExtent`) is priced by that
+    count even when it is not sized; only a genuinely opaque payload
+    falls back to one item.  Before this helper, any non-sized result —
+    including a whole batch value that failed ``len()`` — was silently
+    priced as ``per_item * 1``, making coalesced round-trips look
+    cheaper than the singleton scans they replaced.
+    """
+    if result is None:
+        return 0
+    if isinstance(result, BatchScanResult):
+        return sum(transfer_item_count(value) for value in result.values)
+    count = getattr(result, "item_count", None)
+    if count is not None:
+        return int(count)
+    try:
+        return len(result)
+    except TypeError:
+        return 1
 
 
 class AgentTransport:
@@ -480,10 +501,7 @@ class SimulatedNetworkTransport(AgentTransport):
             )
         result = self._inner.perform(request)
         if profile.per_item > 0.0:
-            try:
-                transfer = len(result) * profile.per_item
-            except TypeError:
-                transfer = profile.per_item
+            transfer = transfer_item_count(result) * profile.per_item
             if transfer > 0.0:
                 self._sleep(transfer)
         return result

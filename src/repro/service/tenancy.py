@@ -66,6 +66,8 @@ class TenantConfig:
     #: a disk-backed federation: a directory with a ``federation.json``
     #: manifest naming sqlite/CSV/JSON sources (alternative to *demo*)
     source_dir: Optional[str] = None
+    #: execution engine: ``threaded``, ``async`` (shared loop) or
+    #: ``multiprocess`` (spawn-based worker pool, columnar extents)
     mode: str = "async"
     max_inflight: int = 8
     scan_inflight: int = 64
@@ -165,7 +167,8 @@ def attach_runtime(
     Mirrors the CLI's transport construction: in-process agents, with a
     simulated network wrapped around them when the config injects
     latency.  Async-mode tenants hand their executor the shared loop;
-    threaded tenants keep private pools.
+    threaded and multiprocess tenants keep private pools (the runtime
+    splices the process-pool hop in for multiprocess mode).
     """
     fsm = session.fsm
     policy = RuntimePolicy(

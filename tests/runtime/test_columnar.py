@@ -1,0 +1,261 @@
+"""The columnar codec: tuples-of-arrays extents must be lossless.
+
+The multiprocess data plane ships every scan result across a process
+boundary as a :class:`ColumnarExtent`; any value the §3 pipeline can
+put on an instance — OID references, multivalued frozenset fills,
+``TripleMapping``/``LinearMapping`` translations, NULL fills for
+unmatched fuzzy values, nested instances — must survive
+``from_instances`` → pickle → ``to_instances`` bit-for-bit, and the
+array-level shard merge must agree with the per-instance merge.
+"""
+
+import datetime
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShardMergeError
+from repro.model.instances import ObjectInstance
+from repro.model.oids import OID
+from repro.runtime.columnar import ColumnarExtent, merge_columnar
+from repro.runtime.sharding import merge_shard_values
+from repro.workloads import build_memory_databases, generate_source_federation
+
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+oids = st.builds(
+    OID,
+    agent=st.sampled_from(["agent1", "agent2"]),
+    system=st.sampled_from(["pyoodb", "relstore"]),
+    database=st.sampled_from(["S1", "S2", "S3"]),
+    relation=st.sampled_from(["person", "visit"]),
+    number=st.integers(1, 9_999),
+)
+
+primitives = st.one_of(
+    st.none(),
+    st.integers(-1_000, 1_000),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=8),
+    st.booleans(),
+    st.dates(),
+)
+
+#: what set_attribute may store: primitives, OID refs, or multivalued
+#: fills (lists/sets are coerced to frozenset on the way in)
+attribute_values = st.one_of(
+    primitives,
+    oids,
+    st.frozensets(st.one_of(primitives, oids), max_size=4),
+    st.lists(st.integers(0, 9), max_size=3),
+)
+
+aggregation_values = st.one_of(st.none(), oids, st.frozensets(oids, max_size=3))
+
+
+@st.composite
+def instances(draw, allow_nested=True):
+    value = attribute_values
+    if allow_nested:
+        value = st.one_of(value, instances(allow_nested=False))
+    attributes = draw(
+        st.dictionaries(st.sampled_from(["a", "b", "c", "d"]), value, max_size=4)
+    )
+    aggregations = draw(
+        st.dictionaries(st.sampled_from(["r", "s"]), aggregation_values, max_size=2)
+    )
+    return ObjectInstance(
+        draw(oids),
+        draw(st.sampled_from(["person", "visit", "stock"])),
+        attributes,
+        aggregations,
+    )
+
+
+extents = st.lists(instances(), max_size=12)
+
+
+class TestRoundTrip:
+    @settings(**_SETTINGS)
+    @given(extent=extents)
+    def test_encode_decode_is_lossless(self, extent):
+        encoded = ColumnarExtent.from_instances(extent)
+        assert len(encoded) == len(extent)
+        assert encoded.item_count == len(extent)
+        decoded = encoded.to_instances()
+        assert decoded == extent
+        # attribute/aggregation dicts must match exactly: a NULL fill
+        # (stored None) is not the same instance as an absent attribute
+        for original, copy in zip(extent, decoded):
+            assert copy.attributes == original.attributes
+            assert copy.aggregations == original.aggregations
+            assert copy.oid == original.oid
+
+    @settings(**_SETTINGS)
+    @given(extent=extents)
+    def test_pickle_round_trip(self, extent):
+        encoded = ColumnarExtent.from_instances(extent)
+        revived = pickle.loads(pickle.dumps(encoded))
+        assert revived.to_instances() == extent
+        assert list(revived.oid_keys()) == list(encoded.oid_keys())
+
+    def test_null_fill_differs_from_absent(self):
+        oid = OID("agent1", "pyoodb", "S1", "person", 1)
+        filled = ObjectInstance(oid, "person", {"name": None})
+        bare = ObjectInstance(OID("agent1", "pyoodb", "S1", "person", 2), "person")
+        decoded = ColumnarExtent.from_instances([filled, bare]).to_instances()
+        assert "name" in decoded[0].attributes
+        assert decoded[0].get("name") is None
+        assert "name" not in decoded[1].attributes
+
+    def test_heterogeneous_columns_pad_with_absent(self):
+        # instances seen *after* a column first appears must not inherit it
+        first = ObjectInstance(
+            OID("agent1", "pyoodb", "S1", "person", 1), "person", {"a": 1}
+        )
+        second = ObjectInstance(
+            OID("agent1", "pyoodb", "S1", "person", 2), "person", {"b": 2}
+        )
+        decoded = ColumnarExtent.from_instances([first, second]).to_instances()
+        assert decoded == [first, second]
+        assert "a" not in decoded[1].attributes
+        assert "b" not in decoded[0].attributes
+
+    def test_date_and_frozenset_of_oids_survive(self):
+        target = OID("agent2", "pyoodb", "S2", "visit", 7)
+        instance = ObjectInstance(
+            OID("agent1", "pyoodb", "S1", "person", 1),
+            "person",
+            {"born": datetime.date(1999, 8, 7), "codes": frozenset({"x", "y"})},
+            {"visits": [target]},
+        )
+        revived = pickle.loads(
+            pickle.dumps(ColumnarExtent.from_instances([instance]))
+        ).to_instances()[0]
+        assert revived == instance
+        assert revived.get("visits") == frozenset({target})
+
+
+class TestMappedWorkloadParity:
+    """Real §3 pipeline output: TripleMapping (fuzzy ``"L3"`` → 3),
+    LinearMapping (basis points → level) and default NULL fills."""
+
+    def test_source_extents_round_trip(self):
+        dataset = generate_source_federation(
+            people_per_schema=6, records_per_person=2, seed=3
+        )
+        databases = build_memory_databases(dataset)
+        checked = 0
+        for database in databases.values():
+            for class_name in database.schema.class_names:
+                extent = database.extent(class_name)
+                encoded = ColumnarExtent.from_instances(extent)
+                assert pickle.loads(pickle.dumps(encoded)).to_instances() == extent
+                checked += len(extent)
+        assert checked  # a vacuous parity proves nothing
+
+    def test_mapped_levels_survive_encoding(self):
+        dataset = generate_source_federation(
+            people_per_schema=4, records_per_person=1, seed=5
+        )
+        databases = build_memory_databases(dataset)
+        for schema in ("hospital", "market"):
+            extent = databases[schema].extent("person")
+            decoded = ColumnarExtent.from_instances(extent).to_instances()
+            levels = [instance.get("level") for instance in decoded]
+            assert levels == [instance.get("level") for instance in extent]
+            assert all(isinstance(level, int) for level in levels)
+
+
+class TestMergeColumnar:
+    @settings(**_SETTINGS)
+    @given(extent=extents, cuts=st.lists(st.integers(0, 12), max_size=3))
+    def test_array_merge_matches_instance_merge(self, extent, cuts):
+        # slice the extent at arbitrary cut points, overlapping slices
+        # included — the merge must reproduce first-occurrence dedup
+        bounds = sorted({min(cut, len(extent)) for cut in cuts})
+        slices, start = [], 0
+        for bound in bounds + [len(extent)]:
+            slices.append(extent[start:bound])
+            start = bound
+        slices.append(extent[: len(extent) // 2])  # deliberate overlap
+        merged = merge_columnar(
+            [ColumnarExtent.from_instances(piece) for piece in slices]
+        )
+        assert merged.to_instances() == merge_shard_values(
+            "extent", [list(piece) for piece in slices]
+        )
+
+    def test_merge_dedups_across_slices(self):
+        oid = OID("agent1", "pyoodb", "S1", "person", 1)
+        instance = ObjectInstance(oid, "person", {"a": 1})
+        other = ObjectInstance(
+            OID("agent1", "pyoodb", "S1", "person", 2), "person", {"a": 2}
+        )
+        merged = merge_columnar(
+            [
+                ColumnarExtent.from_instances([instance]),
+                ColumnarExtent.from_instances([instance, other]),
+            ]
+        )
+        assert merged.to_instances() == [instance, other]
+
+    def test_merge_shard_values_folds_columnar_slices(self):
+        instance = ObjectInstance(
+            OID("agent1", "pyoodb", "S1", "person", 1), "person", {"a": 1}
+        )
+        merged = merge_shard_values(
+            "extent", [ColumnarExtent.from_instances([instance])]
+        )
+        assert isinstance(merged, ColumnarExtent)
+        assert merged.to_instances() == [instance]
+
+
+class TestMergeShardValuesOids:
+    """Satellite regression: the old merge keyed on
+    ``getattr(instance, "oid", instance)`` — an OID-less record was
+    silently deduplicated *by its own value* (or crashed unhashable);
+    now the merge refuses loudly."""
+
+    def test_oidless_records_raise_instead_of_silently_deduping(self):
+        class Record:
+            def __init__(self, payload):
+                self.payload = payload
+
+            def __hash__(self):
+                return 0  # every record collides: the old code dropped these
+
+            def __eq__(self, other):
+                return isinstance(other, Record)
+
+        first, second = Record("from-shard-0"), Record("from-shard-1")
+        with pytest.raises(ShardMergeError) as caught:
+            merge_shard_values("extent", [[first], [second]])
+        assert "oid" in str(caught.value)
+        assert caught.value.op == "extent"
+
+    def test_unhashable_oidless_records_raise_the_typed_error(self):
+        # pre-fix this path died on TypeError: unhashable type 'dict'
+        with pytest.raises(ShardMergeError):
+            merge_shard_values("direct_extent", [[{"ssn": 1}], [{"ssn": 2}]])
+
+    def test_instances_with_oids_still_merge(self):
+        first = ObjectInstance(
+            OID("agent1", "pyoodb", "S1", "person", 1), "person", {"a": 1}
+        )
+        second = ObjectInstance(
+            OID("agent1", "pyoodb", "S1", "person", 2), "person", {"a": 2}
+        )
+        assert merge_shard_values("extent", [[first], [second], [first]]) == [
+            first,
+            second,
+        ]
+
+    def test_value_set_merge_needs_no_oids(self):
+        assert merge_shard_values("value_set", [{1, 2}, {2, 3}]) == {1, 2, 3}

@@ -367,3 +367,95 @@ class TestTransportChanges:
     def test_unknown_agent_reads_as_feedless(self):
         transport = InProcessTransport({})
         assert transport.changes(ScanRequest("a1", "S1", "person"), 1) is None
+
+
+class TestDeltaLogCapacityRace:
+    """Regression: a capacity eviction landing *mid*-``changes_since``
+    shifted every index the walk had already verified, so the returned
+    "contiguous" suffix could contain an unverified broken link — a
+    spuriously contiguous chain the cache would happily replay.  The
+    walk now runs over a snapshot taken under the log's lock, so a
+    concurrent ``record`` can only be observed entirely or not at all.
+    """
+
+    @staticmethod
+    def _spliced(log, trigger):
+        """Arm *log* so its list mutates itself (one eviction + one
+        append, exactly what ``record`` past capacity does) at the
+        *trigger*-th element access — the racing writer, made
+        deterministic.  The splice bypasses the lock on purpose: if the
+        walk still touched the live list, the mutation would land
+        mid-walk exactly as a concurrent ``record`` used to."""
+
+        class RacingList(list):
+            accesses = 0
+
+            def __getitem__(self, index):
+                RacingList.accesses += 1
+                if RacingList.accesses == trigger and len(self) >= 2:
+                    list.__delitem__(self, slice(0, 1))
+                    head = list.__getitem__(self, -1)
+                    list.append(
+                        self, SourceDelta(head.new_version + 5, head.new_version + 6)
+                    )
+                return list.__getitem__(self, index)
+
+        log._deltas = RacingList(log._deltas)
+        return log
+
+    def test_mid_walk_eviction_never_yields_a_spurious_chain(self):
+        for trigger in range(1, 12):
+            log = DeltaLog(capacity=8)
+            for delta in (_step(1, 2), _step(2, 3), _step(3, 4)):
+                log.record(delta)
+            self._spliced(log, trigger)
+            chain = log.changes_since(2)
+            if chain is None:
+                continue
+            assert chain_is_contiguous(chain, 2, chain[-1].new_version), (
+                f"trigger={trigger} returned a broken chain {chain}"
+            )
+
+    def test_concurrent_writer_past_capacity_stress(self):
+        import threading
+
+        log = DeltaLog(capacity=6)
+        version = 0
+        for _ in range(6):
+            log.record(_step(version, version + 1))
+            version += 1
+        stop = threading.Event()
+        broken = []
+
+        def writer():
+            cursor = version
+            while not stop.is_set():
+                log.record(_step(cursor, cursor + 1))
+                cursor += 1
+
+        def reader():
+            for _ in range(3_000):
+                head = log.head_version
+                chain = log.changes_since(head - 3)
+                if chain is None or not chain:
+                    continue
+                if not chain_is_contiguous(chain, head - 3, chain[-1].new_version):
+                    broken.append(chain)
+                    break
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            reader()
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert broken == []
+
+    def test_record_past_capacity_still_evicts_oldest(self):
+        log = DeltaLog(capacity=2)
+        for delta in (_step(1, 2), _step(2, 3), _step(3, 4)):
+            log.record(delta)
+        assert len(log) == 2
+        assert log.changes_since(1) is None  # evicted span is a gap, not a guess
+        assert log.changes_since(2) == (_step(2, 3), _step(3, 4))

@@ -157,3 +157,131 @@ class TestSideTableBounds:
         from repro.runtime.sharding import _relation_digest
 
         assert _relation_digest.cache_info().maxsize is not None
+
+
+class TestPerItemTransferPricing:
+    """Regression: per-item transfer pricing used ``len(result)`` with a
+    blanket ``per_item * 1`` fallback, so any non-sized payload — a
+    columnar reply advertising only ``item_count``, or an absent
+    (``None``) granule value inside a batch — was priced as exactly one
+    item no matter how many rows it carried.  Pricing now goes through
+    :func:`transfer_item_count`: batches charge the total items their
+    granules carry, ``None`` carries nothing, and non-sized payloads
+    charge their ``item_count``."""
+
+    @staticmethod
+    def _simulated(agents, naps):
+        return SimulatedNetworkTransport(
+            InProcessTransport(agents),
+            FaultProfile(per_item=1.0),
+            clock=naps.append,
+        )
+
+    def test_batch_round_trip_charges_total_items_carried(self, agents):
+        from repro.runtime import BatchScanRequest
+
+        naps = []
+        simulated = self._simulated(agents, naps)
+        batch = BatchScanRequest(
+            (
+                ScanRequest("a1", "S1", "person"),  # 2 instances
+                ScanRequest("a1", "S1", "person", "value_set", "name"),  # 2 values
+            )
+        )
+        result = simulated.perform(batch)
+        assert len(result) == 4
+        assert naps == [4.0]
+
+    def test_batch_pricing_equals_singleton_sum(self, agents):
+        from repro.runtime import BatchScanRequest
+
+        naps = []
+        simulated = self._simulated(agents, naps)
+        granules = (
+            ScanRequest("a1", "S1", "person"),
+            ScanRequest("a1", "S1", "person", "value_set", "ssn#"),
+        )
+        simulated.perform(BatchScanRequest(granules))
+        batched = sum(naps)
+        naps.clear()
+        for granule in granules:
+            simulated.perform(granule)
+        assert batched == sum(naps)
+
+    def test_non_sized_payload_charges_its_item_count(self, agents):
+        from repro.runtime.columnar import ColumnarExtent
+        from repro.runtime.transport import transfer_item_count
+
+        class ColumnarAgent:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def perform(self, request):
+                return ColumnarExtent.from_instances(self._inner.perform(request))
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        naps = []
+        simulated = SimulatedNetworkTransport(
+            ColumnarAgent(InProcessTransport(agents)),
+            FaultProfile(per_item=1.0),
+            clock=naps.append,
+        )
+        result = simulated.perform(ScanRequest("a1", "S1", "person"))
+        assert transfer_item_count(result) == 2
+        assert naps == [2.0]
+
+    def test_item_count_payload_without_len_is_not_priced_as_one(self, agents):
+        # the pre-fix failing case: no __len__, so the fallback charged
+        # per_item * 1 for an arbitrarily large reply
+        class Wire:
+            def __init__(self, items):
+                self.item_count = items
+
+        class Encoding:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def perform(self, request):
+                return Wire(len(self._inner.perform(request)) * 500)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        naps = []
+        simulated = SimulatedNetworkTransport(
+            Encoding(InProcessTransport(agents)),
+            FaultProfile(per_item=0.001),
+            clock=naps.append,
+        )
+        simulated.perform(ScanRequest("a1", "S1", "person"))
+        assert naps == [pytest.approx(1.0)]  # 1000 items, not 1
+
+    def test_changes_stays_unpriced_control_plane(self, agents):
+        naps = []
+        simulated = self._simulated(agents, naps)
+        request = ScanRequest("a1", "S1", "person")
+        agents["a1"].database("S1").insert("person", {"ssn#": "3", "name": "cid"})
+        simulated.changes(request, since=0)
+        simulated.generation(request)
+        assert naps == []
+
+    def test_transfer_item_count_vocabulary(self):
+        from repro.runtime import BatchScanResult
+        from repro.runtime.transport import transfer_item_count
+
+        class Counted:
+            item_count = 7
+
+        class Opaque:
+            pass
+
+        assert transfer_item_count(None) == 0
+        assert transfer_item_count([1, 2, 3]) == 3
+        assert transfer_item_count({"a", "b"}) == 2
+        assert transfer_item_count(Counted()) == 7
+        assert transfer_item_count(Opaque()) == 1
+        nested = BatchScanResult(([1, 2], BatchScanResult(({"x"}, None))))
+        assert transfer_item_count(nested) == 3
+        assert len(nested) == 3
